@@ -1,0 +1,84 @@
+// Root benchmarks: one testing.B benchmark per table and figure in the
+// paper's evaluation. Each iteration regenerates the full experiment
+// through internal/experiments; `go test -bench=. -benchmem` therefore
+// reproduces the entire evaluation section. Heavy parameter sweeps run at
+// a reduced epoch count to keep a benchmark iteration tractable — the
+// full 11-epoch paper configuration is available via `cmd/ammbench`.
+package ammboost
+
+import (
+	"testing"
+
+	"ammboost/internal/experiments"
+)
+
+// benchOpts returns experiment options sized for benchmark iterations.
+func benchOpts(epochs int) experiments.Options {
+	return experiments.Options{Epochs: epochs, Seed: 42, CommitteeSize: 500}
+}
+
+func runExperiment(b *testing.B, name string, opts experiments.Options) {
+	b.Helper()
+	runner := experiments.Registry()[name]
+	if runner == nil {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := runner(opts)
+		if err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Render()) == 0 {
+			b.Fatalf("%s: empty result", name)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the layer-2 comparison table (measured
+// ammBoost row at V_D = 25M).
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1", benchOpts(3)) }
+
+// BenchmarkTable2 regenerates the itemized ammBoost gas/latency table
+// (V_D = 500K, full 11 epochs).
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2", benchOpts(11)) }
+
+// BenchmarkTable3 regenerates the baseline Uniswap per-operation table.
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3", benchOpts(11)) }
+
+// BenchmarkTable4 regenerates the storage-overhead table from the actual
+// encoders.
+func BenchmarkTable4(b *testing.B) { runExperiment(b, "table4", benchOpts(11)) }
+
+// BenchmarkFig5 regenerates the headline gas/growth comparison
+// (V_D = 500K, full 11 epochs, both deployments).
+func BenchmarkFig5(b *testing.B) { runExperiment(b, "fig5", benchOpts(11)) }
+
+// BenchmarkTable5 regenerates the scalability sweep
+// (V_D ∈ {50K, 500K, 5M, 25M}).
+func BenchmarkTable5(b *testing.B) { runExperiment(b, "table5", benchOpts(4)) }
+
+// BenchmarkTable6 regenerates the ammBoost vs ammOP comparison (V_D = 25M).
+func BenchmarkTable6(b *testing.B) { runExperiment(b, "table6", benchOpts(4)) }
+
+// BenchmarkTable7 regenerates the Uniswap traffic analysis from the
+// synthetic year trace.
+func BenchmarkTable7(b *testing.B) { runExperiment(b, "table7", benchOpts(11)) }
+
+// BenchmarkTable8 regenerates the block-size sweep (V_D = 50M).
+func BenchmarkTable8(b *testing.B) { runExperiment(b, "table8", benchOpts(3)) }
+
+// BenchmarkTable9 regenerates the round-duration sweep (V_D = 25M).
+func BenchmarkTable9(b *testing.B) { runExperiment(b, "table9", benchOpts(3)) }
+
+// BenchmarkTable10 regenerates the rounds-per-epoch sweep (V_D = 25M).
+func BenchmarkTable10(b *testing.B) { runExperiment(b, "table10", benchOpts(3)) }
+
+// BenchmarkTable11 regenerates the traffic-distribution sweep (V_D = 25M).
+func BenchmarkTable11(b *testing.B) { runExperiment(b, "table11", benchOpts(3)) }
+
+// BenchmarkTable12 regenerates the committee-size/agreement-time table.
+func BenchmarkTable12(b *testing.B) { runExperiment(b, "table12", benchOpts(11)) }
+
+// BenchmarkAblations regenerates the design-choice ablation table
+// (pruning, TSQC vs multisig, summary folding, mass-sync batching).
+func BenchmarkAblations(b *testing.B) { runExperiment(b, "ablations", benchOpts(4)) }

@@ -1,0 +1,8 @@
+// Package ammboost is the root of the ammBoost reproduction: a state growth
+// control and throughput boosting layer-2 for automated market makers, per
+// "ammBoost: State Growth Control for AMMs" (DSN 2025).
+//
+// The public entry points live under internal/ packages re-exported through
+// the example binaries and the experiments harness; see DESIGN.md for the
+// system inventory and EXPERIMENTS.md for the paper-vs-measured results.
+package ammboost

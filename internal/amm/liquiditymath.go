@@ -1,0 +1,90 @@
+package amm
+
+import "ammboost/internal/u256"
+
+// LiquidityForAmount0 returns the maximum liquidity fundable with amount0 of
+// token0 over the price range [sqrtA, sqrtB]:
+//
+//	L = amount0 * sqrtA * sqrtB / (2^96 * (sqrtB - sqrtA))
+func LiquidityForAmount0(sqrtA, sqrtB, amount0 u256.Int) u256.Int {
+	if sqrtA.Gt(sqrtB) {
+		sqrtA, sqrtB = sqrtB, sqrtA
+	}
+	intermediate, overflow := u256.MulDiv(sqrtA, sqrtB, u256.Q96)
+	if overflow {
+		return u256.Zero
+	}
+	diff := u256.Sub(sqrtB, sqrtA)
+	if diff.IsZero() {
+		return u256.Zero
+	}
+	out, overflow := u256.MulDiv(amount0, intermediate, diff)
+	if overflow {
+		return u256.Zero
+	}
+	return out
+}
+
+// LiquidityForAmount1 returns the maximum liquidity fundable with amount1 of
+// token1 over the price range [sqrtA, sqrtB]:
+//
+//	L = amount1 * 2^96 / (sqrtB - sqrtA)
+func LiquidityForAmount1(sqrtA, sqrtB, amount1 u256.Int) u256.Int {
+	if sqrtA.Gt(sqrtB) {
+		sqrtA, sqrtB = sqrtB, sqrtA
+	}
+	diff := u256.Sub(sqrtB, sqrtA)
+	if diff.IsZero() {
+		return u256.Zero
+	}
+	out, overflow := u256.MulDiv(amount1, u256.Q96, diff)
+	if overflow {
+		return u256.Zero
+	}
+	return out
+}
+
+// LiquidityForAmounts computes the maximum pool liquidity that the desired
+// token amounts can fund given the current price sqrtP and the position
+// range [sqrtA, sqrtB]. This mirrors Uniswap's getLiquidityForAmounts used
+// by the position manager when processing a mint.
+func LiquidityForAmounts(sqrtP, sqrtA, sqrtB, amount0, amount1 u256.Int) u256.Int {
+	if sqrtA.Gt(sqrtB) {
+		sqrtA, sqrtB = sqrtB, sqrtA
+	}
+	switch {
+	case !sqrtP.Gt(sqrtA): // price below range: all token0
+		return LiquidityForAmount0(sqrtA, sqrtB, amount0)
+	case sqrtP.Lt(sqrtB): // price in range: limited by the scarcer side
+		l0 := LiquidityForAmount0(sqrtP, sqrtB, amount0)
+		l1 := LiquidityForAmount1(sqrtA, sqrtP, amount1)
+		return u256.Min(l0, l1)
+	default: // price above range: all token1
+		return LiquidityForAmount1(sqrtA, sqrtB, amount1)
+	}
+}
+
+// AmountsForLiquidity returns the token amounts represented by liquidity L
+// over range [sqrtA, sqrtB] at current price sqrtP, rounding up when
+// roundUp is true (amounts owed to the pool on mint) and down otherwise
+// (amounts paid out on burn).
+func AmountsForLiquidity(sqrtP, sqrtA, sqrtB, liquidity u256.Int, roundUp bool) (amount0, amount1 u256.Int, err error) {
+	if sqrtA.Gt(sqrtB) {
+		sqrtA, sqrtB = sqrtB, sqrtA
+	}
+	switch {
+	case !sqrtP.Gt(sqrtA): // below range
+		amount0, err = Amount0Delta(sqrtA, sqrtB, liquidity, roundUp)
+		return amount0, u256.Zero, err
+	case sqrtP.Lt(sqrtB): // in range
+		amount0, err = Amount0Delta(sqrtP, sqrtB, liquidity, roundUp)
+		if err != nil {
+			return u256.Zero, u256.Zero, err
+		}
+		amount1, err = Amount1Delta(sqrtA, sqrtP, liquidity, roundUp)
+		return amount0, amount1, err
+	default: // above range
+		amount1, err = Amount1Delta(sqrtA, sqrtB, liquidity, roundUp)
+		return u256.Zero, amount1, err
+	}
+}

@@ -1,0 +1,465 @@
+package amm
+
+import (
+	"math/rand"
+	"testing"
+
+	"ammboost/internal/u256"
+)
+
+// newTestPool creates a pool at price 1.0 (tick 0) with spacing 60.
+func newTestPool(t *testing.T) *Pool {
+	t.Helper()
+	p, err := NewPool("A", "B", 3000, 60, u256.Q96)
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	return p
+}
+
+func liq(v uint64) u256.Int { return u256.FromUint64(v) }
+
+func TestNewPoolValidation(t *testing.T) {
+	if _, err := NewPool("A", "B", 3000, 60, u256.Zero); err == nil {
+		t.Error("zero price should be rejected")
+	}
+	if _, err := NewPool("A", "B", 3000, 0, u256.Q96); err == nil {
+		t.Error("zero tick spacing should be rejected")
+	}
+	p, err := NewPool("A", "B", 3000, 60, u256.Q96)
+	if err != nil || p.Tick != 0 {
+		t.Errorf("pool at price 1 should sit at tick 0, got %d err %v", p.Tick, err)
+	}
+}
+
+func TestMintAmounts(t *testing.T) {
+	p := newTestPool(t)
+	// Symmetric in-range position around tick 0 requires both tokens.
+	res, err := p.Mint("pos1", "lp1", -600, 600, liq(1_000_000))
+	if err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	if res.Amount0.IsZero() || res.Amount1.IsZero() {
+		t.Errorf("in-range mint should require both tokens, got %s / %s", res.Amount0, res.Amount1)
+	}
+	// Symmetric range at price 1: amounts should be nearly equal.
+	hi, lo := u256.MaxOf(res.Amount0, res.Amount1), u256.Min(res.Amount0, res.Amount1)
+	if u256.Sub(hi, lo).Gt(u256.FromUint64(2)) {
+		t.Errorf("symmetric mint amounts should match: %s vs %s", res.Amount0, res.Amount1)
+	}
+
+	// Range entirely above the current price requires only token0.
+	res0, err := p.Mint("pos2", "lp1", 600, 1200, liq(1_000_000))
+	if err != nil {
+		t.Fatalf("Mint above: %v", err)
+	}
+	if res0.Amount0.IsZero() || !res0.Amount1.IsZero() {
+		t.Errorf("above-range mint wants token0 only, got %s / %s", res0.Amount0, res0.Amount1)
+	}
+
+	// Range entirely below requires only token1.
+	res1, err := p.Mint("pos3", "lp1", -1200, -600, liq(1_000_000))
+	if err != nil {
+		t.Fatalf("Mint below: %v", err)
+	}
+	if !res1.Amount0.IsZero() || res1.Amount1.IsZero() {
+		t.Errorf("below-range mint wants token1 only, got %s / %s", res1.Amount0, res1.Amount1)
+	}
+}
+
+func TestMintValidation(t *testing.T) {
+	p := newTestPool(t)
+	if _, err := p.Mint("x", "lp", 600, -600, liq(1)); err != ErrInvalidTickRange {
+		t.Errorf("inverted range: %v", err)
+	}
+	if _, err := p.Mint("x", "lp", -61, 600, liq(1)); err != ErrTickNotSpaced {
+		t.Errorf("unaligned tick: %v", err)
+	}
+	if _, err := p.Mint("x", "lp", -600, 600, u256.Zero); err != ErrLiquidityZero {
+		t.Errorf("zero liquidity: %v", err)
+	}
+	if _, err := p.Mint("x", "lp", -600, 600, liq(10)); err != nil {
+		t.Fatalf("mint: %v", err)
+	}
+	if _, err := p.Mint("x", "other", -600, 600, liq(10)); err != ErrNotPositionOwner {
+		t.Errorf("owner mismatch: %v", err)
+	}
+	if _, err := p.Mint("x", "lp", -1200, 600, liq(10)); err != ErrInvalidTickRange {
+		t.Errorf("range mismatch on existing position: %v", err)
+	}
+}
+
+func TestSwapExactInZeroForOne(t *testing.T) {
+	p := newTestPool(t)
+	if _, err := p.Mint("pos", "lp", -6000, 6000, liq(10_000_000_000)); err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	in := u256.FromUint64(1_000_000)
+	res, err := p.Swap(true, true, in, u256.Zero)
+	if err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	if !res.AmountIn.Eq(in) {
+		t.Errorf("exact-in should consume all input: consumed %s of %s", res.AmountIn, in)
+	}
+	if res.AmountOut.IsZero() || !res.AmountOut.Lt(in) {
+		// At price ~1, output ≈ input*(1-fee) minus slippage.
+		t.Errorf("unexpected output %s for input %s", res.AmountOut, in)
+	}
+	if !p.SqrtPriceX96.Lt(u256.Q96) {
+		t.Error("selling token0 should decrease the price")
+	}
+	if res.FeeAmount.IsZero() {
+		t.Error("fee should be charged")
+	}
+	// Fee ≈ 0.3% of input.
+	wantFee := u256.Div(u256.Mul(in, u256.FromUint64(3000)), u256.FromUint64(1_000_000))
+	diff := u256.Sub(u256.MaxOf(res.FeeAmount, wantFee), u256.Min(res.FeeAmount, wantFee))
+	if diff.Gt(u256.FromUint64(5)) {
+		t.Errorf("fee %s, want ~%s", res.FeeAmount, wantFee)
+	}
+}
+
+func TestSwapExactInOneForZero(t *testing.T) {
+	p := newTestPool(t)
+	if _, err := p.Mint("pos", "lp", -6000, 6000, liq(10_000_000_000)); err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	in := u256.FromUint64(500_000)
+	res, err := p.Swap(false, true, in, u256.Zero)
+	if err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	if !p.SqrtPriceX96.Gt(u256.Q96) {
+		t.Error("selling token1 should increase the price")
+	}
+	if res.AmountOut.IsZero() {
+		t.Error("no output")
+	}
+}
+
+func TestSwapExactOut(t *testing.T) {
+	p := newTestPool(t)
+	if _, err := p.Mint("pos", "lp", -6000, 6000, liq(10_000_000_000)); err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	want := u256.FromUint64(250_000)
+	res, err := p.Swap(true, false, want, u256.Zero)
+	if err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	if !res.AmountOut.Eq(want) {
+		t.Errorf("exact-out delivered %s, want %s", res.AmountOut, want)
+	}
+	if !res.AmountIn.Gt(want) {
+		// Input must exceed output at price ~1 because of the fee.
+		t.Errorf("input %s should exceed output %s (fee)", res.AmountIn, want)
+	}
+}
+
+func TestSwapPriceLimit(t *testing.T) {
+	p := newTestPool(t)
+	if _, err := p.Mint("pos", "lp", -6000, 6000, liq(1_000_000_000)); err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	limit := SqrtRatioAtTick(-60) // allow only a small price move
+	res, err := p.Swap(true, true, u256.FromUint64(1_000_000_000_000), limit)
+	if err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	if !p.SqrtPriceX96.Eq(limit) {
+		t.Errorf("price should stop at the limit: %s vs %s", p.SqrtPriceX96, limit)
+	}
+	if !res.AmountIn.Lt(u256.FromUint64(1_000_000_000_000)) {
+		t.Error("swap should have been partially filled")
+	}
+}
+
+func TestSwapInvalidLimit(t *testing.T) {
+	p := newTestPool(t)
+	if _, err := p.Mint("pos", "lp", -6000, 6000, liq(1_000_000)); err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	// Limit on the wrong side of the current price.
+	if _, err := p.Swap(true, true, u256.FromUint64(10), SqrtRatioAtTick(60)); err != ErrPriceLimit {
+		t.Errorf("want ErrPriceLimit, got %v", err)
+	}
+	if _, err := p.Swap(false, true, u256.FromUint64(10), SqrtRatioAtTick(-60)); err != ErrPriceLimit {
+		t.Errorf("want ErrPriceLimit, got %v", err)
+	}
+	if _, err := p.Swap(true, true, u256.Zero, u256.Zero); err != ErrZeroAmount {
+		t.Errorf("want ErrZeroAmount, got %v", err)
+	}
+}
+
+func TestSwapCrossesTicks(t *testing.T) {
+	p := newTestPool(t)
+	// Narrow in-range position plus a wide backstop.
+	if _, err := p.Mint("narrow", "lp", -60, 60, liq(5_000_000)); err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	if _, err := p.Mint("wide", "lp", -12000, 12000, liq(1_000_000)); err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	startLiq := p.Liquidity
+	res, err := p.Swap(true, true, u256.FromUint64(50_000_000), u256.Zero)
+	if err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	if res.TicksCrossed == 0 {
+		t.Error("expected to cross the narrow position's lower tick")
+	}
+	if p.Tick >= -60 {
+		t.Errorf("price should be below the narrow range, tick=%d", p.Tick)
+	}
+	if !p.Liquidity.Lt(startLiq) {
+		t.Errorf("liquidity should drop after leaving the narrow range: %s -> %s", startLiq, p.Liquidity)
+	}
+}
+
+func TestBurnAndCollectRoundTrip(t *testing.T) {
+	p := newTestPool(t)
+	mintRes, err := p.Mint("pos", "lp", -600, 600, liq(1_000_000_000))
+	if err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	burnRes, err := p.Burn("pos", "lp", liq(1_000_000_000))
+	if err != nil {
+		t.Fatalf("Burn: %v", err)
+	}
+	// Burn returns at most what the mint took (rounding favors the pool).
+	if burnRes.Amount0.Gt(mintRes.Amount0) || burnRes.Amount1.Gt(mintRes.Amount1) {
+		t.Errorf("burn returned more than minted: %s/%s > %s/%s",
+			burnRes.Amount0, burnRes.Amount1, mintRes.Amount0, mintRes.Amount1)
+	}
+	diff0 := u256.Sub(mintRes.Amount0, burnRes.Amount0)
+	if diff0.Gt(u256.FromUint64(2)) {
+		t.Errorf("mint/burn rounding gap too large: %s", diff0)
+	}
+	paid0, paid1, err := p.Collect("pos", "lp", u256.Max, u256.Max)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if !paid0.Eq(burnRes.Amount0) || !paid1.Eq(burnRes.Amount1) {
+		t.Errorf("collect %s/%s, want %s/%s", paid0, paid1, burnRes.Amount0, burnRes.Amount1)
+	}
+	if p.Position("pos") != nil {
+		t.Error("fully-collected empty position should be deleted")
+	}
+	if !p.Liquidity.IsZero() {
+		t.Errorf("pool liquidity should be zero, got %s", p.Liquidity)
+	}
+}
+
+func TestBurnValidation(t *testing.T) {
+	p := newTestPool(t)
+	if _, err := p.Burn("nope", "lp", liq(1)); err != ErrPositionNotFound {
+		t.Errorf("missing position: %v", err)
+	}
+	if _, err := p.Mint("pos", "lp", -600, 600, liq(100)); err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	if _, err := p.Burn("pos", "other", liq(1)); err != ErrNotPositionOwner {
+		t.Errorf("wrong owner: %v", err)
+	}
+	if _, err := p.Burn("pos", "lp", liq(101)); err != ErrInsufficientLiq {
+		t.Errorf("over-burn: %v", err)
+	}
+}
+
+func TestFeesAccrueToLP(t *testing.T) {
+	p := newTestPool(t)
+	if _, err := p.Mint("pos", "lp", -6000, 6000, liq(10_000_000_000)); err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	swapIn := u256.FromUint64(10_000_000)
+	res, err := p.Swap(true, true, swapIn, u256.Zero)
+	if err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	// Poke the position, then collect fees.
+	if _, err := p.Burn("pos", "lp", u256.Zero); err != nil {
+		t.Fatalf("poke: %v", err)
+	}
+	pos := p.Position("pos")
+	if pos.TokensOwed0.IsZero() {
+		t.Fatal("LP should have accrued token0 fees")
+	}
+	// The sole LP gets (almost) the entire fee; flooring may shave dust.
+	if pos.TokensOwed0.Gt(res.FeeAmount) {
+		t.Errorf("owed %s exceeds collected fee %s", pos.TokensOwed0, res.FeeAmount)
+	}
+	gap := u256.Sub(res.FeeAmount, pos.TokensOwed0)
+	if gap.Gt(u256.FromUint64(2)) {
+		t.Errorf("sole LP should earn nearly the whole fee: owed %s of %s", pos.TokensOwed0, res.FeeAmount)
+	}
+}
+
+func TestFeesSplitProportionally(t *testing.T) {
+	p := newTestPool(t)
+	if _, err := p.Mint("a", "lpA", -6000, 6000, liq(3_000_000_000)); err != nil {
+		t.Fatalf("Mint a: %v", err)
+	}
+	if _, err := p.Mint("b", "lpB", -6000, 6000, liq(1_000_000_000)); err != nil {
+		t.Fatalf("Mint b: %v", err)
+	}
+	if _, err := p.Swap(true, true, u256.FromUint64(40_000_000), u256.Zero); err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	if _, err := p.Burn("a", "lpA", u256.Zero); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Burn("b", "lpB", u256.Zero); err != nil {
+		t.Fatal(err)
+	}
+	owedA := p.Position("a").TokensOwed0
+	owedB := p.Position("b").TokensOwed0
+	if owedA.IsZero() || owedB.IsZero() {
+		t.Fatalf("both LPs should earn fees: %s / %s", owedA, owedB)
+	}
+	// lpA provided 3x the liquidity → ~3x the fees.
+	ratio := u256.Div(u256.Mul(owedA, u256.FromUint64(100)), owedB)
+	r, _ := ratio.Uint64()
+	if r < 295 || r > 305 {
+		t.Errorf("fee ratio = %d/100, want ~300", r)
+	}
+}
+
+func TestFlashLoan(t *testing.T) {
+	p := newTestPool(t)
+	if _, err := p.Mint("pos", "lp", -6000, 6000, liq(10_000_000_000)); err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	r0, r1 := p.Reserve0, p.Reserve1
+	amount := u256.FromUint64(1_000_000)
+	fee := u256.DivRoundingUp(u256.Mul(amount, u256.FromUint64(3000)), u256.FromUint64(1_000_000))
+	err := p.Flash(amount, u256.Zero, func(a0, a1 u256.Int) (u256.Int, u256.Int) {
+		if !a0.Eq(amount) || !a1.IsZero() {
+			t.Errorf("callback got %s/%s", a0, a1)
+		}
+		return u256.Add(a0, fee), u256.Zero
+	})
+	if err != nil {
+		t.Fatalf("Flash: %v", err)
+	}
+	if !p.Reserve0.Eq(u256.Add(r0, fee)) || !p.Reserve1.Eq(r1) {
+		t.Errorf("reserves after flash: %s/%s, want %s/%s", p.Reserve0, p.Reserve1, u256.Add(r0, fee), r1)
+	}
+	// Under-repayment must fail and leave state untouched.
+	err = p.Flash(amount, u256.Zero, func(a0, a1 u256.Int) (u256.Int, u256.Int) {
+		return a0, u256.Zero // no fee
+	})
+	if err != ErrFlashNotRepaid {
+		t.Errorf("want ErrFlashNotRepaid, got %v", err)
+	}
+	if !p.Reserve0.Eq(u256.Add(r0, fee)) {
+		t.Error("failed flash should not change reserves")
+	}
+	// Borrowing more than reserves must fail.
+	if err := p.Flash(u256.Add(p.Reserve0, u256.One), u256.Zero, func(a0, a1 u256.Int) (u256.Int, u256.Int) {
+		return a0, a1
+	}); err != ErrAmountTooLarge {
+		t.Errorf("want ErrAmountTooLarge, got %v", err)
+	}
+}
+
+func TestSwapRoundTripConservation(t *testing.T) {
+	p := newTestPool(t)
+	if _, err := p.Mint("pos", "lp", -6000, 6000, liq(50_000_000_000)); err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	// A → B → A round trip must lose money to fees (no free lunch).
+	in := u256.FromUint64(5_000_000)
+	res1, err := p.Swap(true, true, in, u256.Zero)
+	if err != nil {
+		t.Fatalf("swap 1: %v", err)
+	}
+	res2, err := p.Swap(false, true, res1.AmountOut, u256.Zero)
+	if err != nil {
+		t.Fatalf("swap 2: %v", err)
+	}
+	if !res2.AmountOut.Lt(in) {
+		t.Errorf("round trip returned %s for %s input; should lose fees", res2.AmountOut, in)
+	}
+}
+
+func TestPoolClone(t *testing.T) {
+	p := newTestPool(t)
+	if _, err := p.Mint("pos", "lp", -600, 600, liq(1_000_000_000)); err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	c := p.Clone()
+	if _, err := c.Swap(true, true, u256.FromUint64(100_000), u256.Zero); err != nil {
+		t.Fatalf("Swap clone: %v", err)
+	}
+	if !p.SqrtPriceX96.Eq(u256.Q96) {
+		t.Error("swapping the clone must not move the original's price")
+	}
+	if _, err := c.Burn("pos", "lp", liq(1)); err != nil {
+		t.Fatalf("Burn clone: %v", err)
+	}
+	if !p.Position("pos").Liquidity.Eq(liq(1_000_000_000)) {
+		t.Error("clone burn must not touch original position")
+	}
+}
+
+// TestReservesNeverNegative fuzzes a trading session and checks reserve
+// conservation: reserves always cover the sum of what positions are owed.
+func TestReservesNeverNegative(t *testing.T) {
+	p := newTestPool(t)
+	if _, err := p.Mint("base", "lp", -12000, 12000, liq(100_000_000_000)); err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 500; i++ {
+		zeroForOne := r.Intn(2) == 0
+		amt := u256.FromUint64(uint64(r.Intn(5_000_000) + 1))
+		if _, err := p.Swap(zeroForOne, true, amt, u256.Zero); err != nil {
+			t.Fatalf("swap %d: %v", i, err)
+		}
+	}
+	// Burn everything; reserves must cover the owed amounts.
+	if _, err := p.Burn("base", "lp", liq(100_000_000_000)); err != nil {
+		t.Fatalf("Burn: %v", err)
+	}
+	pos := p.Position("base")
+	if p.Reserve0.Lt(pos.TokensOwed0) || p.Reserve1.Lt(pos.TokensOwed1) {
+		t.Errorf("reserves %s/%s cannot cover owed %s/%s",
+			p.Reserve0, p.Reserve1, pos.TokensOwed0, pos.TokensOwed1)
+	}
+	paid0, paid1, err := p.Collect("base", "lp", u256.Max, u256.Max)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if paid0.IsZero() && paid1.IsZero() {
+		t.Error("collect should pay out principal and fees")
+	}
+}
+
+func BenchmarkSwapExactIn(b *testing.B) {
+	p, _ := NewPool("A", "B", 3000, 60, u256.Q96)
+	if _, err := p.Mint("pos", "lp", -887220, 887220, u256.MustFromDecimal("100000000000000000000")); err != nil {
+		b.Fatal(err)
+	}
+	in := u256.FromUint64(1_000_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		zeroForOne := i%2 == 0 // alternate to keep the price centered
+		if _, err := p.Swap(zeroForOne, true, in, u256.Zero); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMintBurn(b *testing.B) {
+	p, _ := NewPool("A", "B", 3000, 60, u256.Q96)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Mint("pos", "lp", -600, 600, liq(1_000_000)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Burn("pos", "lp", liq(1_000_000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

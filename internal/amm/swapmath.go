@@ -1,0 +1,121 @@
+package amm
+
+import "ammboost/internal/u256"
+
+// feeDenominator expresses fees in hundredths of a bip (pips): a fee of
+// 3000 is 0.30%.
+const feeDenominator = 1_000_000
+
+// SwapStep is the outcome of swapping within a single tick range.
+type SwapStep struct {
+	SqrtPriceNextX96 u256.Int // price after this step
+	AmountIn         u256.Int // input consumed, excluding fee
+	AmountOut        u256.Int // output produced
+	FeeAmount        u256.Int // fee charged on the input token
+}
+
+// ComputeSwapStep advances the swap within one tick range: from sqrtCurrent
+// toward sqrtTarget with the given liquidity, consuming at most
+// amountRemaining (of input when exactIn, of output otherwise) and charging
+// feePips on the input.
+//
+// This mirrors Uniswap V3's SwapMath.computeSwapStep, including its rounding
+// directions (always in the pool's favor).
+func ComputeSwapStep(sqrtCurrent, sqrtTarget, liquidity, amountRemaining u256.Int, feePips uint32, exactIn bool) (SwapStep, error) {
+	var step SwapStep
+	zeroForOne := !sqrtCurrent.Lt(sqrtTarget)
+	feeDen := u256.FromUint64(feeDenominator)
+	feeFactor := u256.FromUint64(feeDenominator - uint64(feePips))
+
+	var err error
+	if exactIn {
+		amountRemainingLessFee, overflow := u256.MulDiv(amountRemaining, feeFactor, feeDen)
+		if overflow {
+			return step, ErrPriceOverflow
+		}
+		// Input needed to reach the target price.
+		if zeroForOne {
+			step.AmountIn, err = Amount0Delta(sqrtTarget, sqrtCurrent, liquidity, true)
+		} else {
+			step.AmountIn, err = Amount1Delta(sqrtCurrent, sqrtTarget, liquidity, true)
+		}
+		if err != nil {
+			return step, err
+		}
+		if !amountRemainingLessFee.Lt(step.AmountIn) {
+			step.SqrtPriceNextX96 = sqrtTarget
+		} else {
+			step.SqrtPriceNextX96, err = NextSqrtPriceFromInput(sqrtCurrent, liquidity, amountRemainingLessFee, zeroForOne)
+			if err != nil {
+				return step, err
+			}
+		}
+	} else {
+		// Output available down to the target price.
+		if zeroForOne {
+			step.AmountOut, err = Amount1Delta(sqrtTarget, sqrtCurrent, liquidity, false)
+		} else {
+			step.AmountOut, err = Amount0Delta(sqrtCurrent, sqrtTarget, liquidity, false)
+		}
+		if err != nil {
+			return step, err
+		}
+		if !amountRemaining.Lt(step.AmountOut) {
+			step.SqrtPriceNextX96 = sqrtTarget
+		} else {
+			step.SqrtPriceNextX96, err = NextSqrtPriceFromOutput(sqrtCurrent, liquidity, amountRemaining, zeroForOne)
+			if err != nil {
+				return step, err
+			}
+		}
+	}
+
+	max := step.SqrtPriceNextX96.Eq(sqrtTarget)
+
+	// Settle in/out for the actually-traversed price interval.
+	if zeroForOne {
+		if !(max && exactIn) {
+			step.AmountIn, err = Amount0Delta(step.SqrtPriceNextX96, sqrtCurrent, liquidity, true)
+			if err != nil {
+				return step, err
+			}
+		}
+		if !(max && !exactIn) {
+			step.AmountOut, err = Amount1Delta(step.SqrtPriceNextX96, sqrtCurrent, liquidity, false)
+			if err != nil {
+				return step, err
+			}
+		}
+	} else {
+		if !(max && exactIn) {
+			step.AmountIn, err = Amount1Delta(sqrtCurrent, step.SqrtPriceNextX96, liquidity, true)
+			if err != nil {
+				return step, err
+			}
+		}
+		if !(max && !exactIn) {
+			step.AmountOut, err = Amount0Delta(sqrtCurrent, step.SqrtPriceNextX96, liquidity, false)
+			if err != nil {
+				return step, err
+			}
+		}
+	}
+
+	// Exact output cannot deliver more than requested.
+	if !exactIn && step.AmountOut.Gt(amountRemaining) {
+		step.AmountOut = amountRemaining
+	}
+
+	if exactIn && !step.SqrtPriceNextX96.Eq(sqrtTarget) {
+		// Didn't reach the target: the entire remainder is consumed, the
+		// excess over amountIn is the fee.
+		step.FeeAmount = u256.Sub(amountRemaining, step.AmountIn)
+	} else {
+		fee, overflow := u256.MulDivRoundingUp(step.AmountIn, u256.FromUint64(uint64(feePips)), feeFactor)
+		if overflow {
+			return step, ErrPriceOverflow
+		}
+		step.FeeAmount = fee
+	}
+	return step, nil
+}

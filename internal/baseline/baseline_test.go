@@ -1,0 +1,138 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"ammboost/internal/gasmodel"
+	"ammboost/internal/summary"
+	"ammboost/internal/u256"
+	"ammboost/internal/workload"
+)
+
+func TestSwapChargesTable3Gas(t *testing.T) {
+	r, err := New(Config{Sizes: SizesSepolia})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := &summary.Tx{ID: "s1", Kind: gasmodel.KindSwap, User: "alice",
+		ZeroForOne: true, ExactIn: true, Amount: u256.FromUint64(1000)}
+	r.Sim().At(time.Second, func() { r.Submit(tx) })
+	r.Run(60 * time.Second)
+	gas, n := r.Collector().AvgGas("swap")
+	if n != 1 || uint64(gas) != gasmodel.UniswapSwapGas {
+		t.Errorf("swap gas = %.0f x%d, want %d", gas, n, gasmodel.UniswapSwapGas)
+	}
+}
+
+func TestLatencyIncludesApprovals(t *testing.T) {
+	r, err := New(Config{Sizes: SizesSepolia})
+	if err != nil {
+		t.Fatal(err)
+	}
+	swap := &summary.Tx{ID: "s1", Kind: gasmodel.KindSwap, User: "alice",
+		ZeroForOne: true, ExactIn: true, Amount: u256.FromUint64(1000)}
+	burnLP := &summary.Tx{ID: "m1", Kind: gasmodel.KindMint, User: "lp",
+		TickLower: -600, TickUpper: 600,
+		Amount0Desired: u256.FromUint64(100_000), Amount1Desired: u256.FromUint64(100_000)}
+	r.Sim().At(time.Second, func() { r.Submit(swap); r.Submit(burnLP) })
+	r.Run(120 * time.Second)
+	swapLat, _ := r.Collector().AvgMCLatency("swap")
+	mintLat, _ := r.Collector().AvgMCLatency("mint")
+	// Swap = 1 approval + op: at least 2 blocks. Mint = 2 approvals + op:
+	// at least 3 blocks (Section VI-B).
+	if swapLat < 24*time.Second {
+		t.Errorf("swap latency = %s, want >= 2 blocks", swapLat)
+	}
+	if mintLat < 36*time.Second {
+		t.Errorf("mint latency = %s, want >= 3 blocks", mintLat)
+	}
+	if mintLat <= swapLat {
+		t.Errorf("mint (%s) should be slower than swap (%s)", mintLat, swapLat)
+	}
+}
+
+func TestChainGrowthUsesSizeModel(t *testing.T) {
+	run := func(sizes SizeModel) int {
+		r, err := New(Config{Sizes: sizes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			i := i
+			r.Sim().At(time.Duration(i)*time.Second, func() {
+				r.Submit(&summary.Tx{ID: string(rune('a' + i)), Kind: gasmodel.KindSwap, User: "alice",
+					ZeroForOne: i%2 == 0, ExactIn: true, Amount: u256.FromUint64(1000)})
+			})
+		}
+		r.Run(120 * time.Second)
+		return r.Mainchain().TotalBytes
+	}
+	sep, main := run(SizesSepolia), run(SizesMainnet)
+	if main <= sep {
+		t.Errorf("mainnet sizes (%d) should exceed Sepolia sizes (%d)", main, sep)
+	}
+}
+
+// TestBaselineParityWithExecutor feeds one transaction sequence to the
+// baseline (L1 execution) and to a fresh sidechain-style executor: the pool
+// states must match exactly — the paper's "same logic" requirement.
+func TestBaselineParityWithExecutor(t *testing.T) {
+	r, err := New(Config{Sizes: SizesSepolia})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.New(workload.DefaultConfig(11))
+	var txs []*summary.Tx
+	for i := 0; i < 300; i++ {
+		txs = append(txs, gen.Next())
+	}
+	// Space submissions past the longest approval chain (~3 blocks) so L1
+	// execution order matches submission order; otherwise a mint's
+	// two-approval prologue can let a later swap execute first.
+	for i, tx := range txs {
+		tx := tx
+		r.Sim().At(time.Duration(i)*40*time.Second, func() { r.Submit(tx) })
+	}
+	r.Run(300 * 40 * time.Second)
+
+	// Replay through a standalone executor over the same genesis pool.
+	ref, err := New(Config{Sizes: SizesSepolia})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range txs {
+		ref.EnsureUser(tx.User)
+		// Block numbers differ; deadlines are unset in generated traffic.
+		_ = ref.router.exec.Apply(tx, 1)
+	}
+	a, b := r.Pool(), ref.Pool()
+	if !a.SqrtPriceX96.Eq(b.SqrtPriceX96) || a.Tick != b.Tick {
+		t.Errorf("price diverged: %s/%d vs %s/%d", a.SqrtPriceX96, a.Tick, b.SqrtPriceX96, b.Tick)
+	}
+	if !a.Reserve0.Eq(b.Reserve0) || !a.Reserve1.Eq(b.Reserve1) {
+		t.Errorf("reserves diverged: %s/%s vs %s/%s", a.Reserve0, a.Reserve1, b.Reserve0, b.Reserve1)
+	}
+	if a.NumPositions() != b.NumPositions() {
+		t.Errorf("positions diverged: %d vs %d", a.NumPositions(), b.NumPositions())
+	}
+}
+
+func TestThroughputGasBound(t *testing.T) {
+	// Saturate the baseline: throughput must cap near the block gas limit
+	// divided by per-op gas (~15 tx/s for ~160k swaps on 30M/12s).
+	r, err := New(Config{Sizes: SizesSepolia})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.New(workload.DefaultConfig(12))
+	for i := 0; i < 20_000; i++ {
+		at := time.Duration(i) * time.Millisecond * 20 // 50 tx/s arrival
+		r.Sim().At(at, func() { r.Submit(gen.Next()) })
+	}
+	r.Run(400 * time.Second)
+	tp := r.Collector().Throughput()
+	if tp < 5 || tp > 25 {
+		t.Errorf("saturated L1 throughput = %.2f tx/s, expected ~10-20", tp)
+	}
+}

@@ -1,0 +1,749 @@
+// Package core orchestrates the full ammBoost system (Fig. 1): the
+// mainchain hosting TokenBank and the ERC20 pair, the PBFT sidechain with
+// per-epoch VRF-elected committees, the epoch lifecycle (SnapshotBank →
+// meta-block rounds → summary-block → TSQC-authenticated Sync → pruning),
+// epoch-based deposits, delayed token payouts, and the interruption
+// recovery paths (leader view change, mass-sync after skipped or
+// rolled-back syncs).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ammboost/internal/amm"
+	"ammboost/internal/crypto/tsig"
+	"ammboost/internal/gasmodel"
+	"ammboost/internal/mainchain"
+	"ammboost/internal/metrics"
+	"ammboost/internal/sidechain"
+	"ammboost/internal/sidechain/election"
+	"ammboost/internal/sidechain/pbft"
+	"ammboost/internal/sim"
+	"ammboost/internal/summary"
+	"ammboost/internal/u256"
+)
+
+// System-level errors.
+var (
+	ErrNotGenesis = errors.New("core: system already started")
+	ErrParity     = errors.New("core: cross-layer state parity violated")
+)
+
+// FaultPlan schedules the interruptions the paper's recovery mechanisms
+// handle.
+type FaultPlan struct {
+	// SilentLeaderRounds marks (epoch, round) pairs whose leader stays
+	// silent: the committee times out, changes view, and the next leader
+	// re-proposes.
+	SilentLeaderRounds map[[2]uint64]bool
+	// SkipSyncEpochs marks epochs whose committee fails to issue the
+	// Sync call (malicious leader at epoch end); the next committee
+	// mass-syncs.
+	SkipSyncEpochs map[uint64]bool
+	// ReorgSyncEpochs marks epochs whose Sync lands in a mainchain block
+	// that is rolled back; recovery is the same mass-sync path.
+	ReorgSyncEpochs map[uint64]bool
+}
+
+func (f FaultPlan) silentLeader(epoch, round uint64) bool {
+	return f.SilentLeaderRounds[[2]uint64{epoch, round}]
+}
+
+// Config parameterizes a run. Zero values take the paper's defaults.
+type Config struct {
+	Seed int64
+	// EpochRounds is ω, the rounds per epoch (default 30).
+	EpochRounds int
+	// RoundDuration is the sidechain round length (default 7 s).
+	RoundDuration time.Duration
+	// MetaBlockBytes caps the meta-block size (default 1 MB).
+	MetaBlockBytes int
+	// CommitteeSize is the PBFT committee size (default 500).
+	CommitteeSize int
+	// MinerPopulation is the sidechain miner count (default committee
+	// size + 100).
+	MinerPopulation int
+	// ViewChangeTimeout before a silent leader is replaced (default 3 s).
+	ViewChangeTimeout time.Duration
+	// FeePips is the pool fee (default 3000 = 0.30%).
+	FeePips uint32
+	// InitialLiquidity seeds the genesis full-range position.
+	InitialLiquidity u256.Int
+	// DepositPerUser0/1 fund each user's per-epoch deposit.
+	DepositPerUser0 u256.Int
+	DepositPerUser1 u256.Int
+
+	Mainchain mainchain.Config
+	Model     pbft.Model
+	Faults    FaultPlan
+}
+
+// withDefaults fills zero values with the paper's configuration.
+func (c Config) withDefaults() Config {
+	if c.EpochRounds == 0 {
+		c.EpochRounds = 30
+	}
+	if c.RoundDuration == 0 {
+		c.RoundDuration = 7 * time.Second
+	}
+	if c.MetaBlockBytes == 0 {
+		c.MetaBlockBytes = 1 << 20
+	}
+	if c.CommitteeSize == 0 {
+		c.CommitteeSize = 500
+	}
+	if c.MinerPopulation == 0 {
+		c.MinerPopulation = c.CommitteeSize + 100
+	}
+	if c.ViewChangeTimeout == 0 {
+		c.ViewChangeTimeout = 3 * time.Second
+	}
+	if c.FeePips == 0 {
+		c.FeePips = 3000
+	}
+	if c.InitialLiquidity.IsZero() {
+		c.InitialLiquidity = u256.MustFromDecimal("10000000000000") // 1e13
+	}
+	if c.DepositPerUser0.IsZero() {
+		c.DepositPerUser0 = u256.MustFromDecimal("2000000000") // 2e9
+	}
+	if c.DepositPerUser1.IsZero() {
+		c.DepositPerUser1 = u256.MustFromDecimal("2000000000")
+	}
+	if c.Mainchain.BlockInterval == 0 {
+		c.Mainchain = mainchain.DefaultConfig()
+	}
+	if c.Model.C1 == 0 {
+		c.Model = pbft.DefaultModel()
+	}
+	return c
+}
+
+// committeeKeys is the TSQC key material for one epoch's committee. For
+// experiment-scale committees the shares come from a dealer (see DESIGN.md
+// on the DKG substitution); the pbft functional tests run the full joint
+// DKG.
+type committeeKeys struct {
+	committee *election.Committee
+	shares    []tsig.Share
+	group     tsig.GroupKey
+	threshold int
+}
+
+// txRecord tracks one sidechain transaction through its lifecycle.
+type txRecord struct {
+	tx      *summary.Tx
+	minedAt time.Duration
+	epoch   uint64
+}
+
+// System is a running ammBoost deployment.
+type System struct {
+	cfg Config
+	sim *sim.Simulator
+	rng *rand.Rand
+
+	// Mainchain side.
+	mc     *mainchain.Chain
+	token0 *mainchain.ERC20
+	token1 *mainchain.ERC20
+	bank   *mainchain.TokenBank
+
+	// Sidechain side.
+	registry *election.Registry
+	ledger   *sidechain.Ledger
+	pool     *amm.Pool // canonical sidechain pool, carried across epochs
+	executor *summary.Executor
+
+	queue        []*summary.Tx
+	queuePeak    int
+	seenDeposits map[string]summary.Deposit
+	approved     map[string]bool // users who granted TokenBank allowances
+
+	committees map[uint64]*committeeKeys
+	chainSeed  [32]byte
+
+	epoch          uint64
+	pendingPayload []*summary.SyncPayload // stashed summaries awaiting mass-sync
+
+	// Users.
+	users []string
+	lps   map[string]bool
+
+	// Metrics.
+	col         *metrics.Collector
+	recs        []*txRecord
+	recsByEpoch map[uint64][]*txRecord
+	ViewChanges int
+	MassSyncs   int
+	SyncsOK     int
+	Rejected    int
+
+	// OnEpochStart lets the workload driver fund the next epoch's
+	// deposits and keep generating traffic.
+	OnEpochStart func(epoch uint64)
+	// OnReject observes each rejected transaction (diagnostics).
+	OnReject func(err error, kind string)
+	// DebugSync observes each submitted sync's shape (diagnostics).
+	DebugSync func(epoch uint64, payouts, positions, bytes int, gas uint64)
+
+	epochsPlanned int
+	done          bool
+}
+
+// NewSystem builds and genesis-initializes a deployment: ERC20s and
+// TokenBank on the mainchain, the miner registry, the epoch-1 committee
+// (whose group key is registered at deployment, per SystemSetup), the
+// genesis pool position, and funded, bank-approved users.
+func NewSystem(cfg Config, users []string, lps map[string]bool) (*System, error) {
+	cfg = cfg.withDefaults()
+	s := &System{
+		cfg:         cfg,
+		sim:         sim.New(),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		committees:  make(map[uint64]*committeeKeys),
+		users:       users,
+		lps:         lps,
+		col:         metrics.New(),
+		recsByEpoch: make(map[uint64][]*txRecord),
+		approved:    make(map[string]bool),
+	}
+	s.rng.Read(s.chainSeed[:])
+
+	// Miner registry with fast sortition keys.
+	s.registry = election.NewRegistry()
+	for i := 0; i < cfg.MinerPopulation; i++ {
+		id := fmt.Sprintf("sc-miner-%04d", i)
+		s.registry.Add(&election.Miner{ID: id, Stake: 1, VRF: election.NewFastVRF([]byte(id))})
+	}
+
+	// Epoch-1 committee and key material.
+	ck, err := s.makeCommittee(1)
+	if err != nil {
+		return nil, err
+	}
+	s.committees[1] = ck
+
+	// Mainchain with contracts.
+	s.mc = mainchain.New(s.sim, cfg.Mainchain)
+	s.token0 = mainchain.NewERC20("A", "genesis")
+	s.token1 = mainchain.NewERC20("B", "genesis")
+	s.mc.Deploy(s.token0)
+	s.mc.Deploy(s.token1)
+	s.bank = mainchain.NewTokenBank(s.token0, s.token1, ck.group)
+	s.mc.Deploy(s.bank)
+
+	// Genesis pool: full-range seed liquidity held by the bank.
+	pool, err := amm.NewPool("A", "B", cfg.FeePips, 60, u256.Q96)
+	if err != nil {
+		return nil, err
+	}
+	mintRes, err := pool.Mint("genesis-pos", "lp-genesis", -887220, 887220, cfg.InitialLiquidity)
+	if err != nil {
+		return nil, fmt.Errorf("core: genesis mint: %w", err)
+	}
+	s.pool = pool
+	if err := s.token0.Ledger.Mint("genesis", mainchain.BankAddress, mintRes.Amount0); err != nil {
+		return nil, err
+	}
+	if err := s.token1.Ledger.Mint("genesis", mainchain.BankAddress, mintRes.Amount1); err != nil {
+		return nil, err
+	}
+	s.bank.PoolReserve0 = pool.Reserve0
+	s.bank.PoolReserve1 = pool.Reserve1
+	s.bank.Positions["genesis-pos"] = summary.PositionEntry{
+		ID: "genesis-pos", Owner: "lp-genesis",
+		TickLower: -887220, TickUpper: 887220, Liquidity: cfg.InitialLiquidity,
+	}
+	if err := s.mc.Call(mainchain.BankAddress, "createPool", mainchain.CreatePoolArgs{FeePips: cfg.FeePips}); err != nil {
+		return nil, err
+	}
+
+	// Fund users generously and pre-approve the bank.
+	grant := u256.Mul(cfg.DepositPerUser0, u256.FromUint64(1000))
+	grant1 := u256.Mul(cfg.DepositPerUser1, u256.FromUint64(1000))
+	for _, u := range users {
+		if err := s.token0.Ledger.Mint("genesis", u, grant); err != nil {
+			return nil, err
+		}
+		if err := s.token1.Ledger.Mint("genesis", u, grant1); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Sim exposes the simulator for workload scheduling.
+func (s *System) Sim() *sim.Simulator { return s.sim }
+
+// Mainchain exposes the chain for inspection.
+func (s *System) Mainchain() *mainchain.Chain { return s.mc }
+
+// Bank exposes TokenBank for inspection.
+func (s *System) Bank() *mainchain.TokenBank { return s.bank }
+
+// Pool returns the canonical sidechain pool state.
+func (s *System) Pool() *amm.Pool { return s.pool }
+
+// SidechainLedger exposes the sidechain ledger.
+func (s *System) SidechainLedger() *sidechain.Ledger { return s.ledger }
+
+// Collector exposes the metrics collector.
+func (s *System) Collector() *metrics.Collector { return s.col }
+
+// EpochDuration returns ω × round duration.
+func (s *System) EpochDuration() time.Duration {
+	return time.Duration(s.cfg.EpochRounds) * s.cfg.RoundDuration
+}
+
+// makeCommittee elects and key-provisions a committee for an epoch.
+func (s *System) makeCommittee(epoch uint64) (*committeeKeys, error) {
+	com, err := election.Elect(s.registry, s.chainSeed, epoch, s.cfg.CommitteeSize)
+	if err != nil {
+		return nil, err
+	}
+	n := s.cfg.CommitteeSize
+	f := pbft.FaultBudget(n)
+	_, threshold := pbft.Quorum(f)
+	if threshold > n {
+		threshold = n
+	}
+	dealing, err := tsig.Deal(s.rng, threshold, n)
+	if err != nil {
+		return nil, err
+	}
+	group := tsig.GroupKey{PK: dealing.Commitments[0], Threshold: threshold, N: n}
+	return &committeeKeys{committee: com, shares: dealingShares(dealing), group: group, threshold: threshold}, nil
+}
+
+func dealingShares(d *tsig.Dealing) []tsig.Share { return d.Shares }
+
+// signPayloads produces the committee's TSQC signature over payloads.
+func (ck *committeeKeys) signPayloads(payloads []*summary.SyncPayload) (tsig.Point, error) {
+	digest := combinedDigest(payloads)
+	partials := make([]tsig.PartialSig, ck.threshold)
+	for i := 0; i < ck.threshold; i++ {
+		partials[i] = tsig.PartialSign(ck.shares[i], digest[:])
+	}
+	return tsig.Combine(ck.group, partials)
+}
+
+func combinedDigest(payloads []*summary.SyncPayload) [32]byte {
+	if len(payloads) == 1 {
+		return payloads[0].Digest()
+	}
+	var acc []byte
+	for _, p := range payloads {
+		d := p.Digest()
+		acc = append(acc, d[:]...)
+	}
+	return pbft.DigestOf(acc)
+}
+
+// SubmitTx queues a sidechain transaction at the current virtual time.
+func (s *System) SubmitTx(tx *summary.Tx) {
+	tx.SubmittedAt = s.sim.Now()
+	s.queue = append(s.queue, tx)
+	if len(s.queue) > s.queuePeak {
+		s.queuePeak = len(s.queue)
+	}
+}
+
+// SubmitDeposit runs a user's deposit flow on the mainchain. A first-time
+// depositor runs the full four-transaction chain (approve A -> approve B ->
+// deposit A -> deposit B, sequentially dependent - the pattern behind the
+// paper's ~4-block deposit latency); the approvals grant a max allowance
+// once, as wallets commonly do, so later epochs need only the two deposit
+// legs.
+func (s *System) SubmitDeposit(user string, epoch uint64, amount0, amount1 u256.Int) {
+	base := fmt.Sprintf("dep-%s-e%d", user, epoch)
+	submitted := s.sim.Now()
+	var deps []string
+	var txs []*mainchain.Tx
+	firstTime := !s.approved[user]
+	if firstTime {
+		s.approved[user] = true
+		ap0 := &mainchain.Tx{ID: base + "-ap0", From: user, To: "A", Method: "approve", Size: 100,
+			Args: mainchain.ApproveArgs{Spender: mainchain.BankAddress, Amount: u256.Max}}
+		ap1 := &mainchain.Tx{ID: base + "-ap1", From: user, To: "B", Method: "approve", Size: 100,
+			DependsOn: []string{ap0.ID},
+			Args:      mainchain.ApproveArgs{Spender: mainchain.BankAddress, Amount: u256.Max}}
+		ap0.OnConfirmed = func(tx *mainchain.Tx) { s.col.ObserveGas("approve", tx.GasUsed) }
+		ap1.OnConfirmed = func(tx *mainchain.Tx) { s.col.ObserveGas("approve", tx.GasUsed) }
+		deps = []string{ap1.ID}
+		txs = append(txs, ap0, ap1)
+	}
+	d0 := &mainchain.Tx{ID: base + "-d0", From: user, To: mainchain.BankAddress, Method: "deposit", Size: 160,
+		DependsOn: deps,
+		Args:      mainchain.DepositArgs{Epoch: epoch, Amount0: amount0}}
+	d1 := &mainchain.Tx{ID: base + "-d1", From: user, To: mainchain.BankAddress, Method: "deposit", Size: 160,
+		DependsOn: []string{d0.ID},
+		Args:      mainchain.DepositArgs{Epoch: epoch, Amount1: amount1}}
+	txs = append(txs, d0, d1)
+	var depositGas uint64
+	d0.OnConfirmed = func(tx *mainchain.Tx) { depositGas += tx.GasUsed }
+	latencyLabel := "deposit"
+	if firstTime {
+		// The paper's Table II measures the full two-approval flow.
+		latencyLabel = "deposit-first"
+	}
+	d1.OnConfirmed = func(tx *mainchain.Tx) {
+		depositGas += tx.GasUsed
+		s.col.ObserveGas("deposit", depositGas)
+		s.col.ObserveMCLatency(latencyLabel, tx.ConfirmedAt-submitted)
+	}
+	for _, tx := range txs {
+		s.mc.Submit(tx)
+	}
+}
+
+// GenesisDeposit seeds a user's epoch-1 deposit at genesis (before the
+// chain starts producing blocks), moving the tokens on the ledger without
+// transactions — the steady-state flow is SubmitDeposit.
+func (s *System) GenesisDeposit(user string, amount0, amount1 u256.Int) error {
+	if s.sim.Now() != 0 {
+		return ErrNotGenesis
+	}
+	if err := s.token0.Ledger.Transfer(user, mainchain.BankAddress, amount0); err != nil {
+		return err
+	}
+	if err := s.token1.Ledger.Transfer(user, mainchain.BankAddress, amount1); err != nil {
+		return err
+	}
+	bucket := s.bank.Deposits[1]
+	if bucket == nil {
+		bucket = make(map[string]summary.Deposit)
+		s.bank.Deposits[1] = bucket
+	}
+	d := bucket[user]
+	d.Amount0 = u256.Add(d.Amount0, amount0)
+	d.Amount1 = u256.Add(d.Amount1, amount1)
+	bucket[user] = d
+	return nil
+}
+
+// Run executes the given number of epochs plus drain epochs until the
+// transaction queue empties (the paper drains queues for accurate latency
+// accounting), then returns the report.
+func (s *System) Run(epochs int) *Report {
+	s.epochsPlanned = epochs
+	s.ledger = sidechain.NewLedger(pbft.DigestOf([]byte("tokenbank-genesis")))
+	s.sim.At(0, func() { s.startEpoch(1) })
+	s.sim.Run()
+	return s.report()
+}
+
+// startEpoch begins epoch e: SnapshotBank, next-committee election, and
+// the round schedule.
+func (s *System) startEpoch(e uint64) {
+	s.epoch = e
+	if s.OnEpochStart != nil {
+		s.OnEpochStart(e)
+	}
+	// SnapshotBank: retrieve this epoch's deposits from TokenBank. The
+	// seen-map tracks what the executor has credited so far; deposits
+	// confirming mid-epoch are delta-synced at each round start.
+	deposits := s.bank.EpochDeposits(e)
+	s.seenDeposits = deposits
+	s.executor = summary.NewExecutor(e, s.pool, deposits)
+
+	// Elect next epoch's committee during this epoch and run its DKG.
+	if _, ok := s.committees[e+1]; !ok {
+		ck, err := s.makeCommittee(e + 1)
+		if err != nil {
+			panic(fmt.Sprintf("core: electing committee %d: %v", e+1, err))
+		}
+		s.committees[e+1] = ck
+	}
+	s.runRound(e, 1)
+}
+
+// syncMidEpochDeposits credits deposits that confirmed on the mainchain
+// after the epoch snapshot: the committee observes the bank's (monotone)
+// epoch bucket and applies the delta, exactly once per token unit.
+func (s *System) syncMidEpochDeposits(e uint64) {
+	for user, d := range s.bank.Deposits[e] {
+		seen := s.seenDeposits[user]
+		delta0, under0 := u256.SubUnderflow(d.Amount0, seen.Amount0)
+		delta1, under1 := u256.SubUnderflow(d.Amount1, seen.Amount1)
+		if under0 || under1 {
+			continue // cannot happen: buckets only grow
+		}
+		if delta0.IsZero() && delta1.IsZero() {
+			continue
+		}
+		s.executor.AddDeposit(user, delta0, delta1)
+		s.seenDeposits[user] = summary.Deposit{Amount0: d.Amount0, Amount1: d.Amount1}
+	}
+}
+
+// runRound processes round r of epoch e at the current virtual time.
+func (s *System) runRound(e, r uint64) {
+	roundStart := s.sim.Now()
+	s.syncMidEpochDeposits(e)
+
+	// Pack pending transactions (submitted before the round start) into
+	// the meta-block, executing them against the epoch snapshot.
+	var included []*summary.Tx
+	blockBytes := 0
+	consumed := 0
+	for _, tx := range s.queue {
+		if tx.SubmittedAt > roundStart {
+			break // queue is FIFO in submission time
+		}
+		if blockBytes+tx.Size() > s.cfg.MetaBlockBytes {
+			break
+		}
+		consumed++
+		if err := s.executor.Apply(tx, r); err != nil {
+			s.Rejected++
+			if s.OnReject != nil {
+				s.OnReject(err, tx.Kind.String())
+			}
+			continue // invalid transactions never enter a block
+		}
+		included = append(included, tx)
+		blockBytes += tx.Size()
+	}
+	s.queue = s.queue[consumed:]
+
+	// Agreement latency from the cost model; a silent leader adds the
+	// view-change detour before the new leader's proposal succeeds.
+	delay := s.cfg.Model.AgreementTime(s.cfg.CommitteeSize, blockBytes+300)
+	if s.cfg.Faults.silentLeader(e, r) {
+		delay += s.cfg.ViewChangeTimeout + s.cfg.Model.ViewChangeTime(s.cfg.CommitteeSize)
+		s.ViewChanges++
+	}
+
+	ck := s.committees[e]
+	leader := ck.committee.Leader()
+	if s.cfg.Faults.silentLeader(e, r) {
+		leader = ck.committee.LeaderAt(1)
+	}
+	block := sidechain.NewMetaBlock(e, r, leader, s.ledger.TipHash(), included)
+
+	s.sim.After(delay, func() {
+		block.MinedAt = s.sim.Now()
+		block.CommitVotes = ck.threshold
+		if err := s.ledger.AppendMeta(block); err != nil {
+			panic(fmt.Sprintf("core: append meta: %v", err))
+		}
+		for _, tx := range included {
+			rec := &txRecord{tx: tx, minedAt: block.MinedAt, epoch: e}
+			s.recs = append(s.recs, rec)
+			s.recsByEpoch[e] = append(s.recsByEpoch[e], rec)
+		}
+		if r < uint64(s.cfg.EpochRounds) {
+			next := roundStart + s.cfg.RoundDuration
+			if next < s.sim.Now() {
+				next = s.sim.Now()
+			}
+			s.sim.At(next, func() { s.runRound(e, r+1) })
+		} else {
+			s.finishEpoch(e, roundStart)
+		}
+	})
+}
+
+// finishEpoch mines the summary-block, issues (or skips) the Sync, hands
+// the evolved pool to the next epoch, and schedules it.
+func (s *System) finishEpoch(e uint64, lastRoundStart time.Duration) {
+	nextKey := s.committees[e+1].group
+	payload := s.executor.Summary(nextKey.PK.Bytes())
+	metas := s.ledger.MetaBlocks(e)
+	sb := sidechain.NewSummaryBlock(e, payload, metas)
+
+	// Agreement on the summary-block.
+	delay := s.cfg.Model.AgreementTime(s.cfg.CommitteeSize, payload.SidechainBytes())
+	s.sim.After(delay, func() {
+		sb.MinedAt = s.sim.Now()
+		s.ledger.AppendSummary(sb)
+
+		// The canonical pool advances to the epoch's final state.
+		s.pool = s.executor.Pool
+
+		lastEpoch := int(e) >= s.epochsPlanned && len(s.queue) == 0
+		skip := (s.cfg.Faults.SkipSyncEpochs[e] || s.cfg.Faults.ReorgSyncEpochs[e]) && !lastEpoch
+		if skip {
+			// Sync lost (silent leader at epoch end, or mainchain
+			// rollback): stash the payload for the next committee's
+			// mass-sync.
+			s.pendingPayload = append(s.pendingPayload, payload)
+		} else {
+			s.submitSync(e, append(append([]*summary.SyncPayload{}, s.pendingPayload...), payload))
+			s.pendingPayload = nil
+		}
+
+		// Next epoch, or wait for the final sync to confirm and stop.
+		if lastEpoch {
+			s.done = true
+			return
+		}
+		next := lastRoundStart + s.cfg.RoundDuration
+		if next < s.sim.Now() {
+			next = s.sim.Now()
+		}
+		s.sim.At(next, func() { s.startEpoch(e + 1) })
+	})
+}
+
+// submitSync issues the TSQC-authenticated Sync call. For a mass-sync the
+// signing committee is the earliest epoch in payloads (the one whose key
+// TokenBank has registered); see DESIGN.md on the recovery key chain.
+func (s *System) submitSync(e uint64, payloads []*summary.SyncPayload) {
+	signEpoch := payloads[0].Epoch
+	ck := s.committees[signEpoch]
+	sig, err := ck.signPayloads(payloads)
+	if err != nil {
+		panic(fmt.Sprintf("core: signing sync: %v", err))
+	}
+	if len(payloads) > 1 {
+		s.MassSyncs++
+	}
+	size := 0
+	for _, p := range payloads {
+		size += p.MainchainBytes()
+	}
+	nextKey := s.committees[signEpoch+uint64(len(payloads))].group
+	if s.DebugSync != nil {
+		for _, p := range payloads {
+			s.DebugSync(p.Epoch, len(p.Payouts), len(p.Positions), p.MainchainBytes(),
+				gasmodelSyncGas(len(p.Payouts), len(p.Positions), p.MainchainBytes()))
+		}
+	}
+	submitted := s.sim.Now()
+	tx := &mainchain.Tx{
+		ID: fmt.Sprintf("sync-e%d", e), From: "sc-committee", To: mainchain.BankAddress,
+		Method: "sync", Size: size,
+		Args: &mainchain.SyncArgs{Epoch: signEpoch, Payloads: payloads, Sig: sig, NextKey: nextKey},
+	}
+	epochs := make([]uint64, len(payloads))
+	for i, p := range payloads {
+		epochs[i] = p.Epoch
+	}
+	tx.OnConfirmed = func(tx *mainchain.Tx) {
+		if tx.Status != mainchain.TxConfirmed {
+			panic(fmt.Sprintf("core: sync for epoch %d reverted: %v", e, tx.Err))
+		}
+		s.SyncsOK++
+		s.col.ObserveGas("sync", tx.GasUsed)
+		s.col.ObserveMCLatency("sync", tx.ConfirmedAt-submitted)
+		for _, pe := range epochs {
+			// Payout latency: submission → sync confirmation.
+			for _, rec := range s.recsByEpoch[pe] {
+				s.col.ObserveTx(metrics.TxObservation{
+					Kind:        rec.tx.Kind,
+					SubmittedAt: rec.tx.SubmittedAt,
+					MinedAt:     rec.minedAt,
+					PayoutAt:    tx.ConfirmedAt,
+				})
+			}
+			delete(s.recsByEpoch, pe)
+			// Pruning: the sync is confirmed, the meta-blocks go.
+			if err := s.ledger.Prune(pe, true); err != nil && !errors.Is(err, sidechain.ErrAlreadyPruned) {
+				panic(fmt.Sprintf("core: prune epoch %d: %v", pe, err))
+			}
+		}
+		// The run ends once the final epoch's sync has landed.
+		if s.done && len(s.recsByEpoch) == 0 {
+			s.mc.Stop()
+		}
+	}
+	s.mc.Submit(tx)
+}
+
+// Validate checks the cross-layer invariants after a run:
+//  1. TokenBank's stored pool reserves equal the canonical pool's.
+//  2. Every live pool position is mirrored in TokenBank (and vice versa,
+//     modulo positions never synced because they never changed).
+//  3. Token conservation: the bank's ERC20 balances cover pool reserves
+//     plus unsynced deposits.
+func (s *System) Validate() error {
+	if !s.bank.PoolReserve0.Eq(s.pool.Reserve0) || !s.bank.PoolReserve1.Eq(s.pool.Reserve1) {
+		return fmt.Errorf("%w: bank reserves %s/%s, pool %s/%s", ErrParity,
+			s.bank.PoolReserve0, s.bank.PoolReserve1, s.pool.Reserve0, s.pool.Reserve1)
+	}
+	for _, pos := range s.pool.Positions() {
+		entry, ok := s.bank.Positions[pos.ID]
+		if !ok {
+			return fmt.Errorf("%w: pool position %s missing from TokenBank", ErrParity, pos.ID)
+		}
+		if !entry.Liquidity.Eq(pos.Liquidity) {
+			return fmt.Errorf("%w: position %s liquidity bank=%s pool=%s", ErrParity,
+				pos.ID, entry.Liquidity, pos.Liquidity)
+		}
+	}
+	for id := range s.bank.Positions {
+		if s.pool.Position(id) == nil {
+			return fmt.Errorf("%w: TokenBank position %s not in pool", ErrParity, id)
+		}
+	}
+	bank0 := s.token0.Ledger.BalanceOf(mainchain.BankAddress)
+	bank1 := s.token1.Ledger.BalanceOf(mainchain.BankAddress)
+	if bank0.Lt(s.bank.PoolReserve0) || bank1.Lt(s.bank.PoolReserve1) {
+		return fmt.Errorf("%w: bank holds %s/%s < pool reserves %s/%s", ErrParity,
+			bank0, bank1, s.bank.PoolReserve0, s.bank.PoolReserve1)
+	}
+	return nil
+}
+
+// Report summarizes a run for the experiment harness.
+type Report struct {
+	Collector *metrics.Collector
+
+	EpochsRun  int
+	Duration   time.Duration
+	Throughput float64
+
+	AvgSCLatency     time.Duration
+	AvgPayoutLatency time.Duration
+
+	MainchainBytes int
+	MainchainGas   uint64
+
+	SidechainRetainedBytes int
+	SidechainPeakBytes     int
+	SidechainPrunedBytes   int
+	SidechainUnpruned      int
+
+	SyncsOK     int
+	MassSyncs   int
+	ViewChanges int
+	Rejected    int
+	QueuePeak   int
+
+	PositionsLive int
+}
+
+func (s *System) report() *Report {
+	return &Report{
+		Collector:              s.col,
+		EpochsRun:              int(s.epoch),
+		Duration:               s.sim.Now(),
+		Throughput:             s.col.Throughput(),
+		AvgSCLatency:           s.col.AvgSCLatency(),
+		AvgPayoutLatency:       s.col.AvgPayoutLatency(),
+		MainchainBytes:         s.mc.TotalBytes,
+		MainchainGas:           s.mc.TotalGas,
+		SidechainRetainedBytes: s.ledger.SizeBytes(),
+		SidechainPeakBytes:     s.ledger.PeakBytes(),
+		SidechainPrunedBytes:   s.ledger.PrunedBytes(),
+		SidechainUnpruned:      s.ledger.UnprunedBytes(),
+		SyncsOK:                s.SyncsOK,
+		MassSyncs:              s.MassSyncs,
+		ViewChanges:            s.ViewChanges,
+		Rejected:               s.Rejected,
+		QueuePeak:              s.queuePeak,
+		PositionsLive:          s.pool.NumPositions(),
+	}
+}
+
+func gasmodelSyncGas(payouts, positions, b int) uint64 {
+	return gasmodel.SyncGas(payouts, positions, b)
+}
+
+// Epoch returns the currently-running epoch number.
+func (s *System) Epoch() uint64 { return s.epoch }

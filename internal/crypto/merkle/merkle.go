@@ -1,0 +1,123 @@
+// Package merkle implements binary Merkle trees over SHA-256 with inclusion
+// proofs. Meta-blocks and summary-blocks commit to their transaction sets
+// through a Merkle root, which is what makes pruning safe: a pruned
+// transaction can still be proven against the permanent summary-block.
+package merkle
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+)
+
+// ErrProofInvalid indicates a proof failed verification.
+var ErrProofInvalid = errors.New("merkle: invalid proof")
+
+// Domain-separation prefixes prevent leaf/node second-preimage splices.
+var (
+	leafPrefix = []byte{0x00}
+	nodePrefix = []byte{0x01}
+)
+
+// HashLeaf hashes a leaf value.
+func HashLeaf(data []byte) [32]byte {
+	h := sha256.New()
+	h.Write(leafPrefix)
+	h.Write(data)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func hashNode(l, r [32]byte) [32]byte {
+	h := sha256.New()
+	h.Write(nodePrefix)
+	h.Write(l[:])
+	h.Write(r[:])
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Tree is an immutable Merkle tree.
+type Tree struct {
+	levels [][][32]byte // levels[0] = leaves, last level = [root]
+}
+
+// New builds a tree over the given leaf values. An empty input yields a
+// tree whose root is the hash of an empty leaf, so every block has a
+// well-defined commitment.
+func New(leaves [][]byte) *Tree {
+	if len(leaves) == 0 {
+		leaves = [][]byte{nil}
+	}
+	level := make([][32]byte, len(leaves))
+	for i, l := range leaves {
+		level[i] = HashLeaf(l)
+	}
+	t := &Tree{levels: [][][32]byte{level}}
+	for len(level) > 1 {
+		next := make([][32]byte, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, hashNode(level[i], level[i+1]))
+			} else {
+				// Odd node is promoted paired with itself.
+				next = append(next, hashNode(level[i], level[i]))
+			}
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t
+}
+
+// Root returns the tree root.
+func (t *Tree) Root() [32]byte {
+	top := t.levels[len(t.levels)-1]
+	return top[0]
+}
+
+// NumLeaves returns the number of leaves.
+func (t *Tree) NumLeaves() int { return len(t.levels[0]) }
+
+// ProofStep is one sibling on the path from a leaf to the root.
+type ProofStep struct {
+	Hash  [32]byte
+	Right bool // sibling is the right child
+}
+
+// Prove returns the inclusion proof for leaf index i.
+func (t *Tree) Prove(i int) ([]ProofStep, error) {
+	if i < 0 || i >= len(t.levels[0]) {
+		return nil, errors.New("merkle: leaf index out of range")
+	}
+	var proof []ProofStep
+	idx := i
+	for l := 0; l < len(t.levels)-1; l++ {
+		level := t.levels[l]
+		sib := idx ^ 1
+		if sib >= len(level) {
+			sib = idx // odd promotion pairs with itself
+		}
+		proof = append(proof, ProofStep{Hash: level[sib], Right: sib > idx || sib == idx})
+		idx /= 2
+	}
+	return proof, nil
+}
+
+// Verify checks that data is a leaf under root via proof.
+func Verify(root [32]byte, data []byte, proof []ProofStep) error {
+	h := HashLeaf(data)
+	for _, step := range proof {
+		if step.Right {
+			h = hashNode(h, step.Hash)
+		} else {
+			h = hashNode(step.Hash, h)
+		}
+	}
+	if !bytes.Equal(h[:], root[:]) {
+		return ErrProofInvalid
+	}
+	return nil
+}

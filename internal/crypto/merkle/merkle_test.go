@@ -1,0 +1,115 @@
+package merkle
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func leaves(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("leaf-%d", i))
+	}
+	return out
+}
+
+func TestEmptyTreeHasRoot(t *testing.T) {
+	a := New(nil)
+	b := New([][]byte{})
+	if a.Root() != b.Root() {
+		t.Error("empty trees should have identical roots")
+	}
+	if a.NumLeaves() != 1 {
+		t.Errorf("empty tree leaves = %d", a.NumLeaves())
+	}
+}
+
+func TestProveVerifyAllSizes(t *testing.T) {
+	for n := 1; n <= 33; n++ {
+		ls := leaves(n)
+		tree := New(ls)
+		for i := 0; i < n; i++ {
+			proof, err := tree.Prove(i)
+			if err != nil {
+				t.Fatalf("n=%d Prove(%d): %v", n, i, err)
+			}
+			if err := Verify(tree.Root(), ls[i], proof); err != nil {
+				t.Fatalf("n=%d Verify(%d): %v", n, i, err)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsWrongLeaf(t *testing.T) {
+	ls := leaves(10)
+	tree := New(ls)
+	proof, _ := tree.Prove(3)
+	if err := Verify(tree.Root(), []byte("not-a-leaf"), proof); err != ErrProofInvalid {
+		t.Errorf("wrong leaf should fail: %v", err)
+	}
+	// Proof for index 3 must not verify leaf 4.
+	if err := Verify(tree.Root(), ls[4], proof); err != ErrProofInvalid {
+		t.Errorf("mismatched proof should fail: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedProof(t *testing.T) {
+	ls := leaves(16)
+	tree := New(ls)
+	proof, _ := tree.Prove(7)
+	proof[1].Hash[0] ^= 0xff
+	if err := Verify(tree.Root(), ls[7], proof); err != ErrProofInvalid {
+		t.Errorf("tampered proof should fail: %v", err)
+	}
+}
+
+func TestRootChangesWithContent(t *testing.T) {
+	a := New([][]byte{[]byte("x"), []byte("y")})
+	b := New([][]byte{[]byte("x"), []byte("z")})
+	if a.Root() == b.Root() {
+		t.Error("different content must give different roots")
+	}
+}
+
+func TestLeafNodeDomainSeparation(t *testing.T) {
+	// A tree of one leaf equal to the concatenation trick must not collide
+	// with a two-leaf tree (leaf/node prefixes differ).
+	two := New([][]byte{[]byte("a"), []byte("b")})
+	la, lb := HashLeaf([]byte("a")), HashLeaf([]byte("b"))
+	splice := append(la[:], lb[:]...)
+	one := New([][]byte{splice})
+	if one.Root() == two.Root() {
+		t.Error("leaf/node domain separation failed")
+	}
+}
+
+func TestProveOutOfRange(t *testing.T) {
+	tree := New(leaves(4))
+	if _, err := tree.Prove(-1); err == nil {
+		t.Error("negative index should fail")
+	}
+	if _, err := tree.Prove(4); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+}
+
+func TestDeterministicRoot(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	ls := make([][]byte, 100)
+	for i := range ls {
+		ls[i] = make([]byte, 32)
+		r.Read(ls[i])
+	}
+	if New(ls).Root() != New(ls).Root() {
+		t.Error("tree construction must be deterministic")
+	}
+}
+
+func BenchmarkBuild1000(b *testing.B) {
+	ls := leaves(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = New(ls).Root()
+	}
+}

@@ -1,0 +1,264 @@
+package tsig
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func testRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestDealAndVerifyShares(t *testing.T) {
+	d, err := Deal(testRand(1), 3, 5)
+	if err != nil {
+		t.Fatalf("Deal: %v", err)
+	}
+	if len(d.Shares) != 5 || len(d.Commitments) != 3 {
+		t.Fatalf("got %d shares, %d commitments", len(d.Shares), len(d.Commitments))
+	}
+	for _, sh := range d.Shares {
+		if err := VerifyShare(sh, d.Commitments); err != nil {
+			t.Errorf("share %d: %v", sh.Index, err)
+		}
+	}
+}
+
+func TestVerifyShareRejectsTampered(t *testing.T) {
+	d, _ := Deal(testRand(2), 3, 5)
+	sh := d.Shares[0]
+	sh.Value = new(big.Int).Add(sh.Value, big.NewInt(1))
+	if err := VerifyShare(sh, d.Commitments); err != ErrBadShare {
+		t.Errorf("want ErrBadShare, got %v", err)
+	}
+}
+
+func TestDealValidation(t *testing.T) {
+	if _, err := Deal(testRand(3), 0, 5); err == nil {
+		t.Error("t=0 should fail")
+	}
+	if _, err := Deal(testRand(3), 6, 5); err == nil {
+		t.Error("t>n should fail")
+	}
+}
+
+// dkg is a test helper running the joint DKG for a (2f+2)-of-(3f+2)
+// committee with the given f.
+func dkg(t *testing.T, seed int64, f int) []DKGResult {
+	t.Helper()
+	n, th := 3*f+2, 2*f+2
+	results, err := RunDKG(testRand(seed), th, n)
+	if err != nil {
+		t.Fatalf("RunDKG: %v", err)
+	}
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	return results
+}
+
+func TestSignCombineVerify(t *testing.T) {
+	results := dkg(t, 4, 1) // 4-of-5
+	msg := []byte("sync epoch 3")
+	partials := make([]PartialSig, 0, len(results))
+	for _, r := range results {
+		partials = append(partials, PartialSign(r.Share, msg))
+	}
+	sig, err := Combine(results[0].Group, partials)
+	if err != nil {
+		t.Fatalf("Combine: %v", err)
+	}
+	if err := Verify(results[0].Group, msg, sig); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestAnyQuorumGivesSameSignature(t *testing.T) {
+	results := dkg(t, 5, 1) // threshold 4 of 5
+	msg := []byte("deterministic aggregate")
+	all := make([]PartialSig, len(results))
+	for i, r := range results {
+		all[i] = PartialSign(r.Share, msg)
+	}
+	g := results[0].Group
+	sig1, err := Combine(g, []PartialSig{all[0], all[1], all[2], all[3]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig2, err := Combine(g, []PartialSig{all[4], all[2], all[1], all[3]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sig1.Equal(sig2) {
+		t.Error("different quorums must produce the same group signature")
+	}
+}
+
+func TestCombineNeedsThreshold(t *testing.T) {
+	results := dkg(t, 6, 1)
+	msg := []byte("m")
+	partials := []PartialSig{
+		PartialSign(results[0].Share, msg),
+		PartialSign(results[1].Share, msg),
+		PartialSign(results[2].Share, msg),
+	}
+	if _, err := Combine(results[0].Group, partials); err == nil {
+		t.Error("3 shares should not meet a threshold of 4")
+	}
+}
+
+func TestCombineRejectsDuplicates(t *testing.T) {
+	results := dkg(t, 7, 1)
+	msg := []byte("m")
+	p := PartialSign(results[0].Share, msg)
+	partials := []PartialSig{p, p, p, p}
+	if _, err := Combine(results[0].Group, partials); err != ErrDuplicateIndex {
+		t.Errorf("want ErrDuplicateIndex, got %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongMessage(t *testing.T) {
+	results := dkg(t, 8, 1)
+	msg := []byte("m")
+	partials := make([]PartialSig, 4)
+	for i := 0; i < 4; i++ {
+		partials[i] = PartialSign(results[i].Share, msg)
+	}
+	sig, err := Combine(results[0].Group, partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(results[0].Group, []byte("other"), sig); err != ErrInvalid {
+		t.Errorf("want ErrInvalid, got %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongCommitteeKey(t *testing.T) {
+	a := dkg(t, 9, 1)
+	b := dkg(t, 10, 1) // a different committee
+	msg := []byte("m")
+	partials := make([]PartialSig, 4)
+	for i := 0; i < 4; i++ {
+		partials[i] = PartialSign(a[i].Share, msg)
+	}
+	sig, err := Combine(a[0].Group, partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(b[0].Group, msg, sig); err != ErrInvalid {
+		t.Errorf("a signature from committee A must not verify under committee B's key: %v", err)
+	}
+}
+
+func TestPartialSignatureVerification(t *testing.T) {
+	results := dkg(t, 11, 1)
+	msg := []byte("partial check")
+	ps := PartialSign(results[2].Share, msg)
+	pk := PublicShare(results[2].Share)
+	if err := VerifyPartial(pk, msg, ps); err != nil {
+		t.Fatalf("VerifyPartial: %v", err)
+	}
+	// A share from another member must not verify under this commitment.
+	other := PartialSign(results[3].Share, msg)
+	other.Index = ps.Index
+	if err := VerifyPartial(pk, msg, other); err != ErrInvalid {
+		t.Errorf("want ErrInvalid, got %v", err)
+	}
+}
+
+func TestMixedCommitteePartialsFailVerify(t *testing.T) {
+	// Combining shares from two different DKGs yields garbage that must
+	// not verify under either group key.
+	a := dkg(t, 12, 1)
+	b := dkg(t, 13, 1)
+	msg := []byte("m")
+	partials := []PartialSig{
+		PartialSign(a[0].Share, msg),
+		PartialSign(a[1].Share, msg),
+		PartialSign(b[2].Share, msg),
+		PartialSign(a[3].Share, msg),
+	}
+	sig, err := Combine(a[0].Group, partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(a[0].Group, msg, sig); err != ErrInvalid {
+		t.Errorf("mixed-committee aggregate should not verify: %v", err)
+	}
+}
+
+func TestLargerCommittee(t *testing.T) {
+	results := dkg(t, 14, 3) // 8-of-11
+	msg := []byte("bigger committee")
+	partials := make([]PartialSig, 8)
+	for i := 0; i < 8; i++ {
+		partials[i] = PartialSign(results[i+2].Share, msg)
+	}
+	sig, err := Combine(results[0].Group, partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(results[0].Group, msg, sig); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestPointBytes(t *testing.T) {
+	results := dkg(t, 15, 1)
+	b := results[0].Group.PK.Bytes()
+	if len(b) != 64 {
+		t.Errorf("point encoding = %d bytes, want 64", len(b))
+	}
+	var id Point
+	if got := id.Bytes(); len(got) != 64 {
+		t.Errorf("identity encoding = %d bytes", len(got))
+	}
+}
+
+func BenchmarkPartialSign(b *testing.B) {
+	results, err := RunDKG(testRand(16), 4, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := []byte("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PartialSign(results[0].Share, msg)
+	}
+}
+
+func BenchmarkCombine4of5(b *testing.B) {
+	results, err := RunDKG(testRand(17), 4, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := []byte("bench")
+	partials := make([]PartialSig, 4)
+	for i := range partials {
+		partials[i] = PartialSign(results[i].Share, msg)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Combine(results[0].Group, partials); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	results, err := RunDKG(testRand(18), 4, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := []byte("bench")
+	partials := make([]PartialSig, 4)
+	for i := range partials {
+		partials[i] = PartialSign(results[i].Share, msg)
+	}
+	sig, _ := Combine(results[0].Group, partials)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(results[0].Group, msg, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ammboost/internal/baseline"
+	"ammboost/internal/gasmodel"
+	"ammboost/internal/workload"
+)
+
+// --- Figure 5: total gas cost and chain growth comparison ---
+
+// Fig5Result compares ammBoost against Uniswap-on-L1 at V_D = 500K.
+type Fig5Result struct {
+	AmmBoostGas        uint64
+	BaselineGas        uint64
+	GasReductionPct    float64
+	AmmBoostMCBytes    int
+	BaselineMCBytes    int // Sepolia transaction sizes
+	BaselineMainnetB   int // production Ethereum sizes
+	GrowthReductionPct float64
+	GrowthVsMainnetPct float64
+	SidechainPeak      int
+	SidechainRetained  int
+}
+
+// RunFig5 reproduces the headline comparison: the paper reports 96.05%
+// gas reduction and 93.42% chain-growth reduction vs Uniswap on Sepolia
+// (97.60% vs production Ethereum).
+func RunFig5(o Options) (*Fig5Result, error) {
+	o = o.withDefaults()
+	const vd = 500_000
+
+	// ammBoost run.
+	sys, rep, err := runAmmBoost(paperSystemConfig(o), paperDriverConfig(o, vd))
+	if err != nil {
+		return nil, err
+	}
+
+	// Baseline run over the same traffic window.
+	bl, err := baseline.New(baseline.Config{Sizes: baseline.SizesSepolia})
+	if err != nil {
+		return nil, err
+	}
+	gen := workload.New(workload.DefaultConfig(o.Seed))
+	roundDur := 7 * time.Second
+	rho := workload.Rho(vd, roundDur.Seconds())
+	totalRounds := o.Epochs * 30
+	var mainnetBytes int
+	for r := 0; r < totalRounds; r++ {
+		start := time.Duration(r) * roundDur
+		for i := 0; i < rho; i++ {
+			at := start + time.Duration(float64(roundDur)*float64(i)/float64(rho))
+			bl.Sim().At(at, func() {
+				tx := gen.Next()
+				mainnetBytes += gasmodel.MainnetTxBytes(tx.Kind)
+				bl.Submit(tx)
+			})
+		}
+	}
+	bl.Run(time.Duration(totalRounds) * roundDur)
+
+	res := &Fig5Result{
+		AmmBoostGas:       rep.MainchainGas,
+		BaselineGas:       bl.Mainchain().TotalGas,
+		AmmBoostMCBytes:   rep.MainchainBytes,
+		BaselineMCBytes:   bl.Mainchain().TotalBytes,
+		BaselineMainnetB:  mainnetBytes,
+		SidechainPeak:     rep.SidechainPeakBytes,
+		SidechainRetained: rep.SidechainRetainedBytes,
+	}
+	if res.BaselineGas > 0 {
+		res.GasReductionPct = 100 * (1 - float64(res.AmmBoostGas)/float64(res.BaselineGas))
+	}
+	if res.BaselineMCBytes > 0 {
+		res.GrowthReductionPct = 100 * (1 - float64(res.AmmBoostMCBytes)/float64(res.BaselineMCBytes))
+	}
+	if res.BaselineMainnetB > 0 {
+		res.GrowthVsMainnetPct = 100 * (1 - float64(res.AmmBoostMCBytes)/float64(res.BaselineMainnetB))
+	}
+	_ = sys
+	return res, nil
+}
+
+// Render implements Result.
+func (r *Fig5Result) Render() string {
+	t := &table{
+		title:   "Figure 5: gas cost and chain growth comparison (V_D = 500K, 11 epochs)",
+		headers: []string{"Metric", "Uniswap baseline", "ammBoost", "Reduction"},
+	}
+	t.add("Mainchain gas", fmt.Sprintf("%d", r.BaselineGas), fmt.Sprintf("%d", r.AmmBoostGas),
+		fmt.Sprintf("%.2f%%", r.GasReductionPct))
+	t.add("Mainchain growth (Sepolia sizes)", fmt.Sprintf("%d B", r.BaselineMCBytes),
+		fmt.Sprintf("%d B", r.AmmBoostMCBytes), fmt.Sprintf("%.2f%%", r.GrowthReductionPct))
+	t.add("Mainchain growth (mainnet sizes)", fmt.Sprintf("%d B", r.BaselineMainnetB),
+		fmt.Sprintf("%d B", r.AmmBoostMCBytes), fmt.Sprintf("%.2f%%", r.GrowthVsMainnetPct))
+	t.add("Sidechain peak / retained", "-",
+		fmt.Sprintf("%d / %d B", r.SidechainPeak, r.SidechainRetained), "")
+	return t.String()
+}
+
+// --- Table I: layer-2 solution comparison ---
+
+// Table1Row is one solution's profile.
+type Table1Row struct {
+	Solution    string
+	Type        string
+	Throughput  string
+	PayoutDelay string
+	WithdrawTxs string
+	Decentral   string
+	MainStorage string
+}
+
+// Table1Result reproduces the survey table, with the ammBoost row measured
+// from a live run rather than quoted.
+type Table1Result struct{ Rows []Table1Row }
+
+// RunTable1 regenerates the comparison. The non-ammBoost rows are model
+// constants from the cited deployments; the ammBoost row is measured.
+func RunTable1(o Options) (*Table1Result, error) {
+	o = o.withDefaults()
+	_, rep, err := runAmmBoost(paperSystemConfig(o), paperDriverConfig(o, 25_000_000))
+	if err != nil {
+		return nil, err
+	}
+	rows := []Table1Row{
+		{"Uniswap Optimism", "Optimistic Rollup", "0.6 tx/s", "7 days", "4 tx (incl. Burn)", "No", "Batch-txn transcript"},
+		{"Unichain", "Optimistic Rollup", "1.92 tx/s", "7 days", "4 tx (incl. Burn)", "Yes", "Batch-txn transcript"},
+		{"ZKSwap", "ZK-rollup", "8-25 tx/s", "3-24 hrs", "2-3 tx (incl. Burn)", "No", "State changes"},
+		{"ammBoost", "Sidechain",
+			fmt.Sprintf("%.2f tx/s", rep.Throughput),
+			fmt.Sprintf("%.2f s", rep.AvgPayoutLatency.Seconds()),
+			"1 (Burn) tx", "Yes", "State changes"},
+	}
+	return &Table1Result{Rows: rows}, nil
+}
+
+// Render implements Result.
+func (r *Table1Result) Render() string {
+	t := &table{
+		title:   "Table I: comparison between ammBoost and rollup solutions",
+		headers: []string{"Solution", "Type", "Throughput", "Payout delay", "Withdrawal", "Decentralized", "Mainchain storage"},
+	}
+	for _, row := range r.Rows {
+		t.add(row.Solution, row.Type, row.Throughput, row.PayoutDelay, row.WithdrawTxs, row.Decentral, row.MainStorage)
+	}
+	return t.String()
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ammboost/internal/sidechain/pbft"
+)
+
+// --- Table XII: committee size vs agreement time ---
+
+// Table12Point is one committee size's mean agreement time.
+type Table12Point struct {
+	CommitteeSize int
+	AgreementTime time.Duration
+}
+
+// Table12Result sweeps committee sizes.
+type Table12Result struct{ Points []Table12Point }
+
+// RunTable12 measures agreement time over 10 rounds per committee size,
+// as the paper does, using the calibrated consensus cost model with the
+// default 1 MB meta-block.
+func RunTable12(o Options) (*Table12Result, error) {
+	o = o.withDefaults()
+	m := pbft.DefaultModel()
+	res := &Table12Result{}
+	for _, n := range []int{100, 250, 500, 750, 1000} {
+		var total time.Duration
+		const rounds = 10
+		for r := 0; r < rounds; r++ {
+			total += m.AgreementTime(n, 1<<20)
+		}
+		res.Points = append(res.Points, Table12Point{
+			CommitteeSize: n,
+			AgreementTime: total / rounds,
+		})
+	}
+	return res, nil
+}
+
+// Render implements Result.
+func (r *Table12Result) Render() string {
+	t := &table{
+		title:   "Table XII: impact of the committee size on consensus",
+		headers: []string{"Committee size", "Agreement time (s)"},
+	}
+	for _, p := range r.Points {
+		t.add(fmt.Sprintf("%d", p.CommitteeSize), secs(p.AgreementTime))
+	}
+	return t.String()
+}

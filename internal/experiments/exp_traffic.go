@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ammboost/internal/gasmodel"
+	"ammboost/internal/workload"
+)
+
+// --- Table VII: Uniswap traffic analysis ---
+
+// Table7Row is one transaction kind's 2023 profile.
+type Table7Row struct {
+	Kind         gasmodel.TxKind
+	SharePct     float64
+	VolumePer24h int
+	AvgSizeB     float64
+}
+
+// Table7Result is the regenerated traffic-analysis table.
+type Table7Result struct {
+	Rows      []Table7Row
+	TotalTxs  int
+	YearlyTxs int
+}
+
+// RunTable7 regenerates the traffic analysis from a synthetic year trace:
+// the generator plays the role of the Dune query over the decoded
+// uniswap_v3_ethereum dataset, drawing per-transaction sizes from
+// distributions centered on the measured means. The analysis pass then
+// recomputes shares, daily volumes, and mean sizes from the trace — the
+// same pipeline the paper's Appendix D describes.
+func RunTable7(o Options) (*Table7Result, error) {
+	o = o.withDefaults()
+	const yearly = 20_000_000 // Uniswap V3 2023 transaction count
+	const sample = 400_000    // analyzed sample, scaled back up
+
+	gen := workload.New(workload.DefaultConfig(o.Seed))
+	rng := rand.New(rand.NewSource(o.Seed + 7))
+
+	type acc struct {
+		n    int
+		size float64
+	}
+	counts := make(map[gasmodel.TxKind]*acc)
+	for i := 0; i < sample; i++ {
+		tx := gen.Next()
+		a := counts[tx.Kind]
+		if a == nil {
+			a = &acc{}
+			counts[tx.Kind] = a
+		}
+		a.n++
+		// Observed sizes vary around the mean (calldata length depends
+		// on path length, tick ranges, etc.); ±15% uniform spread.
+		mean := float64(gasmodel.MainnetTxBytes(tx.Kind))
+		a.size += mean * (0.85 + 0.3*rng.Float64())
+	}
+	res := &Table7Result{TotalTxs: sample, YearlyTxs: yearly}
+	for _, k := range []gasmodel.TxKind{gasmodel.KindSwap, gasmodel.KindMint, gasmodel.KindBurn, gasmodel.KindCollect} {
+		a := counts[k]
+		if a == nil {
+			a = &acc{}
+		}
+		share := 100 * float64(a.n) / float64(sample)
+		res.Rows = append(res.Rows, Table7Row{
+			Kind:         k,
+			SharePct:     share,
+			VolumePer24h: int(float64(yearly) * share / 100 / 365),
+			AvgSizeB:     a.size / float64(max(a.n, 1)),
+		})
+	}
+	return res, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Render implements Result.
+func (r *Table7Result) Render() string {
+	t := &table{
+		title:   "Table VII: transaction type breakdown in Uniswap traffic (synthetic 2023 trace)",
+		headers: []string{"Transaction type", "Percent of all traffic", "Volume per 24h", "Average size (B)"},
+	}
+	for _, row := range r.Rows {
+		t.add(row.Kind.String(), fmt.Sprintf("%.2f %%", row.SharePct),
+			fmt.Sprintf("%d", row.VolumePer24h), fmt.Sprintf("%.2f", row.AvgSizeB))
+	}
+	return t.String()
+}

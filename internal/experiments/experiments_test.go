@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ammboost/internal/gasmodel"
+)
+
+// fastOpts shrinks runs for CI-speed testing; the full paper configuration
+// runs through cmd/ammbench and the root benchmarks.
+func fastOpts() Options {
+	return Options{Epochs: 2, Seed: 7, CommitteeSize: 50}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 14 {
+		t.Fatalf("registry has %d experiments, want 14 (12 tables + fig5 + ablations)", len(names))
+	}
+	if names[len(names)-1] != "ablations" {
+		t.Errorf("ablations should run last, got order %v", names)
+	}
+	// fig5 sits between table4 and table5 in run order.
+	idx := map[string]int{}
+	for i, n := range names {
+		idx[n] = i
+	}
+	if !(idx["table4"] < idx["fig5"] && idx["fig5"] < idx["table5"]) {
+		t.Errorf("order = %v", names)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	r, err := RunTable2(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PayoutEntryGas != gasmodel.PayoutEntryGas || r.PairingGas != 113_000 {
+		t.Error("itemized constants wrong")
+	}
+	if r.AvgSyncGas == 0 || r.SyncSamples < 2 {
+		t.Errorf("sync gas %.0f x%d", r.AvgSyncGas, r.SyncSamples)
+	}
+	if r.DepositMCLatency <= r.SyncMCLatency {
+		t.Errorf("deposit (%s) should confirm slower than sync (%s): multi-block flow", r.DepositMCLatency, r.SyncMCLatency)
+	}
+	if !strings.Contains(r.Render(), "Deposit") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestTable3(t *testing.T) {
+	r, err := RunTable3(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []gasmodel.TxKind{gasmodel.KindSwap, gasmodel.KindMint, gasmodel.KindBurn, gasmodel.KindCollect} {
+		if r.Samples[k] == 0 {
+			t.Errorf("no %s samples", k)
+			continue
+		}
+		if uint64(r.Gas[k]) != gasmodel.UniswapOpGas(k) {
+			t.Errorf("%s gas = %.0f, want %d", k, r.Gas[k], gasmodel.UniswapOpGas(k))
+		}
+	}
+	// Mint is the slowest op (two approvals), burn/collect the fastest.
+	if r.Latency[gasmodel.KindMint] <= r.Latency[gasmodel.KindBurn] {
+		t.Errorf("mint %s should exceed burn %s", r.Latency[gasmodel.KindMint], r.Latency[gasmodel.KindBurn])
+	}
+}
+
+func TestTable4(t *testing.T) {
+	r, err := RunTable4(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.EncoderPayoutOK || !r.EncoderPositionOK {
+		t.Error("encoders do not produce the Table IV sizes")
+	}
+	if r.PayoutMainchain != 352 || r.PositionSidechain != 215 {
+		t.Error("sizes diverge from Table IV")
+	}
+}
+
+func TestFig5ShowsLargeReductions(t *testing.T) {
+	r, err := RunFig5(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GasReductionPct < 70 {
+		t.Errorf("gas reduction = %.2f%%, paper reports 96.05%%", r.GasReductionPct)
+	}
+	if r.GrowthReductionPct < 60 {
+		t.Errorf("growth reduction = %.2f%%, paper reports 93.42%%", r.GrowthReductionPct)
+	}
+	if r.GrowthVsMainnetPct <= r.GrowthReductionPct {
+		t.Error("mainnet-size reduction should exceed Sepolia-size reduction")
+	}
+}
+
+func TestTable5ShowsSaturation(t *testing.T) {
+	r, err := RunTable5(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 4 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Throughput grows with volume; the 25M point saturates near the
+	// block capacity and congests.
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].Throughput <= r.Points[i-1].Throughput {
+			t.Errorf("throughput not increasing at %s", r.Points[i].Label)
+		}
+	}
+	low, high := r.Points[0], r.Points[3]
+	if high.SCLatency < 5*low.SCLatency {
+		t.Errorf("25M latency %s should dwarf 50K latency %s", high.SCLatency, low.SCLatency)
+	}
+}
+
+func TestTable6AmmBoostWins(t *testing.T) {
+	r, err := RunTable6(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AmmBoost.Throughput <= r.AmmOP.Throughput {
+		t.Errorf("ammBoost %.2f should out-throughput ammOP %.2f", r.AmmBoost.Throughput, r.AmmOP.Throughput)
+	}
+	if r.AmmBoost.PayoutLatency >= r.AmmOP.PayoutLatency {
+		t.Error("ammOP payout latency must include the 7-day contestation")
+	}
+	// The paper reports 99.94% finality reduction.
+	reduction := 1 - r.AmmBoost.PayoutLatency.Seconds()/r.AmmOP.PayoutLatency.Seconds()
+	if reduction < 0.99 {
+		t.Errorf("payout reduction = %.4f, want > 0.99", reduction)
+	}
+}
+
+func TestTable7MatchesDistribution(t *testing.T) {
+	r, err := RunTable7(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Rows[0].Kind != gasmodel.KindSwap || r.Rows[0].SharePct < 90 {
+		t.Errorf("swap share = %.2f%%, want ~93.19%%", r.Rows[0].SharePct)
+	}
+	if r.Rows[0].AvgSizeB < 900 || r.Rows[0].AvgSizeB > 1120 {
+		t.Errorf("swap avg size = %.2f, want ~1008", r.Rows[0].AvgSizeB)
+	}
+}
+
+func TestTable12Monotone(t *testing.T) {
+	r, err := RunTable12(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 5 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].AgreementTime <= r.Points[i-1].AgreementTime {
+			t.Error("agreement time must grow with committee size")
+		}
+	}
+	// Within 35% of the paper's 6.51s at n=500.
+	at500 := r.Points[2].AgreementTime.Seconds()
+	if at500 < 4.2 || at500 > 8.8 {
+		t.Errorf("agreement(500) = %.2fs, paper 6.51s", at500)
+	}
+}
+
+func TestAllRendersNonEmpty(t *testing.T) {
+	// Smoke-run the cheap experiments end to end through the registry.
+	for _, name := range []string{"table2", "table4", "table7", "table12"} {
+		res, err := Registry()[name](fastOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := res.Render()
+		if len(out) < 50 || !strings.Contains(out, "\n") {
+			t.Errorf("%s render too short: %q", name, out)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	r, err := RunAblations(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PruningSavePct < 50 {
+		t.Errorf("pruning saves %.1f%%, expected most of the chain", r.PruningSavePct)
+	}
+	if r.TSQCGas >= r.MultisigGas {
+		t.Error("TSQC should undercut naive multisig verification")
+	}
+	if r.FoldSavePct < 50 {
+		t.Errorf("folding saves %.1f%%, expected large compression", r.FoldSavePct)
+	}
+	if r.MassSyncGas >= r.SeparateSyncGas {
+		t.Error("mass-sync should amortize base and auth costs")
+	}
+}

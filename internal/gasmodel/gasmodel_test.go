@@ -1,0 +1,88 @@
+package gasmodel
+
+import "testing"
+
+func TestKeccakGas(t *testing.T) {
+	cases := []struct {
+		n    int
+		want uint64
+	}{
+		{0, 30}, {1, 36}, {32, 36}, {33, 42}, {256, 30 + 6*8},
+	}
+	for _, c := range cases {
+		if got := KeccakGas(c.n); got != c.want {
+			t.Errorf("KeccakGas(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSstoreGas(t *testing.T) {
+	if got := SstoreGas(192); got != 6*SstoreWordGas {
+		t.Errorf("SstoreGas(192) = %d", got)
+	}
+	if got := SstoreGas(1); got != SstoreWordGas {
+		t.Errorf("SstoreGas(1) = %d", got)
+	}
+}
+
+func TestSyncGasComposition(t *testing.T) {
+	// One payout, one position, small summary: base + payout + 6 words +
+	// pool balance + auth.
+	sum := 1000
+	want := TxBaseGas + PayoutEntryGas + PositionEntryWords*SstoreWordGas +
+		PoolBalanceWords*SstoreWordGas + SyncAuthGas(sum)
+	if got := SyncGas(1, 1, sum); got != want {
+		t.Errorf("SyncGas = %d, want %d", got, want)
+	}
+}
+
+func TestSyncAuthGasIncludesPrecompiles(t *testing.T) {
+	g := SyncAuthGas(0)
+	if g < EcMulGas+PairingGas {
+		t.Errorf("auth gas %d must include ecMUL and pairing", g)
+	}
+}
+
+func TestTableIVConstants(t *testing.T) {
+	// Pin the paper's Table IV values.
+	if ABIPayoutEntryBytes != 352 || ABIPositionEntryBytes != 416 ||
+		ABIGroupKeyBytes != 128 || ABISignatureBytes != 64 {
+		t.Error("mainchain entry sizes diverge from Table IV")
+	}
+	if SCPayoutEntryBytes != 97 || SCPositionEntryBytes != 215 {
+		t.Error("sidechain entry sizes diverge from Table IV")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := map[TxKind]string{
+		KindSwap: "swap", KindMint: "mint", KindBurn: "burn",
+		KindCollect: "collect", KindFlash: "flash", KindDeposit: "deposit",
+		KindSync: "sync", TxKind(99): "unknown",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestSizeLookups(t *testing.T) {
+	if SepoliaTxBytes(KindSwap) != 365 || MainnetTxBytes(KindSwap) != 1008 {
+		t.Error("swap sizes diverge from the measured tables")
+	}
+	if SepoliaTxBytes(KindSync) != 0 || MainnetTxBytes(KindFlash) != 0 {
+		t.Error("non-AMM kinds should have no default size")
+	}
+	if UniswapOpGas(KindMint) != 435_610 {
+		t.Error("mint gas diverges from Table III")
+	}
+}
+
+func TestSummaryBlockBytes(t *testing.T) {
+	got := SummaryBlockBytes(2, 3)
+	want := 2*SCPayoutEntryBytes + 3*SCPositionEntryBytes + 200
+	if got != want {
+		t.Errorf("SummaryBlockBytes = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,9 @@
+package mainchain
+
+import "crypto/sha256"
+
+// sha256HashPool hashes b with SHA-256 (small helper keeping imports tidy).
+func sha256HashPool(b []byte) []byte {
+	h := sha256.Sum256(b)
+	return h[:]
+}

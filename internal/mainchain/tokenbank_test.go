@@ -1,0 +1,351 @@
+package mainchain
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ammboost/internal/crypto/tsig"
+	"ammboost/internal/gasmodel"
+	"ammboost/internal/sim"
+	"ammboost/internal/summary"
+	"ammboost/internal/u256"
+)
+
+// bankFixture wires a chain with two tokens, a TokenBank, and a committee.
+type bankFixture struct {
+	sim    *sim.Simulator
+	chain  *Chain
+	t0, t1 *ERC20
+	bank   *TokenBank
+	// committee key material for epoch 1.
+	members []tsig.DKGResult
+}
+
+func newBankFixture(t *testing.T) *bankFixture {
+	t.Helper()
+	s := sim.New()
+	c := New(s, DefaultConfig())
+	t0 := NewERC20("A", "faucet")
+	t1 := NewERC20("B", "faucet")
+	c.Deploy(t0)
+	c.Deploy(t1)
+	members, err := tsig.RunDKG(rand.New(rand.NewSource(42)), 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank := NewTokenBank(t0, t1, members[0].Group)
+	c.Deploy(bank)
+	// Fund users and pre-approve the bank (the approval transactions are
+	// exercised in chain_test; here we focus on bank semantics).
+	for _, u := range []string{"alice", "bob", "lp"} {
+		if err := t0.Ledger.Mint("faucet", u, u256.FromUint64(1_000_000)); err != nil {
+			t.Fatal(err)
+		}
+		if err := t1.Ledger.Mint("faucet", u, u256.FromUint64(1_000_000)); err != nil {
+			t.Fatal(err)
+		}
+		t0.Ledger.Approve(u, BankAddress, u256.Max)
+		t1.Ledger.Approve(u, BankAddress, u256.Max)
+	}
+	return &bankFixture{sim: s, chain: c, t0: t0, t1: t1, bank: bank, members: members}
+}
+
+// signPayloads produces a valid TSQC signature from the epoch-1 committee.
+func (f *bankFixture) signPayloads(payloads []*summary.SyncPayload) tsig.Point {
+	digest := combinedDigest(payloads)
+	partials := make([]tsig.PartialSig, 4)
+	for i := 0; i < 4; i++ {
+		partials[i] = tsig.PartialSign(f.members[i].Share, digest[:])
+	}
+	sig, err := tsig.Combine(f.members[0].Group, partials)
+	if err != nil {
+		panic(err)
+	}
+	return sig
+}
+
+func (f *bankFixture) submitAndRun(t *testing.T, tx *Tx, until time.Duration) {
+	t.Helper()
+	f.sim.After(time.Second, func() { f.chain.Submit(tx) })
+	f.sim.RunUntil(until)
+}
+
+func TestDepositPullsTokens(t *testing.T) {
+	f := newBankFixture(t)
+	tx := &Tx{ID: "d1", From: "alice", To: BankAddress, Method: "deposit",
+		Args: DepositArgs{Epoch: 1, Amount0: u256.FromUint64(500), Amount1: u256.FromUint64(700)}}
+	f.submitAndRun(t, tx, 20*time.Second)
+	f.chain.Stop()
+	if tx.Status != TxConfirmed {
+		t.Fatalf("deposit failed: %v", tx.Err)
+	}
+	if got := f.t0.Ledger.BalanceOf(BankAddress); !got.Eq(u256.FromUint64(500)) {
+		t.Errorf("bank token0 = %s", got)
+	}
+	deps := f.bank.EpochDeposits(1)
+	if d := deps["alice"]; !d.Amount0.Eq(u256.FromUint64(500)) || !d.Amount1.Eq(u256.FromUint64(700)) {
+		t.Errorf("recorded deposit = %+v", d)
+	}
+	if tx.GasUsed < gasmodel.DepositTwoTokensGas {
+		t.Errorf("deposit gas = %d, want >= %d", tx.GasUsed, gasmodel.DepositTwoTokensGas)
+	}
+}
+
+func TestDepositWithoutFundsReverts(t *testing.T) {
+	f := newBankFixture(t)
+	tx := &Tx{ID: "d1", From: "alice", To: BankAddress, Method: "deposit",
+		Args: DepositArgs{Epoch: 1, Amount0: u256.FromUint64(10_000_000)}}
+	f.submitAndRun(t, tx, 20*time.Second)
+	f.chain.Stop()
+	if tx.Status != TxFailed {
+		t.Fatal("over-balance deposit should revert")
+	}
+	if len(f.bank.EpochDeposits(1)) != 0 {
+		t.Error("failed deposit must not be recorded")
+	}
+}
+
+func validPayload(epoch uint64) *summary.SyncPayload {
+	p := &summary.SyncPayload{
+		Epoch: epoch,
+		Payouts: []summary.PayoutEntry{
+			{User: "alice", Amount0: u256.FromUint64(300), Amount1: u256.FromUint64(700)},
+		},
+		Positions: []summary.PositionEntry{
+			{ID: "pos1", Owner: "lp", TickLower: -60, TickUpper: 60, Liquidity: u256.FromUint64(1000)},
+		},
+		PoolReserve0: u256.FromUint64(200),
+		PoolReserve1: u256.Zero,
+		NextGroupKey: []byte("vkc-epoch-2"),
+	}
+	p.SortEntries()
+	return p
+}
+
+func TestSyncHappyPath(t *testing.T) {
+	f := newBankFixture(t)
+	// Alice deposits 500/700; the epoch's trading turned that into
+	// 300/700 with 200 of token0 moving into the pool.
+	dep := &Tx{ID: "d1", From: "alice", To: BankAddress, Method: "deposit",
+		Args: DepositArgs{Epoch: 1, Amount0: u256.FromUint64(500), Amount1: u256.FromUint64(700)}}
+	f.sim.After(time.Second, func() { f.chain.Submit(dep) })
+	f.sim.RunUntil(20 * time.Second)
+
+	p := validPayload(1)
+	syncTx := &Tx{ID: "s1", From: "committee-1", To: BankAddress, Method: "sync",
+		Size: p.MainchainBytes(),
+		Args: &SyncArgs{Epoch: 1, Payloads: []*summary.SyncPayload{p},
+			Sig: f.signPayloads([]*summary.SyncPayload{p}), NextKey: f.members[0].Group}}
+	f.submitAndRun(t, syncTx, 40*time.Second)
+	f.chain.Stop()
+	if syncTx.Status != TxConfirmed {
+		t.Fatalf("sync failed: %v", syncTx.Err)
+	}
+	// Alice got her payout: original 1M - 500 deposit + 300 payout.
+	if got := f.t0.Ledger.BalanceOf("alice"); !got.Eq(u256.FromUint64(999_800)) {
+		t.Errorf("alice token0 = %s, want 999800", got)
+	}
+	if got := f.t1.Ledger.BalanceOf("alice"); !got.Eq(u256.FromUint64(1_000_000)) {
+		t.Errorf("alice token1 = %s, want 1000000 (full refund)", got)
+	}
+	// Bank retains exactly the pool reserves.
+	if got := f.t0.Ledger.BalanceOf(BankAddress); !got.Eq(u256.FromUint64(200)) {
+		t.Errorf("bank token0 = %s, want 200", got)
+	}
+	// Position stored; deposits cleared; epoch-2 key registered.
+	if _, ok := f.bank.Positions["pos1"]; !ok {
+		t.Error("position not stored")
+	}
+	if len(f.bank.EpochDeposits(1)) != 0 {
+		t.Error("epoch deposits should be cleared after sync")
+	}
+	if _, ok := f.bank.GroupKeyFor(2); !ok {
+		t.Error("next committee key not registered")
+	}
+	if f.bank.LastSyncedEpoch != 1 {
+		t.Errorf("LastSyncedEpoch = %d", f.bank.LastSyncedEpoch)
+	}
+	// Gas: itemized model (1 payout, 1 position, auth, pool balance).
+	wantGas := gasmodel.SyncGas(1, 1, p.MainchainBytes()) + gasmodel.SstoreGas(gasmodel.ABIGroupKeyBytes)
+	if syncTx.GasUsed != wantGas {
+		t.Errorf("sync gas = %d, want %d", syncTx.GasUsed, wantGas)
+	}
+}
+
+func TestSyncRejectsForgedSignature(t *testing.T) {
+	f := newBankFixture(t)
+	p := validPayload(1)
+	// A different committee signs: must be rejected.
+	mallory, err := tsig.RunDKG(rand.New(rand.NewSource(666)), 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := p.Digest()
+	partials := make([]tsig.PartialSig, 4)
+	for i := 0; i < 4; i++ {
+		partials[i] = tsig.PartialSign(mallory[i].Share, digest[:])
+	}
+	sig, _ := tsig.Combine(mallory[0].Group, partials)
+	tx := &Tx{ID: "s1", From: "mallory", To: BankAddress, Method: "sync",
+		Args: &SyncArgs{Epoch: 1, Payloads: []*summary.SyncPayload{p}, Sig: sig, NextKey: mallory[0].Group}}
+	f.submitAndRun(t, tx, 20*time.Second)
+	f.chain.Stop()
+	if tx.Status != TxFailed || !errors.Is(tx.Err, ErrBadSyncSignature) {
+		t.Fatalf("forged sync: status=%v err=%v", tx.Status, tx.Err)
+	}
+	if len(f.bank.Positions) != 0 {
+		t.Error("forged sync must not change state")
+	}
+}
+
+func TestSyncRejectsUnknownEpoch(t *testing.T) {
+	f := newBankFixture(t)
+	p := validPayload(7)
+	tx := &Tx{ID: "s1", From: "committee", To: BankAddress, Method: "sync",
+		Args: &SyncArgs{Epoch: 7, Payloads: []*summary.SyncPayload{p},
+			Sig: f.signPayloads([]*summary.SyncPayload{p}), NextKey: f.members[0].Group}}
+	f.submitAndRun(t, tx, 20*time.Second)
+	f.chain.Stop()
+	if tx.Status != TxFailed || !errors.Is(tx.Err, ErrUnknownEpochKey) {
+		t.Fatalf("unknown epoch: status=%v err=%v", tx.Status, tx.Err)
+	}
+}
+
+func TestSyncTamperedPayloadRejected(t *testing.T) {
+	f := newBankFixture(t)
+	p := validPayload(1)
+	sig := f.signPayloads([]*summary.SyncPayload{p})
+	// Tamper after signing.
+	p.Payouts[0].Amount0 = u256.FromUint64(999_999)
+	tx := &Tx{ID: "s1", From: "committee", To: BankAddress, Method: "sync",
+		Args: &SyncArgs{Epoch: 1, Payloads: []*summary.SyncPayload{p}, Sig: sig, NextKey: f.members[0].Group}}
+	f.submitAndRun(t, tx, 20*time.Second)
+	f.chain.Stop()
+	if tx.Status != TxFailed || !errors.Is(tx.Err, ErrBadSyncSignature) {
+		t.Fatalf("tampered sync: status=%v err=%v", tx.Status, tx.Err)
+	}
+}
+
+func TestMassSyncAppliesMultipleEpochs(t *testing.T) {
+	f := newBankFixture(t)
+	dep := &Tx{ID: "d1", From: "alice", To: BankAddress, Method: "deposit",
+		Args: DepositArgs{Epoch: 1, Amount0: u256.FromUint64(500), Amount1: u256.Zero}}
+	dep2 := &Tx{ID: "d2", From: "bob", To: BankAddress, Method: "deposit",
+		Args: DepositArgs{Epoch: 2, Amount0: u256.FromUint64(400), Amount1: u256.Zero}}
+	f.sim.After(time.Second, func() { f.chain.Submit(dep); f.chain.Submit(dep2) })
+	f.sim.RunUntil(20 * time.Second)
+
+	p1 := &summary.SyncPayload{Epoch: 1,
+		Payouts:      []summary.PayoutEntry{{User: "alice", Amount0: u256.FromUint64(450)}},
+		PoolReserve0: u256.FromUint64(50)}
+	p2 := &summary.SyncPayload{Epoch: 2,
+		Payouts:      []summary.PayoutEntry{{User: "bob", Amount0: u256.FromUint64(380)}},
+		PoolReserve0: u256.FromUint64(70)}
+	p1.SortEntries()
+	p2.SortEntries()
+	payloads := []*summary.SyncPayload{p1, p2}
+	// Epoch-1 committee key authenticates the mass-sync (registered at
+	// genesis); the next key lands at epoch 1+2=3.
+	tx := &Tx{ID: "ms", From: "committee-2", To: BankAddress, Method: "sync",
+		Args: &SyncArgs{Epoch: 1, Payloads: payloads, Sig: f.signPayloads(payloads), NextKey: f.members[0].Group}}
+	f.submitAndRun(t, tx, 40*time.Second)
+	f.chain.Stop()
+	if tx.Status != TxConfirmed {
+		t.Fatalf("mass-sync failed: %v", tx.Err)
+	}
+	if f.bank.LastSyncedEpoch != 2 {
+		t.Errorf("LastSyncedEpoch = %d, want 2", f.bank.LastSyncedEpoch)
+	}
+	if got := f.t0.Ledger.BalanceOf(BankAddress); !got.Eq(u256.FromUint64(70)) {
+		t.Errorf("bank retains %s, want final pool reserve 70", got)
+	}
+	if _, ok := f.bank.GroupKeyFor(3); !ok {
+		t.Error("mass-sync should register the key for epoch 3")
+	}
+}
+
+func TestSyncIdempotentPerEpoch(t *testing.T) {
+	f := newBankFixture(t)
+	dep := &Tx{ID: "d1", From: "alice", To: BankAddress, Method: "deposit",
+		Args: DepositArgs{Epoch: 1, Amount0: u256.FromUint64(500), Amount1: u256.FromUint64(700)}}
+	f.sim.After(time.Second, func() { f.chain.Submit(dep) })
+	f.sim.RunUntil(20 * time.Second)
+
+	p := validPayload(1)
+	mk := func(id string) *Tx {
+		return &Tx{ID: id, From: "committee", To: BankAddress, Method: "sync",
+			Args: &SyncArgs{Epoch: 1, Payloads: []*summary.SyncPayload{p},
+				Sig: f.signPayloads([]*summary.SyncPayload{p}), NextKey: f.members[0].Group}}
+	}
+	tx1, tx2 := mk("s1"), mk("s2")
+	f.sim.After(time.Second, func() { f.chain.Submit(tx1); f.chain.Submit(tx2) })
+	f.sim.RunUntil(40 * time.Second)
+	f.chain.Stop()
+	if tx1.Status != TxConfirmed || tx2.Status != TxConfirmed {
+		t.Fatalf("sync statuses: %v / %v (%v / %v)", tx1.Status, tx2.Status, tx1.Err, tx2.Err)
+	}
+	// The duplicate must not pay alice twice: 1M - 500 + 300.
+	if got := f.t0.Ledger.BalanceOf("alice"); !got.Eq(u256.FromUint64(999_800)) {
+		t.Errorf("alice token0 = %s after duplicate sync", got)
+	}
+}
+
+func TestFlashLoanOnBank(t *testing.T) {
+	f := newBankFixture(t)
+	// Seed the bank with pool reserves.
+	if err := f.t0.Ledger.Mint("faucet", BankAddress, u256.FromUint64(100_000)); err != nil {
+		t.Fatal(err)
+	}
+	f.bank.poolCreated = true
+	f.bank.FeePips = 3000
+	f.bank.PoolReserve0 = u256.FromUint64(100_000)
+
+	var received u256.Int
+	tx := &Tx{ID: "f1", From: "alice", To: BankAddress, Method: "flash",
+		Args: FlashArgs{Amount0: u256.FromUint64(10_000),
+			Callback: func(a0, a1 u256.Int) (u256.Int, u256.Int) {
+				received = a0
+				// Repay principal + 0.3% fee.
+				return u256.FromUint64(10_030), u256.Zero
+			}}}
+	f.submitAndRun(t, tx, 20*time.Second)
+	f.chain.Stop()
+	if tx.Status != TxConfirmed {
+		t.Fatalf("flash failed: %v", tx.Err)
+	}
+	if !received.Eq(u256.FromUint64(10_000)) {
+		t.Errorf("callback received %s", received)
+	}
+	if got := f.bank.PoolReserve0; !got.Eq(u256.FromUint64(100_030)) {
+		t.Errorf("pool reserve after flash = %s", got)
+	}
+	// alice paid the 30-token fee.
+	if got := f.t0.Ledger.BalanceOf("alice"); !got.Eq(u256.FromUint64(999_970)) {
+		t.Errorf("alice balance = %s", got)
+	}
+}
+
+func TestFlashLoanNotRepaidReverts(t *testing.T) {
+	f := newBankFixture(t)
+	if err := f.t0.Ledger.Mint("faucet", BankAddress, u256.FromUint64(100_000)); err != nil {
+		t.Fatal(err)
+	}
+	f.bank.poolCreated = true
+	f.bank.FeePips = 3000
+	f.bank.PoolReserve0 = u256.FromUint64(100_000)
+	tx := &Tx{ID: "f1", From: "alice", To: BankAddress, Method: "flash",
+		Args: FlashArgs{Amount0: u256.FromUint64(10_000),
+			Callback: func(a0, a1 u256.Int) (u256.Int, u256.Int) {
+				return a0, u256.Zero // principal only, no fee
+			}}}
+	f.submitAndRun(t, tx, 20*time.Second)
+	f.chain.Stop()
+	if tx.Status != TxFailed || !errors.Is(tx.Err, ErrFlashNotRepaid) {
+		t.Fatalf("status=%v err=%v", tx.Status, tx.Err)
+	}
+	if got := f.t0.Ledger.BalanceOf(BankAddress); !got.Eq(u256.FromUint64(100_000)) {
+		t.Errorf("bank balance after inverted flash = %s", got)
+	}
+}

@@ -1,0 +1,191 @@
+// Package metrics collects the quantities the paper's evaluation reports:
+// throughput (tx/s), sidechain transaction latency (submission →
+// meta-block), payout latency (submission → Sync confirmation on the
+// mainchain), gas per operation, and byte growth of both chains.
+package metrics
+
+import (
+	"sort"
+	"time"
+
+	"ammboost/internal/gasmodel"
+)
+
+// TxObservation records one transaction's lifecycle timestamps. Zero
+// values mean "not reached".
+type TxObservation struct {
+	Kind        gasmodel.TxKind
+	SubmittedAt time.Duration
+	MinedAt     time.Duration // appeared in a meta-block (or L1 block)
+	PayoutAt    time.Duration // epoch Sync confirmed on the mainchain
+}
+
+// Collector aggregates observations from one run.
+type Collector struct {
+	txs []TxObservation
+
+	// Gas per mainchain operation label.
+	gasByOp   map[string][]uint64
+	mcLatency map[string][]time.Duration
+}
+
+// New creates an empty collector.
+func New() *Collector {
+	return &Collector{
+		gasByOp:   make(map[string][]uint64),
+		mcLatency: make(map[string][]time.Duration),
+	}
+}
+
+// ObserveTx records a sidechain transaction lifecycle.
+func (c *Collector) ObserveTx(o TxObservation) { c.txs = append(c.txs, o) }
+
+// ObserveGas records gas for a labeled mainchain operation.
+func (c *Collector) ObserveGas(op string, gas uint64) {
+	c.gasByOp[op] = append(c.gasByOp[op], gas)
+}
+
+// ObserveMCLatency records a mainchain confirmation latency for a label.
+func (c *Collector) ObserveMCLatency(op string, d time.Duration) {
+	c.mcLatency[op] = append(c.mcLatency[op], d)
+}
+
+// NumProcessed counts transactions that reached a meta-block.
+func (c *Collector) NumProcessed() int {
+	n := 0
+	for _, o := range c.txs {
+		if o.MinedAt > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// NumProcessedByKind counts processed transactions per kind.
+func (c *Collector) NumProcessedByKind() map[gasmodel.TxKind]int {
+	out := make(map[gasmodel.TxKind]int)
+	for _, o := range c.txs {
+		if o.MinedAt > 0 {
+			out[o.Kind]++
+		}
+	}
+	return out
+}
+
+// Throughput returns processed transactions per second over the window
+// ending at the last processing event.
+func (c *Collector) Throughput() float64 {
+	var last time.Duration
+	n := 0
+	for _, o := range c.txs {
+		if o.MinedAt > 0 {
+			n++
+			if o.MinedAt > last {
+				last = o.MinedAt
+			}
+		}
+	}
+	if last == 0 {
+		return 0
+	}
+	return float64(n) / last.Seconds()
+}
+
+// AvgSCLatency is the mean submission → meta-block delay. Sums accumulate
+// in float64 seconds: a week-long payout window over 10^5 observations
+// overflows int64 nanoseconds.
+func (c *Collector) AvgSCLatency() time.Duration {
+	var sum float64
+	n := 0
+	for _, o := range c.txs {
+		if o.MinedAt > 0 {
+			sum += (o.MinedAt - o.SubmittedAt).Seconds()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(sum / float64(n) * float64(time.Second))
+}
+
+// AvgPayoutLatency is the mean submission → Sync-confirmation delay.
+func (c *Collector) AvgPayoutLatency() time.Duration {
+	var sum float64
+	n := 0
+	for _, o := range c.txs {
+		if o.PayoutAt > 0 {
+			sum += (o.PayoutAt - o.SubmittedAt).Seconds()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(sum / float64(n) * float64(time.Second))
+}
+
+// PercentileSCLatency returns the p-th percentile (0–100) sidechain
+// latency.
+func (c *Collector) PercentileSCLatency(p float64) time.Duration {
+	var ds []time.Duration
+	for _, o := range c.txs {
+		if o.MinedAt > 0 {
+			ds = append(ds, o.MinedAt-o.SubmittedAt)
+		}
+	}
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	idx := int(p / 100 * float64(len(ds)-1))
+	return ds[idx]
+}
+
+// AvgGas returns the mean gas for an operation label, with the sample
+// count.
+func (c *Collector) AvgGas(op string) (float64, int) {
+	xs := c.gasByOp[op]
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	var sum uint64
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs)), len(xs)
+}
+
+// TotalGas sums gas across every labeled operation.
+func (c *Collector) TotalGas() uint64 {
+	var sum uint64
+	for _, xs := range c.gasByOp {
+		for _, x := range xs {
+			sum += x
+		}
+	}
+	return sum
+}
+
+// AvgMCLatency returns the mean confirmation latency for a label.
+func (c *Collector) AvgMCLatency(op string) (time.Duration, int) {
+	xs := c.mcLatency[op]
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	var sum time.Duration
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / time.Duration(len(xs)), len(xs)
+}
+
+// Ops lists the labels with gas observations.
+func (c *Collector) Ops() []string {
+	out := make([]string, 0, len(c.gasByOp))
+	for op := range c.gasByOp {
+		out = append(out, op)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,157 @@
+package sidechain
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ammboost/internal/gasmodel"
+	"ammboost/internal/summary"
+	"ammboost/internal/u256"
+)
+
+func mkTxs(n int, prefix string) []*summary.Tx {
+	txs := make([]*summary.Tx, n)
+	for i := range txs {
+		txs[i] = &summary.Tx{
+			ID: fmt.Sprintf("%s-%d", prefix, i), Kind: gasmodel.KindSwap,
+			User: "alice", Amount: u256.FromUint64(uint64(i + 1)),
+		}
+	}
+	return txs
+}
+
+func TestMetaBlockSize(t *testing.T) {
+	txs := mkTxs(3, "a")
+	b := NewMetaBlock(1, 1, "leader", [32]byte{}, txs)
+	want := metaBlockHeaderBytes + 3*gasmodel.MainnetSwapTxBytes
+	if b.SizeBytes != want {
+		t.Errorf("size = %d, want %d", b.SizeBytes, want)
+	}
+	if b.TxRoot == [32]byte{} {
+		t.Error("tx root not computed")
+	}
+}
+
+func TestLedgerChaining(t *testing.T) {
+	l := NewLedger([32]byte{0xaa})
+	b1 := NewMetaBlock(1, 1, "leader", l.TipHash(), mkTxs(2, "a"))
+	if err := l.AppendMeta(b1); err != nil {
+		t.Fatal(err)
+	}
+	// A block not referencing the tip is rejected.
+	bad := NewMetaBlock(1, 2, "leader", [32]byte{0xbb}, mkTxs(1, "b"))
+	if err := l.AppendMeta(bad); !errors.Is(err, ErrNotChained) {
+		t.Errorf("want ErrNotChained, got %v", err)
+	}
+	b2 := NewMetaBlock(1, 2, "leader", l.TipHash(), mkTxs(1, "b"))
+	if err := l.AppendMeta(b2); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch going backwards is rejected.
+	old := NewMetaBlock(0, 3, "leader", l.TipHash(), nil)
+	if err := l.AppendMeta(old); !errors.Is(err, ErrEpochMismatch) {
+		t.Errorf("want ErrEpochMismatch, got %v", err)
+	}
+	if l.TotalMetaBlocks() != 2 || l.TotalTxs() != 3 {
+		t.Errorf("blocks=%d txs=%d", l.TotalMetaBlocks(), l.TotalTxs())
+	}
+}
+
+func TestPruningReclaimsBytes(t *testing.T) {
+	l := NewLedger([32]byte{})
+	var epochBytes int
+	for r := uint64(1); r <= 5; r++ {
+		b := NewMetaBlock(1, r, "leader", l.TipHash(), mkTxs(10, fmt.Sprintf("r%d", r)))
+		epochBytes += b.SizeBytes
+		if err := l.AppendMeta(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	payload := &summary.SyncPayload{Epoch: 1, Payouts: []summary.PayoutEntry{{User: "alice"}}}
+	sb := NewSummaryBlock(1, payload, l.MetaBlocks(1))
+	l.AppendSummary(sb)
+
+	if got := l.SizeBytes(); got != epochBytes+sb.SizeBytes {
+		t.Errorf("pre-prune size = %d, want %d", got, epochBytes+sb.SizeBytes)
+	}
+	// Pruning before the sync confirms is refused (public verifiability).
+	if err := l.Prune(1, false); !errors.Is(err, ErrSyncNotAnchored) {
+		t.Errorf("want ErrSyncNotAnchored, got %v", err)
+	}
+	if err := l.Prune(1, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.SizeBytes(); got != sb.SizeBytes {
+		t.Errorf("post-prune size = %d, want only the summary %d", got, sb.SizeBytes)
+	}
+	if l.PrunedBytes() != epochBytes {
+		t.Errorf("pruned bytes = %d, want %d", l.PrunedBytes(), epochBytes)
+	}
+	if l.UnprunedBytes() != epochBytes+sb.SizeBytes {
+		t.Errorf("unpruned baseline = %d", l.UnprunedBytes())
+	}
+	// Double prune is an error.
+	if err := l.Prune(1, true); !errors.Is(err, ErrAlreadyPruned) {
+		t.Errorf("want ErrAlreadyPruned, got %v", err)
+	}
+	// Summaries survive pruning.
+	if len(l.Summaries()) != 1 {
+		t.Error("summary pruned")
+	}
+}
+
+func TestVerifyTxInclusion(t *testing.T) {
+	l := NewLedger([32]byte{})
+	txs := mkTxs(7, "x")
+	b := NewMetaBlock(1, 1, "leader", l.TipHash(), txs)
+	if err := l.AppendMeta(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.VerifyTxInEpoch(txs[3], 1); err != nil {
+		t.Errorf("inclusion proof failed: %v", err)
+	}
+	ghost := &summary.Tx{ID: "ghost", Kind: gasmodel.KindSwap, User: "bob"}
+	if err := l.VerifyTxInEpoch(ghost, 1); !errors.Is(err, ErrUnknownEpoch) {
+		t.Errorf("ghost tx: %v", err)
+	}
+}
+
+func TestPeakTracksMaximum(t *testing.T) {
+	l := NewLedger([32]byte{})
+	for e := uint64(1); e <= 3; e++ {
+		for r := uint64(1); r <= 3; r++ {
+			b := NewMetaBlock(e, r, "leader", l.TipHash(), mkTxs(5, fmt.Sprintf("e%dr%d", e, r)))
+			if err := l.AppendMeta(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		payload := &summary.SyncPayload{Epoch: e}
+		l.AppendSummary(NewSummaryBlock(e, payload, l.MetaBlocks(e)))
+		if err := l.Prune(e, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.PeakBytes() <= l.SizeBytes() {
+		t.Errorf("peak %d should exceed post-prune size %d", l.PeakBytes(), l.SizeBytes())
+	}
+	if l.SizeBytes() != 3*l.Summaries()[0].SizeBytes {
+		t.Errorf("retained = %d, want 3 empty summaries", l.SizeBytes())
+	}
+}
+
+func TestSummaryBlockCommitsToMetas(t *testing.T) {
+	l := NewLedger([32]byte{})
+	b1 := NewMetaBlock(1, 1, "leader", l.TipHash(), mkTxs(2, "a"))
+	_ = l.AppendMeta(b1)
+	b2 := NewMetaBlock(1, 2, "leader", l.TipHash(), mkTxs(2, "b"))
+	_ = l.AppendMeta(b2)
+	sb := NewSummaryBlock(1, &summary.SyncPayload{Epoch: 1}, l.MetaBlocks(1))
+	sb2 := NewSummaryBlock(1, &summary.SyncPayload{Epoch: 1}, l.MetaBlocks(1)[:1])
+	if sb.MetaRoot == sb2.MetaRoot {
+		t.Error("summary must commit to the exact meta-block set")
+	}
+	if sb.NumMeta != 2 {
+		t.Errorf("NumMeta = %d", sb.NumMeta)
+	}
+}

@@ -1,0 +1,59 @@
+package election
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+
+	"ammboost/internal/crypto/vrf"
+)
+
+// FastVRF is a keyed-hash stand-in for the RSA-FDH VRF used when
+// experiments instantiate 1000+ miners: Evaluate is HMAC-SHA256 under the
+// miner's secret, and the "proof" is the MAC itself. Verification
+// recomputes the MAC, which requires the secret — so the public
+// verifiability property is only modeled, not enforced, in experiment
+// runs. Functional tests use the real VRF (vrf.PrivateKey) via RealVRF.
+type FastVRF struct {
+	secret [32]byte
+}
+
+// NewFastVRF derives a FastVRF from a seed (e.g., the miner ID plus an
+// experiment seed).
+func NewFastVRF(seed []byte) *FastVRF {
+	return &FastVRF{secret: sha256.Sum256(seed)}
+}
+
+// Evaluate implements VRF.
+func (f *FastVRF) Evaluate(input []byte) ([32]byte, []byte, error) {
+	mac := hmac.New(sha256.New, f.secret[:])
+	mac.Write(input)
+	var out [32]byte
+	copy(out[:], mac.Sum(nil))
+	return out, out[:], nil
+}
+
+// Verify implements VRF by recomputation.
+func (f *FastVRF) Verify(input, proof []byte) ([32]byte, error) {
+	out, _, _ := f.Evaluate(input)
+	if !hmac.Equal(out[:], proof) {
+		return [32]byte{}, errors.New("fastvrf: proof mismatch")
+	}
+	return out, nil
+}
+
+// RealVRF adapts the RSA-FDH keypair to the election VRF interface.
+type RealVRF struct {
+	SK *vrf.PrivateKey
+	PK *vrf.PublicKey
+}
+
+// Evaluate implements VRF.
+func (r *RealVRF) Evaluate(input []byte) ([32]byte, []byte, error) {
+	return r.SK.Evaluate(input)
+}
+
+// Verify implements VRF.
+func (r *RealVRF) Verify(input, proof []byte) ([32]byte, error) {
+	return r.PK.Verify(input, proof)
+}

@@ -1,0 +1,96 @@
+package sidechain
+
+import (
+	"ammboost/internal/summary"
+)
+
+// Mempool is the sidechain transaction queue every miner maintains
+// (Remark 2): all sidechain miners receive transactions destined for the
+// sidechain, only the elected committee mines them, and when a new
+// meta-block is published every miner removes the included transactions
+// from its queue. Unprocessed transactions carry over to the next epoch.
+type Mempool struct {
+	order []*summary.Tx
+	byID  map[string]*summary.Tx
+}
+
+// NewMempool creates an empty queue.
+func NewMempool() *Mempool {
+	return &Mempool{byID: make(map[string]*summary.Tx)}
+}
+
+// Add enqueues a transaction; duplicates (by ID) are ignored, as a miner
+// hearing the same broadcast twice keeps one copy.
+func (m *Mempool) Add(tx *summary.Tx) bool {
+	if _, dup := m.byID[tx.ID]; dup {
+		return false
+	}
+	m.byID[tx.ID] = tx
+	m.order = append(m.order, tx)
+	return true
+}
+
+// Len returns the number of queued transactions.
+func (m *Mempool) Len() int { return len(m.order) }
+
+// Peek returns up to maxBytes worth of transactions in FIFO order without
+// removing them (the committee leader packs a proposal from this view).
+func (m *Mempool) Peek(maxBytes int) []*summary.Tx {
+	var out []*summary.Tx
+	size := 0
+	for _, tx := range m.order {
+		if size+tx.Size() > maxBytes {
+			break
+		}
+		out = append(out, tx)
+		size += tx.Size()
+	}
+	return out
+}
+
+// RemoveIncluded drops every transaction that appears in a published
+// meta-block — the Remark 2 rule applied by committee members and
+// bystander miners alike. It returns how many were removed.
+func (m *Mempool) RemoveIncluded(b *MetaBlock) int {
+	removed := 0
+	for _, tx := range b.Txs {
+		if _, ok := m.byID[tx.ID]; ok {
+			delete(m.byID, tx.ID)
+			removed++
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+	keep := m.order[:0]
+	for _, tx := range m.order {
+		if _, ok := m.byID[tx.ID]; ok {
+			keep = append(keep, tx)
+		}
+	}
+	m.order = keep
+	return removed
+}
+
+// Remove drops a single transaction by ID (e.g., one rejected as invalid
+// during packing).
+func (m *Mempool) Remove(id string) bool {
+	if _, ok := m.byID[id]; !ok {
+		return false
+	}
+	delete(m.byID, id)
+	keep := m.order[:0]
+	for _, tx := range m.order {
+		if tx.ID != id {
+			keep = append(keep, tx)
+		}
+	}
+	m.order = keep
+	return true
+}
+
+// Contains reports whether a transaction is queued.
+func (m *Mempool) Contains(id string) bool {
+	_, ok := m.byID[id]
+	return ok
+}

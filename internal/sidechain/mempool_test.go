@@ -1,0 +1,105 @@
+package sidechain
+
+import (
+	"fmt"
+	"testing"
+
+	"ammboost/internal/gasmodel"
+	"ammboost/internal/summary"
+)
+
+func mpTx(id string) *summary.Tx {
+	return &summary.Tx{ID: id, Kind: gasmodel.KindSwap, User: "u"}
+}
+
+func TestMempoolAddDedup(t *testing.T) {
+	m := NewMempool()
+	if !m.Add(mpTx("a")) {
+		t.Error("first add should succeed")
+	}
+	if m.Add(mpTx("a")) {
+		t.Error("duplicate broadcast must be dropped")
+	}
+	if m.Len() != 1 || !m.Contains("a") {
+		t.Errorf("len=%d contains=%v", m.Len(), m.Contains("a"))
+	}
+}
+
+func TestMempoolPeekRespectsSizeAndOrder(t *testing.T) {
+	m := NewMempool()
+	for i := 0; i < 10; i++ {
+		m.Add(mpTx(fmt.Sprintf("tx%d", i)))
+	}
+	// Each swap is 1008 bytes; 3 fit in 3100.
+	got := m.Peek(3100)
+	if len(got) != 3 {
+		t.Fatalf("peek returned %d, want 3", len(got))
+	}
+	for i, tx := range got {
+		if tx.ID != fmt.Sprintf("tx%d", i) {
+			t.Errorf("order broken at %d: %s", i, tx.ID)
+		}
+	}
+	if m.Len() != 10 {
+		t.Error("peek must not remove")
+	}
+}
+
+func TestMempoolRemoveIncluded(t *testing.T) {
+	m := NewMempool()
+	for i := 0; i < 6; i++ {
+		m.Add(mpTx(fmt.Sprintf("tx%d", i)))
+	}
+	block := NewMetaBlock(1, 1, "leader", [32]byte{}, []*summary.Tx{
+		mpTx("tx1"), mpTx("tx3"), mpTx("ghost"),
+	})
+	if removed := m.RemoveIncluded(block); removed != 2 {
+		t.Errorf("removed %d, want 2", removed)
+	}
+	if m.Contains("tx1") || m.Contains("tx3") {
+		t.Error("included txs still queued")
+	}
+	if m.Len() != 4 {
+		t.Errorf("len = %d", m.Len())
+	}
+	// FIFO order preserved for the rest.
+	rest := m.Peek(1 << 20)
+	want := []string{"tx0", "tx2", "tx4", "tx5"}
+	for i, tx := range rest {
+		if tx.ID != want[i] {
+			t.Errorf("order[%d] = %s, want %s", i, tx.ID, want[i])
+		}
+	}
+	// Idempotent.
+	if removed := m.RemoveIncluded(block); removed != 0 {
+		t.Errorf("second removal removed %d", removed)
+	}
+}
+
+func TestMempoolRemoveSingle(t *testing.T) {
+	m := NewMempool()
+	m.Add(mpTx("a"))
+	m.Add(mpTx("b"))
+	if !m.Remove("a") || m.Remove("a") {
+		t.Error("remove semantics broken")
+	}
+	if m.Len() != 1 || !m.Contains("b") {
+		t.Error("wrong tx removed")
+	}
+}
+
+func TestMempoolCarryOver(t *testing.T) {
+	// Remark 2: unprocessed transactions survive epoch boundaries — they
+	// simply stay queued until a block includes them.
+	m := NewMempool()
+	for i := 0; i < 100; i++ {
+		m.Add(mpTx(fmt.Sprintf("tx%d", i)))
+	}
+	// Epoch 1 mines one small block.
+	included := m.Peek(5 * 1008)
+	block := NewMetaBlock(1, 1, "leader", [32]byte{}, included)
+	m.RemoveIncluded(block)
+	if m.Len() != 95 {
+		t.Errorf("carry-over = %d, want 95", m.Len())
+	}
+}

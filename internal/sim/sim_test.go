@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.After(30*time.Millisecond, func() { order = append(order, 3) })
+	s.After(10*time.Millisecond, func() { order = append(order, 1) })
+	s.After(20*time.Millisecond, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("final time = %s", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var fired []time.Duration
+	s.After(time.Second, func() {
+		fired = append(fired, s.Now())
+		s.After(time.Second, func() {
+			fired = append(fired, s.Now())
+		})
+	})
+	s.Run()
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 2*time.Second {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	timer := s.After(time.Second, func() { fired = true })
+	timer.Cancel()
+	s.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	// Cancel after firing is a no-op.
+	var count int
+	timer2 := s.After(time.Second, func() { count++ })
+	s.Run()
+	timer2.Cancel()
+	if count != 1 {
+		t.Errorf("count = %d", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []int
+	s.After(time.Second, func() { fired = append(fired, 1) })
+	s.After(3*time.Second, func() { fired = append(fired, 3) })
+	s.RunUntil(2 * time.Second)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Errorf("fired = %v", fired)
+	}
+	if s.Now() != 2*time.Second {
+		t.Errorf("clock = %s, want 2s", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 2 {
+		t.Errorf("fired after Run = %v", fired)
+	}
+}
+
+func TestPastEventClampsToNow(t *testing.T) {
+	s := New()
+	s.After(time.Second, func() {
+		// Scheduling in the past must fire "now", not move time backward.
+		s.At(0, func() {
+			if s.Now() != time.Second {
+				t.Errorf("past event ran at %s", s.Now())
+			}
+		})
+	})
+	s.Run()
+}
+
+func TestNegativeAfterClamps(t *testing.T) {
+	s := New()
+	fired := false
+	s.After(-5*time.Second, func() { fired = true })
+	s.Run()
+	if !fired || s.Now() != 0 {
+		t.Errorf("fired=%v now=%s", fired, s.Now())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		s := New()
+		var log []time.Duration
+		for i := 0; i < 100; i++ {
+			d := time.Duration(i*7919%100) * time.Millisecond
+			s.After(d, func() { log = append(log, s.Now()) })
+		}
+		s.Run()
+		return log
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("simulation not deterministic")
+		}
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := 0; j < 1000; j++ {
+			s.After(time.Duration(j%97)*time.Millisecond, func() {})
+		}
+		s.Run()
+	}
+}

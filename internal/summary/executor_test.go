@@ -1,0 +1,366 @@
+package summary
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ammboost/internal/amm"
+	"ammboost/internal/gasmodel"
+	"ammboost/internal/u256"
+)
+
+func newPool(t *testing.T) *amm.Pool {
+	t.Helper()
+	p, err := amm.NewPool("A", "B", 3000, 60, u256.Q96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func dep(a0, a1 uint64) Deposit {
+	return Deposit{Amount0: u256.FromUint64(a0), Amount1: u256.FromUint64(a1)}
+}
+
+// seedLiquidity gives the pool a base position owned by "lp0" so swaps have
+// depth, funded outside the executor (pre-epoch state).
+func seedLiquidity(t *testing.T, p *amm.Pool) {
+	t.Helper()
+	if _, err := p.Mint("seed", "lp0", -12000, 12000, u256.FromUint64(50_000_000_000)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwapUpdatesDeposit(t *testing.T) {
+	p := newPool(t)
+	seedLiquidity(t, p)
+	ex := NewExecutor(1, p, map[string]Deposit{"alice": dep(10_000, 15_000)})
+	tx := &Tx{ID: "t1", Kind: gasmodel.KindSwap, User: "alice", ZeroForOne: true, ExactIn: true, Amount: u256.FromUint64(5_000)}
+	if err := ex.Apply(tx, 1); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	d := ex.Deposits["alice"]
+	if !d.Amount0.Eq(u256.FromUint64(5_000)) {
+		t.Errorf("deposit0 = %s, want 5000", d.Amount0)
+	}
+	if !d.Amount1.Gt(u256.FromUint64(15_000)) {
+		t.Errorf("deposit1 = %s, should have grown", d.Amount1)
+	}
+	// The paper's worked example: newly accrued tokens are immediately
+	// tradable. Swap the proceeds back.
+	tx2 := &Tx{ID: "t2", Kind: gasmodel.KindSwap, User: "alice", ZeroForOne: false, ExactIn: true,
+		Amount: u256.Sub(d.Amount1, u256.FromUint64(15_000))}
+	if err := ex.Apply(tx2, 2); err != nil {
+		t.Fatalf("Apply round trip: %v", err)
+	}
+}
+
+func TestSwapRejectedWithoutDeposit(t *testing.T) {
+	p := newPool(t)
+	seedLiquidity(t, p)
+	ex := NewExecutor(1, p, map[string]Deposit{"alice": dep(100, 0)})
+	tx := &Tx{ID: "t1", Kind: gasmodel.KindSwap, User: "alice", ZeroForOne: true, ExactIn: true, Amount: u256.FromUint64(5_000)}
+	if err := ex.Apply(tx, 1); !errors.Is(err, ErrInsufficientDeposit) {
+		t.Errorf("want ErrInsufficientDeposit, got %v", err)
+	}
+	tx2 := &Tx{ID: "t2", Kind: gasmodel.KindSwap, User: "bob", ZeroForOne: true, ExactIn: true, Amount: u256.FromUint64(10)}
+	if err := ex.Apply(tx2, 1); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("want ErrUnknownUser, got %v", err)
+	}
+	if ex.Rejected != 2 {
+		t.Errorf("Rejected = %d", ex.Rejected)
+	}
+}
+
+func TestSwapDeadline(t *testing.T) {
+	p := newPool(t)
+	seedLiquidity(t, p)
+	ex := NewExecutor(1, p, map[string]Deposit{"alice": dep(10_000, 0)})
+	tx := &Tx{ID: "t1", Kind: gasmodel.KindSwap, User: "alice", ZeroForOne: true, ExactIn: true,
+		Amount: u256.FromUint64(100), DeadlineRound: 5}
+	if err := ex.Apply(tx, 6); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Errorf("want ErrDeadlineExceeded, got %v", err)
+	}
+	if err := ex.Apply(tx, 5); err != nil {
+		t.Errorf("at the deadline should pass: %v", err)
+	}
+}
+
+func TestSwapSlippageBoundRollsBack(t *testing.T) {
+	p := newPool(t)
+	seedLiquidity(t, p)
+	ex := NewExecutor(1, p, map[string]Deposit{"alice": dep(1_000_000, 0)})
+	price := ex.Pool.SqrtPriceX96
+	tx := &Tx{ID: "t1", Kind: gasmodel.KindSwap, User: "alice", ZeroForOne: true, ExactIn: true,
+		Amount: u256.FromUint64(100_000), OutBound: u256.FromUint64(200_000)} // impossible min-out
+	if err := ex.Apply(tx, 1); !errors.Is(err, ErrSlippage) {
+		t.Fatalf("want ErrSlippage, got %v", err)
+	}
+	if !ex.Pool.SqrtPriceX96.Eq(price) {
+		t.Error("failed swap must not move the pool price")
+	}
+	if !ex.Deposits["alice"].Amount0.Eq(u256.FromUint64(1_000_000)) {
+		t.Error("failed swap must not touch the deposit")
+	}
+}
+
+func TestExactOutSwap(t *testing.T) {
+	p := newPool(t)
+	seedLiquidity(t, p)
+	ex := NewExecutor(1, p, map[string]Deposit{"alice": dep(1_000_000, 0)})
+	want := u256.FromUint64(50_000)
+	tx := &Tx{ID: "t1", Kind: gasmodel.KindSwap, User: "alice", ZeroForOne: true, ExactIn: false, Amount: want}
+	if err := ex.Apply(tx, 1); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	d := ex.Deposits["alice"]
+	if !d.Amount1.Eq(want) {
+		t.Errorf("received %s, want exactly %s", d.Amount1, want)
+	}
+	if !d.Amount0.Lt(u256.FromUint64(1_000_000)) {
+		t.Error("input side should have been charged")
+	}
+}
+
+func TestMintBurnCollectLifecycle(t *testing.T) {
+	// No seed position: the LP under test is the sole liquidity, so all
+	// swap fees accrue to it.
+	p := newPool(t)
+	ex := NewExecutor(1, p, map[string]Deposit{
+		"lp":     dep(1_000_000, 1_000_000),
+		"trader": dep(500_000, 500_000),
+	})
+	mint := &Tx{ID: "m1", Kind: gasmodel.KindMint, User: "lp", TickLower: -600, TickUpper: 600,
+		Amount0Desired: u256.FromUint64(400_000), Amount1Desired: u256.FromUint64(400_000)}
+	if err := ex.Apply(mint, 1); err != nil {
+		t.Fatalf("mint: %v", err)
+	}
+	posID := DerivePositionID("m1", "lp")
+	pos := ex.Pool.Position(posID)
+	if pos == nil {
+		t.Fatal("position not created")
+	}
+	d := ex.Deposits["lp"]
+	if !d.Amount0.Lt(u256.FromUint64(1_000_000)) || !d.Amount1.Lt(u256.FromUint64(1_000_000)) {
+		t.Error("mint should deduct from the deposit")
+	}
+
+	// Trade through the range to accrue fees.
+	for i := 0; i < 10; i++ {
+		swap := &Tx{ID: fmt.Sprintf("s%d", i), Kind: gasmodel.KindSwap, User: "trader",
+			ZeroForOne: i%2 == 0, ExactIn: true, Amount: u256.FromUint64(30_000)}
+		if err := ex.Apply(swap, 1); err != nil {
+			t.Fatalf("swap %d: %v", i, err)
+		}
+	}
+
+	// Collect fees.
+	collect := &Tx{ID: "c1", Kind: gasmodel.KindCollect, User: "lp", PosID: posID,
+		Collect0: u256.Max, Collect1: u256.Max}
+	before0 := ex.Deposits["lp"].Amount0
+	if err := ex.Apply(collect, 2); err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	if !ex.Deposits["lp"].Amount0.Gt(before0) {
+		t.Error("collect should credit fees to the deposit")
+	}
+
+	// Full burn pays principal + residual fees and deletes the position.
+	burn := &Tx{ID: "b1", Kind: gasmodel.KindBurn, User: "lp", PosID: posID, Liquidity: pos.Liquidity}
+	if err := ex.Apply(burn, 3); err != nil {
+		t.Fatalf("burn: %v", err)
+	}
+	if ex.Pool.Position(posID) != nil {
+		t.Error("full burn should delete the position")
+	}
+	sum := ex.Summary(nil)
+	var found *PositionEntry
+	for i := range sum.Positions {
+		if sum.Positions[i].ID == posID {
+			found = &sum.Positions[i]
+		}
+	}
+	if found == nil || !found.Deleted {
+		t.Error("summary should carry the deletion for TokenBank")
+	}
+}
+
+func TestMintInsufficientDepositUnwinds(t *testing.T) {
+	p := newPool(t)
+	seedLiquidity(t, p)
+	ex := NewExecutor(1, p, map[string]Deposit{"lp": dep(10, 10)})
+	positions := ex.Pool.NumPositions()
+	mint := &Tx{ID: "m1", Kind: gasmodel.KindMint, User: "lp", TickLower: -600, TickUpper: 600,
+		Amount0Desired: u256.FromUint64(1_000_000), Amount1Desired: u256.FromUint64(1_000_000)}
+	if err := ex.Apply(mint, 1); !errors.Is(err, ErrInsufficientDeposit) {
+		t.Fatalf("want ErrInsufficientDeposit, got %v", err)
+	}
+	if ex.Pool.NumPositions() != positions {
+		t.Error("failed mint must not leave a position behind")
+	}
+	if !ex.Deposits["lp"].Amount0.Eq(u256.FromUint64(10)) {
+		t.Error("failed mint must not touch the deposit")
+	}
+}
+
+func TestBurnWrongOwnerRejected(t *testing.T) {
+	p := newPool(t)
+	seedLiquidity(t, p)
+	ex := NewExecutor(1, p, map[string]Deposit{"mallory": dep(100, 100)})
+	burn := &Tx{ID: "b1", Kind: gasmodel.KindBurn, User: "mallory", PosID: "seed", Liquidity: u256.FromUint64(1)}
+	if err := ex.Apply(burn, 1); !errors.Is(err, amm.ErrNotPositionOwner) {
+		t.Errorf("want ErrNotPositionOwner, got %v", err)
+	}
+}
+
+// TestConservation is the paper's core token-safety invariant: deposits +
+// pool reserves are constant under any mix of sidechain transactions.
+func TestConservation(t *testing.T) {
+	p := newPool(t)
+	seedLiquidity(t, p)
+	deposits := map[string]Deposit{
+		"alice": dep(1_000_000, 1_000_000),
+		"bob":   dep(2_000_000, 500_000),
+		"lp":    dep(3_000_000, 3_000_000),
+	}
+	ex := NewExecutor(1, p, deposits)
+	d0, d1 := ex.TotalDeposits()
+	start0 := u256.Add(d0, ex.Pool.Reserve0)
+	start1 := u256.Add(d1, ex.Pool.Reserve1)
+
+	txs := []*Tx{
+		{ID: "s1", Kind: gasmodel.KindSwap, User: "alice", ZeroForOne: true, ExactIn: true, Amount: u256.FromUint64(200_000)},
+		{ID: "m1", Kind: gasmodel.KindMint, User: "lp", TickLower: -1200, TickUpper: 1200,
+			Amount0Desired: u256.FromUint64(1_000_000), Amount1Desired: u256.FromUint64(1_000_000)},
+		{ID: "s2", Kind: gasmodel.KindSwap, User: "bob", ZeroForOne: false, ExactIn: true, Amount: u256.FromUint64(300_000)},
+		{ID: "s3", Kind: gasmodel.KindSwap, User: "alice", ZeroForOne: false, ExactIn: true, Amount: u256.FromUint64(100_000)},
+		{ID: "c1", Kind: gasmodel.KindCollect, User: "lp", PosID: DerivePositionID("m1", "lp"),
+			Collect0: u256.Max, Collect1: u256.Max},
+		{ID: "b1", Kind: gasmodel.KindBurn, User: "lp", PosID: DerivePositionID("m1", "lp"), Liquidity: u256.FromUint64(100_000)},
+		{ID: "s4", Kind: gasmodel.KindSwap, User: "bob", ZeroForOne: true, ExactIn: false, Amount: u256.FromUint64(50_000)},
+	}
+	for _, tx := range txs {
+		if err := ex.Apply(tx, 1); err != nil {
+			t.Fatalf("%s: %v", tx.ID, err)
+		}
+	}
+	d0, d1 = ex.TotalDeposits()
+	end0 := u256.Add(d0, ex.Pool.Reserve0)
+	end1 := u256.Add(d1, ex.Pool.Reserve1)
+	if !end0.Eq(start0) || !end1.Eq(start1) {
+		t.Errorf("conservation violated: token0 %s→%s, token1 %s→%s", start0, end0, start1, end1)
+	}
+}
+
+func TestSummaryPayoutsEqualDeposits(t *testing.T) {
+	p := newPool(t)
+	seedLiquidity(t, p)
+	ex := NewExecutor(3, p, map[string]Deposit{"alice": dep(500, 700), "bob": dep(900, 0)})
+	swap := &Tx{ID: "s", Kind: gasmodel.KindSwap, User: "alice", ZeroForOne: true, ExactIn: true, Amount: u256.FromUint64(500)}
+	if err := ex.Apply(swap, 1); err != nil {
+		t.Fatal(err)
+	}
+	sum := ex.Summary([]byte("vkc"))
+	if sum.Epoch != 3 {
+		t.Errorf("epoch = %d", sum.Epoch)
+	}
+	if len(sum.Payouts) != 2 {
+		t.Fatalf("payouts = %d, want one per user", len(sum.Payouts))
+	}
+	for _, e := range sum.Payouts {
+		d := ex.Deposits[e.User]
+		if !e.Amount0.Eq(d.Amount0) || !e.Amount1.Eq(d.Amount1) {
+			t.Errorf("payout for %s = %s/%s, deposit %s/%s", e.User, e.Amount0, e.Amount1, d.Amount0, d.Amount1)
+		}
+	}
+	// Fig. 4: the swap filled against the seed position, so its fee entry
+	// must be in the summary.
+	foundSeed := false
+	for _, e := range sum.Positions {
+		if e.ID == "seed" {
+			foundSeed = true
+			if e.Fees0.IsZero() {
+				t.Error("seed position should show accrued token0 fees")
+			}
+		}
+	}
+	if !foundSeed {
+		t.Error("position whose liquidity filled the swap missing from summary")
+	}
+	if !sum.PoolReserve0.Eq(ex.Pool.Reserve0) || !sum.PoolReserve1.Eq(ex.Pool.Reserve1) {
+		t.Error("summary reserves should mirror the pool")
+	}
+}
+
+func TestSummaryDeterministicOrder(t *testing.T) {
+	p := newPool(t)
+	seedLiquidity(t, p)
+	mk := func() *SyncPayload {
+		ex := NewExecutor(1, p, map[string]Deposit{"z": dep(10, 10), "a": dep(20, 20), "m": dep(30, 30)})
+		return ex.Summary(nil)
+	}
+	a, b := mk(), mk()
+	if a.Digest() != b.Digest() {
+		t.Error("summaries over identical state must have identical digests")
+	}
+	for i := 1; i < len(a.Payouts); i++ {
+		if a.Payouts[i-1].User >= a.Payouts[i].User {
+			t.Error("payouts not sorted")
+		}
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	p := newPool(t)
+	seedLiquidity(t, p)
+	ex := NewExecutor(1, p, map[string]Deposit{"alice": dep(1_000_000, 0)})
+	swap := &Tx{ID: "s", Kind: gasmodel.KindSwap, User: "alice", ZeroForOne: true, ExactIn: true, Amount: u256.FromUint64(500_000)}
+	if err := ex.Apply(swap, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !p.SqrtPriceX96.Eq(u256.Q96) {
+		t.Error("executor must trade on a snapshot, not the live pool")
+	}
+}
+
+func TestMidEpochDeposit(t *testing.T) {
+	p := newPool(t)
+	seedLiquidity(t, p)
+	ex := NewExecutor(1, p, map[string]Deposit{})
+	swap := &Tx{ID: "s", Kind: gasmodel.KindSwap, User: "carol", ZeroForOne: true, ExactIn: true, Amount: u256.FromUint64(100)}
+	if err := ex.Apply(swap, 1); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("want ErrUnknownUser, got %v", err)
+	}
+	ex.AddDeposit("carol", u256.FromUint64(1_000), u256.Zero)
+	if err := ex.Apply(swap, 2); err != nil {
+		t.Fatalf("after deposit: %v", err)
+	}
+}
+
+func TestEncodedSizesMatchTable4(t *testing.T) {
+	p := &SyncPayload{
+		Payouts:   []PayoutEntry{{User: "alice"}, {User: "bob"}},
+		Positions: []PositionEntry{{ID: "p1", Owner: "lp"}},
+	}
+	enc := p.EncodeBinary()
+	want := 2*gasmodel.SCPayoutEntryBytes + 1*gasmodel.SCPositionEntryBytes
+	if len(enc) != want {
+		t.Errorf("binary encoding = %d bytes, want %d (97/payout + 215/position)", len(enc), want)
+	}
+	if got := p.MainchainBytes(); got != 2*352+416+128+64 {
+		t.Errorf("mainchain bytes = %d", got)
+	}
+}
+
+func TestDerivePositionIDUnique(t *testing.T) {
+	a := DerivePositionID("tx1", "lp1")
+	b := DerivePositionID("tx2", "lp1")
+	c := DerivePositionID("tx1", "lp2")
+	if a == b || a == c || b == c {
+		t.Error("position IDs must be unique per (tx, owner)")
+	}
+	if DerivePositionID("tx1", "lp1") != a {
+		t.Error("position ID derivation must be deterministic")
+	}
+}

@@ -1,0 +1,118 @@
+package summary
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ammboost/internal/u256"
+)
+
+func randPayload(r *rand.Rand) *SyncPayload {
+	p := &SyncPayload{Epoch: r.Uint64() % 1000}
+	// Users and position IDs are unique, as in real payloads (both are
+	// derived from maps keyed by user / position ID).
+	users := r.Perm(26)
+	for i := 0; i < r.Intn(8)+1; i++ {
+		p.Payouts = append(p.Payouts, PayoutEntry{
+			User:    string(rune('a' + users[i])),
+			Amount0: u256.FromUint64(r.Uint64() % 1e9),
+			Amount1: u256.FromUint64(r.Uint64() % 1e9),
+		})
+	}
+	ids := r.Perm(10)
+	for i := 0; i < r.Intn(5); i++ {
+		p.Positions = append(p.Positions, PositionEntry{
+			ID:        "p" + string(rune('0'+ids[i])),
+			Owner:     string(rune('a' + r.Intn(26))),
+			TickLower: int32(r.Intn(100)) * -60,
+			TickUpper: int32(r.Intn(100)+1) * 60,
+			Liquidity: u256.FromUint64(r.Uint64() % 1e12),
+			Deleted:   r.Intn(5) == 0,
+		})
+	}
+	return p
+}
+
+// TestDigestOrderInvariance: SortEntries makes the digest independent of
+// the order entries were accumulated — the property that lets every
+// committee member derive an identical TSQC message.
+func TestDigestOrderInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randPayload(r)
+		p.SortEntries()
+		d1 := p.Digest()
+		// Shuffle and re-sort.
+		r.Shuffle(len(p.Payouts), func(i, j int) { p.Payouts[i], p.Payouts[j] = p.Payouts[j], p.Payouts[i] })
+		r.Shuffle(len(p.Positions), func(i, j int) { p.Positions[i], p.Positions[j] = p.Positions[j], p.Positions[i] })
+		p.SortEntries()
+		return p.Digest() == d1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDigestSensitivity: any change to any entry changes the digest.
+func TestDigestSensitivity(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	p := randPayload(r)
+	p.SortEntries()
+	base := p.Digest()
+
+	q := *p
+	q.Epoch++
+	if q.Digest() == base {
+		t.Error("epoch change not reflected")
+	}
+	if len(p.Payouts) > 0 {
+		amt := p.Payouts[0].Amount0
+		p.Payouts[0].Amount0 = u256.Add(amt, u256.One)
+		if p.Digest() == base {
+			t.Error("payout amount change not reflected")
+		}
+		p.Payouts[0].Amount0 = amt
+	}
+	p.PoolReserve0 = u256.Add(p.PoolReserve0, u256.One)
+	if p.Digest() == base {
+		t.Error("reserve change not reflected")
+	}
+}
+
+// TestEncodeBinarySizeProperty: the binary encoding is exactly
+// 97·payouts + 215·positions for any payload shape (Table IV).
+func TestEncodeBinarySizeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randPayload(r)
+		want := 97*len(p.Payouts) + 215*len(p.Positions)
+		return len(p.EncodeBinary()) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTxSizeDefaults(t *testing.T) {
+	tx := &Tx{Kind: 1} // swap
+	if tx.Size() != 1008 {
+		t.Errorf("default swap size = %d", tx.Size())
+	}
+	tx.SizeBytes = 42
+	if tx.Size() != 42 {
+		t.Errorf("explicit size = %d", tx.Size())
+	}
+}
+
+func TestTxHashDistinguishes(t *testing.T) {
+	a := &Tx{ID: "x", Kind: 1, User: "u", Amount: u256.FromUint64(5)}
+	b := &Tx{ID: "y", Kind: 1, User: "u", Amount: u256.FromUint64(5)}
+	c := &Tx{ID: "x", Kind: 1, User: "u", Amount: u256.FromUint64(6)}
+	if a.Hash() == b.Hash() || a.Hash() == c.Hash() {
+		t.Error("hash collisions across distinct txs")
+	}
+	if a.Hash() != (&Tx{ID: "x", Kind: 1, User: "u", Amount: u256.FromUint64(5)}).Hash() {
+		t.Error("hash not deterministic")
+	}
+}

@@ -1,0 +1,355 @@
+// Package u256 implements 256-bit unsigned integer arithmetic for the AMM
+// fixed-point math (Q64.96 sqrt prices, Q128.128 fee growth accumulators).
+//
+// Add, Sub, Mul, and comparisons operate directly on 4×uint64 limbs.
+// Division, modulo, full-width MulDiv (512-bit intermediate), and square
+// roots route through math/big: correctness over micro-optimization, with
+// property tests pinning every operation to the big.Int reference.
+package u256
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// Int is a 256-bit unsigned integer. The zero value is 0 and ready to use.
+// Limbs are little-endian: limb[0] is the least significant 64 bits.
+//
+// Int values are immutable by convention: all operations return new values.
+type Int struct {
+	limbs [4]uint64
+}
+
+// Common constants. Treat as read-only.
+var (
+	Zero = Int{}
+	One  = FromUint64(1)
+	Two  = FromUint64(2)
+
+	// Max is 2^256 - 1.
+	Max = Int{limbs: [4]uint64{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}}
+
+	// Q96 is 2^96, the Uniswap V3 sqrt-price scaling factor.
+	Q96 = Shl(One, 96)
+	// Q128 is 2^128, the fee-growth scaling factor.
+	Q128 = Shl(One, 128)
+
+	two256 = new(big.Int).Lsh(big.NewInt(1), 256)
+)
+
+// FromUint64 returns v as an Int.
+func FromUint64(v uint64) Int {
+	return Int{limbs: [4]uint64{v, 0, 0, 0}}
+}
+
+// FromBig converts b to an Int, reducing modulo 2^256. It reports whether
+// the conversion overflowed (or b was negative, which maps to the additive
+// inverse mod 2^256).
+func FromBig(b *big.Int) (Int, bool) {
+	overflow := b.Sign() < 0 || b.BitLen() > 256
+	r := new(big.Int).Mod(b, two256)
+	var out Int
+	words := r.Bits()
+	for i, w := range words {
+		if i >= 4 {
+			break
+		}
+		out.limbs[i] = uint64(w)
+	}
+	return out, overflow
+}
+
+// MustFromBig converts b, panicking on overflow. For package-level constants
+// and tests only.
+func MustFromBig(b *big.Int) Int {
+	v, overflow := FromBig(b)
+	if overflow {
+		panic(fmt.Sprintf("u256: value out of range: %s", b))
+	}
+	return v
+}
+
+// MustFromDecimal parses a base-10 string, panicking on failure. For
+// package-level constants and tests only.
+func MustFromDecimal(s string) Int {
+	b, ok := new(big.Int).SetString(s, 10)
+	if !ok {
+		panic("u256: bad decimal: " + s)
+	}
+	return MustFromBig(b)
+}
+
+// ToBig returns x as a new big.Int.
+func (x Int) ToBig() *big.Int {
+	b := new(big.Int)
+	words := make([]big.Word, 4)
+	for i, l := range x.limbs {
+		words[i] = big.Word(l)
+	}
+	return b.SetBits(words)
+}
+
+// Uint64 returns the low 64 bits of x and whether x fits in a uint64.
+func (x Int) Uint64() (uint64, bool) {
+	return x.limbs[0], x.limbs[1] == 0 && x.limbs[2] == 0 && x.limbs[3] == 0
+}
+
+// IsZero reports whether x == 0.
+func (x Int) IsZero() bool {
+	return x.limbs[0]|x.limbs[1]|x.limbs[2]|x.limbs[3] == 0
+}
+
+// Cmp compares x and y: -1 if x < y, 0 if x == y, +1 if x > y.
+func (x Int) Cmp(y Int) int {
+	for i := 3; i >= 0; i-- {
+		switch {
+		case x.limbs[i] < y.limbs[i]:
+			return -1
+		case x.limbs[i] > y.limbs[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Lt reports x < y.
+func (x Int) Lt(y Int) bool { return x.Cmp(y) < 0 }
+
+// Gt reports x > y.
+func (x Int) Gt(y Int) bool { return x.Cmp(y) > 0 }
+
+// Eq reports x == y.
+func (x Int) Eq(y Int) bool { return x == y }
+
+// BitLen returns the number of bits required to represent x.
+func (x Int) BitLen() int {
+	for i := 3; i >= 0; i-- {
+		if x.limbs[i] != 0 {
+			return i*64 + bits.Len64(x.limbs[i])
+		}
+	}
+	return 0
+}
+
+// String renders x in base 10.
+func (x Int) String() string { return x.ToBig().String() }
+
+// Hex renders x as 0x-prefixed hexadecimal.
+func (x Int) Hex() string { return "0x" + x.ToBig().Text(16) }
+
+// Bytes32 returns the big-endian 32-byte encoding of x.
+func (x Int) Bytes32() [32]byte {
+	var out [32]byte
+	for i := 0; i < 4; i++ {
+		l := x.limbs[i]
+		for j := 0; j < 8; j++ {
+			out[31-(i*8+j)] = byte(l >> (8 * j))
+		}
+	}
+	return out
+}
+
+// FromBytes32 decodes a big-endian 32-byte value.
+func FromBytes32(b [32]byte) Int {
+	var out Int
+	for i := 0; i < 4; i++ {
+		var l uint64
+		for j := 0; j < 8; j++ {
+			l |= uint64(b[31-(i*8+j)]) << (8 * j)
+		}
+		out.limbs[i] = l
+	}
+	return out
+}
+
+// Add returns x + y mod 2^256 and the carry-out.
+func AddOverflow(x, y Int) (Int, bool) {
+	var out Int
+	var carry uint64
+	for i := 0; i < 4; i++ {
+		out.limbs[i], carry = bits.Add64(x.limbs[i], y.limbs[i], carry)
+	}
+	return out, carry != 0
+}
+
+// Add returns x + y mod 2^256.
+func Add(x, y Int) Int {
+	out, _ := AddOverflow(x, y)
+	return out
+}
+
+// SubUnderflow returns x - y mod 2^256 and whether the subtraction borrowed.
+func SubUnderflow(x, y Int) (Int, bool) {
+	var out Int
+	var borrow uint64
+	for i := 0; i < 4; i++ {
+		out.limbs[i], borrow = bits.Sub64(x.limbs[i], y.limbs[i], borrow)
+	}
+	return out, borrow != 0
+}
+
+// Sub returns x - y mod 2^256.
+func Sub(x, y Int) Int {
+	out, _ := SubUnderflow(x, y)
+	return out
+}
+
+// Mul returns x * y mod 2^256.
+func Mul(x, y Int) Int {
+	lo, _ := mulFull(x, y)
+	return lo
+}
+
+// MulOverflow returns x * y mod 2^256 and whether the product exceeded 256
+// bits.
+func MulOverflow(x, y Int) (Int, bool) {
+	lo, hi := mulFull(x, y)
+	return lo, !hi.IsZero()
+}
+
+// mulFull computes the 512-bit product of x and y as (lo, hi).
+func mulFull(x, y Int) (lo, hi Int) {
+	var prod [8]uint64
+	for i := 0; i < 4; i++ {
+		var carry uint64
+		for j := 0; j < 4; j++ {
+			h, l := bits.Mul64(x.limbs[i], y.limbs[j])
+			var c uint64
+			l, c = bits.Add64(l, carry, 0)
+			h += c // h <= 2^64-2 after Mul64, so no overflow
+			l, c = bits.Add64(l, prod[i+j], 0)
+			h += c // total fits in 128 bits, so no overflow
+			prod[i+j] = l
+			carry = h
+		}
+		prod[i+4] = carry
+	}
+	copy(lo.limbs[:], prod[:4])
+	copy(hi.limbs[:], prod[4:])
+	return lo, hi
+}
+
+// Shl returns x << n mod 2^256.
+func Shl(x Int, n uint) Int {
+	if n >= 256 {
+		return Zero
+	}
+	limbShift := int(n / 64)
+	bitShift := n % 64
+	var out Int
+	for i := 3; i >= 0; i-- {
+		src := i - limbShift
+		if src < 0 {
+			continue
+		}
+		out.limbs[i] = x.limbs[src] << bitShift
+		if bitShift > 0 && src > 0 {
+			out.limbs[i] |= x.limbs[src-1] >> (64 - bitShift)
+		}
+	}
+	return out
+}
+
+// Shr returns x >> n.
+func Shr(x Int, n uint) Int {
+	if n >= 256 {
+		return Zero
+	}
+	limbShift := int(n / 64)
+	bitShift := n % 64
+	var out Int
+	for i := 0; i < 4; i++ {
+		src := i + limbShift
+		if src > 3 {
+			continue
+		}
+		out.limbs[i] = x.limbs[src] >> bitShift
+		if bitShift > 0 && src < 3 {
+			out.limbs[i] |= x.limbs[src+1] << (64 - bitShift)
+		}
+	}
+	return out
+}
+
+// Div returns x / y (truncated). Division by zero returns 0, matching EVM
+// semantics.
+func Div(x, y Int) Int {
+	if y.IsZero() {
+		return Zero
+	}
+	q := new(big.Int).Quo(x.ToBig(), y.ToBig())
+	out, _ := FromBig(q)
+	return out
+}
+
+// Mod returns x % y. Modulo by zero returns 0, matching EVM semantics.
+func Mod(x, y Int) Int {
+	if y.IsZero() {
+		return Zero
+	}
+	m := new(big.Int).Rem(x.ToBig(), y.ToBig())
+	out, _ := FromBig(m)
+	return out
+}
+
+// MulDiv returns floor(x*y/d) computed with a 512-bit intermediate product,
+// and whether the result overflowed 256 bits. Division by zero overflows.
+func MulDiv(x, y, d Int) (Int, bool) {
+	if d.IsZero() {
+		return Zero, true
+	}
+	p := new(big.Int).Mul(x.ToBig(), y.ToBig())
+	p.Quo(p, d.ToBig())
+	return FromBig(p)
+}
+
+// MulDivRoundingUp returns ceil(x*y/d) with a 512-bit intermediate, and
+// whether the result overflowed 256 bits.
+func MulDivRoundingUp(x, y, d Int) (Int, bool) {
+	if d.IsZero() {
+		return Zero, true
+	}
+	p := new(big.Int).Mul(x.ToBig(), y.ToBig())
+	q, r := new(big.Int).QuoRem(p, d.ToBig(), new(big.Int))
+	if r.Sign() != 0 {
+		q.Add(q, big.NewInt(1))
+	}
+	return FromBig(q)
+}
+
+// DivRoundingUp returns ceil(x/d). Division by zero returns 0.
+func DivRoundingUp(x, d Int) Int {
+	if d.IsZero() {
+		return Zero
+	}
+	q, r := new(big.Int).QuoRem(x.ToBig(), d.ToBig(), new(big.Int))
+	if r.Sign() != 0 {
+		q.Add(q, big.NewInt(1))
+	}
+	out, _ := FromBig(q)
+	return out
+}
+
+// Sqrt returns floor(sqrt(x)).
+func Sqrt(x Int) Int {
+	r := new(big.Int).Sqrt(x.ToBig())
+	out, _ := FromBig(r)
+	return out
+}
+
+// Min returns the smaller of x and y.
+func Min(x, y Int) Int {
+	if x.Cmp(y) <= 0 {
+		return x
+	}
+	return y
+}
+
+// MaxOf returns the larger of x and y.
+func MaxOf(x, y Int) Int {
+	if x.Cmp(y) >= 0 {
+		return x
+	}
+	return y
+}

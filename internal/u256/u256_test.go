@@ -1,0 +1,359 @@
+package u256
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randInt draws a 256-bit value biased toward interesting shapes: small,
+// large, and around power-of-two boundaries.
+func randInt(r *rand.Rand) Int {
+	switch r.Intn(5) {
+	case 0:
+		return FromUint64(r.Uint64() % 1000)
+	case 1:
+		return Sub(Max, FromUint64(r.Uint64()%1000))
+	case 2:
+		return Shl(One, uint(r.Intn(256)))
+	default:
+		var x Int
+		for i := range x.limbs {
+			x.limbs[i] = r.Uint64()
+		}
+		return x
+	}
+}
+
+func TestFromUint64RoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 2, 255, 1 << 32, ^uint64(0)} {
+		got, ok := FromUint64(v).Uint64()
+		if !ok || got != v {
+			t.Errorf("FromUint64(%d) round trip = %d, %v", v, got, ok)
+		}
+	}
+}
+
+func TestBigRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		x := randInt(r)
+		back, overflow := FromBig(x.ToBig())
+		if overflow {
+			t.Fatalf("unexpected overflow for %s", x)
+		}
+		if back != x {
+			t.Fatalf("round trip failed: %s != %s", back, x)
+		}
+	}
+}
+
+func TestFromBigOverflow(t *testing.T) {
+	over := new(big.Int).Lsh(big.NewInt(1), 256)
+	if _, overflow := FromBig(over); !overflow {
+		t.Error("2^256 should overflow")
+	}
+	if _, overflow := FromBig(big.NewInt(-1)); !overflow {
+		t.Error("negative should report overflow")
+	}
+	v, overflow := FromBig(new(big.Int).Sub(over, big.NewInt(1)))
+	if overflow || v != Max {
+		t.Errorf("2^256-1 = %s overflow=%v, want Max", v, overflow)
+	}
+}
+
+func TestBytes32RoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		x := randInt(r)
+		if got := FromBytes32(x.Bytes32()); got != x {
+			t.Fatalf("bytes32 round trip: %s != %s", got, x)
+		}
+	}
+}
+
+func TestBytes32BigEndian(t *testing.T) {
+	b := FromUint64(0x0102).Bytes32()
+	if b[31] != 0x02 || b[30] != 0x01 {
+		t.Errorf("expected big-endian encoding, got %x", b)
+	}
+}
+
+// refBinop checks a limb-based operation against its big.Int reference,
+// reducing mod 2^256.
+func refBinop(t *testing.T, name string, op func(x, y Int) Int, ref func(z, x, y *big.Int) *big.Int) {
+	t.Helper()
+	r := rand.New(rand.NewSource(3))
+	mod := new(big.Int).Lsh(big.NewInt(1), 256)
+	for i := 0; i < 5000; i++ {
+		x, y := randInt(r), randInt(r)
+		got := op(x, y)
+		want := ref(new(big.Int), x.ToBig(), y.ToBig())
+		want.Mod(want, mod)
+		if got.ToBig().Cmp(want) != 0 {
+			t.Fatalf("%s(%s, %s) = %s, want %s", name, x, y, got, want)
+		}
+	}
+}
+
+func TestAddMatchesBig(t *testing.T) {
+	refBinop(t, "Add", Add, func(z, x, y *big.Int) *big.Int { return z.Add(x, y) })
+}
+
+func TestSubMatchesBig(t *testing.T) {
+	refBinop(t, "Sub", Sub, func(z, x, y *big.Int) *big.Int { return z.Sub(x, y) })
+}
+
+func TestMulMatchesBig(t *testing.T) {
+	refBinop(t, "Mul", Mul, func(z, x, y *big.Int) *big.Int { return z.Mul(x, y) })
+}
+
+func TestDivMatchesBig(t *testing.T) {
+	refBinop(t, "Div", Div, func(z, x, y *big.Int) *big.Int {
+		if y.Sign() == 0 {
+			return z.SetInt64(0)
+		}
+		return z.Quo(x, y)
+	})
+}
+
+func TestModMatchesBig(t *testing.T) {
+	refBinop(t, "Mod", Mod, func(z, x, y *big.Int) *big.Int {
+		if y.Sign() == 0 {
+			return z.SetInt64(0)
+		}
+		return z.Rem(x, y)
+	})
+}
+
+func TestAddOverflowFlag(t *testing.T) {
+	if _, over := AddOverflow(Max, One); !over {
+		t.Error("Max+1 should overflow")
+	}
+	if _, over := AddOverflow(Max, Zero); over {
+		t.Error("Max+0 should not overflow")
+	}
+}
+
+func TestSubUnderflowFlag(t *testing.T) {
+	if _, under := SubUnderflow(Zero, One); !under {
+		t.Error("0-1 should underflow")
+	}
+	if _, under := SubUnderflow(One, One); under {
+		t.Error("1-1 should not underflow")
+	}
+}
+
+func TestMulOverflowFlag(t *testing.T) {
+	big1 := Shl(One, 200)
+	if _, over := MulOverflow(big1, big1); !over {
+		t.Error("2^200 * 2^200 should overflow")
+	}
+	if _, over := MulOverflow(big1, FromUint64(2)); over {
+		t.Error("2^200 * 2 should not overflow")
+	}
+}
+
+func TestShiftsMatchBig(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	mod := new(big.Int).Lsh(big.NewInt(1), 256)
+	for i := 0; i < 3000; i++ {
+		x := randInt(r)
+		n := uint(r.Intn(300))
+		wantL := new(big.Int).Lsh(x.ToBig(), n)
+		wantL.Mod(wantL, mod)
+		if got := Shl(x, n); got.ToBig().Cmp(wantL) != 0 {
+			t.Fatalf("Shl(%s, %d) = %s, want %s", x, n, got, wantL)
+		}
+		wantR := new(big.Int).Rsh(x.ToBig(), n)
+		if got := Shr(x, n); got.ToBig().Cmp(wantR) != 0 {
+			t.Fatalf("Shr(%s, %d) = %s, want %s", x, n, got, wantR)
+		}
+	}
+}
+
+func TestMulDivMatchesBig(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		x, y, d := randInt(r), randInt(r), randInt(r)
+		if d.IsZero() {
+			continue
+		}
+		got, overflow := MulDiv(x, y, d)
+		want := new(big.Int).Mul(x.ToBig(), y.ToBig())
+		want.Quo(want, d.ToBig())
+		wantOverflow := want.BitLen() > 256
+		if overflow != wantOverflow {
+			t.Fatalf("MulDiv(%s,%s,%s) overflow=%v want %v", x, y, d, overflow, wantOverflow)
+		}
+		if !overflow && got.ToBig().Cmp(want) != 0 {
+			t.Fatalf("MulDiv(%s,%s,%s) = %s, want %s", x, y, d, got, want)
+		}
+	}
+}
+
+func TestMulDivRoundingUp(t *testing.T) {
+	got, over := MulDivRoundingUp(FromUint64(10), FromUint64(10), FromUint64(3))
+	if over || got != FromUint64(34) {
+		t.Errorf("ceil(100/3) = %s, want 34", got)
+	}
+	got, over = MulDivRoundingUp(FromUint64(10), FromUint64(3), FromUint64(3))
+	if over || got != FromUint64(10) {
+		t.Errorf("ceil(30/3) = %s, want 10", got)
+	}
+	if _, over := MulDivRoundingUp(One, One, Zero); !over {
+		t.Error("division by zero should overflow")
+	}
+}
+
+func TestDivRoundingUp(t *testing.T) {
+	if got := DivRoundingUp(FromUint64(7), FromUint64(2)); got != FromUint64(4) {
+		t.Errorf("ceil(7/2) = %s", got)
+	}
+	if got := DivRoundingUp(FromUint64(8), FromUint64(2)); got != FromUint64(4) {
+		t.Errorf("ceil(8/2) = %s", got)
+	}
+	if got := DivRoundingUp(FromUint64(8), Zero); !got.IsZero() {
+		t.Errorf("x/0 = %s, want 0", got)
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	cases := []struct{ in, want uint64 }{
+		{0, 0}, {1, 1}, {3, 1}, {4, 2}, {15, 3}, {16, 4}, {1 << 32, 1 << 16},
+	}
+	for _, c := range cases {
+		if got := Sqrt(FromUint64(c.in)); got != FromUint64(c.want) {
+			t.Errorf("Sqrt(%d) = %s, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSqrtProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 2000; i++ {
+		x := randInt(r)
+		s := Sqrt(x)
+		// s^2 <= x < (s+1)^2
+		s2, over := MulOverflow(s, s)
+		if over || s2.Gt(x) {
+			t.Fatalf("Sqrt(%s)=%s: s^2 > x", x, s)
+		}
+		s1 := Add(s, One)
+		s12, over := MulOverflow(s1, s1)
+		if !over && !s12.Gt(x) {
+			t.Fatalf("Sqrt(%s)=%s: (s+1)^2 <= x", x, s)
+		}
+	}
+}
+
+func TestCmpOrdering(t *testing.T) {
+	vals := []Int{Zero, One, FromUint64(2), Shl(One, 64), Shl(One, 128), Shl(One, 192), Max}
+	for i := range vals {
+		for j := range vals {
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got := vals[i].Cmp(vals[j]); got != want {
+				t.Errorf("Cmp(%s, %s) = %d, want %d", vals[i], vals[j], got, want)
+			}
+		}
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	if got := Zero.BitLen(); got != 0 {
+		t.Errorf("BitLen(0) = %d", got)
+	}
+	for _, n := range []uint{0, 1, 63, 64, 65, 127, 128, 255} {
+		if got := Shl(One, n).BitLen(); got != int(n)+1 {
+			t.Errorf("BitLen(2^%d) = %d, want %d", n, got, n+1)
+		}
+	}
+}
+
+func TestQuickAddSubInverse(t *testing.T) {
+	f := func(a, b, c, d uint64, e, g uint64) bool {
+		x := Int{limbs: [4]uint64{a, b, c, d}}
+		y := Int{limbs: [4]uint64{e, g, 0, 0}}
+		return Sub(Add(x, y), y) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMulCommutative(t *testing.T) {
+	f := func(a, b, c, d, e, g, h, k uint64) bool {
+		x := Int{limbs: [4]uint64{a, b, c, d}}
+		y := Int{limbs: [4]uint64{e, g, h, k}}
+		return Mul(x, y) == Mul(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDivModIdentity(t *testing.T) {
+	f := func(a, b, c, d, e, g uint64) bool {
+		x := Int{limbs: [4]uint64{a, b, c, d}}
+		y := Int{limbs: [4]uint64{e, g, 0, 0}}
+		if y.IsZero() {
+			return true
+		}
+		q, m := Div(x, y), Mod(x, y)
+		return Add(Mul(q, y), m) == x && m.Lt(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustFromDecimal(t *testing.T) {
+	if got := MustFromDecimal("340282366920938463463374607431768211456"); got != Q128 {
+		t.Errorf("decimal 2^128 = %s", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad decimal should panic")
+		}
+	}()
+	MustFromDecimal("not a number")
+}
+
+func TestMinMax(t *testing.T) {
+	a, b := FromUint64(3), FromUint64(7)
+	if Min(a, b) != a || Min(b, a) != a {
+		t.Error("Min broken")
+	}
+	if MaxOf(a, b) != b || MaxOf(b, a) != b {
+		t.Error("MaxOf broken")
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	x, y := Shl(One, 200), Shl(One, 190)
+	for i := 0; i < b.N; i++ {
+		_ = Add(x, y)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x, y := Sub(Shl(One, 128), One), Sub(Shl(One, 120), FromUint64(3))
+	for i := 0; i < b.N; i++ {
+		_ = Mul(x, y)
+	}
+}
+
+func BenchmarkMulDiv(b *testing.B) {
+	x := Sub(Shl(One, 180), One)
+	y := Sub(Shl(One, 150), FromUint64(7))
+	d := Sub(Shl(One, 96), FromUint64(11))
+	for i := 0; i < b.N; i++ {
+		_, _ = MulDiv(x, y, d)
+	}
+}
