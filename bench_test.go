@@ -82,3 +82,9 @@ func BenchmarkTable12(b *testing.B) { runExperiment(b, "table12", benchOpts(11))
 // BenchmarkAblations regenerates the design-choice ablation table
 // (pruning, TSQC vs multisig, summary folding, mass-sync batching).
 func BenchmarkAblations(b *testing.B) { runExperiment(b, "ablations", benchOpts(4)) }
+
+// BenchmarkPoolScale regenerates the multi-pool sharded-execution sweep:
+// pool count × shard count over identical Zipf traffic, reporting
+// wall-clock speedup over single-shard execution and verifying the epoch
+// summary roots stay bit-identical across shard counts.
+func BenchmarkPoolScale(b *testing.B) { runExperiment(b, "poolscale", benchOpts(2)) }

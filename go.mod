@@ -1,0 +1,3 @@
+module ammboost
+
+go 1.24

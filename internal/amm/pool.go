@@ -144,6 +144,12 @@ func (p *Pool) NumPositions() int { return len(p.positions) }
 // TickInfoAt returns tick state for an initialized tick, or nil.
 func (p *Pool) TickInfoAt(tick int32) *TickInfo { return p.ticks[tick] }
 
+// Ticks returns the initialized ticks in ascending order (the engine's
+// state-root encoding walks them deterministically).
+func (p *Pool) Ticks() []int32 {
+	return append([]int32(nil), p.tickList...)
+}
+
 func (p *Pool) checkTicks(lower, upper int32) error {
 	if lower >= upper || lower < MinTick || upper > MaxTick {
 		return ErrInvalidTickRange

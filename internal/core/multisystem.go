@@ -1,0 +1,577 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ammboost/internal/engine"
+	"ammboost/internal/gasmodel"
+	"ammboost/internal/mainchain"
+	"ammboost/internal/metrics"
+	"ammboost/internal/sidechain"
+	"ammboost/internal/sidechain/election"
+	"ammboost/internal/sidechain/pbft"
+	"ammboost/internal/sim"
+	"ammboost/internal/summary"
+	"ammboost/internal/u256"
+	"ammboost/internal/workload"
+)
+
+// ErrMultiParity flags a cross-layer mismatch in a multi-pool deployment.
+var ErrMultiParity = errors.New("core: multi-pool state parity violated")
+
+// MultiConfig parameterizes a multi-pool deployment: the paper's epoch
+// lifecycle (SnapshotBank → meta-block rounds → summary-block → Sync →
+// pruning) running over internal/engine's registered pools instead of the
+// single canonical pool. Zero values take the paper's defaults.
+type MultiConfig struct {
+	Seed int64
+	// NumPools is the registered pool count (default 64).
+	NumPools int
+	// NumShards is the engine's worker-shard count (default GOMAXPROCS).
+	NumShards int
+	// EpochRounds is ω, the rounds per epoch (default 30).
+	EpochRounds int
+	// RoundDuration is the sidechain round length (default 7 s).
+	RoundDuration time.Duration
+	// MetaBlockBytes caps the per-round meta-block size (default 1 MB).
+	MetaBlockBytes int
+	// CommitteeSize is the PBFT committee size (default 500).
+	CommitteeSize int
+	// MinerPopulation is the sidechain miner count (default size + 100).
+	MinerPopulation int
+	// FeePips is each pool's fee (default 3000).
+	FeePips uint32
+	// InitialLiquidity seeds every pool's genesis position.
+	InitialLiquidity u256.Int
+	// DepositPerUserPerPool funds a (user, pool) pair the first time the
+	// user trades on that pool in an epoch. Funding on demand keeps each
+	// pool's payout list limited to its active users — with thousands of
+	// pools, paying out every user on every pool would dwarf the traffic.
+	DepositPerUserPerPool u256.Int
+	// SyncGasBudget caps one sync transaction's estimated gas; an epoch
+	// whose payloads exceed it splits into multiple sync parts (default
+	// 20M, comfortably under the 30M block limit).
+	SyncGasBudget uint64
+
+	Mainchain mainchain.Config
+	Model     pbft.Model
+}
+
+func (c MultiConfig) withDefaults() MultiConfig {
+	if c.NumPools == 0 {
+		c.NumPools = 64
+	}
+	if c.EpochRounds == 0 {
+		c.EpochRounds = 30
+	}
+	if c.RoundDuration == 0 {
+		c.RoundDuration = 7 * time.Second
+	}
+	if c.MetaBlockBytes == 0 {
+		c.MetaBlockBytes = 1 << 20
+	}
+	if c.CommitteeSize == 0 {
+		c.CommitteeSize = 500
+	}
+	if c.MinerPopulation == 0 {
+		c.MinerPopulation = c.CommitteeSize + 100
+	}
+	if c.FeePips == 0 {
+		c.FeePips = 3000
+	}
+	if c.DepositPerUserPerPool.IsZero() {
+		c.DepositPerUserPerPool = u256.FromUint64(1 << 40)
+	}
+	if c.SyncGasBudget == 0 {
+		c.SyncGasBudget = 20_000_000
+	}
+	if c.Mainchain.BlockInterval == 0 {
+		c.Mainchain = mainchain.DefaultConfig()
+	}
+	if c.Model.C1 == 0 {
+		c.Model = pbft.DefaultModel()
+	}
+	return c
+}
+
+// MultiSystem runs the full ammBoost epoch lifecycle across every pool
+// registered in the sharded engine: one committee, one meta-block chain,
+// and one Sync per epoch span all pools; the Sync carries per-pool
+// payloads plus the folded summary root the committee signs.
+type MultiSystem struct {
+	cfg MultiConfig
+	sim *sim.Simulator
+	// rng is a per-run instance seeded from cfg.Seed — never the global
+	// math/rand state, so concurrent runs and engine shards are isolated.
+	rng *rand.Rand
+	eng *engine.Engine
+
+	mc   *mainchain.Chain
+	bank *mainchain.MultiBank
+
+	registry   *election.Registry
+	ledger     *sidechain.Ledger
+	committees map[uint64]*committeeKeys
+	chainSeed  [32]byte
+
+	queue     []*summary.Tx
+	queuePeak int
+	users     []string
+	// funded[poolID][user] marks (user, pool) pairs deposited this epoch.
+	funded map[string]map[string]bool
+
+	epoch         uint64
+	epochsPlanned int
+	done          bool
+
+	col         *metrics.Collector
+	recsByEpoch map[uint64][]*txRecord
+
+	// SummaryRoots records each epoch's folded multi-pool root.
+	SummaryRoots map[uint64][32]byte
+	SyncsOK      int
+	Rejected     int
+
+	// OnEpochStart lets a driver keep generating traffic.
+	OnEpochStart func(epoch uint64)
+}
+
+// NewMultiSystem builds a multi-pool deployment: the engine with its
+// registered pools, the miner registry, the epoch-1 committee, and the
+// MultiBank deployed on the mainchain with the committee's group key.
+func NewMultiSystem(cfg MultiConfig, users []string) (*MultiSystem, error) {
+	cfg = cfg.withDefaults()
+	eng, err := engine.New(engine.Config{
+		Seed:             cfg.Seed,
+		NumPools:         cfg.NumPools,
+		NumShards:        cfg.NumShards,
+		FeePips:          cfg.FeePips,
+		InitialLiquidity: cfg.InitialLiquidity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &MultiSystem{
+		cfg:          cfg,
+		sim:          sim.New(),
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		eng:          eng,
+		committees:   make(map[uint64]*committeeKeys),
+		users:        users,
+		col:          metrics.New(),
+		recsByEpoch:  make(map[uint64][]*txRecord),
+		SummaryRoots: make(map[uint64][32]byte),
+	}
+	s.rng.Read(s.chainSeed[:])
+
+	s.registry = election.NewRegistry()
+	for i := 0; i < cfg.MinerPopulation; i++ {
+		id := fmt.Sprintf("sc-miner-%04d", i)
+		s.registry.Add(&election.Miner{ID: id, Stake: 1, VRF: election.NewFastVRF([]byte(id))})
+	}
+	ck, err := provisionCommittee(s.rng, s.registry, s.chainSeed, 1, cfg.CommitteeSize)
+	if err != nil {
+		return nil, err
+	}
+	s.committees[1] = ck
+
+	s.mc = mainchain.New(s.sim, cfg.Mainchain)
+	s.bank = mainchain.NewMultiBank(eng.PoolIDs(), ck.group)
+	s.mc.Deploy(s.bank)
+	return s, nil
+}
+
+// Engine exposes the sharded execution engine.
+func (s *MultiSystem) Engine() *engine.Engine { return s.eng }
+
+// Sim exposes the simulator for workload scheduling.
+func (s *MultiSystem) Sim() *sim.Simulator { return s.sim }
+
+// Bank exposes the multi-pool bank for inspection.
+func (s *MultiSystem) Bank() *mainchain.MultiBank { return s.bank }
+
+// SidechainLedger exposes the sidechain ledger.
+func (s *MultiSystem) SidechainLedger() *sidechain.Ledger { return s.ledger }
+
+// Collector exposes the metrics collector.
+func (s *MultiSystem) Collector() *metrics.Collector { return s.col }
+
+// Epoch returns the currently-running epoch number.
+func (s *MultiSystem) Epoch() uint64 { return s.epoch }
+
+// SubmitTx queues a sidechain transaction at the current virtual time.
+func (s *MultiSystem) SubmitTx(tx *summary.Tx) {
+	tx.SubmittedAt = s.sim.Now()
+	s.queue = append(s.queue, tx)
+	if len(s.queue) > s.queuePeak {
+		s.queuePeak = len(s.queue)
+	}
+}
+
+// Run executes the planned epochs (plus drain epochs until the queue
+// empties) and returns the report.
+func (s *MultiSystem) Run(epochs int) *MultiReport {
+	s.epochsPlanned = epochs
+	s.ledger = sidechain.NewLedger(pbft.DigestOf([]byte("multibank-genesis")))
+	s.sim.At(0, func() { s.startEpoch(1) })
+	s.sim.Run()
+	return s.report()
+}
+
+// startEpoch begins epoch e: SnapshotBank across every registered pool,
+// next-committee election, and the round schedule.
+func (s *MultiSystem) startEpoch(e uint64) {
+	s.epoch = e
+	if s.OnEpochStart != nil {
+		s.OnEpochStart(e)
+	}
+	// SnapshotBank across all pools; (user, pool) deposits are credited
+	// on demand as the user's first trade on the pool arrives (modeling
+	// users depositing for the pools they intend to trade).
+	s.funded = make(map[string]map[string]bool)
+	if err := s.eng.BeginEpoch(e, nil); err != nil {
+		panic(fmt.Sprintf("core: multi begin epoch %d: %v", e, err))
+	}
+	if _, ok := s.committees[e+1]; !ok {
+		ck, err := provisionCommittee(s.rng, s.registry, s.chainSeed, e+1, s.cfg.CommitteeSize)
+		if err != nil {
+			panic(fmt.Sprintf("core: electing committee %d: %v", e+1, err))
+		}
+		s.committees[e+1] = ck
+	}
+	s.runRound(e, 1)
+}
+
+// runRound packs pending transactions into the round's meta-block and
+// executes them through the sharded engine: the batch is partitioned by
+// pool, shards run concurrently, and the included set (submission order)
+// forms the meta-block spanning all pools.
+func (s *MultiSystem) runRound(e, r uint64) {
+	roundStart := s.sim.Now()
+
+	var batch []*summary.Tx
+	blockBytes := 0
+	consumed := 0
+	for _, tx := range s.queue {
+		if tx.SubmittedAt > roundStart {
+			break // queue is FIFO in submission time
+		}
+		if blockBytes+tx.Size() > s.cfg.MetaBlockBytes {
+			break
+		}
+		consumed++
+		batch = append(batch, tx)
+		blockBytes += tx.Size()
+	}
+	s.queue = s.queue[consumed:]
+
+	// Credit first-touch deposits for this round's (user, pool) pairs.
+	defaultPool := s.eng.PoolIDs()[0]
+	for _, tx := range batch {
+		pid := tx.PoolID
+		if pid == "" {
+			pid = defaultPool
+		}
+		bucket := s.funded[pid]
+		if bucket == nil {
+			bucket = make(map[string]bool)
+			s.funded[pid] = bucket
+		}
+		if bucket[tx.User] {
+			continue
+		}
+		bucket[tx.User] = true
+		// Unknown pools error here and reject in ExecuteRound below.
+		_ = s.eng.AddDeposit(pid, tx.User, s.cfg.DepositPerUserPerPool, s.cfg.DepositPerUserPerPool)
+	}
+
+	res, err := s.eng.ExecuteRound(batch, r)
+	if err != nil {
+		panic(fmt.Sprintf("core: multi round %d/%d: %v", e, r, err))
+	}
+	s.Rejected += res.Rejected
+	includedBytes := 0
+	for _, tx := range res.Included {
+		includedBytes += tx.Size()
+	}
+
+	delay := s.cfg.Model.AgreementTime(s.cfg.CommitteeSize, includedBytes+300)
+	ck := s.committees[e]
+	block := sidechain.NewMetaBlock(e, r, ck.committee.Leader(), s.ledger.TipHash(), res.Included)
+
+	s.sim.After(delay, func() {
+		block.MinedAt = s.sim.Now()
+		block.CommitVotes = ck.threshold
+		if err := s.ledger.AppendMeta(block); err != nil {
+			panic(fmt.Sprintf("core: multi append meta: %v", err))
+		}
+		for _, tx := range res.Included {
+			rec := &txRecord{tx: tx, minedAt: block.MinedAt, epoch: e}
+			s.recsByEpoch[e] = append(s.recsByEpoch[e], rec)
+		}
+		if r < uint64(s.cfg.EpochRounds) {
+			next := roundStart + s.cfg.RoundDuration
+			if next < s.sim.Now() {
+				next = s.sim.Now()
+			}
+			s.sim.At(next, func() { s.runRound(e, r+1) })
+		} else {
+			s.finishEpoch(e, roundStart)
+		}
+	})
+}
+
+// finishEpoch folds every pool's epoch into its payload, mines one
+// summary-block per pool, and issues the TSQC-authenticated multi-pool
+// Sync carrying the folded summary root.
+func (s *MultiSystem) finishEpoch(e uint64, lastRoundStart time.Duration) {
+	nextKey := s.committees[e+1].group
+	epochRes, err := s.eng.EndEpoch(nextKey.PK.Bytes())
+	if err != nil {
+		panic(fmt.Sprintf("core: multi end epoch %d: %v", e, err))
+	}
+	s.SummaryRoots[e] = epochRes.SummaryRoot
+
+	metas := s.ledger.MetaBlocks(e)
+	totalBytes := 0
+	for _, p := range epochRes.Payloads {
+		totalBytes += p.SidechainBytes()
+	}
+	delay := s.cfg.Model.AgreementTime(s.cfg.CommitteeSize, totalBytes)
+	s.sim.After(delay, func() {
+		for _, p := range epochRes.Payloads {
+			sb := sidechain.NewSummaryBlock(e, p, metas)
+			sb.MinedAt = s.sim.Now()
+			s.ledger.AppendSummary(sb)
+		}
+		s.submitSync(e, epochRes)
+
+		lastEpoch := int(e) >= s.epochsPlanned && len(s.queue) == 0
+		if lastEpoch {
+			s.done = true
+			return
+		}
+		next := lastRoundStart + s.cfg.RoundDuration
+		if next < s.sim.Now() {
+			next = s.sim.Now()
+		}
+		s.sim.At(next, func() { s.startEpoch(e + 1) })
+	})
+}
+
+// chunkPayloads splits the epoch's per-pool payloads into sync parts
+// whose estimated gas stays under the budget. Pools with nothing to
+// report still carry their reserve update; pools are never split across
+// parts, preserving per-pool payload integrity.
+func chunkPayloads(payloads []*summary.SyncPayload, budget uint64) [][]*summary.SyncPayload {
+	var chunks [][]*summary.SyncPayload
+	var cur []*summary.SyncPayload
+	var curGas uint64
+	for _, p := range payloads {
+		live := 0
+		for _, e := range p.Positions {
+			if !e.Deleted {
+				live++
+			}
+		}
+		gas := gasmodel.SyncGas(len(p.Payouts), live, p.MainchainBytes())
+		if len(cur) > 0 && curGas+gas > budget {
+			chunks = append(chunks, cur)
+			cur, curGas = nil, 0
+		}
+		cur = append(cur, p)
+		curGas += gas
+	}
+	if len(cur) > 0 {
+		chunks = append(chunks, cur)
+	}
+	return chunks
+}
+
+// submitSync signs and submits the epoch's multi-pool Sync, split into
+// as many parts as the gas budget demands; once every part confirms, the
+// payout metrics fire and the epoch's meta-blocks are pruned.
+func (s *MultiSystem) submitSync(e uint64, res *engine.EpochResult) {
+	ck := s.committees[e]
+	nextKey := s.committees[e+1].group
+	chunks := chunkPayloads(res.Payloads, s.cfg.SyncGasBudget)
+	submitted := s.sim.Now()
+	confirmed := 0
+	for i, chunk := range chunks {
+		args := &mainchain.MultiSyncArgs{
+			Epoch:       e,
+			Part:        i + 1,
+			NumParts:    len(chunks),
+			Payloads:    chunk,
+			SummaryRoot: res.SummaryRoot,
+			NextKey:     nextKey,
+		}
+		sig, err := ck.signDigest(args.Digest())
+		if err != nil {
+			panic(fmt.Sprintf("core: signing multi sync: %v", err))
+		}
+		args.Sig = sig
+		size := 32
+		for _, p := range chunk {
+			size += p.MainchainBytes()
+		}
+		tx := &mainchain.Tx{
+			ID: fmt.Sprintf("msync-e%d-p%d", e, i+1), From: "sc-committee",
+			To: mainchain.MultiBankAddress, Method: "sync", Size: size, Args: args,
+		}
+		tx.OnConfirmed = func(tx *mainchain.Tx) {
+			if tx.Status != mainchain.TxConfirmed {
+				panic(fmt.Sprintf("core: multi sync for epoch %d reverted: %v", e, tx.Err))
+			}
+			s.col.ObserveGas("sync", tx.GasUsed)
+			confirmed++
+			if confirmed < len(chunks) {
+				return
+			}
+			// Final part: the epoch is fully synced on-chain.
+			s.SyncsOK++
+			s.col.ObserveMCLatency("sync", tx.ConfirmedAt-submitted)
+			for _, rec := range s.recsByEpoch[e] {
+				s.col.ObserveTx(metrics.TxObservation{
+					Kind:        rec.tx.Kind,
+					SubmittedAt: rec.tx.SubmittedAt,
+					MinedAt:     rec.minedAt,
+					PayoutAt:    tx.ConfirmedAt,
+				})
+			}
+			delete(s.recsByEpoch, e)
+			if err := s.ledger.Prune(e, true); err != nil && !errors.Is(err, sidechain.ErrAlreadyPruned) {
+				panic(fmt.Sprintf("core: multi prune epoch %d: %v", e, err))
+			}
+			if s.done && len(s.recsByEpoch) == 0 {
+				s.mc.Stop()
+			}
+		}
+		s.mc.Submit(tx)
+	}
+}
+
+// Validate checks cross-layer parity for every registered pool: the
+// bank's stored reserves match the engine's canonical pool state, and
+// the stored position lists mirror the pools' live positions.
+func (s *MultiSystem) Validate() error {
+	for _, pid := range s.eng.PoolIDs() {
+		pool := s.eng.Pool(pid)
+		res := s.bank.Reserves[pid]
+		if !res.Reserve0.Eq(pool.Reserve0) || !res.Reserve1.Eq(pool.Reserve1) {
+			return fmt.Errorf("%w: pool %s bank reserves %s/%s, engine %s/%s", ErrMultiParity,
+				pid, res.Reserve0, res.Reserve1, pool.Reserve0, pool.Reserve1)
+		}
+		stored := s.bank.Positions[pid]
+		for _, pos := range pool.Positions() {
+			entry, ok := stored[pos.ID]
+			if !ok {
+				return fmt.Errorf("%w: pool %s position %s missing from bank", ErrMultiParity, pid, pos.ID)
+			}
+			if !entry.Liquidity.Eq(pos.Liquidity) {
+				return fmt.Errorf("%w: pool %s position %s liquidity bank=%s engine=%s",
+					ErrMultiParity, pid, pos.ID, entry.Liquidity, pos.Liquidity)
+			}
+		}
+		for id := range stored {
+			if pool.Position(id) == nil {
+				return fmt.Errorf("%w: pool %s bank position %s not live", ErrMultiParity, pid, id)
+			}
+		}
+	}
+	return nil
+}
+
+// MultiReport summarizes a multi-pool run.
+type MultiReport struct {
+	Collector *metrics.Collector
+
+	EpochsRun  int
+	Duration   time.Duration
+	Throughput float64
+
+	AvgSCLatency     time.Duration
+	AvgPayoutLatency time.Duration
+
+	MainchainBytes int
+	MainchainGas   uint64
+
+	SidechainRetainedBytes int
+	SidechainPeakBytes     int
+	SidechainPrunedBytes   int
+
+	NumPools  int
+	NumShards int
+
+	SyncsOK   int
+	Rejected  int
+	QueuePeak int
+
+	PositionsLive int
+	// SummaryRoots[epoch] is the folded multi-pool root per epoch.
+	SummaryRoots map[uint64][32]byte
+}
+
+func (s *MultiSystem) report() *MultiReport {
+	live := 0
+	for _, pid := range s.eng.PoolIDs() {
+		live += s.eng.Pool(pid).NumPositions()
+	}
+	return &MultiReport{
+		Collector:              s.col,
+		EpochsRun:              int(s.epoch),
+		Duration:               s.sim.Now(),
+		Throughput:             s.col.Throughput(),
+		AvgSCLatency:           s.col.AvgSCLatency(),
+		AvgPayoutLatency:       s.col.AvgPayoutLatency(),
+		MainchainBytes:         s.mc.TotalBytes,
+		MainchainGas:           s.mc.TotalGas,
+		SidechainRetainedBytes: s.ledger.SizeBytes(),
+		SidechainPeakBytes:     s.ledger.PeakBytes(),
+		SidechainPrunedBytes:   s.ledger.PrunedBytes(),
+		NumPools:               len(s.eng.PoolIDs()),
+		NumShards:              s.eng.NumShards(),
+		SyncsOK:                s.SyncsOK,
+		Rejected:               s.Rejected,
+		QueuePeak:              s.queuePeak,
+		PositionsLive:          live,
+		SummaryRoots:           s.SummaryRoots,
+	}
+}
+
+// MultiDriverConfig wires Zipf multi-pool traffic onto a MultiSystem.
+type MultiDriverConfig struct {
+	DailyVolume int
+	Epochs      int
+	Workload    workload.MultiConfig
+}
+
+// NewMultiDriver builds the system and schedules its arrivals: ρ
+// transactions per round spread uniformly, pool choice per transaction
+// drawn from the Zipf popularity law.
+func NewMultiDriver(sysCfg MultiConfig, drvCfg MultiDriverConfig) (*MultiSystem, *workload.MultiGenerator, error) {
+	sysCfg = sysCfg.withDefaults()
+	wcfg := drvCfg.Workload
+	if wcfg.NumPools == 0 {
+		wcfg.NumPools = sysCfg.NumPools
+	}
+	gen := workload.NewMulti(wcfg)
+	sys, err := NewMultiSystem(sysCfg, gen.Users())
+	if err != nil {
+		return nil, nil, err
+	}
+	rho := workload.Rho(drvCfg.DailyVolume, sysCfg.RoundDuration.Seconds())
+	totalRounds := drvCfg.Epochs * sysCfg.EpochRounds
+	rd := sysCfg.RoundDuration
+	for r := 0; r < totalRounds; r++ {
+		roundStart := time.Duration(r) * rd
+		for i := 0; i < rho; i++ {
+			at := roundStart + time.Duration(float64(rd)*float64(i)/float64(rho))
+			sys.Sim().At(at, func() { sys.SubmitTx(gen.Next()) })
+		}
+	}
+	return sys, gen, nil
+}

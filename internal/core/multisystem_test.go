@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"ammboost/internal/workload"
+)
+
+func multiTestConfigs(seed int64, pools, shards, epochs int) (MultiConfig, MultiDriverConfig) {
+	sysCfg := MultiConfig{
+		Seed:          seed,
+		NumPools:      pools,
+		NumShards:     shards,
+		EpochRounds:   5,
+		RoundDuration: 7 * time.Second,
+		CommitteeSize: 10,
+	}
+	wcfg := workload.DefaultMultiConfig(seed, pools)
+	wcfg.NumUsers = 30
+	drvCfg := MultiDriverConfig{
+		DailyVolume: 2_000_000,
+		Epochs:      epochs,
+		Workload:    wcfg,
+	}
+	return sysCfg, drvCfg
+}
+
+// TestMultiSystemLifecycle runs the full multi-pool epoch lifecycle —
+// SnapshotBank over all pools, sharded meta-block rounds, per-pool
+// summary-blocks, the TSQC multi-sync, pruning — and validates parity.
+func TestMultiSystemLifecycle(t *testing.T) {
+	sysCfg, drvCfg := multiTestConfigs(7, 16, 4, 3)
+	sys, _, err := NewMultiDriver(sysCfg, drvCfg)
+	if err != nil {
+		t.Fatalf("NewMultiDriver: %v", err)
+	}
+	rep := sys.Run(drvCfg.Epochs)
+	if rep.EpochsRun < drvCfg.Epochs {
+		t.Errorf("ran %d epochs, want >= %d", rep.EpochsRun, drvCfg.Epochs)
+	}
+	if rep.SyncsOK != rep.EpochsRun {
+		t.Errorf("SyncsOK = %d, want %d (one multi-sync per epoch)", rep.SyncsOK, rep.EpochsRun)
+	}
+	if got := int(sys.Bank().LastSyncedEpoch); got != rep.EpochsRun {
+		t.Errorf("bank synced through epoch %d, want %d", got, rep.EpochsRun)
+	}
+	if rep.Collector.NumProcessed() == 0 {
+		t.Error("no transactions processed")
+	}
+	if len(rep.SummaryRoots) != rep.EpochsRun {
+		t.Errorf("recorded %d summary roots, want %d", len(rep.SummaryRoots), rep.EpochsRun)
+	}
+	for e, root := range rep.SummaryRoots {
+		bankRoot, ok := sys.Bank().SummaryRoots[e]
+		if !ok {
+			t.Errorf("epoch %d root not stored on-chain", e)
+			continue
+		}
+		if bankRoot != root {
+			t.Errorf("epoch %d root mismatch between engine and bank", e)
+		}
+	}
+	// Pruning: every synced epoch's meta-blocks are gone.
+	if rep.SidechainPrunedBytes == 0 {
+		t.Error("no sidechain bytes pruned")
+	}
+	if err := sys.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+// TestMultiSystemDeterministicRoots: the full lifecycle (not just the
+// raw engine) yields identical per-epoch summary roots across shard
+// counts at a fixed seed.
+func TestMultiSystemDeterministicRoots(t *testing.T) {
+	run := func(shards int) map[uint64][32]byte {
+		sysCfg, drvCfg := multiTestConfigs(11, 16, shards, 2)
+		sys, _, err := NewMultiDriver(sysCfg, drvCfg)
+		if err != nil {
+			t.Fatalf("NewMultiDriver: %v", err)
+		}
+		rep := sys.Run(drvCfg.Epochs)
+		return rep.SummaryRoots
+	}
+	base := run(1)
+	for _, shards := range []int{4, 16} {
+		got := run(shards)
+		if len(got) != len(base) {
+			t.Fatalf("shards=%d: %d epochs, want %d", shards, len(got), len(base))
+		}
+		for e, root := range base {
+			if got[e] != root {
+				t.Errorf("shards=%d: epoch %d summary root diverged", shards, e)
+			}
+		}
+	}
+}

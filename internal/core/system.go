@@ -301,21 +301,28 @@ func (s *System) EpochDuration() time.Duration {
 
 // makeCommittee elects and key-provisions a committee for an epoch.
 func (s *System) makeCommittee(epoch uint64) (*committeeKeys, error) {
-	com, err := election.Elect(s.registry, s.chainSeed, epoch, s.cfg.CommitteeSize)
+	return provisionCommittee(s.rng, s.registry, s.chainSeed, epoch, s.cfg.CommitteeSize)
+}
+
+// provisionCommittee elects an epoch committee from the registry and
+// deals its TSQC key material. Shared by the single-pool System and the
+// multi-pool MultiSystem; the rng must be a per-run instance derived from
+// the run's seed (never package-global state).
+func provisionCommittee(rng *rand.Rand, reg *election.Registry, chainSeed [32]byte, epoch uint64, size int) (*committeeKeys, error) {
+	com, err := election.Elect(reg, chainSeed, epoch, size)
 	if err != nil {
 		return nil, err
 	}
-	n := s.cfg.CommitteeSize
-	f := pbft.FaultBudget(n)
+	f := pbft.FaultBudget(size)
 	_, threshold := pbft.Quorum(f)
-	if threshold > n {
-		threshold = n
+	if threshold > size {
+		threshold = size
 	}
-	dealing, err := tsig.Deal(s.rng, threshold, n)
+	dealing, err := tsig.Deal(rng, threshold, size)
 	if err != nil {
 		return nil, err
 	}
-	group := tsig.GroupKey{PK: dealing.Commitments[0], Threshold: threshold, N: n}
+	group := tsig.GroupKey{PK: dealing.Commitments[0], Threshold: threshold, N: size}
 	return &committeeKeys{committee: com, shares: dealingShares(dealing), group: group, threshold: threshold}, nil
 }
 
@@ -323,7 +330,12 @@ func dealingShares(d *tsig.Dealing) []tsig.Share { return d.Shares }
 
 // signPayloads produces the committee's TSQC signature over payloads.
 func (ck *committeeKeys) signPayloads(payloads []*summary.SyncPayload) (tsig.Point, error) {
-	digest := combinedDigest(payloads)
+	return ck.signDigest(combinedDigest(payloads))
+}
+
+// signDigest produces the committee's TSQC signature over an arbitrary
+// digest (multi-pool syncs sign the folded summary root).
+func (ck *committeeKeys) signDigest(digest [32]byte) (tsig.Point, error) {
 	partials := make([]tsig.PartialSig, ck.threshold)
 	for i := 0; i < ck.threshold; i++ {
 		partials[i] = tsig.PartialSign(ck.shares[i], digest[:])

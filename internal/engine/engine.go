@@ -1,0 +1,361 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ammboost/internal/amm"
+	"ammboost/internal/summary"
+	"ammboost/internal/u256"
+)
+
+// Engine errors.
+var (
+	ErrNoPools      = errors.New("engine: config needs at least one pool")
+	ErrNoEpoch      = errors.New("engine: no epoch in progress (call BeginEpoch)")
+	ErrEpochStarted = errors.New("engine: epoch already in progress")
+)
+
+// Config parameterizes the sharded engine. Zero values take defaults.
+type Config struct {
+	// Seed identifies the run for callers that derive stochastic inputs
+	// (workload.MultiGenerator derives an independent per-pool RNG from
+	// it). The engine's own execution path draws no randomness — results
+	// depend only on pool genesis and the transaction streams — which is
+	// what makes shard-count invariance possible.
+	Seed int64
+	// NumPools is the number of registered pools (default 1).
+	NumPools int
+	// NumShards is the worker-shard count (default GOMAXPROCS). Results
+	// are bit-identical for any value.
+	NumShards int
+	// FeePips is each pool's fee (default 3000 = 0.30%).
+	FeePips uint32
+	// TickSpacing aligns position bounds (default 60).
+	TickSpacing int32
+	// InitialLiquidity seeds each pool's genesis full-range position.
+	InitialLiquidity u256.Int
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumPools == 0 {
+		c.NumPools = 1
+	}
+	if c.NumShards <= 0 {
+		c.NumShards = runtime.GOMAXPROCS(0)
+	}
+	if c.FeePips == 0 {
+		c.FeePips = 3000
+	}
+	if c.TickSpacing == 0 {
+		c.TickSpacing = 60
+	}
+	if c.InitialLiquidity.IsZero() {
+		c.InitialLiquidity = u256.MustFromDecimal("10000000000000") // 1e13
+	}
+	return c
+}
+
+// Engine executes transactions for N registered pools across worker
+// shards. Pools are partitioned by ShardOf; a pool's transactions always
+// execute sequentially in submission order on its owning shard, so state
+// evolution per pool is independent of the shard count. The engine is not
+// safe for concurrent use by multiple callers; internally it fans out one
+// goroutine per shard.
+type Engine struct {
+	cfg       Config
+	reg       *Registry
+	numShards int
+	// shardPools[s] lists shard s's pools in canonical order.
+	shardPools [][]string
+	// poolIndex maps a pool ID to its canonical index.
+	poolIndex map[string]int
+
+	epoch   uint64
+	running bool
+	execs   map[string]*summary.Executor
+
+	// Cumulative stats across all epochs.
+	Accepted int
+	Rejected int
+}
+
+// GenesisPositionID names pool i's genesis full-range position.
+func GenesisPositionID(poolID string) string { return poolID + "-genesis" }
+
+// New builds the engine and registers cfg.NumPools pools, each seeded
+// with a full-range genesis position at price 1.0.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumPools < 1 {
+		return nil, ErrNoPools
+	}
+	e := &Engine{
+		cfg:       cfg,
+		reg:       NewRegistry(),
+		numShards: cfg.NumShards,
+		poolIndex: make(map[string]int),
+	}
+	for i := 0; i < cfg.NumPools; i++ {
+		id := PoolName(i)
+		pool, err := amm.NewPool("A", "B", cfg.FeePips, cfg.TickSpacing, u256.Q96)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := pool.Mint(GenesisPositionID(id), "lp-genesis", -887220, 887220, cfg.InitialLiquidity); err != nil {
+			return nil, fmt.Errorf("engine: genesis mint for %s: %w", id, err)
+		}
+		if err := e.reg.Register(id, pool); err != nil {
+			return nil, err
+		}
+	}
+	e.buildShards()
+	return e, nil
+}
+
+// buildShards partitions the canonical pool list across shards.
+func (e *Engine) buildShards() {
+	e.shardPools = make([][]string, e.numShards)
+	for i, id := range e.reg.IDs() {
+		e.poolIndex[id] = i
+		s := ShardOf(id, e.numShards)
+		e.shardPools[s] = append(e.shardPools[s], id)
+	}
+}
+
+// NumShards returns the worker-shard count.
+func (e *Engine) NumShards() int { return e.numShards }
+
+// PoolIDs returns the registered pool IDs in canonical order.
+func (e *Engine) PoolIDs() []string { return e.reg.IDs() }
+
+// Pool returns the canonical (epoch-start) state of a pool.
+func (e *Engine) Pool(id string) *amm.Pool { return e.reg.Get(id) }
+
+// Epoch returns the epoch in progress (0 before the first BeginEpoch).
+func (e *Engine) Epoch() uint64 { return e.epoch }
+
+// runShards invokes fn once per shard, concurrently, and waits. Each fn
+// call touches only its shard's pools, so no synchronization beyond the
+// final barrier is needed.
+func (e *Engine) runShards(fn func(shard int, poolIDs []string)) {
+	if e.numShards == 1 {
+		fn(0, e.shardPools[0])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(e.numShards)
+	for s := 0; s < e.numShards; s++ {
+		go func(s int) {
+			defer wg.Done()
+			fn(s, e.shardPools[s])
+		}(s)
+	}
+	wg.Wait()
+}
+
+// BeginEpoch snapshots every registered pool into a per-pool executor
+// (SnapshotBank across all pools). deposits maps pool ID → user → the
+// epoch deposit earmarked for that pool; pools absent from the map start
+// with no deposits (their transactions are rejected until AddDeposit).
+func (e *Engine) BeginEpoch(epoch uint64, deposits map[string]map[string]summary.Deposit) error {
+	if e.running {
+		return ErrEpochStarted
+	}
+	ids := e.reg.IDs()
+	execs := make([]*summary.Executor, len(ids))
+	e.runShards(func(_ int, poolIDs []string) {
+		for _, id := range poolIDs {
+			execs[e.poolIndex[id]] = summary.NewExecutor(epoch, e.reg.Get(id), deposits[id])
+		}
+	})
+	e.execs = make(map[string]*summary.Executor, len(ids))
+	for i, id := range ids {
+		e.execs[id] = execs[i]
+	}
+	e.epoch = epoch
+	e.running = true
+	return nil
+}
+
+// AddDeposit credits a user's mid-epoch deposit on one pool.
+func (e *Engine) AddDeposit(poolID, user string, amount0, amount1 u256.Int) error {
+	if !e.running {
+		return ErrNoEpoch
+	}
+	exec := e.execs[poolID]
+	if exec == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownPool, poolID)
+	}
+	exec.AddDeposit(user, amount0, amount1)
+	return nil
+}
+
+// RoundResult reports one round's sharded execution.
+type RoundResult struct {
+	// Included lists the accepted transactions in submission order
+	// (ready for meta-block packing).
+	Included []*summary.Tx
+	// Rejected counts transactions that failed validation, including
+	// those routed to unregistered pools.
+	Rejected int
+}
+
+// ExecuteRound executes a batch against the epoch snapshots: the batch is
+// partitioned per pool (preserving submission order within each pool) and
+// shards execute their pools' slices concurrently. A transaction with an
+// empty PoolID routes to the first registered pool.
+func (e *Engine) ExecuteRound(txs []*summary.Tx, round uint64) (RoundResult, error) {
+	if !e.running {
+		return RoundResult{}, ErrNoEpoch
+	}
+	defaultPool := e.reg.IDs()[0]
+	// Partition: per-pool index lists in submission order.
+	perPool := make(map[string][]int)
+	accepted := make([]bool, len(txs))
+	unknown := 0
+	for i, tx := range txs {
+		id := tx.PoolID
+		if id == "" {
+			id = defaultPool
+		}
+		if e.execs[id] == nil {
+			unknown++
+			continue
+		}
+		perPool[id] = append(perPool[id], i)
+	}
+	rejectedPerShard := make([]int, e.numShards)
+	e.runShards(func(shard int, poolIDs []string) {
+		for _, id := range poolIDs {
+			idxs := perPool[id]
+			if len(idxs) == 0 {
+				continue
+			}
+			exec := e.execs[id]
+			for _, i := range idxs {
+				if err := exec.Apply(txs[i], round); err != nil {
+					rejectedPerShard[shard]++
+					continue
+				}
+				accepted[i] = true
+			}
+		}
+	})
+	res := RoundResult{Rejected: unknown}
+	for _, r := range rejectedPerShard {
+		res.Rejected += r
+	}
+	for i, ok := range accepted {
+		if ok {
+			res.Included = append(res.Included, txs[i])
+		}
+	}
+	e.Accepted += len(res.Included)
+	e.Rejected += res.Rejected
+	return res, nil
+}
+
+// EpochResult is the epoch's folded outcome: per-pool sync payloads and
+// state roots in canonical pool order, per-shard roots (diagnostics), and
+// the single epoch summary root every shard layout agrees on.
+type EpochResult struct {
+	Epoch   uint64
+	PoolIDs []string
+	// Payloads[i] summarizes PoolIDs[i]; PoolID is set on each payload.
+	Payloads []*summary.SyncPayload
+	// PoolRoots[i] is the end-of-epoch state root of PoolIDs[i].
+	PoolRoots [][32]byte
+	// ShardRoots[s] folds shard s's pool roots (varies with layout).
+	ShardRoots [][32]byte
+	// SummaryRoot folds PoolRoots in canonical order: identical for any
+	// shard count under the same seed and traffic.
+	SummaryRoot [32]byte
+}
+
+// RootFor returns the state root of one pool.
+func (r *EpochResult) RootFor(poolID string) ([32]byte, bool) {
+	for i, id := range r.PoolIDs {
+		if id == poolID {
+			return r.PoolRoots[i], true
+		}
+	}
+	return [32]byte{}, false
+}
+
+// EndEpoch folds every pool's epoch into its sync payload, computes state
+// roots, advances each pool's canonical state to the epoch's final state,
+// and returns the folded result.
+func (e *Engine) EndEpoch(nextGroupKey []byte) (*EpochResult, error) {
+	if !e.running {
+		return nil, ErrNoEpoch
+	}
+	ids := e.reg.IDs()
+	payloads := make([]*summary.SyncPayload, len(ids))
+	roots := make([][32]byte, len(ids))
+	finals := make([]*amm.Pool, len(ids))
+	e.runShards(func(_ int, poolIDs []string) {
+		for _, id := range poolIDs {
+			i := e.poolIndex[id]
+			exec := e.execs[id]
+			p := exec.Summary(nextGroupKey)
+			p.PoolID = id
+			payloads[i] = p
+			finals[i] = exec.Pool
+			roots[i] = StateRoot(id, exec.Pool)
+		}
+	})
+	// Advance canonical pool states on the caller's goroutine (the
+	// registry map is not written concurrently).
+	for i, id := range ids {
+		e.reg.replace(id, finals[i])
+	}
+	shardRoots := make([][32]byte, e.numShards)
+	for s, poolIDs := range e.shardPools {
+		rs := make([][32]byte, len(poolIDs))
+		for j, id := range poolIDs {
+			rs[j] = roots[e.poolIndex[id]]
+		}
+		shardRoots[s] = FoldRoots(rs)
+	}
+	res := &EpochResult{
+		Epoch:       e.epoch,
+		PoolIDs:     append([]string(nil), ids...),
+		Payloads:    payloads,
+		PoolRoots:   roots,
+		ShardRoots:  shardRoots,
+		SummaryRoot: FoldRoots(roots),
+	}
+	e.execs = nil
+	e.running = false
+	return res, nil
+}
+
+// StateRoots returns the current canonical state root of every pool in
+// canonical order (valid between epochs).
+func (e *Engine) StateRoots() [][32]byte {
+	ids := e.reg.IDs()
+	roots := make([][32]byte, len(ids))
+	e.runShards(func(_ int, poolIDs []string) {
+		for _, id := range poolIDs {
+			roots[e.poolIndex[id]] = StateRoot(id, e.reg.Get(id))
+		}
+	})
+	return roots
+}
+
+// UniformDeposits earmarks the same two-token deposit for every (pool,
+// user) pair — the multi-pool analogue of the paper's per-epoch deposit.
+func UniformDeposits(poolIDs, users []string, amount0, amount1 u256.Int) map[string]map[string]summary.Deposit {
+	out := make(map[string]map[string]summary.Deposit, len(poolIDs))
+	for _, pid := range poolIDs {
+		bucket := make(map[string]summary.Deposit, len(users))
+		for _, u := range users {
+			bucket[u] = summary.Deposit{Amount0: amount0, Amount1: amount1}
+		}
+		out[pid] = bucket
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"testing"
+
+	"ammboost/internal/gasmodel"
+	"ammboost/internal/summary"
+	"ammboost/internal/u256"
+	"ammboost/internal/workload"
+)
+
+// runEpochs drives an engine through epochs of multi-pool Zipf traffic
+// and returns the per-epoch summary roots plus the final pool roots.
+func runEpochs(t *testing.T, pools, shards, epochs, roundsPerEpoch, txPerRound int, seed int64) ([][32]byte, [][32]byte, int) {
+	t.Helper()
+	eng, err := New(Config{Seed: seed, NumPools: pools, NumShards: shards})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if eng.NumShards() != shards {
+		t.Fatalf("NumShards = %d, want %d", eng.NumShards(), shards)
+	}
+	wcfg := workload.DefaultMultiConfig(seed, pools)
+	wcfg.PoolIDs = eng.PoolIDs()
+	gen := workload.NewMulti(wcfg)
+	dep := u256.FromUint64(1 << 40)
+
+	var summaryRoots [][32]byte
+	rejected := 0
+	for e := uint64(1); e <= uint64(epochs); e++ {
+		deps := UniformDeposits(eng.PoolIDs(), gen.Users(), dep, dep)
+		if err := eng.BeginEpoch(e, deps); err != nil {
+			t.Fatalf("BeginEpoch: %v", err)
+		}
+		for r := uint64(1); r <= uint64(roundsPerEpoch); r++ {
+			batch := make([]*summary.Tx, txPerRound)
+			for i := range batch {
+				batch[i] = gen.Next()
+			}
+			res, err := eng.ExecuteRound(batch, r)
+			if err != nil {
+				t.Fatalf("ExecuteRound: %v", err)
+			}
+			rejected += res.Rejected
+			if len(res.Included)+res.Rejected != len(batch) {
+				t.Fatalf("round %d: included %d + rejected %d != batch %d",
+					r, len(res.Included), res.Rejected, len(batch))
+			}
+		}
+		res, err := eng.EndEpoch([]byte("next-key"))
+		if err != nil {
+			t.Fatalf("EndEpoch: %v", err)
+		}
+		if len(res.Payloads) != pools || len(res.PoolRoots) != pools {
+			t.Fatalf("epoch result covers %d payloads / %d roots, want %d",
+				len(res.Payloads), len(res.PoolRoots), pools)
+		}
+		for i, p := range res.Payloads {
+			if p.PoolID != res.PoolIDs[i] {
+				t.Fatalf("payload %d tagged %q, want %q", i, p.PoolID, res.PoolIDs[i])
+			}
+		}
+		summaryRoots = append(summaryRoots, res.SummaryRoot)
+	}
+	return summaryRoots, eng.StateRoots(), rejected
+}
+
+// TestDeterminismAcrossShardCounts is the acceptance check: 64 pools,
+// fixed seed, shard counts {1, 4, 16} — bit-identical per-pool state
+// roots and epoch summary roots.
+func TestDeterminismAcrossShardCounts(t *testing.T) {
+	const pools, epochs, rounds, tpr = 64, 3, 5, 200
+	baseSummary, basePools, baseRejected := runEpochs(t, pools, 1, epochs, rounds, tpr, 42)
+	for _, shards := range []int{4, 16} {
+		gotSummary, gotPools, gotRejected := runEpochs(t, pools, shards, epochs, rounds, tpr, 42)
+		for e := range baseSummary {
+			if gotSummary[e] != baseSummary[e] {
+				t.Errorf("shards=%d: epoch %d summary root diverged", shards, e+1)
+			}
+		}
+		for i := range basePools {
+			if gotPools[i] != basePools[i] {
+				t.Errorf("shards=%d: pool %d state root diverged", shards, i)
+			}
+		}
+		if gotRejected != baseRejected {
+			t.Errorf("shards=%d: rejected %d, want %d", shards, gotRejected, baseRejected)
+		}
+	}
+}
+
+// TestDifferentSeedsDiverge guards against a degenerate root function.
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, _, _ := runEpochs(t, 8, 2, 1, 3, 100, 1)
+	b, _, _ := runEpochs(t, 8, 2, 1, 3, 100, 2)
+	if a[0] == b[0] {
+		t.Fatal("different seeds produced identical summary roots")
+	}
+}
+
+// TestShardPartitionCoversAllPools: every pool lands on exactly one shard.
+func TestShardPartitionCoversAllPools(t *testing.T) {
+	eng, err := New(Config{NumPools: 64, NumShards: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]int)
+	for s, ids := range eng.shardPools {
+		for _, id := range ids {
+			seen[id]++
+			if got := ShardOf(id, 7); got != s {
+				t.Errorf("pool %s on shard %d, ShardOf says %d", id, s, got)
+			}
+		}
+	}
+	if len(seen) != 64 {
+		t.Fatalf("partition covers %d pools, want 64", len(seen))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("pool %s assigned %d times", id, n)
+		}
+	}
+}
+
+// TestMidEpochDeposit: a user with no snapshot deposit is rejected until
+// the mid-epoch credit lands on the right pool.
+func TestMidEpochDeposit(t *testing.T) {
+	eng, err := New(Config{NumPools: 2, NumShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid := eng.PoolIDs()[0]
+	if err := eng.BeginEpoch(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	tx := &summary.Tx{ID: "s1", Kind: gasmodel.KindSwap, User: "u", PoolID: pid,
+		ZeroForOne: true, ExactIn: true, Amount: u256.FromUint64(1000)}
+	res, err := eng.ExecuteRound([]*summary.Tx{tx}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Included) != 0 || res.Rejected != 1 {
+		t.Fatalf("unfunded swap included=%d rejected=%d", len(res.Included), res.Rejected)
+	}
+	if err := eng.AddDeposit(pid, "u", u256.FromUint64(1<<20), u256.FromUint64(1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := &summary.Tx{ID: "s2", Kind: gasmodel.KindSwap, User: "u", PoolID: pid,
+		ZeroForOne: true, ExactIn: true, Amount: u256.FromUint64(1000)}
+	res, err = eng.ExecuteRound([]*summary.Tx{tx2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Included) != 1 {
+		t.Fatalf("funded swap rejected")
+	}
+	if _, err := eng.EndEpoch(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnknownPoolRejected: transactions routed to unregistered pools are
+// counted as rejected, never executed.
+func TestUnknownPoolRejected(t *testing.T) {
+	eng, err := New(Config{NumPools: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.BeginEpoch(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	tx := &summary.Tx{ID: "x", Kind: gasmodel.KindSwap, User: "u", PoolID: "pool-9999",
+		ZeroForOne: true, ExactIn: true, Amount: u256.FromUint64(1)}
+	res, err := eng.ExecuteRound([]*summary.Tx{tx}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected != 1 || len(res.Included) != 0 {
+		t.Fatalf("unknown pool: included=%d rejected=%d", len(res.Included), res.Rejected)
+	}
+}
+
+// TestLifecycleGuards: rounds need an epoch; double BeginEpoch fails.
+func TestLifecycleGuards(t *testing.T) {
+	eng, err := New(Config{NumPools: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ExecuteRound(nil, 1); err == nil {
+		t.Error("ExecuteRound before BeginEpoch should fail")
+	}
+	if _, err := eng.EndEpoch(nil); err == nil {
+		t.Error("EndEpoch before BeginEpoch should fail")
+	}
+	if err := eng.BeginEpoch(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.BeginEpoch(2, nil); err == nil {
+		t.Error("double BeginEpoch should fail")
+	}
+}

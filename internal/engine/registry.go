@@ -1,0 +1,80 @@
+// Package engine is ammBoost's multi-pool sharded execution engine: a
+// registry of independent AMM pools partitioned across worker shards by
+// pool-ID hash. Each shard executes its pools' per-round transaction
+// batches sequentially (per-pool order is submission order) while shards
+// run concurrently, and the per-pool state roots fold — in canonical pool
+// order, independent of the shard layout — into a single epoch summary
+// root via internal/crypto/merkle. A fixed seed therefore yields
+// bit-identical pool roots and summary roots for any shard count.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"ammboost/internal/amm"
+)
+
+// Registry errors.
+var (
+	ErrDuplicatePool = errors.New("engine: pool already registered")
+	ErrUnknownPool   = errors.New("engine: pool not registered")
+)
+
+// PoolName is the canonical identifier for the i-th pool of a deployment;
+// workload generators and the engine must agree on it.
+func PoolName(i int) string { return fmt.Sprintf("pool-%04d", i) }
+
+// ShardOf assigns a pool to one of shards workers by FNV-1a hash of its
+// ID. The assignment balances pools statistically and is stable for a
+// given shard count; determinism of results does not depend on it because
+// pools never share state.
+func ShardOf(poolID string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(poolID))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// Registry is the ordered set of registered pools. The canonical order
+// (sorted pool IDs) defines the leaf order of the epoch summary root.
+type Registry struct {
+	ids   []string // sorted
+	pools map[string]*amm.Pool
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{pools: make(map[string]*amm.Pool)}
+}
+
+// Register adds a pool under an ID.
+func (r *Registry) Register(id string, pool *amm.Pool) error {
+	if _, dup := r.pools[id]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicatePool, id)
+	}
+	r.pools[id] = pool
+	i := sort.SearchStrings(r.ids, id)
+	r.ids = append(r.ids, "")
+	copy(r.ids[i+1:], r.ids[i:])
+	r.ids[i] = id
+	return nil
+}
+
+// Get returns the pool registered under id, or nil.
+func (r *Registry) Get(id string) *amm.Pool { return r.pools[id] }
+
+// IDs returns the registered pool IDs in canonical (sorted) order.
+func (r *Registry) IDs() []string { return r.ids }
+
+// NumPools returns the number of registered pools.
+func (r *Registry) NumPools() int { return len(r.ids) }
+
+// replace swaps the pool stored under an existing ID (epoch advancement).
+func (r *Registry) replace(id string, pool *amm.Pool) {
+	r.pools[id] = pool
+}

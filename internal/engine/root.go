@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+
+	"ammboost/internal/amm"
+	"ammboost/internal/crypto/merkle"
+	"ammboost/internal/u256"
+)
+
+// StateRoot deterministically hashes a pool's full state: price, in-range
+// liquidity, global fee accumulators, reserves, every initialized tick's
+// accounting, and every position (sorted by ID). Two pools that executed
+// the same transaction sequence produce the same root regardless of map
+// iteration order or which shard ran them.
+func StateRoot(poolID string, p *amm.Pool) [32]byte {
+	h := sha256.New()
+	var buf [8]byte
+	put32 := func(v u256.Int) {
+		b := v.Bytes32()
+		h.Write(b[:])
+	}
+	putI32 := func(v int32) {
+		binary.BigEndian.PutUint32(buf[:4], uint32(v))
+		h.Write(buf[:4])
+	}
+
+	h.Write([]byte(poolID))
+	h.Write([]byte(p.Token0))
+	h.Write([]byte(p.Token1))
+	binary.BigEndian.PutUint32(buf[:4], p.FeePips)
+	h.Write(buf[:4])
+	putI32(p.TickSpacing)
+	put32(p.SqrtPriceX96)
+	putI32(p.Tick)
+	put32(p.Liquidity)
+	put32(p.FeeGrowthGlobal0X128)
+	put32(p.FeeGrowthGlobal1X128)
+	put32(p.Reserve0)
+	put32(p.Reserve1)
+
+	for _, tick := range p.Ticks() {
+		ti := p.TickInfoAt(tick)
+		if ti == nil {
+			continue
+		}
+		putI32(tick)
+		put32(ti.LiquidityGross)
+		put32(ti.LiquidityNetAdd)
+		put32(ti.LiquidityNetSub)
+		put32(ti.FeeGrowthOutside0X128)
+		put32(ti.FeeGrowthOutside1X128)
+	}
+
+	positions := p.Positions()
+	sort.Slice(positions, func(i, j int) bool { return positions[i].ID < positions[j].ID })
+	for _, pos := range positions {
+		h.Write([]byte(pos.ID))
+		h.Write([]byte(pos.Owner))
+		putI32(pos.TickLower)
+		putI32(pos.TickUpper)
+		put32(pos.Liquidity)
+		put32(pos.FeeGrowthInside0LastX128)
+		put32(pos.FeeGrowthInside1LastX128)
+		put32(pos.TokensOwed0)
+		put32(pos.TokensOwed1)
+	}
+
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// FoldRoots builds the Merkle tree over per-pool roots in the given order
+// and returns its root. The engine always passes roots in canonical pool
+// order, making the fold independent of the shard layout.
+func FoldRoots(roots [][32]byte) [32]byte {
+	leaves := make([][]byte, len(roots))
+	for i := range roots {
+		leaves[i] = roots[i][:]
+	}
+	return merkle.New(leaves).Root()
+}

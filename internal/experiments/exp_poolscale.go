@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"ammboost/internal/engine"
+	"ammboost/internal/summary"
+	"ammboost/internal/u256"
+	"ammboost/internal/workload"
+)
+
+// --- poolscale: multi-pool sharded execution sweep ---
+
+// poolScalePoint is one (pool count, shard count) configuration's
+// measured execution performance.
+type poolScalePoint struct {
+	Pools       int
+	Shards      int
+	Txs         int
+	Wall        time.Duration
+	Throughput  float64 // executed tx/s of wall-clock time
+	Speedup     float64 // vs the 1-shard run at the same pool count
+	SummaryRoot [32]byte
+}
+
+// PoolScaleResult sweeps pool count × shard count over identical Zipf
+// traffic, measuring wall-clock execution throughput of the sharded
+// engine and verifying that every shard count reproduces bit-identical
+// epoch summary roots.
+type PoolScaleResult struct {
+	Points []poolScalePoint
+	// RootsIdentical confirms the determinism acceptance check.
+	RootsIdentical bool
+}
+
+// poolScaleRounds/TxPerRound size one epoch of the sweep; the workload is
+// pre-generated once per pool count so every shard count executes the
+// exact same transaction stream.
+const (
+	poolScaleRounds     = 5
+	poolScaleTxPerRound = 2000
+)
+
+// RunPoolScale reproduces the multi-pool scaling experiment: pool counts
+// {16, 64} × shard counts {1, 2, 4, GOMAXPROCS}, o.Epochs epochs each.
+func RunPoolScale(o Options) (*PoolScaleResult, error) {
+	o = o.withDefaults()
+	shardCounts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		shardCounts = append(shardCounts, p)
+	}
+	res := &PoolScaleResult{RootsIdentical: true}
+	for _, pools := range []int{16, 64} {
+		// Pre-generate the traffic: identical stream for every shard count.
+		wcfg := workload.DefaultMultiConfig(o.Seed, pools)
+		gen := workload.NewMulti(wcfg)
+		epochs := o.Epochs
+		if epochs < 1 {
+			epochs = 1
+		}
+		batches := make([][]*summary.Tx, epochs*poolScaleRounds)
+		for i := range batches {
+			batch := make([]*summary.Tx, poolScaleTxPerRound)
+			for j := range batch {
+				batch[j] = gen.Next()
+			}
+			batches[i] = batch
+		}
+		users := gen.Users()
+
+		var baseRoot [32]byte
+		var baseWall time.Duration
+		for si, shards := range shardCounts {
+			root, wall, txs, err := runPoolScaleConfig(o.Seed, pools, shards, epochs, users, batches)
+			if err != nil {
+				return nil, err
+			}
+			pt := poolScalePoint{
+				Pools:       pools,
+				Shards:      shards,
+				Txs:         txs,
+				Wall:        wall,
+				Throughput:  float64(txs) / wall.Seconds(),
+				SummaryRoot: root,
+			}
+			if si == 0 {
+				baseRoot, baseWall = root, wall
+				pt.Speedup = 1
+			} else {
+				pt.Speedup = float64(baseWall) / float64(wall)
+				if root != baseRoot {
+					res.RootsIdentical = false
+				}
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	if !res.RootsIdentical {
+		return res, fmt.Errorf("experiments: poolscale summary roots diverged across shard counts")
+	}
+	return res, nil
+}
+
+// runPoolScaleConfig executes the pre-generated batches on a fresh
+// engine and returns the final epoch's summary root plus wall-clock time.
+func runPoolScaleConfig(seed int64, pools, shards, epochs int, users []string, batches [][]*summary.Tx) ([32]byte, time.Duration, int, error) {
+	eng, err := engine.New(engine.Config{Seed: seed, NumPools: pools, NumShards: shards})
+	if err != nil {
+		return [32]byte{}, 0, 0, err
+	}
+	dep := u256.FromUint64(1 << 40)
+	txs := 0
+	var lastRoot [32]byte
+	start := time.Now()
+	for e := 1; e <= epochs; e++ {
+		deps := engine.UniformDeposits(eng.PoolIDs(), users, dep, dep)
+		if err := eng.BeginEpoch(uint64(e), deps); err != nil {
+			return [32]byte{}, 0, 0, err
+		}
+		for r := 1; r <= poolScaleRounds; r++ {
+			batch := batches[(e-1)*poolScaleRounds+(r-1)]
+			rr, err := eng.ExecuteRound(batch, uint64(r))
+			if err != nil {
+				return [32]byte{}, 0, 0, err
+			}
+			txs += len(rr.Included)
+		}
+		er, err := eng.EndEpoch([]byte("poolscale-next-key"))
+		if err != nil {
+			return [32]byte{}, 0, 0, err
+		}
+		lastRoot = er.SummaryRoot
+	}
+	return lastRoot, time.Since(start), txs, nil
+}
+
+// Render implements Result.
+func (r *PoolScaleResult) Render() string {
+	t := &table{
+		title: "Poolscale: sharded multi-pool execution (Zipf traffic, fixed seed)",
+		headers: []string{"Pools", "Shards", "Executed txs", "Wall (ms)",
+			"Throughput (tx/s)", "Speedup vs 1 shard"},
+	}
+	for _, p := range r.Points {
+		t.add(
+			fmt.Sprintf("%d", p.Pools),
+			fmt.Sprintf("%d", p.Shards),
+			fmt.Sprintf("%d", p.Txs),
+			fmt.Sprintf("%.1f", float64(p.Wall.Microseconds())/1000),
+			fmt.Sprintf("%.0f", p.Throughput),
+			fmt.Sprintf("%.2fx", p.Speedup),
+		)
+	}
+	s := t.String()
+	if r.RootsIdentical {
+		s += "epoch summary roots: bit-identical across all shard counts\n"
+	} else {
+		s += "epoch summary roots: DIVERGED (determinism violation)\n"
+	}
+	return s
+}

@@ -141,6 +141,7 @@ func Registry() map[string]Runner {
 		"table11":   func(o Options) (Result, error) { return RunTable11(o) },
 		"table12":   func(o Options) (Result, error) { return RunTable12(o) },
 		"ablations": func(o Options) (Result, error) { return RunAblations(o) },
+		"poolscale": func(o Options) (Result, error) { return RunPoolScale(o) },
 	}
 }
 
@@ -155,6 +156,8 @@ func Names() []string {
 			switch s {
 			case "fig5":
 				return 45 // between table4 and table5
+			case "poolscale":
+				return 500 // after the paper tables
 			case "ablations":
 				return 999 // last
 			default:

@@ -15,8 +15,8 @@ func fastOpts() Options {
 
 func TestRegistryComplete(t *testing.T) {
 	names := Names()
-	if len(names) != 14 {
-		t.Fatalf("registry has %d experiments, want 14 (12 tables + fig5 + ablations)", len(names))
+	if len(names) != 15 {
+		t.Fatalf("registry has %d experiments, want 15 (12 tables + fig5 + poolscale + ablations)", len(names))
 	}
 	if names[len(names)-1] != "ablations" {
 		t.Errorf("ablations should run last, got order %v", names)
@@ -204,5 +204,26 @@ func TestAblations(t *testing.T) {
 	}
 	if r.MassSyncGas >= r.SeparateSyncGas {
 		t.Error("mass-sync should amortize base and auth costs")
+	}
+}
+
+func TestPoolScale(t *testing.T) {
+	r, err := RunPoolScale(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.RootsIdentical {
+		t.Error("summary roots diverged across shard counts")
+	}
+	if len(r.Points) < 6 {
+		t.Errorf("sweep has %d points, want >= 6 (2 pool counts x >= 3 shard counts)", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.Txs == 0 || p.Throughput <= 0 {
+			t.Errorf("pools=%d shards=%d executed %d txs at %.0f tx/s", p.Pools, p.Shards, p.Txs, p.Throughput)
+		}
+	}
+	if out := r.Render(); !strings.Contains(out, "bit-identical") {
+		t.Errorf("render missing root confirmation:\n%s", out)
 	}
 }

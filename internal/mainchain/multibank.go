@@ -1,0 +1,229 @@
+package mainchain
+
+import (
+	"errors"
+	"fmt"
+
+	"ammboost/internal/crypto/tsig"
+	"ammboost/internal/gasmodel"
+	"ammboost/internal/summary"
+	"ammboost/internal/u256"
+)
+
+// MultiBank errors.
+var (
+	ErrUnknownBankPool = errors.New("multibank: pool not registered")
+	ErrNoSummaryRoot   = errors.New("multibank: sync carries no summary root")
+	ErrBadSyncPart     = errors.New("multibank: sync part out of range or repeated")
+	ErrRootMismatch    = errors.New("multibank: sync parts disagree on summary root")
+)
+
+// MultiBankAddress is the on-chain account of the multi-pool bank.
+const MultiBankAddress = "multibank"
+
+// PoolReserves is one pool's stored balance pair.
+type PoolReserves struct {
+	Reserve0 u256.Int
+	Reserve1 u256.Int
+}
+
+// MultiBank is the multi-pool TokenBank variant backing internal/engine
+// deployments: it stores per-pool reserves and liquidity positions,
+// verifies TSQC-authenticated epoch syncs whose payloads span every
+// registered pool, and records each epoch's folded summary root so any
+// pool's end state can be proven against a single on-chain commitment.
+// Token custody is modeled at the accounting level only (the single-pool
+// TokenBank already reproduces the paper's ERC20 transfer flows).
+type MultiBank struct {
+	// Reserves[poolID] mirrors the canonical pool balances.
+	Reserves map[string]PoolReserves
+	// Positions[poolID][positionID] is the stored position list.
+	Positions map[string]map[string]summary.PositionEntry
+	// SummaryRoots[epoch] is the folded multi-pool root from the sync.
+	SummaryRoots map[uint64][32]byte
+
+	groupKeys map[uint64]tsig.GroupKey
+	synced    map[uint64]bool
+	// partsApplied[epoch] tracks which chunks of a multi-part sync have
+	// landed; the epoch is synced once all parts are in.
+	partsApplied map[uint64]map[int]bool
+	// LastSyncedEpoch is the highest epoch whose summary was fully applied.
+	LastSyncedEpoch uint64
+}
+
+// NewMultiBank deploys the bank over the registered pool IDs with the
+// epoch-1 committee key, mirroring the paper's SystemSetup.
+func NewMultiBank(poolIDs []string, genesisKey tsig.GroupKey) *MultiBank {
+	b := &MultiBank{
+		Reserves:     make(map[string]PoolReserves, len(poolIDs)),
+		Positions:    make(map[string]map[string]summary.PositionEntry, len(poolIDs)),
+		SummaryRoots: make(map[uint64][32]byte),
+		groupKeys:    map[uint64]tsig.GroupKey{1: genesisKey},
+		synced:       make(map[uint64]bool),
+		partsApplied: make(map[uint64]map[int]bool),
+	}
+	for _, id := range poolIDs {
+		b.Reserves[id] = PoolReserves{}
+		b.Positions[id] = make(map[string]summary.PositionEntry)
+	}
+	return b
+}
+
+// Name implements Contract.
+func (b *MultiBank) Name() string { return MultiBankAddress }
+
+// MultiSyncArgs carries one chunk of an epoch's per-pool summaries, the
+// folded summary root over ALL pools, the issuing committee's TSQC
+// signature, and the next committee's verification key. An epoch whose
+// total payload would exceed a block's gas budget splits into NumParts
+// chunks; the epoch counts as synced once every part has been applied.
+type MultiSyncArgs struct {
+	Epoch       uint64
+	Part        int // 1-based chunk index
+	NumParts    int
+	Payloads    []*summary.SyncPayload // this chunk's pools, PoolID set
+	SummaryRoot [32]byte
+	Sig         tsig.Point
+	NextKey     tsig.GroupKey
+}
+
+// Digest is the signed content: the folded summary root bound to the
+// epoch and the chunk (each payload's own digest commits to its pool).
+func (a *MultiSyncArgs) Digest() [32]byte {
+	acc := make([]byte, 0, 24+32+32*len(a.Payloads))
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (56 - 8*i))
+		}
+		acc = append(acc, buf[:]...)
+	}
+	put(a.Epoch)
+	put(uint64(a.Part))
+	put(uint64(a.NumParts))
+	acc = append(acc, a.SummaryRoot[:]...)
+	for _, p := range a.Payloads {
+		d := p.Digest()
+		acc = append(acc, d[:]...)
+	}
+	return sha256Digest(acc)
+}
+
+// Execute implements Contract.
+func (b *MultiBank) Execute(env *Env, method string, args any) error {
+	switch method {
+	case "sync":
+		a, ok := args.(*MultiSyncArgs)
+		if !ok {
+			return ErrBadArgs
+		}
+		return b.sync(env, a)
+	default:
+		return fmt.Errorf("%w: multibank has no method %q", ErrBadArgs, method)
+	}
+}
+
+func (b *MultiBank) sync(env *Env, a *MultiSyncArgs) error {
+	key, ok := b.groupKeys[a.Epoch]
+	if !ok {
+		return fmt.Errorf("%w: epoch %d", ErrUnknownEpochKey, a.Epoch)
+	}
+	if len(a.Payloads) == 0 {
+		return fmt.Errorf("%w: empty sync", ErrBadArgs)
+	}
+	if a.SummaryRoot == ([32]byte{}) {
+		return ErrNoSummaryRoot
+	}
+	sumBytes := 0
+	for _, p := range a.Payloads {
+		sumBytes += p.MainchainBytes()
+	}
+	if err := env.Gas.Charge(gasmodel.TxBaseGas + gasmodel.SyncAuthGas(sumBytes)); err != nil {
+		return err
+	}
+	digest := a.Digest()
+	if err := tsig.Verify(key, digest[:], a.Sig); err != nil {
+		return ErrBadSyncSignature
+	}
+	if b.synced[a.Epoch] {
+		return fmt.Errorf("%w: epoch %d", ErrEpochAlreadySync, a.Epoch)
+	}
+	part, numParts := a.Part, a.NumParts
+	if numParts == 0 {
+		part, numParts = 1, 1 // single-chunk sync
+	}
+	if part < 1 || part > numParts {
+		return fmt.Errorf("%w: part %d/%d", ErrBadSyncPart, part, numParts)
+	}
+	applied := b.partsApplied[a.Epoch]
+	if applied == nil {
+		applied = make(map[int]bool)
+		b.partsApplied[a.Epoch] = applied
+	}
+	if applied[part] {
+		return fmt.Errorf("%w: part %d already applied", ErrBadSyncPart, part)
+	}
+	if stored, ok := b.SummaryRoots[a.Epoch]; ok && stored != a.SummaryRoot {
+		return ErrRootMismatch
+	}
+	for _, p := range a.Payloads {
+		if err := b.applyPoolPayload(env, p); err != nil {
+			return err
+		}
+	}
+	applied[part] = true
+	if err := env.Gas.Charge(gasmodel.SstoreGas(32)); err != nil {
+		return err
+	}
+	b.SummaryRoots[a.Epoch] = a.SummaryRoot
+	if len(applied) < numParts {
+		return nil // epoch completes when the remaining parts land
+	}
+	b.synced[a.Epoch] = true
+	delete(b.partsApplied, a.Epoch)
+	if a.Epoch > b.LastSyncedEpoch {
+		b.LastSyncedEpoch = a.Epoch
+	}
+	// Next committee key registration (vk_c) on the completing part.
+	if err := env.Gas.Charge(gasmodel.SstoreGas(gasmodel.ABIGroupKeyBytes)); err != nil {
+		return err
+	}
+	b.groupKeys[a.Epoch+1] = a.NextKey
+	return nil
+}
+
+func (b *MultiBank) applyPoolPayload(env *Env, p *summary.SyncPayload) error {
+	positions, ok := b.Positions[p.PoolID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownBankPool, p.PoolID)
+	}
+	for range p.Payouts {
+		if err := env.Gas.Charge(gasmodel.PayoutEntryGas); err != nil {
+			return err
+		}
+	}
+	for _, e := range p.Positions {
+		if e.Deleted {
+			if err := env.Gas.Charge(gasmodel.SstoreClearGas); err != nil {
+				return err
+			}
+			delete(positions, e.ID)
+			continue
+		}
+		if err := env.Gas.Charge(uint64(gasmodel.PositionEntryWords) * gasmodel.SstoreWordGas); err != nil {
+			return err
+		}
+		positions[e.ID] = e
+	}
+	if err := env.Gas.Charge(uint64(gasmodel.PoolBalanceWords) * gasmodel.SstoreWordGas); err != nil {
+		return err
+	}
+	b.Reserves[p.PoolID] = PoolReserves{Reserve0: p.PoolReserve0, Reserve1: p.PoolReserve1}
+	return nil
+}
+
+func sha256Digest(data []byte) [32]byte {
+	var out [32]byte
+	copy(out[:], sha256HashPool(data))
+	return out
+}

@@ -9,14 +9,29 @@ import (
 // sidechain, only the elected committee mines them, and when a new
 // meta-block is published every miner removes the included transactions
 // from its queue. Unprocessed transactions carry over to the next epoch.
+//
+// Removal is tombstone-based: a removed transaction just leaves byID and
+// its order slot goes dead; the order slice compacts lazily once dead
+// slots dominate. Remove is therefore O(1) amortized instead of
+// rewriting the whole slice per rejected transaction.
 type Mempool struct {
-	order []*summary.Tx
-	byID  map[string]*summary.Tx
+	order   []mslot
+	byID    map[string]mslot
+	nextSeq uint64
+	dead    int
+}
+
+// mslot is one order entry. The sequence number identifies the live slot
+// for an ID: a transaction removed and re-added (even the same pointer)
+// gets a fresh seq, so its tombstoned older slot can never resurrect.
+type mslot struct {
+	tx  *summary.Tx
+	seq uint64
 }
 
 // NewMempool creates an empty queue.
 func NewMempool() *Mempool {
-	return &Mempool{byID: make(map[string]*summary.Tx)}
+	return &Mempool{byID: make(map[string]mslot)}
 }
 
 // Add enqueues a transaction; duplicates (by ID) are ignored, as a miner
@@ -25,27 +40,58 @@ func (m *Mempool) Add(tx *summary.Tx) bool {
 	if _, dup := m.byID[tx.ID]; dup {
 		return false
 	}
-	m.byID[tx.ID] = tx
-	m.order = append(m.order, tx)
+	m.nextSeq++
+	s := mslot{tx: tx, seq: m.nextSeq}
+	m.byID[tx.ID] = s
+	m.order = append(m.order, s)
 	return true
 }
 
 // Len returns the number of queued transactions.
-func (m *Mempool) Len() int { return len(m.order) }
+func (m *Mempool) Len() int { return len(m.byID) }
+
+// live reports whether an order slot still holds a queued transaction.
+func (m *Mempool) live(s mslot) bool {
+	cur, ok := m.byID[s.tx.ID]
+	return ok && cur.seq == s.seq
+}
 
 // Peek returns up to maxBytes worth of transactions in FIFO order without
 // removing them (the committee leader packs a proposal from this view).
 func (m *Mempool) Peek(maxBytes int) []*summary.Tx {
 	var out []*summary.Tx
 	size := 0
-	for _, tx := range m.order {
-		if size+tx.Size() > maxBytes {
+	for _, s := range m.order {
+		if !m.live(s) {
+			continue
+		}
+		if size+s.tx.Size() > maxBytes {
 			break
 		}
-		out = append(out, tx)
-		size += tx.Size()
+		out = append(out, s.tx)
+		size += s.tx.Size()
 	}
 	return out
+}
+
+// maybeCompact rewrites the order slice once tombstones dominate, keeping
+// Peek linear in the live queue size.
+func (m *Mempool) maybeCompact() {
+	if m.dead <= 32 || m.dead <= len(m.order)/2 {
+		return
+	}
+	keep := m.order[:0]
+	for _, s := range m.order {
+		if m.live(s) {
+			keep = append(keep, s)
+		}
+	}
+	// Release the dropped tail for GC.
+	for i := len(keep); i < len(m.order); i++ {
+		m.order[i] = mslot{}
+	}
+	m.order = keep
+	m.dead = 0
 }
 
 // RemoveIncluded drops every transaction that appears in a published
@@ -59,33 +105,20 @@ func (m *Mempool) RemoveIncluded(b *MetaBlock) int {
 			removed++
 		}
 	}
-	if removed == 0 {
-		return 0
-	}
-	keep := m.order[:0]
-	for _, tx := range m.order {
-		if _, ok := m.byID[tx.ID]; ok {
-			keep = append(keep, tx)
-		}
-	}
-	m.order = keep
+	m.dead += removed
+	m.maybeCompact()
 	return removed
 }
 
 // Remove drops a single transaction by ID (e.g., one rejected as invalid
-// during packing).
+// during packing) in O(1) amortized time.
 func (m *Mempool) Remove(id string) bool {
 	if _, ok := m.byID[id]; !ok {
 		return false
 	}
 	delete(m.byID, id)
-	keep := m.order[:0]
-	for _, tx := range m.order {
-		if tx.ID != id {
-			keep = append(keep, tx)
-		}
-	}
-	m.order = keep
+	m.dead++
+	m.maybeCompact()
 	return true
 }
 

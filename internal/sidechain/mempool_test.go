@@ -103,3 +103,78 @@ func TestMempoolCarryOver(t *testing.T) {
 		t.Errorf("carry-over = %d, want 95", m.Len())
 	}
 }
+
+func TestMempoolTombstoneCompaction(t *testing.T) {
+	// Heavy single-tx removal (the rejected-tx path) must keep the queue
+	// consistent while compacting lazily.
+	m := NewMempool()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		m.Add(mpTx(fmt.Sprintf("tx%04d", i)))
+	}
+	for i := 0; i < n; i += 2 {
+		if !m.Remove(fmt.Sprintf("tx%04d", i)) {
+			t.Fatalf("remove tx%04d failed", i)
+		}
+	}
+	if m.Len() != n/2 {
+		t.Fatalf("len = %d, want %d", m.Len(), n/2)
+	}
+	rest := m.Peek(1 << 30)
+	if len(rest) != n/2 {
+		t.Fatalf("peek returned %d, want %d", len(rest), n/2)
+	}
+	for i, tx := range rest {
+		want := fmt.Sprintf("tx%04d", 2*i+1)
+		if tx.ID != want {
+			t.Fatalf("order[%d] = %s, want %s", i, tx.ID, want)
+		}
+	}
+}
+
+func TestMempoolReAddAfterRemove(t *testing.T) {
+	// A tombstoned slot must not resurrect when the same ID is re-added:
+	// the fresh copy keeps its new FIFO place.
+	m := NewMempool()
+	m.Add(mpTx("a"))
+	m.Add(mpTx("b"))
+	m.Remove("a")
+	if !m.Add(mpTx("a")) {
+		t.Fatal("re-add after remove should succeed")
+	}
+	got := m.Peek(1 << 20)
+	if len(got) != 2 || got[0].ID != "b" || got[1].ID != "a" {
+		ids := []string{}
+		for _, tx := range got {
+			ids = append(ids, tx.ID)
+		}
+		t.Fatalf("peek order = %v, want [b a]", ids)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("len = %d, want 2", m.Len())
+	}
+}
+
+func TestMempoolSamePointerReAdd(t *testing.T) {
+	// Re-adding the very same *Tx object after removal must not
+	// resurrect its tombstoned slot: exactly one live copy, at the back.
+	m := NewMempool()
+	tx := mpTx("a")
+	m.Add(tx)
+	m.Add(mpTx("b"))
+	m.Remove("a")
+	if !m.Add(tx) {
+		t.Fatal("same-pointer re-add should succeed")
+	}
+	got := m.Peek(1 << 20)
+	if len(got) != 2 || got[0].ID != "b" || got[1].ID != "a" {
+		ids := []string{}
+		for _, x := range got {
+			ids = append(ids, x.ID)
+		}
+		t.Fatalf("peek order = %v, want [b a] with no duplicates", ids)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("len = %d, want 2", m.Len())
+	}
+}

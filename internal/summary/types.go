@@ -23,6 +23,10 @@ type Tx struct {
 	ID   string
 	Kind gasmodel.TxKind
 	User string // issuer public key (also the trade recipient)
+	// PoolID routes the transaction to a registered pool in multi-pool
+	// deployments (internal/engine); empty means the deployment's single
+	// canonical pool.
+	PoolID string
 
 	// Swap fields.
 	ZeroForOne     bool     // sell token0 for token1
@@ -70,6 +74,7 @@ func (tx *Tx) Hash() [32]byte {
 	h.Write([]byte(tx.ID))
 	h.Write([]byte{byte(tx.Kind)})
 	h.Write([]byte(tx.User))
+	h.Write([]byte(tx.PoolID))
 	amt := tx.Amount.Bytes32()
 	h.Write(amt[:])
 	h.Write([]byte(tx.PosID))
@@ -112,7 +117,10 @@ type PositionEntry struct {
 // SyncPayload is the full input to TokenBank.Sync for one epoch: the
 // payout and position lists plus the updated pool reserves.
 type SyncPayload struct {
-	Epoch        uint64
+	Epoch uint64
+	// PoolID identifies the pool this payload summarizes in multi-pool
+	// deployments; empty for the single-pool system.
+	PoolID       string
 	Payouts      []PayoutEntry
 	Positions    []PositionEntry
 	PoolReserve0 u256.Int
@@ -177,6 +185,7 @@ func (p *SyncPayload) Digest() [32]byte {
 	r0, r1 := p.PoolReserve0.Bytes32(), p.PoolReserve1.Bytes32()
 	h.Write(r0[:])
 	h.Write(r1[:])
+	h.Write([]byte(p.PoolID))
 	h.Write(p.NextGroupKey)
 	var out [32]byte
 	copy(out[:], h.Sum(nil))

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"testing"
+)
+
+// TestMultiDeterminism: same seed, same stream — including pool routing.
+func TestMultiDeterminism(t *testing.T) {
+	a := NewMulti(DefaultMultiConfig(9, 32))
+	b := NewMulti(DefaultMultiConfig(9, 32))
+	for i := 0; i < 2000; i++ {
+		ta, tb := a.Next(), b.Next()
+		if ta.ID != tb.ID || ta.PoolID != tb.PoolID || ta.Kind != tb.Kind || ta.User != tb.User {
+			t.Fatalf("stream diverged at %d: %+v vs %+v", i, ta, tb)
+		}
+	}
+}
+
+// TestMultiZipfSkew: the Zipf head must dominate and the IDs must route
+// to registered pools only.
+func TestMultiZipfSkew(t *testing.T) {
+	const pools, draws = 32, 20000
+	g := NewMulti(DefaultMultiConfig(3, pools))
+	valid := make(map[string]bool, pools)
+	for _, id := range g.PoolIDs() {
+		valid[id] = true
+	}
+	counts := make(map[string]int)
+	for i := 0; i < draws; i++ {
+		tx := g.Next()
+		if !valid[tx.PoolID] {
+			t.Fatalf("tx routed to unregistered pool %q", tx.PoolID)
+		}
+		counts[tx.PoolID]++
+	}
+	hottest := counts[g.PoolIDs()[0]]
+	if hottest < draws/10 {
+		t.Errorf("hottest pool drew %d/%d, want a dominant Zipf head", hottest, draws)
+	}
+	spread := 0
+	for _, c := range counts {
+		if c > 0 {
+			spread++
+		}
+	}
+	if spread < pools/4 {
+		t.Errorf("only %d/%d pools drew traffic; tail too thin", spread, pools)
+	}
+}
+
+// TestMultiUniqueIDsAcrossPools: transaction IDs (and therefore derived
+// position IDs) are namespaced per pool.
+func TestMultiUniqueIDsAcrossPools(t *testing.T) {
+	g := NewMulti(DefaultMultiConfig(5, 16))
+	seen := make(map[string]bool)
+	for i := 0; i < 10000; i++ {
+		tx := g.Next()
+		if seen[tx.ID] {
+			t.Fatalf("duplicate tx ID %q", tx.ID)
+		}
+		seen[tx.ID] = true
+	}
+}
+
+// TestMultiPoolNameMatchesEngineScheme pins the default naming the
+// engine relies on.
+func TestMultiPoolNameMatchesEngineScheme(t *testing.T) {
+	g := NewMulti(DefaultMultiConfig(1, 3))
+	want := []string{"pool-0000", "pool-0001", "pool-0002"}
+	for i, id := range g.PoolIDs() {
+		if id != want[i] {
+			t.Errorf("PoolIDs[%d] = %q, want %q", i, id, want[i])
+		}
+	}
+}

@@ -49,6 +49,10 @@ func Rho(dailyVolume int, roundSeconds float64) int {
 type Config struct {
 	Seed         int64
 	Distribution Distribution
+	// IDPrefix namespaces transaction IDs (and therefore derived position
+	// IDs); multi-pool generation sets it per pool so IDs never collide
+	// across pools.
+	IDPrefix string
 	// NumUsers is the trading population (paper: 100).
 	NumUsers int
 	// LPFraction of users provide liquidity (and own positions).
@@ -133,7 +137,7 @@ func (g *Generator) LPs() []string { return g.lps }
 // Next produces the next transaction in the stream.
 func (g *Generator) Next() *summary.Tx {
 	g.seq++
-	id := fmt.Sprintf("tx-%08d", g.seq)
+	id := fmt.Sprintf("%stx-%08d", g.cfg.IDPrefix, g.seq)
 	d := g.cfg.Distribution
 	total := d.Sum()
 	roll := g.rng.Float64() * total
