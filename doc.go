@@ -4,5 +4,7 @@
 //
 // The public entry points live under internal/ packages re-exported through
 // the example binaries and the experiments harness; see DESIGN.md for the
-// system inventory and EXPERIMENTS.md for the paper-vs-measured results.
+// system inventory (including the sharded multi-pool engine and its
+// incremental state-commitment subsystem) and EXPERIMENTS.md for the
+// paper-vs-measured results and the BENCH_PR2.json perf record.
 package ammboost

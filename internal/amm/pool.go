@@ -80,10 +80,23 @@ type Pool struct {
 	ticks     map[int32]*TickInfo
 	tickList  []int32 // sorted initialized ticks
 	positions map[string]*Position
+	posList   []string // sorted position IDs (incrementally maintained)
 
 	// Reserves actually held by the pool (principal + accrued fees).
 	Reserve0 u256.Int
 	Reserve1 u256.Int
+
+	// Dirty tracking for incremental state commitments. Every mutation
+	// records what it touched: the header flag covers pool-level fields
+	// (price, tick, liquidity, fee growth, reserves), the tick/position
+	// sets cover per-entry accounting, and the structural flag records
+	// changes to set membership (tick flips, position create/delete),
+	// which shift commitment leaf indices and force a chunk-layout
+	// rebuild instead of a path update.
+	dirtyHeader    bool
+	structDirty    bool
+	dirtyTicks     map[int32]struct{}
+	dirtyPositions map[string]struct{}
 }
 
 // NewPool creates a pool for (token0, token1) at the given initial sqrt
@@ -121,7 +134,73 @@ func (p *Pool) Clone() *Pool {
 	for id, pos := range p.positions {
 		c.positions[id] = pos.Clone()
 	}
+	c.posList = append([]string(nil), p.posList...)
+	// Dirty state is preserved: a clone of a half-dirty pool must commit
+	// the same pending changes (the executor's swap-rollback snapshot
+	// relies on restoring the dirty sets along with the state).
+	c.dirtyTicks = nil
+	c.dirtyPositions = nil
+	if len(p.dirtyTicks) > 0 {
+		c.dirtyTicks = make(map[int32]struct{}, len(p.dirtyTicks))
+		for t := range p.dirtyTicks {
+			c.dirtyTicks[t] = struct{}{}
+		}
+	}
+	if len(p.dirtyPositions) > 0 {
+		c.dirtyPositions = make(map[string]struct{}, len(p.dirtyPositions))
+		for id := range p.dirtyPositions {
+			c.dirtyPositions[id] = struct{}{}
+		}
+	}
 	return &c
+}
+
+// --- dirty tracking ---
+
+func (p *Pool) markHeaderDirty() { p.dirtyHeader = true }
+
+func (p *Pool) markTickDirty(tick int32) {
+	if p.dirtyTicks == nil {
+		p.dirtyTicks = make(map[int32]struct{}, 8)
+	}
+	p.dirtyTicks[tick] = struct{}{}
+}
+
+func (p *Pool) markPositionDirty(id string) {
+	if p.dirtyPositions == nil {
+		p.dirtyPositions = make(map[string]struct{}, 8)
+	}
+	p.dirtyPositions[id] = struct{}{}
+}
+
+// Dirty reports whether any state changed since the last ClearDirty.
+func (p *Pool) Dirty() bool {
+	return p.dirtyHeader || p.structDirty || len(p.dirtyTicks) > 0 || len(p.dirtyPositions) > 0
+}
+
+// HeaderDirty reports whether pool-level fields changed.
+func (p *Pool) HeaderDirty() bool { return p.dirtyHeader }
+
+// StructurallyDirty reports whether tick or position set membership
+// changed (leaf insertion/removal, not just value updates).
+func (p *Pool) StructurallyDirty() bool { return p.structDirty }
+
+// DirtyTicks returns the set of ticks touched since the last ClearDirty.
+// The returned map is the pool's internal set; callers must not mutate it
+// and must not retain it across mutations.
+func (p *Pool) DirtyTicks() map[int32]struct{} { return p.dirtyTicks }
+
+// DirtyPositions returns the set of position IDs touched since the last
+// ClearDirty, under the same internal-view contract as DirtyTicks.
+func (p *Pool) DirtyPositions() map[string]struct{} { return p.dirtyPositions }
+
+// ClearDirty resets all dirty tracking; the caller asserts its cached
+// commitment now reflects the pool's current state.
+func (p *Pool) ClearDirty() {
+	p.dirtyHeader = false
+	p.structDirty = false
+	clear(p.dirtyTicks)
+	clear(p.dirtyPositions)
 }
 
 // Position returns the position with the given ID, or nil.
@@ -148,6 +227,37 @@ func (p *Pool) TickInfoAt(tick int32) *TickInfo { return p.ticks[tick] }
 // state-root encoding walks them deterministically).
 func (p *Pool) Ticks() []int32 {
 	return append([]int32(nil), p.tickList...)
+}
+
+// TickKeys returns the pool's internal sorted tick list without copying.
+// The slice must not be modified and is valid only until the next
+// mutation; commitment hot paths use it to avoid per-call allocation.
+func (p *Pool) TickKeys() []int32 { return p.tickList }
+
+// NumTicks returns the number of initialized ticks.
+func (p *Pool) NumTicks() int { return len(p.tickList) }
+
+// PositionKeys returns the pool's internal sorted position-ID list,
+// maintained incrementally on create/delete so commitment paths never
+// re-sort. Same read-only contract as TickKeys.
+func (p *Pool) PositionKeys() []string { return p.posList }
+
+// insertPosition registers a position ID in the sorted index.
+func (p *Pool) insertPosition(id string) {
+	i := sort.SearchStrings(p.posList, id)
+	if i < len(p.posList) && p.posList[i] == id {
+		return
+	}
+	p.posList = append(p.posList, "")
+	copy(p.posList[i+1:], p.posList[i:])
+	p.posList[i] = id
+}
+
+func (p *Pool) removePosition(id string) {
+	i := sort.SearchStrings(p.posList, id)
+	if i < len(p.posList) && p.posList[i] == id {
+		p.posList = append(p.posList[:i], p.posList[i+1:]...)
+	}
 }
 
 func (p *Pool) checkTicks(lower, upper int32) error {
@@ -238,6 +348,7 @@ func (p *Pool) updateTick(tick int32, liquidityDelta u256.Int, addLiquidity, upp
 	isInit := !info.LiquidityGross.IsZero()
 	if isInit != wasInit {
 		flipped = true
+		p.structDirty = true
 		if isInit {
 			p.insertTick(tick)
 		} else {
@@ -245,6 +356,7 @@ func (p *Pool) updateTick(tick int32, liquidityDelta u256.Int, addLiquidity, upp
 			p.removeTick(tick)
 		}
 	}
+	p.markTickDirty(tick)
 	return flipped, nil
 }
 
@@ -295,6 +407,7 @@ func (p *Pool) updatePositionFees(pos *Position) {
 	}
 	pos.FeeGrowthInside0LastX128 = fg0
 	pos.FeeGrowthInside1LastX128 = fg1
+	p.markPositionDirty(pos.ID)
 }
 
 // MintResult reports the token amounts a mint pulled into the pool.
@@ -317,10 +430,21 @@ func (p *Pool) Mint(posID, owner string, tickLower, tickUpper int32, liquidity u
 	if liquidity.IsZero() {
 		return res, ErrLiquidityZero
 	}
+	// Compute the funding amounts before touching any state: an amount
+	// overflow must reject the mint with the pool untouched, or the
+	// half-applied position would leak into the epoch's state root.
+	sqrtA := SqrtRatioAtTick(tickLower)
+	sqrtB := SqrtRatioAtTick(tickUpper)
+	amount0, amount1, err := AmountsForLiquidity(p.SqrtPriceX96, sqrtA, sqrtB, liquidity, true)
+	if err != nil {
+		return res, err
+	}
 	pos := p.positions[posID]
 	if pos == nil {
 		pos = &Position{ID: posID, Owner: owner, TickLower: tickLower, TickUpper: tickUpper}
 		p.positions[posID] = pos
+		p.insertPosition(posID)
+		p.structDirty = true
 	} else {
 		if pos.Owner != owner {
 			return res, ErrNotPositionOwner
@@ -337,18 +461,12 @@ func (p *Pool) Mint(posID, owner string, tickLower, tickUpper int32, liquidity u
 	}
 	p.updatePositionFees(pos)
 	pos.Liquidity = u256.Add(pos.Liquidity, liquidity)
-
-	sqrtA := SqrtRatioAtTick(tickLower)
-	sqrtB := SqrtRatioAtTick(tickUpper)
-	amount0, amount1, err := AmountsForLiquidity(p.SqrtPriceX96, sqrtA, sqrtB, liquidity, true)
-	if err != nil {
-		return res, err
-	}
 	if p.Tick >= tickLower && p.Tick < tickUpper {
 		p.Liquidity = u256.Add(p.Liquidity, liquidity)
 	}
 	p.Reserve0 = u256.Add(p.Reserve0, amount0)
 	p.Reserve1 = u256.Add(p.Reserve1, amount1)
+	p.markHeaderDirty()
 	res = MintResult{PositionID: posID, Liquidity: liquidity, Amount0: amount0, Amount1: amount1}
 	return res, nil
 }
@@ -383,6 +501,15 @@ func (p *Pool) Burn(posID, caller string, liquidity u256.Int) (BurnResult, error
 		p.updatePositionFees(pos)
 		return res, nil
 	}
+	// As in Mint, resolve the released amounts before mutating: the only
+	// error past this point (insufficient tick liquidity) is caught at
+	// the first updateTick call, before any state change sticks.
+	sqrtA := SqrtRatioAtTick(pos.TickLower)
+	sqrtB := SqrtRatioAtTick(pos.TickUpper)
+	amount0, amount1, err := AmountsForLiquidity(p.SqrtPriceX96, sqrtA, sqrtB, liquidity, false)
+	if err != nil {
+		return res, err
+	}
 	if _, err := p.updateTick(pos.TickLower, liquidity, false, false); err != nil {
 		return res, err
 	}
@@ -391,15 +518,9 @@ func (p *Pool) Burn(posID, caller string, liquidity u256.Int) (BurnResult, error
 	}
 	p.updatePositionFees(pos)
 	pos.Liquidity = u256.Sub(pos.Liquidity, liquidity)
-
-	sqrtA := SqrtRatioAtTick(pos.TickLower)
-	sqrtB := SqrtRatioAtTick(pos.TickUpper)
-	amount0, amount1, err := AmountsForLiquidity(p.SqrtPriceX96, sqrtA, sqrtB, liquidity, false)
-	if err != nil {
-		return res, err
-	}
 	if p.Tick >= pos.TickLower && p.Tick < pos.TickUpper {
 		p.Liquidity = u256.Sub(p.Liquidity, liquidity)
+		p.markHeaderDirty()
 	}
 	pos.TokensOwed0 = u256.Add(pos.TokensOwed0, amount0)
 	pos.TokensOwed1 = u256.Add(pos.TokensOwed1, amount1)
@@ -425,8 +546,14 @@ func (p *Pool) Collect(posID, caller string, amount0Req, amount1Req u256.Int) (p
 	pos.TokensOwed1 = u256.Sub(pos.TokensOwed1, paid1)
 	p.Reserve0 = u256.Sub(p.Reserve0, paid0)
 	p.Reserve1 = u256.Sub(p.Reserve1, paid1)
+	if !paid0.IsZero() || !paid1.IsZero() {
+		p.markHeaderDirty()
+	}
 	if pos.Liquidity.IsZero() && pos.TokensOwed0.IsZero() && pos.TokensOwed1.IsZero() {
 		delete(p.positions, posID)
+		p.removePosition(posID)
+		p.structDirty = true
+		p.markPositionDirty(posID)
 	}
 	return paid0, paid1, nil
 }
@@ -534,6 +661,7 @@ func (p *Pool) Swap(zeroForOne, exactIn bool, amountSpecified, sqrtPriceLimitX96
 			// apply the net liquidity change.
 			info := p.ticks[nextTick]
 			if info != nil {
+				p.markTickDirty(nextTick)
 				if zeroForOne {
 					info.FeeGrowthOutside0X128 = u256.Sub(fgGlobal, info.FeeGrowthOutside0X128)
 					info.FeeGrowthOutside1X128 = u256.Sub(p.FeeGrowthGlobal1X128, info.FeeGrowthOutside1X128)
@@ -564,6 +692,7 @@ func (p *Pool) Swap(zeroForOne, exactIn bool, amountSpecified, sqrtPriceLimitX96
 	}
 
 	// Commit state.
+	p.markHeaderDirty()
 	p.SqrtPriceX96 = sqrtPrice
 	p.Tick = tick
 	p.Liquidity = liquidity
@@ -598,6 +727,7 @@ func (p *Pool) Flash(amount0, amount1 u256.Int, fn FlashFn) error {
 	if repay0.Lt(u256.Add(amount0, fee0)) || repay1.Lt(u256.Add(amount1, fee1)) {
 		return ErrFlashNotRepaid
 	}
+	p.markHeaderDirty()
 	p.Reserve0 = u256.Add(u256.Sub(p.Reserve0, amount0), repay0)
 	p.Reserve1 = u256.Add(u256.Sub(p.Reserve1, amount1), repay1)
 	// Flash fees accrue to in-range liquidity like swap fees.

@@ -463,3 +463,127 @@ func BenchmarkMintBurn(b *testing.B) {
 		}
 	}
 }
+
+// --- dirty tracking (incremental commitment hooks) ---
+
+func TestDirtyTrackingMint(t *testing.T) {
+	p := newTestPool(t)
+	p.ClearDirty()
+	if p.Dirty() {
+		t.Fatal("fresh pool should be clean after ClearDirty")
+	}
+	if _, err := p.Mint("pos1", "lp1", -600, 600, liq(1_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Dirty() || !p.HeaderDirty() || !p.StructurallyDirty() {
+		t.Error("mint of a new position must dirty header and structure")
+	}
+	if _, ok := p.DirtyPositions()["pos1"]; !ok {
+		t.Error("minted position not marked dirty")
+	}
+	for _, tick := range []int32{-600, 600} {
+		if _, ok := p.DirtyTicks()[tick]; !ok {
+			t.Errorf("tick %d not marked dirty by mint", tick)
+		}
+	}
+
+	// A second mint into the same position is a value update, not a
+	// structural change.
+	p.ClearDirty()
+	if _, err := p.Mint("pos1", "lp1", -600, 600, liq(500)); err != nil {
+		t.Fatal(err)
+	}
+	if p.StructurallyDirty() {
+		t.Error("adding liquidity to an existing position must not be structural")
+	}
+	if !p.Dirty() {
+		t.Error("second mint should dirty the pool")
+	}
+}
+
+func TestDirtyTrackingSwap(t *testing.T) {
+	p := newTestPool(t)
+	if _, err := p.Mint("pos1", "lp1", -887220, 887220, liq(10_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	p.ClearDirty()
+	if _, err := p.Swap(true, true, u256.FromUint64(10_000), u256.Zero); err != nil {
+		t.Fatal(err)
+	}
+	if !p.HeaderDirty() {
+		t.Error("swap must dirty the header")
+	}
+	if p.StructurallyDirty() {
+		t.Error("swap without tick flips must not be structural")
+	}
+	if len(p.DirtyPositions()) != 0 {
+		t.Error("swap must not dirty positions directly")
+	}
+}
+
+func TestDirtyTrackingCollectDelete(t *testing.T) {
+	p := newTestPool(t)
+	if _, err := p.Mint("base", "lp0", -887220, 887220, liq(10_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Mint("pos1", "lp1", -600, 600, liq(1_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	p.ClearDirty()
+	if _, err := p.Burn("pos1", "lp1", liq(1_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Collect("pos1", "lp1", u256.Max, u256.Max); err != nil {
+		t.Fatal(err)
+	}
+	if p.Position("pos1") != nil {
+		t.Fatal("position should be deleted after full burn+collect")
+	}
+	if !p.StructurallyDirty() {
+		t.Error("position deletion must be structural")
+	}
+	if _, ok := p.DirtyPositions()["pos1"]; !ok {
+		t.Error("deleted position must be in the dirty set")
+	}
+	for _, id := range p.PositionKeys() {
+		if id == "pos1" {
+			t.Error("deleted position still in sorted index")
+		}
+	}
+}
+
+func TestPositionKeysSorted(t *testing.T) {
+	p := newTestPool(t)
+	for _, id := range []string{"zz", "aa", "mm", "bb"} {
+		if _, err := p.Mint(id, "lp", -600, 600, liq(100_000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := p.PositionKeys()
+	if len(keys) != 4 {
+		t.Fatalf("PositionKeys len = %d, want 4", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("PositionKeys not sorted: %v", keys)
+		}
+	}
+}
+
+func TestClonePreservesDirtyState(t *testing.T) {
+	p := newTestPool(t)
+	if _, err := p.Mint("pos1", "lp1", -600, 600, liq(1_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	c := p.Clone()
+	if !c.Dirty() || !c.StructurallyDirty() {
+		t.Error("clone must preserve dirty state")
+	}
+	c.ClearDirty()
+	if p.Dirty() == false {
+		t.Error("clearing the clone must not clear the original")
+	}
+	if _, ok := p.DirtyPositions()["pos1"]; !ok {
+		t.Error("original dirty set mutated through clone")
+	}
+}

@@ -228,9 +228,11 @@ func (s *MultiSystem) startEpoch(e uint64) {
 	if s.OnEpochStart != nil {
 		s.OnEpochStart(e)
 	}
-	// SnapshotBank across all pools; (user, pool) deposits are credited
-	// on demand as the user's first trade on the pool arrives (modeling
-	// users depositing for the pools they intend to trade).
+	// SnapshotBank: the engine snapshots pools lazily on first touch,
+	// so epoch-open cost tracks the epoch's active pools; (user, pool)
+	// deposits are credited on demand as the user's first trade on the
+	// pool arrives (modeling users depositing for the pools they intend
+	// to trade).
 	s.funded = make(map[string]map[string]bool)
 	if err := s.eng.BeginEpoch(e, nil); err != nil {
 		panic(fmt.Sprintf("core: multi begin epoch %d: %v", e, err))

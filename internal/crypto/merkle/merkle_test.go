@@ -106,6 +106,122 @@ func TestDeterministicRoot(t *testing.T) {
 	}
 }
 
+// leafHashes32 builds n deterministic 32-byte leaf values.
+func leafValues32(n int, seed int64) [][32]byte {
+	r := rand.New(rand.NewSource(seed))
+	out := make([][32]byte, n)
+	for i := range out {
+		r.Read(out[i][:])
+	}
+	return out
+}
+
+func TestHashLeaf32MatchesHashLeaf(t *testing.T) {
+	for _, v := range leafValues32(10, 7) {
+		if HashLeaf32(v) != HashLeaf(v[:]) {
+			t.Fatal("HashLeaf32 diverged from HashLeaf")
+		}
+	}
+}
+
+// TestNew32MatchesNew pins the fixed-width fast path to the generic tree
+// for every small size (odd-promotion edge cases included).
+func TestNew32MatchesNew(t *testing.T) {
+	for n := 0; n <= 33; n++ {
+		vs := leafValues32(n, int64(n)+1)
+		generic := make([][]byte, n)
+		for i := range vs {
+			generic[i] = vs[i][:]
+		}
+		if New32(vs) != New(generic).Root() {
+			t.Fatalf("n=%d: New32 diverged from New().Root()", n)
+		}
+	}
+}
+
+func TestRootFromLeafHashesMatchesTree(t *testing.T) {
+	for n := 1; n <= 17; n++ {
+		ls := leaves(n)
+		hs := make([][32]byte, n)
+		for i, l := range ls {
+			hs[i] = HashLeaf(l)
+		}
+		if RootFromLeafHashes(hs) != New(ls).Root() {
+			t.Fatalf("n=%d: RootFromLeafHashes diverged", n)
+		}
+	}
+	if RootFromLeafHashes(nil) != New(nil).Root() {
+		t.Fatal("empty RootFromLeafHashes diverged from empty tree")
+	}
+}
+
+// TestUpdatableMatchesRebuild drives random single-leaf updates and checks
+// the path-recompute root against a from-scratch tree after every step.
+func TestUpdatableMatchesRebuild(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 3, 5, 8, 13, 16, 31} {
+		hs := make([][32]byte, n)
+		for i := range hs {
+			r.Read(hs[i][:])
+		}
+		u := NewUpdatable(hs)
+		for step := 0; step < 40; step++ {
+			i := r.Intn(n)
+			var leaf [32]byte
+			r.Read(leaf[:])
+			hs[i] = leaf
+			u.Update(i, leaf)
+			want := RootFromLeafHashes(append([][32]byte(nil), hs...))
+			if u.Root() != want {
+				t.Fatalf("n=%d step=%d: updatable root diverged", n, step)
+			}
+		}
+		if u.NumLeaves() != n {
+			t.Fatalf("n=%d: NumLeaves = %d", n, u.NumLeaves())
+		}
+	}
+}
+
+// TestUpdatableReset grows and shrinks the leaf set, reusing storage.
+func TestUpdatableReset(t *testing.T) {
+	u := NewUpdatable(nil)
+	if u.Root() != New(nil).Root() {
+		t.Fatal("empty updatable root diverged from empty tree")
+	}
+	for _, n := range []int{9, 33, 4, 1, 16, 0} {
+		hs := leafValues32(n, int64(n)+99)
+		u.Reset(hs)
+		want := RootFromLeafHashes(append([][32]byte(nil), hs...))
+		if n == 0 {
+			want = New(nil).Root()
+		}
+		if u.Root() != want {
+			t.Fatalf("n=%d: reset root diverged", n)
+		}
+	}
+}
+
+func BenchmarkNew32Fold256(b *testing.B) {
+	vs := leafValues32(256, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = New32(vs)
+	}
+}
+
+func BenchmarkUpdatableUpdate(b *testing.B) {
+	hs := leafValues32(1024, 6)
+	u := NewUpdatable(hs)
+	var leaf [32]byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		leaf[0] = byte(i)
+		u.Update(i%1024, leaf)
+	}
+}
+
 func BenchmarkBuild1000(b *testing.B) {
 	ls := leaves(1000)
 	b.ResetTimer()

@@ -1,0 +1,157 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"ammboost/internal/amm"
+	"ammboost/internal/crypto/merkle"
+	"ammboost/internal/gasmodel"
+	"ammboost/internal/summary"
+	"ammboost/internal/u256"
+)
+
+// buildBigPool creates a pool with many positions and initialized ticks,
+// the state-size regime where incremental commitments matter.
+func buildBigPool(tb testing.TB, positions int) *amm.Pool {
+	tb.Helper()
+	p, err := amm.NewPool("A", "B", 3000, 60, u256.Q96)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := p.Mint("genesis", "lp", -887220, 887220, u256.MustFromDecimal("10000000000000")); err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < positions; i++ {
+		lower := -60 * int32(i%53+1)
+		upper := 60 * int32(i%47+1)
+		if _, err := p.Mint(fmt.Sprintf("pos-%05d", i), "lp", lower, upper, u256.FromUint64(1_000_000)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return p
+}
+
+// BenchmarkStateRoot compares a full state re-hash against the
+// incremental commitment for the same small mutation (one position poke)
+// on a pool with 512 positions: the full path re-serializes and re-hashes
+// every chunk, the incremental path re-hashes one leaf and its tree path.
+func BenchmarkStateRoot(b *testing.B) {
+	const positions = 512
+	b.Run("full", func(b *testing.B) {
+		p := buildBigPool(b, positions)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Burn("pos-00007", "lp", u256.Zero); err != nil {
+				b.Fatal(err)
+			}
+			_ = StateRoot("bench-pool", p)
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		p := buildBigPool(b, positions)
+		c := newPoolCommit()
+		c.Root("bench-pool", p) // warm the cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Burn("pos-00007", "lp", u256.Zero); err != nil {
+				b.Fatal(err)
+			}
+			_ = c.Root("bench-pool", p)
+		}
+	})
+}
+
+// BenchmarkFoldRoots compares folding 256 pool roots through the
+// fixed-width merkle path against the generic byte-slice tree.
+func BenchmarkFoldRoots(b *testing.B) {
+	roots := make([][32]byte, 256)
+	for i := range roots {
+		roots[i][0] = byte(i)
+		roots[i][1] = byte(i >> 8)
+	}
+	b.Run("fixed32", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = FoldRoots(roots)
+		}
+	})
+	b.Run("generic", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			leaves := make([][]byte, len(roots))
+			for j := range roots {
+				leaves[j] = roots[j][:]
+			}
+			_ = merkle.New(leaves).Root()
+		}
+	})
+}
+
+// epochCloseBench drives full epoch cycles on a 256-pool engine where
+// ~10% of pools see traffic, the Zipf-skewed regime the incremental
+// subsystem targets. Setup seeds every pool with positions and tick
+// state; each iteration is one epoch: BeginEpoch (snapshot), one round
+// of swaps on the active pools, EndEpoch (summaries + roots + fold).
+func epochCloseBench(b *testing.B, full bool) {
+	const (
+		pools       = 256
+		activePools = 25 // <=10% of pools see traffic per epoch
+		seedPos     = 24
+		swapsPerEp  = 100
+	)
+	eng, err := New(Config{NumPools: pools, NumShards: 8, FullRecompute: full})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := eng.PoolIDs()
+	for pi, id := range ids {
+		p := eng.Pool(id)
+		for j := 0; j < seedPos; j++ {
+			lower := -60 * int32((pi+j*7)%40+1)
+			upper := 60 * int32((pi+j*5)%40+1)
+			if _, err := p.Mint(fmt.Sprintf("seed-%04d-%02d", pi, j), "lp", lower, upper, u256.FromUint64(2_000_000)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// Prime the commitment caches (cold-start build outside the loop).
+	eng.StateRoots()
+
+	active := ids[:activePools]
+	dep := u256.FromUint64(1 << 40)
+	deps := UniformDeposits(active, []string{"trader"}, dep, dep)
+	batch := make([]*summary.Tx, swapsPerEp)
+	for k := range batch {
+		batch[k] = &summary.Tx{
+			ID: fmt.Sprintf("swap-%03d", k), Kind: gasmodel.KindSwap, User: "trader",
+			PoolID: active[k%activePools], ZeroForOne: k%2 == 0, ExactIn: true,
+			Amount: u256.FromUint64(10_000),
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		epoch := uint64(i + 1)
+		if err := eng.BeginEpoch(epoch, deps); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.ExecuteRound(batch, 1); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.EndEpoch(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEpochClose is the PR's headline number: full epoch cycles on
+// a 256-pool deployment with ~10% pool activity, reference full-rehash
+// mode vs the incremental commitment subsystem.
+func BenchmarkEpochClose(b *testing.B) {
+	b.Run("full", func(b *testing.B) { epochCloseBench(b, true) })
+	b.Run("incremental", func(b *testing.B) { epochCloseBench(b, false) })
+}

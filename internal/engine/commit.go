@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"sort"
+
+	"ammboost/internal/amm"
+	"ammboost/internal/crypto/merkle"
+)
+
+// poolCommit is one pool's incremental state commitment: the chunk-leaf
+// hashes of the last committed state plus the updatable Merkle tree over
+// them. Epoch close asks each pool for its root; a pool untouched this
+// epoch answers from cache in O(1), a touched pool re-hashes only its
+// dirty chunks and either recomputes the tree paths above them (when the
+// tick/position sets are unchanged) or re-folds the tree from cached
+// leaf hashes (when leaves were inserted or removed). Differential tests
+// pin the result to StateRoot's full re-hash bit for bit.
+//
+// Each poolCommit is owned by the pool's shard: the engine never lets
+// two goroutines touch the same instance concurrently.
+// smallPoolLeaves is the chunk count below which a full re-hash is
+// cheaper than maintaining the leaf caches and updatable tree; for such
+// pools the commit keeps only the cached root (idle pools still answer
+// in O(1)).
+const smallPoolLeaves = 64
+
+type poolCommit struct {
+	valid bool // root reflects the pool's current state
+	root  [32]byte
+	// leavesValid reports that the leaf caches and tree mirror the last
+	// committed state; it is dropped when a small-pool commit bypasses
+	// cache maintenance.
+	leavesValid bool
+
+	headerLeaf [32]byte
+	tickKeys   []int32            // sorted ticks as of the last commit
+	posKeys    []string           // sorted position IDs as of the last commit
+	tickLeaf   map[int32][32]byte // cached per-tick chunk hashes
+	posLeaf    map[string][32]byte
+
+	tree   *merkle.Updatable
+	buf    []byte      // chunk serialization scratch
+	hashes [][32]byte  // leaf-hash assembly scratch
+}
+
+func newPoolCommit() *poolCommit {
+	return &poolCommit{
+		tickLeaf: make(map[int32][32]byte),
+		posLeaf:  make(map[string][32]byte),
+	}
+}
+
+// Root returns the commitment root for the pool's current state and
+// clears the pool's dirty tracking: the cache now reflects that state.
+func (c *poolCommit) Root(poolID string, p *amm.Pool) [32]byte {
+	if c.valid && !p.Dirty() {
+		return c.root
+	}
+	if 1+p.NumTicks()+p.NumPositions() < smallPoolLeaves {
+		c.root = StateRoot(poolID, p)
+		c.leavesValid = false
+	} else {
+		if c.leavesValid && !p.StructurallyDirty() {
+			c.updatePaths(poolID, p)
+		} else {
+			c.rebuild(poolID, p)
+		}
+		c.leavesValid = true
+		c.root = c.tree.Root()
+	}
+	p.ClearDirty()
+	c.valid = true
+	return c.root
+}
+
+// updatePaths handles the common case — value changes only, no leaf
+// insertions or removals — with O(dirty · log n) hashing.
+func (c *poolCommit) updatePaths(poolID string, p *amm.Pool) {
+	if p.HeaderDirty() {
+		c.buf = appendHeaderChunk(c.buf[:0], poolID, p)
+		c.headerLeaf = merkle.HashLeaf(c.buf)
+		c.tree.Update(0, c.headerLeaf)
+	}
+	for tick := range p.DirtyTicks() {
+		// No structural change, so every dirty tick is still initialized
+		// and sits at its cached index.
+		i := sort.Search(len(c.tickKeys), func(i int) bool { return c.tickKeys[i] >= tick })
+		c.buf = appendTickChunk(c.buf[:0], tick, p.TickInfoAt(tick))
+		h := merkle.HashLeaf(c.buf)
+		c.tickLeaf[tick] = h
+		c.tree.Update(1+i, h)
+	}
+	base := 1 + len(c.tickKeys)
+	for id := range p.DirtyPositions() {
+		i := sort.SearchStrings(c.posKeys, id)
+		c.buf = appendPositionChunk(c.buf[:0], p.Position(id))
+		h := merkle.HashLeaf(c.buf)
+		c.posLeaf[id] = h
+		c.tree.Update(base+i, h)
+	}
+}
+
+// rebuild handles structural changes and cold starts: dirty chunks are
+// re-hashed (or dropped, for removed leaves), untouched chunk hashes are
+// reused, and the tree is re-folded over the new leaf layout.
+func (c *poolCommit) rebuild(poolID string, p *amm.Pool) {
+	ticks := p.TickKeys()
+	positions := p.PositionKeys()
+
+	if !c.leavesValid {
+		// Cold start: hash every chunk.
+		clear(c.tickLeaf)
+		clear(c.posLeaf)
+		c.buf = appendHeaderChunk(c.buf[:0], poolID, p)
+		c.headerLeaf = merkle.HashLeaf(c.buf)
+		for _, tick := range ticks {
+			c.buf = appendTickChunk(c.buf[:0], tick, p.TickInfoAt(tick))
+			c.tickLeaf[tick] = merkle.HashLeaf(c.buf)
+		}
+		for _, id := range positions {
+			c.buf = appendPositionChunk(c.buf[:0], p.Position(id))
+			c.posLeaf[id] = merkle.HashLeaf(c.buf)
+		}
+	} else {
+		if p.HeaderDirty() {
+			c.buf = appendHeaderChunk(c.buf[:0], poolID, p)
+			c.headerLeaf = merkle.HashLeaf(c.buf)
+		}
+		// Removed leaves are always in the dirty sets (flips and deletes
+		// mark them), so processing the dirty sets alone keeps the leaf
+		// maps covering exactly the live keys.
+		for tick := range p.DirtyTicks() {
+			if ti := p.TickInfoAt(tick); ti == nil {
+				delete(c.tickLeaf, tick)
+			} else {
+				c.buf = appendTickChunk(c.buf[:0], tick, ti)
+				c.tickLeaf[tick] = merkle.HashLeaf(c.buf)
+			}
+		}
+		for id := range p.DirtyPositions() {
+			if pos := p.Position(id); pos == nil {
+				delete(c.posLeaf, id)
+			} else {
+				c.buf = appendPositionChunk(c.buf[:0], pos)
+				c.posLeaf[id] = merkle.HashLeaf(c.buf)
+			}
+		}
+	}
+
+	c.hashes = append(c.hashes[:0], c.headerLeaf)
+	for _, tick := range ticks {
+		c.hashes = append(c.hashes, c.tickLeaf[tick])
+	}
+	for _, id := range positions {
+		c.hashes = append(c.hashes, c.posLeaf[id])
+	}
+	c.tickKeys = append(c.tickKeys[:0], ticks...)
+	c.posKeys = append(c.posKeys[:0], positions...)
+	if c.tree == nil {
+		c.tree = merkle.NewUpdatable(c.hashes)
+	} else {
+		c.tree.Reset(c.hashes)
+	}
+}

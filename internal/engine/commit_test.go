@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"ammboost/internal/gasmodel"
+	"ammboost/internal/summary"
+	"ammboost/internal/u256"
+	"ammboost/internal/workload"
+)
+
+// diffRun drives one engine through a fixed multi-epoch schedule and
+// returns everything the differential comparison needs: per-epoch summary
+// roots, per-epoch payload digests (canonical pool order), and the final
+// per-pool state roots. Epoch 2 carries zero transactions and no
+// deposits, so with lazy snapshots no pool is ever touched in it; epochs
+// 1 and 3 run Zipf traffic, which leaves the cold tail of pools idle too.
+func diffRun(t *testing.T, seed int64, pools, shards int, full bool, batches [][]*summary.Tx, users []string) (summaryRoots [][32]byte, digests [][][32]byte, poolRoots [][32]byte) {
+	t.Helper()
+	eng, err := New(Config{Seed: seed, NumPools: pools, NumShards: shards, FullRecompute: full})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	dep := u256.FromUint64(1 << 40)
+	rounds := len(batches) / 2 // epochs 1 and 3 split the batches
+	for e := uint64(1); e <= 3; e++ {
+		var deps map[string]map[string]summary.Deposit
+		if e != 2 {
+			deps = UniformDeposits(eng.PoolIDs(), users, dep, dep)
+		}
+		if err := eng.BeginEpoch(e, deps); err != nil {
+			t.Fatalf("BeginEpoch %d: %v", e, err)
+		}
+		if e != 2 {
+			half := 0
+			if e == 3 {
+				half = rounds
+			}
+			for r := 0; r < rounds; r++ {
+				if _, err := eng.ExecuteRound(batches[half+r], uint64(r+1)); err != nil {
+					t.Fatalf("ExecuteRound: %v", err)
+				}
+			}
+		}
+		res, err := eng.EndEpoch([]byte("diff-next-key"))
+		if err != nil {
+			t.Fatalf("EndEpoch %d: %v", e, err)
+		}
+		summaryRoots = append(summaryRoots, res.SummaryRoot)
+		ds := make([][32]byte, len(res.Payloads))
+		for i, p := range res.Payloads {
+			ds[i] = p.Digest()
+		}
+		digests = append(digests, ds)
+	}
+	return summaryRoots, digests, eng.StateRoots()
+}
+
+// TestIncrementalMatchesFullReference is the PR's differential pin: for
+// seeds {1, 42, 1337} × shard counts {1, 4, 16}, the incremental
+// commitment path (dirty tracking + cached chunk hashes + lazy
+// snapshots) must reproduce the retained full-rehash reference mode bit
+// for bit — epoch summary roots, every pool's state root, and every sync
+// payload digest — including after an epoch with zero activity anywhere.
+func TestIncrementalMatchesFullReference(t *testing.T) {
+	const pools = 32
+	for _, seed := range []int64{1, 42, 1337} {
+		wcfg := workload.DefaultMultiConfig(seed, pools)
+		gen := workload.NewMulti(wcfg)
+		batches := make([][]*summary.Tx, 6)
+		for i := range batches {
+			batch := make([]*summary.Tx, 150)
+			for j := range batch {
+				batch[j] = gen.Next()
+			}
+			batches[i] = batch
+		}
+		users := gen.Users()
+
+		refSummary, refDigests, refPools := diffRun(t, seed, pools, 1, true, batches, users)
+		for _, shards := range []int{1, 4, 16} {
+			t.Run(fmt.Sprintf("seed=%d/shards=%d", seed, shards), func(t *testing.T) {
+				gotSummary, gotDigests, gotPools := diffRun(t, seed, pools, shards, false, batches, users)
+				for e := range refSummary {
+					if gotSummary[e] != refSummary[e] {
+						t.Errorf("epoch %d: incremental summary root diverged from full reference", e+1)
+					}
+					for i := range refDigests[e] {
+						if gotDigests[e][i] != refDigests[e][i] {
+							t.Errorf("epoch %d pool %d: payload digest diverged", e+1, i)
+						}
+					}
+				}
+				for i := range refPools {
+					if gotPools[i] != refPools[i] {
+						t.Errorf("pool %d: final state root diverged", i)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCachedRootsMatchScratchRecompute checks the cache against the
+// stateless reference directly: after a run, every cached root equals
+// StateRoot recomputed from the pool's live state.
+func TestCachedRootsMatchScratchRecompute(t *testing.T) {
+	const pools = 16
+	eng, err := New(Config{Seed: 7, NumPools: pools, NumShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := workload.DefaultMultiConfig(7, pools)
+	wcfg.PoolIDs = eng.PoolIDs()
+	gen := workload.NewMulti(wcfg)
+	dep := u256.FromUint64(1 << 40)
+	for e := uint64(1); e <= 3; e++ {
+		if err := eng.BeginEpoch(e, UniformDeposits(eng.PoolIDs(), gen.Users(), dep, dep)); err != nil {
+			t.Fatal(err)
+		}
+		for r := uint64(1); r <= 4; r++ {
+			batch := make([]*summary.Tx, 100)
+			for i := range batch {
+				batch[i] = gen.Next()
+			}
+			if _, err := eng.ExecuteRound(batch, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := eng.EndEpoch([]byte("k"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, id := range res.PoolIDs {
+			if want := StateRoot(id, eng.Pool(id)); res.PoolRoots[i] != want {
+				t.Fatalf("epoch %d: cached root of %s diverged from scratch recompute", e, id)
+			}
+		}
+	}
+}
+
+// TestUntouchedPoolKeepsCachedRoot pins the O(1) idle-pool property: a
+// pool with no traffic across epochs reports the identical root without
+// its state advancing.
+func TestUntouchedPoolKeepsCachedRoot(t *testing.T) {
+	eng, err := New(Config{NumPools: 4, NumShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := eng.StateRoots()
+	active := eng.PoolIDs()[0]
+	for e := uint64(1); e <= 3; e++ {
+		if err := eng.BeginEpoch(e, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.AddDeposit(active, "u", u256.FromUint64(1<<30), u256.FromUint64(1<<30)); err != nil {
+			t.Fatal(err)
+		}
+		tx := &summary.Tx{ID: fmt.Sprintf("s%d", e), Kind: gasmodel.KindSwap, User: "u", PoolID: active,
+			ZeroForOne: true, ExactIn: true, Amount: u256.FromUint64(1000)}
+		if _, err := eng.ExecuteRound([]*summary.Tx{tx}, 1); err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.EndEpoch(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, id := range res.PoolIDs {
+			if id == active {
+				if res.PoolRoots[i] == before[i] {
+					t.Errorf("epoch %d: active pool root did not change", e)
+				}
+				continue
+			}
+			if res.PoolRoots[i] != before[i] {
+				t.Errorf("epoch %d: idle pool %s root changed", e, id)
+			}
+		}
+	}
+}

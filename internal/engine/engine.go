@@ -37,6 +37,12 @@ type Config struct {
 	TickSpacing int32
 	// InitialLiquidity seeds each pool's genesis full-range position.
 	InitialLiquidity u256.Int
+	// FullRecompute disables the incremental commitment cache and lazy
+	// epoch snapshots: every BeginEpoch eagerly clones all pools and
+	// every EndEpoch re-hashes full pool state through StateRoot. This is
+	// the retained reference mode the incremental path is differentially
+	// tested against; production runs leave it false.
+	FullRecompute bool
 }
 
 func (c Config) withDefaults() Config {
@@ -75,7 +81,17 @@ type Engine struct {
 
 	epoch   uint64
 	running bool
-	execs   map[string]*summary.Executor
+	// execs[i] is pool i's epoch executor, created lazily on the pool's
+	// first transaction (or deposit) of the epoch so SnapshotBank cost is
+	// proportional to active pools, not registered pools. Slots are
+	// written only by the owning shard (or between rounds on the caller's
+	// goroutine), so no locking is needed.
+	execs []*summary.Executor
+	// epochDeposits holds BeginEpoch's per-pool deposit earmarks for
+	// lazily created executors; read-only for the epoch's duration.
+	epochDeposits map[string]map[string]summary.Deposit
+	// commits[i] caches pool i's incremental state commitment.
+	commits []*poolCommit
 
 	// Cumulative stats across all epochs.
 	Accepted int
@@ -112,6 +128,10 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 	e.buildShards()
+	e.commits = make([]*poolCommit, cfg.NumPools)
+	for i := range e.commits {
+		e.commits[i] = newPoolCommit()
+	}
 	return e, nil
 }
 
@@ -156,28 +176,45 @@ func (e *Engine) runShards(fn func(shard int, poolIDs []string)) {
 	wg.Wait()
 }
 
-// BeginEpoch snapshots every registered pool into a per-pool executor
-// (SnapshotBank across all pools). deposits maps pool ID → user → the
-// epoch deposit earmarked for that pool; pools absent from the map start
-// with no deposits (their transactions are rejected until AddDeposit).
+// BeginEpoch opens an epoch (SnapshotBank). deposits maps pool ID →
+// user → the epoch deposit earmarked for that pool; pools absent from
+// the map start with no deposits (their transactions are rejected until
+// AddDeposit). Snapshots are lazy: a pool's state is cloned into a
+// per-pool executor only when its first transaction or deposit of the
+// epoch arrives, so epoch-open cost is proportional to the epoch's
+// active pools instead of all registered pools. The deposits map is
+// retained by reference until EndEpoch for lazy executor creation; the
+// caller must not mutate it while the epoch runs. Config.FullRecompute
+// restores the eager clone-everything behavior for reference runs.
 func (e *Engine) BeginEpoch(epoch uint64, deposits map[string]map[string]summary.Deposit) error {
 	if e.running {
 		return ErrEpochStarted
 	}
 	ids := e.reg.IDs()
-	execs := make([]*summary.Executor, len(ids))
-	e.runShards(func(_ int, poolIDs []string) {
-		for _, id := range poolIDs {
-			execs[e.poolIndex[id]] = summary.NewExecutor(epoch, e.reg.Get(id), deposits[id])
-		}
-	})
-	e.execs = make(map[string]*summary.Executor, len(ids))
-	for i, id := range ids {
-		e.execs[id] = execs[i]
-	}
+	e.execs = make([]*summary.Executor, len(ids))
+	e.epochDeposits = deposits
 	e.epoch = epoch
 	e.running = true
+	if e.cfg.FullRecompute {
+		e.runShards(func(_ int, poolIDs []string) {
+			for _, id := range poolIDs {
+				i := e.poolIndex[id]
+				e.execs[i] = summary.NewExecutor(epoch, e.reg.Get(id), deposits[id])
+			}
+		})
+	}
 	return nil
+}
+
+// execFor returns pool index i's executor, snapshotting the pool on
+// first use. Safe only on the pool's owning shard or between rounds.
+func (e *Engine) execFor(i int, id string) *summary.Executor {
+	exec := e.execs[i]
+	if exec == nil {
+		exec = summary.NewExecutor(e.epoch, e.reg.Get(id), e.epochDeposits[id])
+		e.execs[i] = exec
+	}
+	return exec
 }
 
 // AddDeposit credits a user's mid-epoch deposit on one pool.
@@ -185,11 +222,11 @@ func (e *Engine) AddDeposit(poolID, user string, amount0, amount1 u256.Int) erro
 	if !e.running {
 		return ErrNoEpoch
 	}
-	exec := e.execs[poolID]
-	if exec == nil {
+	i, ok := e.poolIndex[poolID]
+	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownPool, poolID)
 	}
-	exec.AddDeposit(user, amount0, amount1)
+	e.execFor(i, poolID).AddDeposit(user, amount0, amount1)
 	return nil
 }
 
@@ -221,7 +258,7 @@ func (e *Engine) ExecuteRound(txs []*summary.Tx, round uint64) (RoundResult, err
 		if id == "" {
 			id = defaultPool
 		}
-		if e.execs[id] == nil {
+		if _, ok := e.poolIndex[id]; !ok {
 			unknown++
 			continue
 		}
@@ -234,7 +271,7 @@ func (e *Engine) ExecuteRound(txs []*summary.Tx, round uint64) (RoundResult, err
 			if len(idxs) == 0 {
 				continue
 			}
-			exec := e.execs[id]
+			exec := e.execFor(e.poolIndex[id], id)
 			for _, i := range idxs {
 				if err := exec.Apply(txs[i], round); err != nil {
 					rejectedPerShard[shard]++
@@ -259,8 +296,8 @@ func (e *Engine) ExecuteRound(txs []*summary.Tx, round uint64) (RoundResult, err
 }
 
 // EpochResult is the epoch's folded outcome: per-pool sync payloads and
-// state roots in canonical pool order, per-shard roots (diagnostics), and
-// the single epoch summary root every shard layout agrees on.
+// state roots in canonical pool order, and the single epoch summary root
+// every shard layout agrees on.
 type EpochResult struct {
 	Epoch   uint64
 	PoolIDs []string
@@ -268,8 +305,6 @@ type EpochResult struct {
 	Payloads []*summary.SyncPayload
 	// PoolRoots[i] is the end-of-epoch state root of PoolIDs[i].
 	PoolRoots [][32]byte
-	// ShardRoots[s] folds shard s's pool roots (varies with layout).
-	ShardRoots [][32]byte
 	// SummaryRoot folds PoolRoots in canonical order: identical for any
 	// shard count under the same seed and traffic.
 	SummaryRoot [32]byte
@@ -285,9 +320,45 @@ func (r *EpochResult) RootFor(poolID string) ([32]byte, bool) {
 	return [32]byte{}, false
 }
 
+// poolRoot returns pool i's state root: the incremental commitment by
+// default, the full re-hash in FullRecompute reference mode. Dirty
+// tracking is cleared either way so both modes leave identical state.
+func (e *Engine) poolRoot(i int, id string, p *amm.Pool) [32]byte {
+	if e.cfg.FullRecompute {
+		root := StateRoot(id, p)
+		p.ClearDirty()
+		return root
+	}
+	return e.commits[i].Root(id, p)
+}
+
+// untouchedPayload is the sync payload of a pool with no executor this
+// epoch: nothing traded, so the payout list is exactly the epoch's
+// earmarked deposits and the position list is empty. It is bit-identical
+// to what an eagerly created executor with no transactions produces.
+func untouchedPayload(epoch uint64, p *amm.Pool, deposits map[string]summary.Deposit, nextGroupKey []byte) *summary.SyncPayload {
+	sp := &summary.SyncPayload{
+		Epoch:        epoch,
+		PoolReserve0: p.Reserve0,
+		PoolReserve1: p.Reserve1,
+		NextGroupKey: nextGroupKey,
+	}
+	if len(deposits) > 0 {
+		sp.Payouts = make([]summary.PayoutEntry, 0, len(deposits))
+		for user, d := range deposits {
+			sp.Payouts = append(sp.Payouts, summary.PayoutEntry{User: user, Amount0: d.Amount0, Amount1: d.Amount1})
+		}
+		sp.SortEntries()
+	}
+	return sp
+}
+
 // EndEpoch folds every pool's epoch into its sync payload, computes state
 // roots, advances each pool's canonical state to the epoch's final state,
-// and returns the folded result.
+// and returns the folded result. Pools untouched this epoch were never
+// snapshotted: their payloads are derived directly from canonical state
+// and their roots answered from the commitment cache, so epoch-close cost
+// scales with the epoch's activity rather than accumulated state.
 func (e *Engine) EndEpoch(nextGroupKey []byte) (*EpochResult, error) {
 	if !e.running {
 		return nil, ErrNoEpoch
@@ -299,48 +370,53 @@ func (e *Engine) EndEpoch(nextGroupKey []byte) (*EpochResult, error) {
 	e.runShards(func(_ int, poolIDs []string) {
 		for _, id := range poolIDs {
 			i := e.poolIndex[id]
-			exec := e.execs[id]
+			exec := e.execs[i]
+			if exec == nil {
+				pool := e.reg.Get(id)
+				p := untouchedPayload(e.epoch, pool, e.epochDeposits[id], nextGroupKey)
+				p.PoolID = id
+				payloads[i] = p
+				roots[i] = e.poolRoot(i, id, pool)
+				continue
+			}
 			p := exec.Summary(nextGroupKey)
 			p.PoolID = id
 			payloads[i] = p
 			finals[i] = exec.Pool
-			roots[i] = StateRoot(id, exec.Pool)
+			roots[i] = e.poolRoot(i, id, exec.Pool)
 		}
 	})
 	// Advance canonical pool states on the caller's goroutine (the
-	// registry map is not written concurrently).
+	// registry map is not written concurrently). Untouched pools keep
+	// their canonical state.
 	for i, id := range ids {
-		e.reg.replace(id, finals[i])
-	}
-	shardRoots := make([][32]byte, e.numShards)
-	for s, poolIDs := range e.shardPools {
-		rs := make([][32]byte, len(poolIDs))
-		for j, id := range poolIDs {
-			rs[j] = roots[e.poolIndex[id]]
+		if finals[i] != nil {
+			e.reg.replace(id, finals[i])
 		}
-		shardRoots[s] = FoldRoots(rs)
 	}
 	res := &EpochResult{
 		Epoch:       e.epoch,
 		PoolIDs:     append([]string(nil), ids...),
 		Payloads:    payloads,
 		PoolRoots:   roots,
-		ShardRoots:  shardRoots,
 		SummaryRoot: FoldRoots(roots),
 	}
 	e.execs = nil
+	e.epochDeposits = nil
 	e.running = false
 	return res, nil
 }
 
 // StateRoots returns the current canonical state root of every pool in
-// canonical order (valid between epochs).
+// canonical order (valid between epochs). Between epochs every pool is
+// clean, so the incremental path answers entirely from cached roots.
 func (e *Engine) StateRoots() [][32]byte {
 	ids := e.reg.IDs()
 	roots := make([][32]byte, len(ids))
 	e.runShards(func(_ int, poolIDs []string) {
 		for _, id := range poolIDs {
-			roots[e.poolIndex[id]] = StateRoot(id, e.reg.Get(id))
+			i := e.poolIndex[id]
+			roots[i] = e.poolRoot(i, id, e.reg.Get(id))
 		}
 	})
 	return roots

@@ -1,85 +1,117 @@
 package engine
 
 import (
-	"crypto/sha256"
 	"encoding/binary"
-	"sort"
 
 	"ammboost/internal/amm"
 	"ammboost/internal/crypto/merkle"
 	"ammboost/internal/u256"
 )
 
-// StateRoot deterministically hashes a pool's full state: price, in-range
-// liquidity, global fee accumulators, reserves, every initialized tick's
-// accounting, and every position (sorted by ID). Two pools that executed
-// the same transaction sequence produce the same root regardless of map
-// iteration order or which shard ran them.
+// A pool's state commitment is a Merkle tree over fixed-layout chunks:
+// leaf 0 is the header chunk (pool identity, price, in-range liquidity,
+// global fee accumulators, reserves), followed by one leaf per
+// initialized tick in ascending tick order, then one leaf per position in
+// ascending position-ID order. Chunking is what makes the commitment
+// incrementally updatable: a swap that crosses two ticks re-hashes the
+// header chunk and two tick leaves and recomputes only the tree paths
+// above them (see poolCommit), instead of re-hashing the whole pool.
+// Each chunk carries a one-byte kind tag and length-prefixed strings so
+// no two distinct states serialize identically.
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(b, v)
+}
+
+func appendI32(b []byte, v int32) []byte { return appendU32(b, uint32(v)) }
+
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendU256(b []byte, v u256.Int) []byte {
+	bs := v.Bytes32()
+	return append(b, bs[:]...)
+}
+
+// appendHeaderChunk serializes the pool-level fields into b.
+func appendHeaderChunk(b []byte, poolID string, p *amm.Pool) []byte {
+	b = append(b, 'H')
+	b = appendStr(b, poolID)
+	b = appendStr(b, p.Token0)
+	b = appendStr(b, p.Token1)
+	b = appendU32(b, p.FeePips)
+	b = appendI32(b, p.TickSpacing)
+	b = appendU256(b, p.SqrtPriceX96)
+	b = appendI32(b, p.Tick)
+	b = appendU256(b, p.Liquidity)
+	b = appendU256(b, p.FeeGrowthGlobal0X128)
+	b = appendU256(b, p.FeeGrowthGlobal1X128)
+	b = appendU256(b, p.Reserve0)
+	b = appendU256(b, p.Reserve1)
+	return b
+}
+
+// appendTickChunk serializes one initialized tick's accounting into b.
+func appendTickChunk(b []byte, tick int32, ti *amm.TickInfo) []byte {
+	b = append(b, 'T')
+	b = appendI32(b, tick)
+	b = appendU256(b, ti.LiquidityGross)
+	b = appendU256(b, ti.LiquidityNetAdd)
+	b = appendU256(b, ti.LiquidityNetSub)
+	b = appendU256(b, ti.FeeGrowthOutside0X128)
+	b = appendU256(b, ti.FeeGrowthOutside1X128)
+	return b
+}
+
+// appendPositionChunk serializes one position into b.
+func appendPositionChunk(b []byte, pos *amm.Position) []byte {
+	b = append(b, 'P')
+	b = appendStr(b, pos.ID)
+	b = appendStr(b, pos.Owner)
+	b = appendI32(b, pos.TickLower)
+	b = appendI32(b, pos.TickUpper)
+	b = appendU256(b, pos.Liquidity)
+	b = appendU256(b, pos.FeeGrowthInside0LastX128)
+	b = appendU256(b, pos.FeeGrowthInside1LastX128)
+	b = appendU256(b, pos.TokensOwed0)
+	b = appendU256(b, pos.TokensOwed1)
+	return b
+}
+
+// StateRoot deterministically hashes a pool's full state from scratch:
+// the header chunk, every initialized tick, and every position, folded
+// into the chunked Merkle layout described above. It is the reference
+// implementation the incremental commitment cache (poolCommit) is
+// differentially tested against: both must produce bit-identical roots
+// for the same state. Two pools that executed the same transaction
+// sequence produce the same root regardless of map iteration order or
+// which shard ran them.
 func StateRoot(poolID string, p *amm.Pool) [32]byte {
-	h := sha256.New()
-	var buf [8]byte
-	put32 := func(v u256.Int) {
-		b := v.Bytes32()
-		h.Write(b[:])
-	}
-	putI32 := func(v int32) {
-		binary.BigEndian.PutUint32(buf[:4], uint32(v))
-		h.Write(buf[:4])
-	}
+	ticks := p.TickKeys()
+	positions := p.PositionKeys()
+	hashes := make([][32]byte, 0, 1+len(ticks)+len(positions))
+	buf := make([]byte, 0, 512)
 
-	h.Write([]byte(poolID))
-	h.Write([]byte(p.Token0))
-	h.Write([]byte(p.Token1))
-	binary.BigEndian.PutUint32(buf[:4], p.FeePips)
-	h.Write(buf[:4])
-	putI32(p.TickSpacing)
-	put32(p.SqrtPriceX96)
-	putI32(p.Tick)
-	put32(p.Liquidity)
-	put32(p.FeeGrowthGlobal0X128)
-	put32(p.FeeGrowthGlobal1X128)
-	put32(p.Reserve0)
-	put32(p.Reserve1)
-
-	for _, tick := range p.Ticks() {
-		ti := p.TickInfoAt(tick)
-		if ti == nil {
-			continue
-		}
-		putI32(tick)
-		put32(ti.LiquidityGross)
-		put32(ti.LiquidityNetAdd)
-		put32(ti.LiquidityNetSub)
-		put32(ti.FeeGrowthOutside0X128)
-		put32(ti.FeeGrowthOutside1X128)
+	buf = appendHeaderChunk(buf, poolID, p)
+	hashes = append(hashes, merkle.HashLeaf(buf))
+	for _, tick := range ticks {
+		buf = appendTickChunk(buf[:0], tick, p.TickInfoAt(tick))
+		hashes = append(hashes, merkle.HashLeaf(buf))
 	}
-
-	positions := p.Positions()
-	sort.Slice(positions, func(i, j int) bool { return positions[i].ID < positions[j].ID })
-	for _, pos := range positions {
-		h.Write([]byte(pos.ID))
-		h.Write([]byte(pos.Owner))
-		putI32(pos.TickLower)
-		putI32(pos.TickUpper)
-		put32(pos.Liquidity)
-		put32(pos.FeeGrowthInside0LastX128)
-		put32(pos.FeeGrowthInside1LastX128)
-		put32(pos.TokensOwed0)
-		put32(pos.TokensOwed1)
+	for _, id := range positions {
+		buf = appendPositionChunk(buf[:0], p.Position(id))
+		hashes = append(hashes, merkle.HashLeaf(buf))
 	}
-
-	var out [32]byte
-	copy(out[:], h.Sum(nil))
-	return out
+	return merkle.RootFromLeafHashes(hashes)
 }
 
 // FoldRoots builds the Merkle tree over per-pool roots in the given order
 // and returns its root. The engine always passes roots in canonical pool
-// order, making the fold independent of the shard layout.
+// order, making the fold independent of the shard layout. The fold uses
+// merkle's fixed-width path: no per-root re-slicing through [][]byte and
+// a single scratch allocation for any N.
 func FoldRoots(roots [][32]byte) [32]byte {
-	leaves := make([][]byte, len(roots))
-	for i := range roots {
-		leaves[i] = roots[i][:]
-	}
-	return merkle.New(leaves).Root()
+	return merkle.New32(roots)
 }

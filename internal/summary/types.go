@@ -68,18 +68,30 @@ func (tx *Tx) Size() int {
 }
 
 // Hash returns a content hash for the transaction (used for position ID
-// derivation and meta-block Merkle leaves).
+// derivation and meta-block Merkle leaves). Variable-length fields are
+// length-prefixed so adjacent fields cannot shift bytes between each
+// other and collide; the writes stay inline so the string conversions
+// stay on the stack.
 func (tx *Tx) Hash() [32]byte {
 	h := sha256.New()
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(tx.ID)))
+	h.Write(n[:])
 	h.Write([]byte(tx.ID))
 	h.Write([]byte{byte(tx.Kind)})
+	binary.BigEndian.PutUint32(n[:], uint32(len(tx.User)))
+	h.Write(n[:])
 	h.Write([]byte(tx.User))
+	binary.BigEndian.PutUint32(n[:], uint32(len(tx.PoolID)))
+	h.Write(n[:])
 	h.Write([]byte(tx.PoolID))
 	amt := tx.Amount.Bytes32()
 	h.Write(amt[:])
+	binary.BigEndian.PutUint32(n[:], uint32(len(tx.PosID)))
+	h.Write(n[:])
 	h.Write([]byte(tx.PosID))
 	var out [32]byte
-	copy(out[:], h.Sum(nil))
+	h.Sum(out[:0])
 	return out
 }
 
@@ -158,14 +170,28 @@ func (p *SyncPayload) Digest() [32]byte {
 	var buf [8]byte
 	binary.BigEndian.PutUint64(buf[:], p.Epoch)
 	h.Write(buf[:])
+	// Variable-length fields are length-prefixed and each list is
+	// count-prefixed, so neither adjacent fields nor the payout/position
+	// boundary can shift bytes and collide (written inline so the string
+	// conversions stay on the stack — see Tx.Hash).
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(p.Payouts)))
+	h.Write(buf[:4])
 	for _, e := range p.Payouts {
+		binary.BigEndian.PutUint32(buf[:4], uint32(len(e.User)))
+		h.Write(buf[:4])
 		h.Write([]byte(e.User))
 		a0, a1 := e.Amount0.Bytes32(), e.Amount1.Bytes32()
 		h.Write(a0[:])
 		h.Write(a1[:])
 	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(p.Positions)))
+	h.Write(buf[:4])
 	for _, e := range p.Positions {
+		binary.BigEndian.PutUint32(buf[:4], uint32(len(e.ID)))
+		h.Write(buf[:4])
 		h.Write([]byte(e.ID))
+		binary.BigEndian.PutUint32(buf[:4], uint32(len(e.Owner)))
+		h.Write(buf[:4])
 		h.Write([]byte(e.Owner))
 		binary.BigEndian.PutUint32(buf[:4], uint32(e.TickLower))
 		h.Write(buf[:4])
@@ -185,10 +211,12 @@ func (p *SyncPayload) Digest() [32]byte {
 	r0, r1 := p.PoolReserve0.Bytes32(), p.PoolReserve1.Bytes32()
 	h.Write(r0[:])
 	h.Write(r1[:])
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(p.PoolID)))
+	h.Write(buf[:4])
 	h.Write([]byte(p.PoolID))
 	h.Write(p.NextGroupKey)
 	var out [32]byte
-	copy(out[:], h.Sum(nil))
+	h.Sum(out[:0])
 	return out
 }
 
@@ -202,15 +230,18 @@ func (p *SyncPayload) EncodeBinary() []byte {
 		b := v.Bytes32()
 		out = append(out, b[16:]...)
 	}
+	var key [65]byte
 	for _, e := range p.Payouts {
-		out = append(out, padKey(e.User)...) // 65-byte uncompressed pubkey
-		put128(e.Amount0)                    // 16-byte token amounts
+		fillKey(&key, e.User)
+		out = append(out, key[:]...) // 65-byte uncompressed pubkey
+		put128(e.Amount0)            // 16-byte token amounts
 		put128(e.Amount1)
 	}
 	for _, e := range p.Positions {
 		id := sha256.Sum256([]byte(e.ID))
-		out = append(out, id[:]...)           // 32-byte position id
-		out = append(out, padKey(e.Owner)...) // 65-byte owner pubkey
+		out = append(out, id[:]...) // 32-byte position id
+		fillKey(&key, e.Owner)
+		out = append(out, key[:]...) // 65-byte owner pubkey
 		liq := e.Liquidity.Bytes32()
 		out = append(out, liq[:]...) // 32-byte liquidity
 		put128(e.Fees0)              // 16-byte fee balances
@@ -231,15 +262,14 @@ func (p *SyncPayload) EncodeBinary() []byte {
 	return out
 }
 
-// padKey renders a user identifier as a 65-byte uncompressed public key.
-func padKey(user string) []byte {
-	out := make([]byte, 65)
+// fillKey renders a user identifier as a 65-byte uncompressed public key
+// in place (the encoder's per-entry hot path stays allocation-free).
+func fillKey(out *[65]byte, user string) {
 	out[0] = 0x04
 	d := sha256.Sum256([]byte(user))
 	copy(out[1:33], d[:])
 	d2 := sha256.Sum256(d[:])
 	copy(out[33:], d2[:])
-	return out
 }
 
 // DerivePositionID generates the unique identifier for a freshly-minted

@@ -1,6 +1,8 @@
 package summary
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -114,5 +116,44 @@ func TestTxHashDistinguishes(t *testing.T) {
 	}
 	if a.Hash() != (&Tx{ID: "x", Kind: 1, User: "u", Amount: u256.FromUint64(5)}).Hash() {
 		t.Error("hash not deterministic")
+	}
+}
+
+// TestEncodeBinaryKeyLayout pins the 65-byte uncompressed-pubkey
+// rendering inside the binary packing: the in-place fillKey used on the
+// encoder hot path must keep producing 0x04 || sha256(user) ||
+// sha256(sha256(user)), byte for byte.
+func TestEncodeBinaryKeyLayout(t *testing.T) {
+	p := &SyncPayload{
+		Epoch:   3,
+		Payouts: []PayoutEntry{{User: "alice", Amount0: u256.FromUint64(7), Amount1: u256.FromUint64(9)}},
+	}
+	out := p.EncodeBinary()
+	if len(out) != 97 {
+		t.Fatalf("payout entry = %d bytes, want 97", len(out))
+	}
+	if out[0] != 0x04 {
+		t.Fatalf("key prefix = %#x, want 0x04", out[0])
+	}
+	d := sha256.Sum256([]byte("alice"))
+	d2 := sha256.Sum256(d[:])
+	if !bytes.Equal(out[1:33], d[:]) || !bytes.Equal(out[33:65], d2[:]) {
+		t.Fatal("key body diverged from sha256-derived rendering")
+	}
+}
+
+// TestDigestAllocFree guards the digest hot paths against regressing to
+// per-call heap copies.
+func TestDigestAllocFree(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	p := randPayload(r)
+	tx := &Tx{ID: "t1", User: "u", PoolID: "pool-0001", Amount: u256.FromUint64(42)}
+	if n := testing.AllocsPerRun(100, func() { _ = tx.Hash() }); n > 1 {
+		t.Errorf("Tx.Hash allocates %.0f times per call", n)
+	}
+	// Digest writes through a reused stack buffer; the only heap
+	// allocation should be the sha256 state itself.
+	if n := testing.AllocsPerRun(100, func() { _ = p.Digest() }); n > 1 {
+		t.Errorf("SyncPayload.Digest allocates %.0f times per call", n)
 	}
 }

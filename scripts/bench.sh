@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# bench.sh — run the incremental-commitment micro-benchmarks and record
+# them as BENCH_PR2.json (benchmark name → ns/op, B/op, allocs/op) so the
+# repo's perf trajectory is tracked in-tree.
+#
+# Usage:
+#   scripts/bench.sh           # full run (default -benchtime=2s)
+#   scripts/bench.sh --smoke   # CI smoke: one iteration per benchmark
+#   BENCHTIME=5s scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2s}"
+if [ "${1:-}" = "--smoke" ]; then
+  BENCHTIME=1x
+fi
+
+out=$(go test -run='^$' \
+  -bench='BenchmarkStateRoot|BenchmarkFoldRoots|BenchmarkEpochClose' \
+  -benchtime="$BENCHTIME" -benchmem ./internal/engine/)
+echo "$out"
+
+echo "$out" | awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  ns = ""; bop = ""; aop = ""
+  for (i = 2; i <= NF; i++) {
+    if ($i == "ns/op") ns = $(i-1)
+    if ($i == "B/op") bop = $(i-1)
+    if ($i == "allocs/op") aop = $(i-1)
+  }
+  if (ns == "") next
+  if (!first) printf(",\n")
+  first = 0
+  printf("  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+         name, ns, (bop == "" ? "null" : bop), (aop == "" ? "null" : aop))
+}
+END { print "\n}" }
+' > BENCH_PR2.json
+
+echo "wrote BENCH_PR2.json:"
+cat BENCH_PR2.json
