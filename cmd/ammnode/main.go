@@ -1,7 +1,8 @@
 // Command ammnode runs a live ammBoost deployment at demo scale and logs
-// the epoch lifecycle: committee election, meta-block rounds, summary
-// blocks, TSQC-authenticated syncs, and pruning, so the chain dynamics are
-// observable end to end.
+// the epoch lifecycle — committee election, meta-block rounds, summary
+// blocks, TSQC-authenticated syncs, and pruning — from the node's event
+// stream (chain.Subscribe), so the chain dynamics are observable end to
+// end exactly as a client would see them.
 //
 // Usage:
 //
@@ -12,8 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
+	"ammboost/internal/chain"
 	"ammboost/internal/core"
 	"ammboost/internal/workload"
 )
@@ -23,39 +26,68 @@ func main() {
 	daily := flag.Int("daily", 500_000, "daily transaction volume (V_D)")
 	committee := flag.Int("committee", 20, "sidechain committee size")
 	seed := flag.Int64("seed", 1, "deterministic run seed")
-	verbose := flag.Bool("v", false, "log every sync")
+	verbose := flag.Bool("v", false, "log meta-blocks and per-op gas")
 	flag.Parse()
 
-	sysCfg := core.Config{
-		Seed:          *seed,
-		EpochRounds:   30,
-		RoundDuration: 7 * time.Second,
-		CommitteeSize: *committee,
-	}
+	sysCfg := chain.NewConfig(
+		chain.WithSeed(*seed),
+		chain.WithEpochRounds(30),
+		chain.WithRoundDuration(7*time.Second),
+		chain.WithCommittee(*committee),
+	)
 	drvCfg := core.DriverConfig{
 		DailyVolume: *daily,
 		Epochs:      *epochs,
 		Workload:    workload.DefaultConfig(*seed),
 	}
-	sys, drv, err := core.NewDriver(sysCfg, drvCfg)
+	node, drv, err := core.NewDriver(sysCfg, drvCfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ammnode: %v\n", err)
 		os.Exit(1)
 	}
-	// Chain the logging hook in front of the driver's deposit funding.
-	driverHook := sys.OnEpochStart
-	sys.OnEpochStart = func(e uint64) {
-		fmt.Printf("[%8s] epoch %d starts: snapshot taken, committee elected, deposits funded\n",
-			sys.Sim().Now().Round(time.Second), e)
-		if driverHook != nil {
-			driverHook(e)
-		}
+
+	// Event-driven lifecycle log: the node publishes every stage; this
+	// loop renders the ones worth a line at demo scale.
+	mask := chain.MaskEpochStart | chain.MaskSummaryBlock | chain.MaskSyncSubmitted |
+		chain.MaskSyncConfirmed | chain.MaskPruned | chain.MaskHalted
+	if *verbose {
+		mask |= chain.MaskMetaBlock
 	}
+	events := node.Subscribe(mask)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for ev := range events {
+			ts := ev.At.Round(time.Second)
+			switch ev.Type {
+			case chain.EventEpochStart:
+				fmt.Printf("[%8s] epoch %d starts: snapshot taken, committee elected, deposits funded\n", ts, ev.Epoch)
+			case chain.EventMetaBlock:
+				fmt.Printf("[%8s]   meta-block %d/%d: %d txs, %d B\n", ts, ev.Epoch, ev.Round, ev.Txs, ev.Bytes)
+			case chain.EventSummaryBlock:
+				fmt.Printf("[%8s]   summary-block for epoch %d: %d B checkpointed\n", ts, ev.Epoch, ev.Bytes)
+			case chain.EventSyncSubmitted:
+				fmt.Printf("[%8s]   sync for epoch %d submitted (%d part(s), %d B)\n", ts, ev.Epoch, ev.Parts, ev.Bytes)
+			case chain.EventSyncConfirmed:
+				fmt.Printf("[%8s]   sync for epoch %d confirmed: %d gas\n", ts, ev.Epoch, ev.Gas)
+			case chain.EventPruned:
+				fmt.Printf("[%8s]   epoch %d meta-blocks pruned\n", ts, ev.Epoch)
+			case chain.EventHalted:
+				fmt.Printf("[%8s] node halted: %v\n", ts, ev.Err)
+			}
+		}
+	}()
 
 	fmt.Printf("ammnode: %d epochs, V_D=%d (ρ=%d tx/round), committee=%d\n",
 		*epochs, *daily, drv.Rho(), *committee)
-	rep := sys.Run(*epochs)
-	if err := sys.Validate(); err != nil {
+	rep, err := node.Run(*epochs)
+	wg.Wait() // drain the event stream before printing the report
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ammnode: lifecycle fault: %v\n", err)
+		os.Exit(1)
+	}
+	if err := node.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "ammnode: invariant violation: %v\n", err)
 		os.Exit(1)
 	}
@@ -74,6 +106,14 @@ func main() {
 		100*float64(rep.SidechainPrunedBytes)/float64(max(rep.SidechainUnpruned, 1)))
 	fmt.Printf("live positions:       %d\n", rep.PositionsLive)
 	fmt.Printf("rejected txs:         %d\n", rep.Rejected)
+	fmt.Printf("lifecycle events:     ")
+	for i, stage := range rep.Collector.LifecycleStages() {
+		if i > 0 {
+			fmt.Printf(", ")
+		}
+		fmt.Printf("%s×%d", stage, rep.Collector.LifecycleCount(stage))
+	}
+	fmt.Println()
 	if *verbose {
 		for _, op := range rep.Collector.Ops() {
 			g, n := rep.Collector.AvgGas(op)

@@ -2,9 +2,14 @@
 // control and throughput boosting layer-2 for automated market makers, per
 // "ammBoost: State Growth Control for AMMs" (DSN 2025).
 //
-// The public entry points live under internal/ packages re-exported through
-// the example binaries and the experiments harness; see DESIGN.md for the
-// system inventory (including the sharded multi-pool engine and its
-// incremental state-commitment subsystem) and EXPERIMENTS.md for the
-// paper-vs-measured results and the BENCH_PR2.json perf record.
+// Clients program against the unified node API in internal/chain: a single
+// chain.Chain interface implemented by both deployment backends (the
+// single-pool core.System and the sharded multi-pool core.MultiSystem),
+// with receipt-returning submission, typed lifecycle errors out of Run,
+// and subscribable epoch lifecycle events. The example binaries and the
+// experiments harness are all built on that surface; see DESIGN.md for the
+// system inventory (including the chain layer, the sharded multi-pool
+// engine, and its incremental state-commitment subsystem) and
+// EXPERIMENTS.md for the paper-vs-measured results plus the
+// BENCH_PR2.json/BENCH_PR3.json perf records.
 package ammboost

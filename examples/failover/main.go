@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"time"
 
+	"ammboost/internal/chain"
 	"ammboost/internal/core"
 	"ammboost/internal/crypto/tsig"
 	"ammboost/internal/netsim"
@@ -87,35 +88,38 @@ func part1ViewChange() {
 
 func part2MassSync() {
 	fmt.Println("── Part 2: skipped Sync + mainchain rollback → mass-sync recovery")
-	sysCfg := core.Config{
-		Seed:          3,
-		EpochRounds:   10,
-		RoundDuration: 7 * time.Second,
-		CommitteeSize: 14, // f = 4
-		Faults: core.FaultPlan{
+	sysCfg := chain.NewConfig(
+		chain.WithSeed(3),
+		chain.WithEpochRounds(10),
+		chain.WithRoundDuration(7*time.Second),
+		chain.WithCommittee(14), // f = 4
+		chain.WithFaults(chain.FaultPlan{
 			SkipSyncEpochs:  map[uint64]bool{2: true},
 			ReorgSyncEpochs: map[uint64]bool{4: true},
 			SilentLeaderRounds: map[[2]uint64]bool{
 				{3, 5}: true,
 			},
-		},
-	}
+		}),
+	)
 	wcfg := workload.DefaultConfig(3)
 	wcfg.NumUsers = 30
 	drvCfg := core.DriverConfig{DailyVolume: 500_000, Epochs: 5, Workload: wcfg}
-	sys, _, err := core.NewDriver(sysCfg, drvCfg)
+	node, _, err := core.NewDriver(sysCfg, drvCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep := sys.Run(5)
-	if err := sys.Validate(); err != nil {
+	rep, err := node.Run(5)
+	if err != nil {
+		log.Fatalf("lifecycle fault (should have been recovered): %v", err)
+	}
+	if err := node.Validate(); err != nil {
 		log.Fatalf("invariants violated after recovery: %v", err)
 	}
 	fmt.Printf("   epoch 2 sync skipped (malicious leader at epoch end)\n")
 	fmt.Printf("   epoch 3 round 5 leader silent → view change (total: %d)\n", rep.ViewChanges)
 	fmt.Printf("   epoch 4 sync lost to mainchain rollback\n")
 	fmt.Printf("   recovery: %d mass-syncs; TokenBank caught up to epoch %d\n",
-		rep.MassSyncs, sys.Bank().LastSyncedEpoch)
+		rep.MassSyncs, node.LastSyncedEpoch())
 	fmt.Printf("   all payouts delivered: avg payout latency %.2f s\n", rep.AvgPayoutLatency.Seconds())
 	fmt.Printf("   cross-layer parity: OK (reserves and positions match)\n")
 }

@@ -1,7 +1,8 @@
 // Multipool: run the ammBoost epoch lifecycle over 64 AMM pools executed
 // by the sharded engine — Zipf-skewed pool popularity, one committee and
 // one TSQC-authenticated Sync spanning every pool per epoch, and a folded
-// summary root that is bit-identical for any shard count.
+// summary root that is bit-identical for any shard count. The deployment
+// is driven entirely through the unified chain.Chain node API.
 package main
 
 import (
@@ -9,6 +10,7 @@ import (
 	"log"
 	"time"
 
+	"ammboost/internal/chain"
 	"ammboost/internal/core"
 	"ammboost/internal/workload"
 )
@@ -19,25 +21,28 @@ func main() {
 		epochs = 3
 		seed   = 1
 	)
-	sysCfg := core.MultiConfig{
-		Seed:          seed,
-		NumPools:      pools,
-		EpochRounds:   10,
-		RoundDuration: 7 * time.Second,
-		CommitteeSize: 20,
-	}
+	sysCfg := chain.NewConfig(
+		chain.WithSeed(seed),
+		chain.WithPools(pools),
+		chain.WithEpochRounds(10),
+		chain.WithRoundDuration(7*time.Second),
+		chain.WithCommittee(20),
+	)
 	drvCfg := core.MultiDriverConfig{
 		DailyVolume: 5_000_000,
 		Epochs:      epochs,
 		Workload:    workload.DefaultMultiConfig(seed, pools),
 	}
-	sys, gen, err := core.NewMultiDriver(sysCfg, drvCfg)
+	node, gen, err := core.NewMultiDriver(sysCfg, drvCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	rep := sys.Run(epochs)
-	if err := sys.Validate(); err != nil {
+	rep, err := node.Run(epochs)
+	if err != nil {
+		log.Fatalf("lifecycle fault: %v", err)
+	}
+	if err := node.Validate(); err != nil {
 		log.Fatalf("multi-pool parity: %v", err)
 	}
 
@@ -57,9 +62,12 @@ func main() {
 	// Hot pools: the Zipf head draws most of the traffic.
 	fmt.Println("  hottest pools (reserve drift from genesis):")
 	for _, pid := range gen.PoolIDs()[:3] {
-		p := sys.Engine().Pool(pid)
+		info, ok := node.PoolInfo(pid)
+		if !ok {
+			log.Fatalf("pool %s not registered", pid)
+		}
 		fmt.Printf("    %s  reserve0=%s reserve1=%s positions=%d\n",
-			pid, p.Reserve0, p.Reserve1, p.NumPositions())
+			info.ID, info.Reserve0, info.Reserve1, info.Positions)
 	}
 	for e := uint64(1); e <= uint64(rep.EpochsRun); e++ {
 		root := rep.SummaryRoots[e]

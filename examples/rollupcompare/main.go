@@ -9,6 +9,7 @@ import (
 	"log"
 	"time"
 
+	"ammboost/internal/chain"
 	"ammboost/internal/core"
 	"ammboost/internal/rollup"
 	"ammboost/internal/workload"
@@ -18,15 +19,23 @@ func main() {
 	const dailyVolume = 5_000_000
 	const epochs = 3
 
-	// ammBoost.
-	sysCfg := core.Config{Seed: 9, EpochRounds: 30, RoundDuration: 7 * time.Second, CommitteeSize: 20}
+	// ammBoost behind the unified chain.Chain node API.
+	sysCfg := chain.NewConfig(
+		chain.WithSeed(9),
+		chain.WithEpochRounds(30),
+		chain.WithRoundDuration(7*time.Second),
+		chain.WithCommittee(20),
+	)
 	drvCfg := core.DriverConfig{DailyVolume: dailyVolume, Epochs: epochs, Workload: workload.DefaultConfig(9)}
-	sys, _, err := core.NewDriver(sysCfg, drvCfg)
+	node, _, err := core.NewDriver(sysCfg, drvCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep := sys.Run(epochs)
-	if err := sys.Validate(); err != nil {
+	rep, err := node.Run(epochs)
+	if err != nil {
+		log.Fatalf("lifecycle fault: %v", err)
+	}
+	if err := node.Validate(); err != nil {
 		log.Fatal(err)
 	}
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ammboost/internal/baseline"
+	"ammboost/internal/chain"
 	"ammboost/internal/core"
 	"ammboost/internal/gasmodel"
 	"ammboost/internal/workload"
@@ -23,15 +24,23 @@ const (
 func main() {
 	fmt.Printf("Trading day: V_D=%d transactions/day, %d epochs of 210 s\n\n", dailyVolume, epochs)
 
-	// ammBoost deployment.
-	sysCfg := core.Config{Seed: 5, EpochRounds: 30, RoundDuration: 7 * time.Second, CommitteeSize: 20}
+	// ammBoost deployment behind the unified chain.Chain node API.
+	sysCfg := chain.NewConfig(
+		chain.WithSeed(5),
+		chain.WithEpochRounds(30),
+		chain.WithRoundDuration(7*time.Second),
+		chain.WithCommittee(20),
+	)
 	drvCfg := core.DriverConfig{DailyVolume: dailyVolume, Epochs: epochs, Workload: workload.DefaultConfig(5)}
-	sys, _, err := core.NewDriver(sysCfg, drvCfg)
+	node, _, err := core.NewDriver(sysCfg, drvCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep := sys.Run(epochs)
-	if err := sys.Validate(); err != nil {
+	rep, err := node.Run(epochs)
+	if err != nil {
+		log.Fatalf("lifecycle fault: %v", err)
+	}
+	if err := node.Validate(); err != nil {
 		log.Fatal(err)
 	}
 
@@ -63,20 +72,18 @@ func main() {
 	byteSave := 100 * (1 - float64(rep.MainchainBytes)/float64(bl.Mainchain().TotalBytes))
 	fmt.Printf("\nammBoost saves %.1f%% gas and %.1f%% chain growth on this day.\n", gasSave, byteSave)
 
-	// Show one LP position's lifecycle from the synced TokenBank state.
+	// Show LP positions' lifecycle from the node's synced position list.
 	fmt.Println("\nTokenBank liquidity positions after the day:")
-	shown := 0
-	for id, pos := range sys.Bank().Positions {
-		short := id
+	for i, pos := range node.Positions() {
+		if i == 5 {
+			break
+		}
+		short := pos.ID
 		if len(short) > 12 {
 			short = short[:12]
 		}
 		fmt.Printf("  %s: owner=%s range=[%d,%d] L=%s fees=(%s, %s)\n",
 			short, pos.Owner, pos.TickLower, pos.TickUpper, pos.Liquidity, pos.Fees0, pos.Fees1)
-		shown++
-		if shown == 5 {
-			break
-		}
 	}
 	byKind := rep.Collector.NumProcessedByKind()
 	fmt.Printf("\nprocessed: %d swaps, %d mints, %d burns, %d collects\n",

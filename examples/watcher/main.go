@@ -1,0 +1,109 @@
+// Watcher: a client-side view of a running ammBoost node through the
+// chain.Chain API's event stream — the consumer a block explorer or
+// monitoring stack would build on. It subscribes to the full lifecycle
+// (epoch starts, meta-blocks, summary checkpoints, syncs, pruning),
+// renders a compact per-epoch digest, and follows one transaction's
+// receipt from submission to pruning.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ammboost/internal/chain"
+	"ammboost/internal/core"
+	"ammboost/internal/gasmodel"
+	"ammboost/internal/summary"
+	"ammboost/internal/u256"
+	"ammboost/internal/workload"
+)
+
+func main() {
+	sysCfg := chain.NewConfig(
+		chain.WithSeed(7),
+		chain.WithEpochRounds(10),
+		chain.WithRoundDuration(7*time.Second),
+		chain.WithCommittee(14),
+	)
+	wcfg := workload.DefaultConfig(7)
+	wcfg.NumUsers = 40
+	drvCfg := core.DriverConfig{DailyVolume: 500_000, Epochs: 3, Workload: wcfg}
+	node, _, err := core.NewDriver(sysCfg, drvCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One receipt to follow end to end.
+	rc, err := node.Submit(&summary.Tx{
+		ID: "watched-swap", Kind: gasmodel.KindSwap, User: "user-001",
+		ZeroForOne: true, ExactIn: true, Amount: u256.FromUint64(5000),
+	})
+	if err != nil {
+		log.Fatalf("submit watched tx: %v", err)
+	}
+
+	// Full-lifecycle subscription, aggregated per epoch.
+	type epochDigest struct {
+		metaBlocks int
+		txs        int
+		bytes      int
+		syncGas    uint64
+		pruned     bool
+	}
+	events := node.Subscribe(chain.MaskAll)
+	done := make(chan map[uint64]*epochDigest)
+	go func() {
+		digests := make(map[uint64]*epochDigest)
+		get := func(e uint64) *epochDigest {
+			d := digests[e]
+			if d == nil {
+				d = &epochDigest{}
+				digests[e] = d
+			}
+			return d
+		}
+		for ev := range events {
+			switch ev.Type {
+			case chain.EventMetaBlock:
+				d := get(ev.Epoch)
+				d.metaBlocks++
+				d.txs += ev.Txs
+				d.bytes += ev.Bytes
+			case chain.EventSyncConfirmed:
+				get(ev.Epoch).syncGas = ev.Gas
+			case chain.EventPruned:
+				get(ev.Epoch).pruned = true
+			case chain.EventHalted:
+				fmt.Printf("!! node halted: %v\n", ev.Err)
+			}
+		}
+		done <- digests
+	}()
+
+	rep, err := node.Run(drvCfg.Epochs)
+	if err != nil {
+		log.Fatalf("lifecycle fault: %v", err)
+	}
+	digests := <-done
+
+	fmt.Println("watcher — per-epoch lifecycle digest from the event stream")
+	for e := uint64(1); e <= uint64(rep.EpochsRun); e++ {
+		d := digests[e]
+		if d == nil {
+			continue
+		}
+		fmt.Printf("  epoch %d: %d meta-blocks, %d txs, %d B; sync gas %d; pruned=%v\n",
+			e, d.metaBlocks, d.txs, d.bytes, d.syncGas, d.pruned)
+	}
+	fmt.Printf("\nwatched receipt %q:\n", rc.TxID)
+	fmt.Printf("  status:       %s (epoch %d, round %d)\n", rc.Status, rc.Epoch, rc.Round)
+	fmt.Printf("  submitted:    %s\n", rc.SubmittedAt)
+	fmt.Printf("  executed:     %s\n", rc.ExecutedAt)
+	fmt.Printf("  checkpointed: %s\n", rc.CheckpointedAt)
+	fmt.Printf("  synced:       %s\n", rc.SyncedAt)
+	fmt.Printf("  pruned:       %s\n", rc.PrunedAt)
+	if rc.Status != chain.StatusPruned {
+		log.Fatalf("watched receipt ended at %s, want pruned", rc.Status)
+	}
+}

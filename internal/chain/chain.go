@@ -1,0 +1,229 @@
+// Package chain defines the unified client-facing node API both ammBoost
+// backends implement: the single-pool core.System and the sharded
+// multi-pool core.MultiSystem. It replaces the two divergent simulation
+// façades with one surface the way real node software exposes state —
+// submission returns a Receipt that advances through the paper's epoch
+// lifecycle (Pending → Executed → Checkpointed → Synced → Pruned),
+// lifecycle faults surface as typed sentinel errors out of Run instead of
+// panics, and the epoch machinery publishes observable Events
+// (EpochStart, MetaBlock, SummaryBlock, SyncSubmitted, SyncConfirmed,
+// Pruned) through Subscribe.
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ammboost/internal/gasmodel"
+	"ammboost/internal/metrics"
+	"ammboost/internal/sim"
+	"ammboost/internal/summary"
+	"ammboost/internal/u256"
+)
+
+// Submission-time validation errors (returned by Submit before the
+// transaction enters the queue).
+var (
+	// ErrUnknownPool rejects a transaction routed to an unregistered pool.
+	ErrUnknownPool = errors.New("chain: unknown pool")
+	// ErrMalformedTx rejects a structurally invalid transaction (zero
+	// swap amount, inverted tick range, burn without a position, …).
+	ErrMalformedTx = errors.New("chain: malformed transaction")
+	// ErrUnfundedUser rejects a transaction from a user the deployment
+	// has never funded (no deposit channel exists for them).
+	ErrUnfundedUser = errors.New("chain: unfunded user")
+	// ErrHalted rejects submissions after a lifecycle fault stopped the
+	// node.
+	ErrHalted = errors.New("chain: node halted after lifecycle fault")
+)
+
+// Lifecycle errors: typed sentinels that propagate through the sim
+// scheduler and out of Run, replacing the former panic sites, so
+// fault-injection runs (FaultPlan) are assertable instead of fatal.
+var (
+	// ErrElectionFailed wraps a failed committee election or key dealing.
+	ErrElectionFailed = errors.New("chain: committee election failed")
+	// ErrLedgerAppend wraps a sidechain ledger append rejection.
+	ErrLedgerAppend = errors.New("chain: sidechain ledger append failed")
+	// ErrSignFailed wraps a TSQC signing failure over a sync payload.
+	ErrSignFailed = errors.New("chain: TSQC signing failed")
+	// ErrSyncReverted surfaces a Sync transaction that was included on
+	// the mainchain but reverted (e.g. a corrupted committee signature).
+	ErrSyncReverted = errors.New("chain: sync transaction reverted")
+	// ErrPruneFailed wraps a failed post-sync pruning pass.
+	ErrPruneFailed = errors.New("chain: pruning failed")
+	// ErrEngineFailed wraps a sharded-engine epoch lifecycle failure.
+	ErrEngineFailed = errors.New("chain: engine epoch lifecycle failed")
+	// ErrExecutionRejected marks a receipt whose transaction was turned
+	// away by the epoch executor (insufficient deposit, bad position, …).
+	ErrExecutionRejected = errors.New("chain: transaction rejected by executor")
+)
+
+// Status is a receipt's position in the epoch lifecycle.
+type Status uint8
+
+const (
+	// StatusPending: accepted into the node's queue, not yet in a block.
+	StatusPending Status = iota
+	// StatusExecuted: applied to the epoch snapshot and mined into a
+	// meta-block.
+	StatusExecuted
+	// StatusCheckpointed: the epoch's summary-block is on the sidechain.
+	StatusCheckpointed
+	// StatusSynced: the epoch's Sync confirmed on the mainchain; payouts
+	// are final.
+	StatusSynced
+	// StatusPruned: the epoch's meta-blocks were pruned; the transaction
+	// survives only through the summary checkpoint.
+	StatusPruned
+	// StatusRejected: turned away by the epoch executor mid-epoch (the
+	// receipt's Err holds the reason). Submission-time validation
+	// failures never produce a receipt at all.
+	StatusRejected
+)
+
+// String renders the status for logs and reports.
+func (s Status) String() string {
+	switch s {
+	case StatusPending:
+		return "pending"
+	case StatusExecuted:
+		return "executed"
+	case StatusCheckpointed:
+		return "checkpointed"
+	case StatusSynced:
+		return "synced"
+	case StatusPruned:
+		return "pruned"
+	case StatusRejected:
+		return "rejected"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Receipt is the handle Submit returns: it advances through the epoch
+// lifecycle as the node processes the transaction, with per-stage virtual
+// timestamps. Receipts are written only from the simulator goroutine;
+// read them after Run returns (or from event-driven code that has
+// observed the corresponding lifecycle event).
+type Receipt struct {
+	// TxID is the submitted transaction's ID (or a synthetic deposit ID).
+	TxID string
+	// PoolID routes multi-pool deployments; empty means the canonical pool.
+	PoolID string
+	// Status is the current lifecycle stage.
+	Status Status
+	// Epoch and Round locate the execution slot (set at execution or
+	// rejection time).
+	Epoch uint64
+	Round uint64
+
+	// Per-stage virtual timestamps; zero means "not reached".
+	SubmittedAt    time.Duration
+	ExecutedAt     time.Duration
+	CheckpointedAt time.Duration
+	SyncedAt       time.Duration
+	PrunedAt       time.Duration
+
+	// Err is the rejection reason when Status == StatusRejected.
+	Err error
+}
+
+// PoolInfo is the queryable state of one registered pool.
+type PoolInfo struct {
+	ID        string
+	Reserve0  u256.Int
+	Reserve1  u256.Int
+	Positions int
+}
+
+// Chain is the unified node API. Both backends — the single-pool
+// core.System and the sharded multi-pool core.MultiSystem — implement
+// it; binaries, examples, and experiments program against this interface
+// only.
+type Chain interface {
+	// Submit validates the transaction up front (unknown pool, malformed
+	// amounts, unfunded user) and queues it, returning the receipt whose
+	// status the lifecycle advances. The error is one of the
+	// submission-time sentinels above.
+	Submit(tx *summary.Tx) (*Receipt, error)
+	// SubmitDeposit funds a user's epoch deposit. On the single-pool
+	// backend this runs the full mainchain deposit flow and the receipt
+	// reaches StatusSynced at confirmation; on the multi-pool backend the
+	// credit lands on the default pool's epoch snapshot directly.
+	SubmitDeposit(user string, epoch uint64, amount0, amount1 u256.Int) (*Receipt, error)
+	// Subscribe returns a channel of lifecycle events matching the mask.
+	// The channel is closed when Run finishes; subscribers must drain it
+	// to completion or release it with Unsubscribe.
+	Subscribe(mask EventMask) <-chan Event
+	// Unsubscribe releases a subscription before the run ends: the
+	// channel closes, undelivered events are dropped, and the node stops
+	// buffering for it.
+	Unsubscribe(ch <-chan Event)
+	// Run executes the planned epochs (plus drain epochs until the queue
+	// empties) and returns the run report. A lifecycle fault ends the run
+	// early: the report covers everything up to the fault and the error
+	// wraps one of the lifecycle sentinels above.
+	Run(epochs int) (*Report, error)
+	// Validate checks the cross-layer invariants after a run.
+	Validate() error
+
+	// Sim exposes the shared discrete-event simulator for scheduling.
+	Sim() *sim.Simulator
+	// Collector exposes the metrics collector.
+	Collector() *metrics.Collector
+	// Epoch returns the currently-running epoch number.
+	Epoch() uint64
+	// LastSyncedEpoch returns the highest epoch the mainchain bank has
+	// confirmed a Sync for.
+	LastSyncedEpoch() uint64
+	// PoolIDs lists the registered pools (the single-pool backend reports
+	// one empty ID, matching Tx.PoolID routing).
+	PoolIDs() []string
+	// PoolInfo reports one pool's canonical reserves and live positions.
+	PoolInfo(poolID string) (PoolInfo, bool)
+	// Positions lists the bank's synced liquidity positions.
+	Positions() []summary.PositionEntry
+}
+
+// CheckTx performs the backend-independent shape validation Submit
+// applies before queueing: amounts, tick ranges, and position references
+// must be plausible for the transaction's kind. Pool and user existence
+// are checked by the backend.
+func CheckTx(tx *summary.Tx) error {
+	if tx == nil {
+		return fmt.Errorf("%w: nil transaction", ErrMalformedTx)
+	}
+	if tx.User == "" {
+		return fmt.Errorf("%w: empty user", ErrMalformedTx)
+	}
+	switch tx.Kind {
+	case gasmodel.KindSwap:
+		if tx.Amount.IsZero() {
+			return fmt.Errorf("%w: zero swap amount", ErrMalformedTx)
+		}
+	case gasmodel.KindMint:
+		if tx.Amount0Desired.IsZero() && tx.Amount1Desired.IsZero() {
+			return fmt.Errorf("%w: mint with no funding", ErrMalformedTx)
+		}
+		if tx.TickLower > tx.TickUpper {
+			return fmt.Errorf("%w: inverted tick range [%d, %d]", ErrMalformedTx, tx.TickLower, tx.TickUpper)
+		}
+	case gasmodel.KindBurn:
+		if tx.PosID == "" {
+			return fmt.Errorf("%w: burn without position", ErrMalformedTx)
+		}
+		if tx.Liquidity.IsZero() && tx.BurnFractionBps == 0 {
+			return fmt.Errorf("%w: burn of nothing", ErrMalformedTx)
+		}
+		if tx.BurnFractionBps > 10_000 {
+			return fmt.Errorf("%w: burn fraction %d bps > 10000", ErrMalformedTx, tx.BurnFractionBps)
+		}
+	case gasmodel.KindCollect:
+		if tx.PosID == "" {
+			return fmt.Errorf("%w: collect without position", ErrMalformedTx)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package chain
+
+import (
+	"time"
+
+	"ammboost/internal/mainchain"
+	"ammboost/internal/metrics"
+	"ammboost/internal/sidechain/pbft"
+	"ammboost/internal/u256"
+)
+
+// FaultPlan schedules the interruptions the paper's recovery mechanisms
+// handle, plus the unrecoverable faults the typed-error path surfaces.
+// Backend support: SilentLeaderRounds and CorruptSyncEpochs work on both
+// backends; SkipSyncEpochs and ReorgSyncEpochs (the mass-sync recovery
+// chain) are single-pool only — the multi-pool constructor rejects them
+// with a typed error rather than silently ignoring them.
+type FaultPlan struct {
+	// SilentLeaderRounds marks (epoch, round) pairs whose leader stays
+	// silent: the committee times out, changes view, and the next leader
+	// re-proposes.
+	SilentLeaderRounds map[[2]uint64]bool
+	// SkipSyncEpochs marks epochs whose committee fails to issue the
+	// Sync call (malicious leader at epoch end); the next committee
+	// mass-syncs. Single-pool backend only.
+	SkipSyncEpochs map[uint64]bool
+	// ReorgSyncEpochs marks epochs whose Sync lands in a mainchain block
+	// that is rolled back; recovery is the same mass-sync path.
+	// Single-pool backend only.
+	ReorgSyncEpochs map[uint64]bool
+	// CorruptSyncEpochs marks epochs whose committee signs a corrupted
+	// digest: the bank's TSQC verification fails, the Sync reverts
+	// on-chain, and Run surfaces ErrSyncReverted (there is no recovery
+	// path for an equivocating committee).
+	CorruptSyncEpochs map[uint64]bool
+}
+
+// SilentLeader reports whether (epoch, round)'s leader stays silent.
+func (f FaultPlan) SilentLeader(epoch, round uint64) bool {
+	return f.SilentLeaderRounds[[2]uint64{epoch, round}]
+}
+
+// Config parameterizes a deployment on either backend. Zero values take
+// the paper's defaults (WithDefaults); NumPools selects the backend:
+// zero runs the single canonical-pool System, one or more runs the
+// sharded-engine MultiSystem.
+type Config struct {
+	Seed int64
+	// EpochRounds is ω, the rounds per epoch (default 30).
+	EpochRounds int
+	// RoundDuration is the sidechain round length (default 7 s).
+	RoundDuration time.Duration
+	// MetaBlockBytes caps the meta-block size (default 1 MB).
+	MetaBlockBytes int
+	// CommitteeSize is the PBFT committee size (default 500).
+	CommitteeSize int
+	// MinerPopulation is the sidechain miner count (default committee
+	// size + 100).
+	MinerPopulation int
+	// ViewChangeTimeout before a silent leader is replaced (default 3 s).
+	ViewChangeTimeout time.Duration
+	// FeePips is the pool fee (default 3000 = 0.30%).
+	FeePips uint32
+	// InitialLiquidity seeds each pool's genesis full-range position.
+	InitialLiquidity u256.Int
+
+	// Single-pool backend: per-user per-epoch deposit funding.
+	DepositPerUser0 u256.Int
+	DepositPerUser1 u256.Int
+
+	// Multi-pool backend. NumPools > 0 selects the sharded engine.
+	NumPools int
+	// NumShards is the engine's worker-shard count (default GOMAXPROCS).
+	NumShards int
+	// DepositPerUserPerPool funds a (user, pool) pair the first time the
+	// user trades on that pool in an epoch.
+	DepositPerUserPerPool u256.Int
+	// SyncGasBudget caps one sync transaction's estimated gas; an epoch
+	// whose payloads exceed it splits into multiple sync parts (default
+	// 20M, comfortably under the 30M block limit).
+	SyncGasBudget uint64
+
+	Mainchain mainchain.Config
+	Model     pbft.Model
+	Faults    FaultPlan
+}
+
+// WithDefaults fills zero values with the paper's configuration. Both
+// backends use this one helper, so shared defaults (seed handling,
+// rounds, durations, committee sizing) cannot drift between them.
+func (c Config) WithDefaults() Config {
+	if c.EpochRounds == 0 {
+		c.EpochRounds = 30
+	}
+	if c.RoundDuration == 0 {
+		c.RoundDuration = 7 * time.Second
+	}
+	if c.MetaBlockBytes == 0 {
+		c.MetaBlockBytes = 1 << 20
+	}
+	if c.CommitteeSize == 0 {
+		c.CommitteeSize = 500
+	}
+	if c.MinerPopulation == 0 {
+		c.MinerPopulation = c.CommitteeSize + 100
+	}
+	if c.ViewChangeTimeout == 0 {
+		c.ViewChangeTimeout = 3 * time.Second
+	}
+	if c.FeePips == 0 {
+		c.FeePips = 3000
+	}
+	if c.InitialLiquidity.IsZero() {
+		c.InitialLiquidity = u256.MustFromDecimal("10000000000000") // 1e13
+	}
+	if c.DepositPerUser0.IsZero() {
+		c.DepositPerUser0 = u256.MustFromDecimal("2000000000") // 2e9
+	}
+	if c.DepositPerUser1.IsZero() {
+		c.DepositPerUser1 = u256.MustFromDecimal("2000000000")
+	}
+	if c.DepositPerUserPerPool.IsZero() {
+		c.DepositPerUserPerPool = u256.FromUint64(1 << 40)
+	}
+	if c.SyncGasBudget == 0 {
+		c.SyncGasBudget = 20_000_000
+	}
+	if c.Mainchain.BlockInterval == 0 {
+		c.Mainchain = mainchain.DefaultConfig()
+	}
+	if c.Model.C1 == 0 {
+		c.Model = pbft.DefaultModel()
+	}
+	return c
+}
+
+// Option mutates a Config under construction.
+type Option func(*Config)
+
+// NewConfig builds a Config from options and fills remaining defaults.
+func NewConfig(opts ...Option) Config {
+	var c Config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c.WithDefaults()
+}
+
+// WithSeed pins the deterministic run seed.
+func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
+
+// WithEpochRounds sets ω, the rounds per epoch.
+func WithEpochRounds(n int) Option { return func(c *Config) { c.EpochRounds = n } }
+
+// WithRoundDuration sets the sidechain round length.
+func WithRoundDuration(d time.Duration) Option { return func(c *Config) { c.RoundDuration = d } }
+
+// WithMetaBlockBytes caps the meta-block size.
+func WithMetaBlockBytes(n int) Option { return func(c *Config) { c.MetaBlockBytes = n } }
+
+// WithCommittee sets the PBFT committee size.
+func WithCommittee(size int) Option { return func(c *Config) { c.CommitteeSize = size } }
+
+// WithMinerPopulation sets the sidechain miner count.
+func WithMinerPopulation(n int) Option { return func(c *Config) { c.MinerPopulation = n } }
+
+// WithPools selects the sharded multi-pool backend with n registered
+// pools.
+func WithPools(n int) Option { return func(c *Config) { c.NumPools = n } }
+
+// WithShards sets the engine's worker-shard count.
+func WithShards(n int) Option { return func(c *Config) { c.NumShards = n } }
+
+// WithFaults installs the fault-injection plan.
+func WithFaults(f FaultPlan) Option { return func(c *Config) { c.Faults = f } }
+
+// WithMainchain overrides the layer-1 parameters.
+func WithMainchain(mc mainchain.Config) Option { return func(c *Config) { c.Mainchain = mc } }
+
+// WithModel overrides the PBFT cost model.
+func WithModel(m pbft.Model) Option { return func(c *Config) { c.Model = m } }
+
+// Report is the unified run summary both backends return from Run.
+// Fields that only one backend produces are zero on the other
+// (MassSyncs/ViewChanges/SidechainUnpruned are single-pool;
+// NumPools/NumShards/SummaryRoots are multi-pool).
+type Report struct {
+	Collector *metrics.Collector
+
+	EpochsRun  int
+	Duration   time.Duration
+	Throughput float64
+
+	AvgSCLatency     time.Duration
+	AvgPayoutLatency time.Duration
+
+	MainchainBytes int
+	MainchainGas   uint64
+
+	SidechainRetainedBytes int
+	SidechainPeakBytes     int
+	SidechainPrunedBytes   int
+	SidechainUnpruned      int
+
+	NumPools  int
+	NumShards int
+
+	SyncsOK     int
+	MassSyncs   int
+	ViewChanges int
+	Rejected    int
+	QueuePeak   int
+
+	PositionsLive int
+	// SummaryRoots[epoch] is the folded multi-pool root per epoch.
+	SummaryRoots map[uint64][32]byte
+}

@@ -1,0 +1,256 @@
+package chain
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// EventType enumerates the observable epoch lifecycle stages.
+type EventType uint8
+
+const (
+	// EventEpochStart: SnapshotBank taken, next committee elected.
+	EventEpochStart EventType = iota
+	// EventMetaBlock: one round's meta-block appended to the sidechain.
+	EventMetaBlock
+	// EventSummaryBlock: the epoch's summary checkpoint appended.
+	EventSummaryBlock
+	// EventSyncSubmitted: the TSQC-signed Sync entered the mainchain
+	// mempool.
+	EventSyncSubmitted
+	// EventSyncConfirmed: every part of the epoch's Sync confirmed.
+	EventSyncConfirmed
+	// EventPruned: the epoch's meta-blocks were pruned.
+	EventPruned
+	// EventHalted: a lifecycle fault stopped the node; Err is set.
+	EventHalted
+
+	numEventTypes
+)
+
+// String renders the event type for logs.
+func (t EventType) String() string {
+	switch t {
+	case EventEpochStart:
+		return "epoch-start"
+	case EventMetaBlock:
+		return "meta-block"
+	case EventSummaryBlock:
+		return "summary-block"
+	case EventSyncSubmitted:
+		return "sync-submitted"
+	case EventSyncConfirmed:
+		return "sync-confirmed"
+	case EventPruned:
+		return "pruned"
+	case EventHalted:
+		return "halted"
+	}
+	return fmt.Sprintf("event(%d)", uint8(t))
+}
+
+// Mask returns the subscription bit for the type.
+func (t EventType) Mask() EventMask { return 1 << t }
+
+// EventMask selects the event types a subscription receives.
+type EventMask uint32
+
+const (
+	MaskEpochStart    = EventMask(1) << EventEpochStart
+	MaskMetaBlock     = EventMask(1) << EventMetaBlock
+	MaskSummaryBlock  = EventMask(1) << EventSummaryBlock
+	MaskSyncSubmitted = EventMask(1) << EventSyncSubmitted
+	MaskSyncConfirmed = EventMask(1) << EventSyncConfirmed
+	MaskPruned        = EventMask(1) << EventPruned
+	MaskHalted        = EventMask(1) << EventHalted
+	// MaskAll subscribes to every lifecycle event.
+	MaskAll = EventMask(1)<<numEventTypes - 1
+)
+
+// Event is one observable lifecycle occurrence. Fields beyond Type, At,
+// and Epoch are populated where meaningful: Round/Txs/Bytes for
+// meta-blocks, Root for summary checkpoints, Parts for chunked or
+// mass-syncs, Gas for confirmed syncs, Err for halts.
+type Event struct {
+	Type  EventType
+	At    time.Duration // virtual time
+	Epoch uint64
+	Round uint64
+	Txs   int
+	Bytes int
+	Parts int
+	Gas   uint64
+	Root  [32]byte
+	Err   error
+}
+
+// Bus fans lifecycle events out to subscribers. Publishing happens on
+// the simulator goroutine and never blocks: each subscription buffers
+// internally and a per-subscription goroutine feeds its channel, so a
+// slow reader cannot stall the epoch lifecycle. Closing the bus closes
+// every subscription channel after its buffer drains.
+type Bus struct {
+	mu     sync.Mutex
+	subs   []*subscription
+	hooks  []func(Event)
+	closed bool
+}
+
+// NewBus creates an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// OnPublish registers a synchronous hook called for every published
+// event (e.g. metrics counting). Hooks run on the publisher's goroutine
+// and must be cheap.
+func (b *Bus) OnPublish(fn func(Event)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.hooks = append(b.hooks, fn)
+}
+
+// Subscribe returns a channel receiving every event whose type is in
+// mask. The channel closes when the bus closes; subscribers must either
+// drain it to completion or release it with Unsubscribe — an abandoned,
+// undrained subscription parks its pump goroutine on the blocked send.
+func (b *Bus) Subscribe(mask EventMask) <-chan Event {
+	s := &subscription{mask: mask, ch: make(chan Event, 16), quit: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	b.mu.Lock()
+	closed := b.closed
+	if !closed {
+		b.subs = append(b.subs, s)
+	}
+	b.mu.Unlock()
+	if closed {
+		close(s.ch)
+		return s.ch
+	}
+	go s.pump()
+	return s.ch
+}
+
+// Unsubscribe releases a subscription obtained from Subscribe: delivery
+// stops, the channel closes (dropping undelivered events), and the pump
+// goroutine exits even if the subscriber stopped reading. Unknown
+// channels are a no-op.
+func (b *Bus) Unsubscribe(ch <-chan Event) {
+	b.mu.Lock()
+	var target *subscription
+	for i, s := range b.subs {
+		if s.ch == ch {
+			target = s
+			b.subs = append(b.subs[:i], b.subs[i+1:]...)
+			break
+		}
+	}
+	b.mu.Unlock()
+	if target != nil {
+		target.cancel()
+	}
+}
+
+// Publish delivers an event to all matching subscriptions and hooks.
+func (b *Bus) Publish(ev Event) {
+	b.mu.Lock()
+	hooks, subs := b.hooks, b.subs
+	b.mu.Unlock()
+	for _, fn := range hooks {
+		fn(ev)
+	}
+	m := ev.Type.Mask()
+	for _, s := range subs {
+		if s.mask&m != 0 {
+			s.push(ev)
+		}
+	}
+}
+
+// Close ends delivery: every subscription channel closes once its
+// buffered events have been consumed.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	subs := b.subs
+	b.mu.Unlock()
+	for _, s := range subs {
+		s.close()
+	}
+}
+
+// subscription buffers events between the publisher (simulator
+// goroutine) and one consumer channel.
+type subscription struct {
+	mask EventMask
+	ch   chan Event
+	quit chan struct{}
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	buf      []Event
+	done     bool
+	canceled bool
+}
+
+func (s *subscription) push(ev Event) {
+	s.mu.Lock()
+	if s.canceled {
+		s.mu.Unlock()
+		return
+	}
+	s.buf = append(s.buf, ev)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// close ends delivery gracefully: buffered events still drain to a
+// reading subscriber before the channel closes.
+func (s *subscription) close() {
+	s.mu.Lock()
+	s.done = true
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// cancel ends delivery immediately (Unsubscribe): undelivered events are
+// dropped and the pump exits even mid-send.
+func (s *subscription) cancel() {
+	s.mu.Lock()
+	if s.canceled {
+		s.mu.Unlock()
+		return
+	}
+	s.canceled = true
+	s.done = true
+	s.buf = nil
+	s.mu.Unlock()
+	close(s.quit)
+	s.cond.Signal()
+}
+
+func (s *subscription) pump() {
+	for {
+		s.mu.Lock()
+		for len(s.buf) == 0 && !s.done {
+			s.cond.Wait()
+		}
+		if s.canceled || len(s.buf) == 0 {
+			s.mu.Unlock()
+			close(s.ch)
+			return
+		}
+		ev := s.buf[0]
+		s.buf = s.buf[1:]
+		s.mu.Unlock()
+		select {
+		case s.ch <- ev:
+		case <-s.quit:
+			close(s.ch)
+			return
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"ammboost/internal/summary"
+	"ammboost/internal/u256"
+	"ammboost/internal/workload"
+)
+
+// benchSystem builds a small deployment for submit-path benchmarks.
+func benchSystem(b *testing.B) (*System, []*summary.Tx) {
+	b.Helper()
+	gen := workload.New(workload.DefaultConfig(42))
+	lps := map[string]bool{}
+	for _, lp := range gen.LPs() {
+		lps[lp] = true
+	}
+	sys, err := NewSystem(smallConfig(42), gen.Users(), lps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A fixed pre-generated stream so both variants submit identical
+	// transactions.
+	txs := make([]*summary.Tx, 4096)
+	for i := range txs {
+		txs[i] = gen.Next()
+	}
+	return sys, txs
+}
+
+// BenchmarkSubmitReceipt measures the redesigned submit path: up-front
+// validation (pool, shape, user) plus receipt allocation and queueing.
+// BENCH_PR3.json records it against BenchmarkSubmitBaseline (the PR 2
+// fire-and-forget append) to pin the receipt overhead.
+func BenchmarkSubmitReceipt(b *testing.B) {
+	sys, txs := benchSystem(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Submit(txs[i%len(txs)]); err != nil {
+			b.Fatal(err)
+		}
+		if len(sys.queue) == cap(sys.queue) && len(sys.queue) >= 1<<16 {
+			sys.queue = sys.queue[:0]
+		}
+	}
+}
+
+// BenchmarkSubmitBaseline measures the PR 2 submit path — timestamp and
+// queue append, no validation, no receipt — as the reference the receipt
+// redesign is compared against.
+func BenchmarkSubmitBaseline(b *testing.B) {
+	sys, txs := benchSystem(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := txs[i%len(txs)]
+		tx.SubmittedAt = sys.sim.Now()
+		sys.queue = append(sys.queue, queuedTx{tx: tx})
+		if len(sys.queue) > sys.queuePeak {
+			sys.queuePeak = len(sys.queue)
+		}
+		if len(sys.queue) == cap(sys.queue) && len(sys.queue) >= 1<<16 {
+			sys.queue = sys.queue[:0]
+		}
+	}
+}
+
+// BenchmarkSubmitExecutePath measures the end-to-end per-transaction hot
+// path the redesign must not regress: submission with receipt tracking
+// plus executor application (the work one meta-block round performs per
+// transaction).
+func BenchmarkSubmitExecutePath(b *testing.B) {
+	sys, txs := benchSystem(b)
+	sys.executor = summary.NewExecutor(1, sys.pool, sys.bank.EpochDeposits(1))
+	for _, u := range sys.users {
+		sys.executor.AddDeposit(u, u256.FromUint64(1<<40), u256.FromUint64(1<<40))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := txs[i%len(txs)]
+		rc, err := sys.Submit(tx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = sys.executor.Apply(tx, 1)
+		_ = rc
+		sys.queue = sys.queue[:0]
+	}
+}

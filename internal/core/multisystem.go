@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
+	"ammboost/internal/chain"
 	"ammboost/internal/engine"
 	"ammboost/internal/gasmodel"
 	"ammboost/internal/mainchain"
@@ -22,87 +24,17 @@ import (
 // ErrMultiParity flags a cross-layer mismatch in a multi-pool deployment.
 var ErrMultiParity = errors.New("core: multi-pool state parity violated")
 
-// MultiConfig parameterizes a multi-pool deployment: the paper's epoch
-// lifecycle (SnapshotBank → meta-block rounds → summary-block → Sync →
-// pruning) running over internal/engine's registered pools instead of the
-// single canonical pool. Zero values take the paper's defaults.
-type MultiConfig struct {
-	Seed int64
-	// NumPools is the registered pool count (default 64).
-	NumPools int
-	// NumShards is the engine's worker-shard count (default GOMAXPROCS).
-	NumShards int
-	// EpochRounds is ω, the rounds per epoch (default 30).
-	EpochRounds int
-	// RoundDuration is the sidechain round length (default 7 s).
-	RoundDuration time.Duration
-	// MetaBlockBytes caps the per-round meta-block size (default 1 MB).
-	MetaBlockBytes int
-	// CommitteeSize is the PBFT committee size (default 500).
-	CommitteeSize int
-	// MinerPopulation is the sidechain miner count (default size + 100).
-	MinerPopulation int
-	// FeePips is each pool's fee (default 3000).
-	FeePips uint32
-	// InitialLiquidity seeds every pool's genesis position.
-	InitialLiquidity u256.Int
-	// DepositPerUserPerPool funds a (user, pool) pair the first time the
-	// user trades on that pool in an epoch. Funding on demand keeps each
-	// pool's payout list limited to its active users — with thousands of
-	// pools, paying out every user on every pool would dwarf the traffic.
-	DepositPerUserPerPool u256.Int
-	// SyncGasBudget caps one sync transaction's estimated gas; an epoch
-	// whose payloads exceed it splits into multiple sync parts (default
-	// 20M, comfortably under the 30M block limit).
-	SyncGasBudget uint64
-
-	Mainchain mainchain.Config
-	Model     pbft.Model
-}
-
-func (c MultiConfig) withDefaults() MultiConfig {
-	if c.NumPools == 0 {
-		c.NumPools = 64
-	}
-	if c.EpochRounds == 0 {
-		c.EpochRounds = 30
-	}
-	if c.RoundDuration == 0 {
-		c.RoundDuration = 7 * time.Second
-	}
-	if c.MetaBlockBytes == 0 {
-		c.MetaBlockBytes = 1 << 20
-	}
-	if c.CommitteeSize == 0 {
-		c.CommitteeSize = 500
-	}
-	if c.MinerPopulation == 0 {
-		c.MinerPopulation = c.CommitteeSize + 100
-	}
-	if c.FeePips == 0 {
-		c.FeePips = 3000
-	}
-	if c.DepositPerUserPerPool.IsZero() {
-		c.DepositPerUserPerPool = u256.FromUint64(1 << 40)
-	}
-	if c.SyncGasBudget == 0 {
-		c.SyncGasBudget = 20_000_000
-	}
-	if c.Mainchain.BlockInterval == 0 {
-		c.Mainchain = mainchain.DefaultConfig()
-	}
-	if c.Model.C1 == 0 {
-		c.Model = pbft.DefaultModel()
-	}
-	return c
-}
+// ErrUnsupportedFault rejects a FaultPlan field the multi-pool backend
+// does not implement (see chain.FaultPlan for per-field support).
+var ErrUnsupportedFault = errors.New("core: fault plan not supported by the multi-pool backend")
 
 // MultiSystem runs the full ammBoost epoch lifecycle across every pool
 // registered in the sharded engine: one committee, one meta-block chain,
 // and one Sync per epoch span all pools; the Sync carries per-pool
-// payloads plus the folded summary root the committee signs.
+// payloads plus the folded summary root the committee signs. It
+// implements the same chain.Chain node API as the single-pool System.
 type MultiSystem struct {
-	cfg MultiConfig
+	cfg chain.Config
 	sim *sim.Simulator
 	// rng is a per-run instance seeded from cfg.Seed — never the global
 	// math/rand state, so concurrent runs and engine shards are isolated.
@@ -117,33 +49,68 @@ type MultiSystem struct {
 	committees map[uint64]*committeeKeys
 	chainSeed  [32]byte
 
-	queue     []*summary.Tx
+	queue     []queuedTx
 	queuePeak int
 	users     []string
+	userSet   map[string]bool
+	poolSet   map[string]bool
 	// funded[poolID][user] marks (user, pool) pairs deposited this epoch.
 	funded map[string]map[string]bool
+	// pendingDeposits holds explicit SubmitDeposit credits that arrived
+	// between epochs; they apply at the next BeginEpoch.
+	pendingDeposits []pendingDeposit
 
 	epoch         uint64
 	epochsPlanned int
 	done          bool
+	err           error
 
 	col         *metrics.Collector
+	bus         *chain.Bus
 	recsByEpoch map[uint64][]*txRecord
 
 	// SummaryRoots records each epoch's folded multi-pool root.
 	SummaryRoots map[uint64][32]byte
 	SyncsOK      int
 	Rejected     int
+	ViewChanges  int
 
 	// OnEpochStart lets a driver keep generating traffic.
 	OnEpochStart func(epoch uint64)
 }
 
+// pendingDeposit is a user's explicit deposit awaiting its target epoch
+// (or, for a deposit submitted between epochs, the next BeginEpoch).
+type pendingDeposit struct {
+	epoch   uint64
+	poolID  string
+	user    string
+	amount0 u256.Int
+	amount1 u256.Int
+	rc      *chain.Receipt
+}
+
+// MultiSystem implements the unified node API.
+var _ chain.Chain = (*MultiSystem)(nil)
+
 // NewMultiSystem builds a multi-pool deployment: the engine with its
 // registered pools, the miner registry, the epoch-1 committee, and the
 // MultiBank deployed on the mainchain with the committee's group key.
-func NewMultiSystem(cfg MultiConfig, users []string) (*MultiSystem, error) {
-	cfg = cfg.withDefaults()
+func NewMultiSystem(cfg chain.Config, users []string) (*MultiSystem, error) {
+	// The multi-pool backend supports silent-leader and corrupted-sync
+	// faults; the skip/reorg mass-sync recovery chain is single-pool
+	// only — reject it loudly rather than silently testing nothing.
+	if len(cfg.Faults.SkipSyncEpochs) > 0 || len(cfg.Faults.ReorgSyncEpochs) > 0 {
+		return nil, fmt.Errorf("%w: SkipSyncEpochs/ReorgSyncEpochs (mass-sync recovery) are single-pool only",
+			ErrUnsupportedFault)
+	}
+	cfg = cfg.WithDefaults()
+	// An explicit NewMultiSystem call with an unset pool count runs the
+	// engine at its minimum; the core.New factory would have routed a
+	// zero-pool config to the single-pool backend instead.
+	if cfg.NumPools == 0 {
+		cfg.NumPools = 1
+	}
 	eng, err := engine.New(engine.Config{
 		Seed:             cfg.Seed,
 		NumPools:         cfg.NumPools,
@@ -161,10 +128,20 @@ func NewMultiSystem(cfg MultiConfig, users []string) (*MultiSystem, error) {
 		eng:          eng,
 		committees:   make(map[uint64]*committeeKeys),
 		users:        users,
+		userSet:      make(map[string]bool, len(users)),
+		poolSet:      make(map[string]bool, cfg.NumPools),
 		col:          metrics.New(),
+		bus:          chain.NewBus(),
 		recsByEpoch:  make(map[uint64][]*txRecord),
 		SummaryRoots: make(map[uint64][32]byte),
 	}
+	for _, u := range users {
+		s.userSet[u] = true
+	}
+	for _, pid := range eng.PoolIDs() {
+		s.poolSet[pid] = true
+	}
+	s.bus.OnPublish(func(ev chain.Event) { s.col.ObserveLifecycle(ev.Type.String()) })
 	s.rng.Read(s.chainSeed[:])
 
 	s.registry = election.NewRegistry()
@@ -202,28 +179,144 @@ func (s *MultiSystem) Collector() *metrics.Collector { return s.col }
 // Epoch returns the currently-running epoch number.
 func (s *MultiSystem) Epoch() uint64 { return s.epoch }
 
-// SubmitTx queues a sidechain transaction at the current virtual time.
-func (s *MultiSystem) SubmitTx(tx *summary.Tx) {
+// LastSyncedEpoch returns the highest epoch MultiBank confirmed every
+// sync part for.
+func (s *MultiSystem) LastSyncedEpoch() uint64 { return s.bank.LastSyncedEpoch }
+
+// PoolIDs lists the registered pools in canonical order.
+func (s *MultiSystem) PoolIDs() []string { return s.eng.PoolIDs() }
+
+// PoolInfo reports one pool's canonical reserves and live positions.
+func (s *MultiSystem) PoolInfo(poolID string) (chain.PoolInfo, bool) {
+	if !s.poolSet[poolID] {
+		return chain.PoolInfo{}, false
+	}
+	p := s.eng.Pool(poolID)
+	return chain.PoolInfo{
+		ID:        poolID,
+		Reserve0:  p.Reserve0,
+		Reserve1:  p.Reserve1,
+		Positions: p.NumPositions(),
+	}, true
+}
+
+// Positions lists the bank's synced liquidity positions across every
+// pool, ordered by (pool, position ID).
+func (s *MultiSystem) Positions() []summary.PositionEntry {
+	var out []summary.PositionEntry
+	for _, pid := range s.eng.PoolIDs() {
+		stored := s.bank.Positions[pid]
+		ids := make([]string, 0, len(stored))
+		for id := range stored {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			out = append(out, stored[id])
+		}
+	}
+	return out
+}
+
+// Subscribe returns a channel of lifecycle events matching the mask; the
+// channel closes when Run finishes.
+func (s *MultiSystem) Subscribe(mask chain.EventMask) <-chan chain.Event {
+	return s.bus.Subscribe(mask)
+}
+
+// Unsubscribe releases an event subscription before the run ends.
+func (s *MultiSystem) Unsubscribe(ch <-chan chain.Event) { s.bus.Unsubscribe(ch) }
+
+// fail records the first lifecycle fault, publishes the halt event, and
+// stops mainchain block production so the simulator drains.
+func (s *MultiSystem) fail(err error) {
+	if s.err == nil {
+		s.err = err
+		s.bus.Publish(chain.Event{Type: chain.EventHalted, At: s.sim.Now(), Epoch: s.epoch, Err: err})
+	}
+	s.mc.Stop()
+}
+
+// Submit validates the transaction up front (pool registration, shape,
+// known user) and queues it at the current virtual time.
+func (s *MultiSystem) Submit(tx *summary.Tx) (*chain.Receipt, error) {
+	if s.err != nil {
+		return nil, chain.ErrHalted
+	}
+	if err := chain.CheckTx(tx); err != nil {
+		return nil, err
+	}
+	if tx.PoolID != "" && !s.poolSet[tx.PoolID] {
+		return nil, fmt.Errorf("%w: %q", chain.ErrUnknownPool, tx.PoolID)
+	}
+	if !s.userSet[tx.User] {
+		return nil, fmt.Errorf("%w: %s", chain.ErrUnfundedUser, tx.User)
+	}
 	tx.SubmittedAt = s.sim.Now()
-	s.queue = append(s.queue, tx)
+	rc := &chain.Receipt{TxID: tx.ID, PoolID: tx.PoolID, Status: chain.StatusPending, SubmittedAt: tx.SubmittedAt}
+	s.queue = append(s.queue, queuedTx{tx: tx, rc: rc})
 	if len(s.queue) > s.queuePeak {
 		s.queuePeak = len(s.queue)
 	}
+	return rc, nil
+}
+
+// SubmitDeposit credits a user's deposit on the default pool for the
+// named epoch (multi-pool deployments fund (user, pool) pairs on
+// demand; an explicit deposit models a user topping up ahead of
+// trading). A deposit for the current or a past epoch is credited to the
+// running snapshot immediately — mirroring the single-pool backend's
+// mid-epoch delta sync — while a future epoch's deposit is held and
+// credited when that epoch opens. The receipt reaches StatusExecuted
+// when the credit lands.
+func (s *MultiSystem) SubmitDeposit(user string, epoch uint64, amount0, amount1 u256.Int) (*chain.Receipt, error) {
+	if s.err != nil {
+		return nil, chain.ErrHalted
+	}
+	if !s.userSet[user] {
+		return nil, fmt.Errorf("%w: %s", chain.ErrUnfundedUser, user)
+	}
+	if amount0.IsZero() && amount1.IsZero() {
+		return nil, fmt.Errorf("%w: empty deposit", chain.ErrMalformedTx)
+	}
+	pid := s.eng.PoolIDs()[0]
+	rc := &chain.Receipt{
+		TxID: fmt.Sprintf("dep-%s-e%d", user, epoch), PoolID: pid,
+		Status: chain.StatusPending, SubmittedAt: s.sim.Now(),
+	}
+	if epoch <= s.epoch {
+		if err := s.eng.AddDeposit(pid, user, amount0, amount1); err == nil {
+			rc.Status = chain.StatusExecuted
+			rc.Epoch = s.epoch
+			rc.ExecutedAt = s.sim.Now()
+			return rc, nil
+		}
+		// Between epochs: fall through and credit at the next BeginEpoch.
+	}
+	s.pendingDeposits = append(s.pendingDeposits, pendingDeposit{
+		epoch: epoch, poolID: pid, user: user, amount0: amount0, amount1: amount1, rc: rc,
+	})
+	return rc, nil
 }
 
 // Run executes the planned epochs (plus drain epochs until the queue
-// empties) and returns the report.
-func (s *MultiSystem) Run(epochs int) *MultiReport {
+// empties) and returns the report; lifecycle faults surface as typed
+// errors instead of panics.
+func (s *MultiSystem) Run(epochs int) (*chain.Report, error) {
 	s.epochsPlanned = epochs
 	s.ledger = sidechain.NewLedger(pbft.DigestOf([]byte("multibank-genesis")))
 	s.sim.At(0, func() { s.startEpoch(1) })
 	s.sim.Run()
-	return s.report()
+	s.bus.Close()
+	return s.report(), s.err
 }
 
 // startEpoch begins epoch e: SnapshotBank across every registered pool,
 // next-committee election, and the round schedule.
 func (s *MultiSystem) startEpoch(e uint64) {
+	if s.err != nil {
+		return
+	}
 	s.epoch = e
 	if s.OnEpochStart != nil {
 		s.OnEpochStart(e)
@@ -235,15 +328,34 @@ func (s *MultiSystem) startEpoch(e uint64) {
 	// to trade).
 	s.funded = make(map[string]map[string]bool)
 	if err := s.eng.BeginEpoch(e, nil); err != nil {
-		panic(fmt.Sprintf("core: multi begin epoch %d: %v", e, err))
+		s.fail(fmt.Errorf("%w: begin epoch %d: %v", chain.ErrEngineFailed, e, err))
+		return
 	}
+	remaining := s.pendingDeposits[:0]
+	for _, pd := range s.pendingDeposits {
+		if pd.epoch > e {
+			remaining = append(remaining, pd)
+			continue
+		}
+		if err := s.eng.AddDeposit(pd.poolID, pd.user, pd.amount0, pd.amount1); err != nil {
+			pd.rc.Status = chain.StatusRejected
+			pd.rc.Err = err
+			continue
+		}
+		pd.rc.Status = chain.StatusExecuted
+		pd.rc.Epoch = e
+		pd.rc.ExecutedAt = s.sim.Now()
+	}
+	s.pendingDeposits = remaining
 	if _, ok := s.committees[e+1]; !ok {
 		ck, err := provisionCommittee(s.rng, s.registry, s.chainSeed, e+1, s.cfg.CommitteeSize)
 		if err != nil {
-			panic(fmt.Sprintf("core: electing committee %d: %v", e+1, err))
+			s.fail(fmt.Errorf("%w: epoch %d: %v", chain.ErrElectionFailed, e+1, err))
+			return
 		}
 		s.committees[e+1] = ck
 	}
+	s.bus.Publish(chain.Event{Type: chain.EventEpochStart, At: s.sim.Now(), Epoch: e})
 	s.runRound(e, 1)
 }
 
@@ -252,28 +364,33 @@ func (s *MultiSystem) startEpoch(e uint64) {
 // pool, shards run concurrently, and the included set (submission order)
 // forms the meta-block spanning all pools.
 func (s *MultiSystem) runRound(e, r uint64) {
+	if s.err != nil {
+		return
+	}
 	roundStart := s.sim.Now()
 
-	var batch []*summary.Tx
+	var batch []queuedTx
+	var batchTxs []*summary.Tx
 	blockBytes := 0
 	consumed := 0
-	for _, tx := range s.queue {
-		if tx.SubmittedAt > roundStart {
+	for _, q := range s.queue {
+		if q.tx.SubmittedAt > roundStart {
 			break // queue is FIFO in submission time
 		}
-		if blockBytes+tx.Size() > s.cfg.MetaBlockBytes {
+		if blockBytes+q.tx.Size() > s.cfg.MetaBlockBytes {
 			break
 		}
 		consumed++
-		batch = append(batch, tx)
-		blockBytes += tx.Size()
+		batch = append(batch, q)
+		batchTxs = append(batchTxs, q.tx)
+		blockBytes += q.tx.Size()
 	}
 	s.queue = s.queue[consumed:]
 
 	// Credit first-touch deposits for this round's (user, pool) pairs.
 	defaultPool := s.eng.PoolIDs()[0]
-	for _, tx := range batch {
-		pid := tx.PoolID
+	for _, q := range batch {
+		pid := q.tx.PoolID
 		if pid == "" {
 			pid = defaultPool
 		}
@@ -282,38 +399,71 @@ func (s *MultiSystem) runRound(e, r uint64) {
 			bucket = make(map[string]bool)
 			s.funded[pid] = bucket
 		}
-		if bucket[tx.User] {
+		if bucket[q.tx.User] {
 			continue
 		}
-		bucket[tx.User] = true
-		// Unknown pools error here and reject in ExecuteRound below.
-		_ = s.eng.AddDeposit(pid, tx.User, s.cfg.DepositPerUserPerPool, s.cfg.DepositPerUserPerPool)
+		bucket[q.tx.User] = true
+		// Submit already rejected unknown pools, so this cannot fail.
+		_ = s.eng.AddDeposit(pid, q.tx.User, s.cfg.DepositPerUserPerPool, s.cfg.DepositPerUserPerPool)
 	}
 
-	res, err := s.eng.ExecuteRound(batch, r)
+	res, err := s.eng.ExecuteRound(batchTxs, r)
 	if err != nil {
-		panic(fmt.Sprintf("core: multi round %d/%d: %v", e, r, err))
+		s.fail(fmt.Errorf("%w: round %d/%d: %v", chain.ErrEngineFailed, e, r, err))
+		return
 	}
 	s.Rejected += res.Rejected
+	// Included is a submission-order subsequence of the batch: walk both
+	// to split accepted entries from rejected ones.
+	var included []queuedTx
 	includedBytes := 0
-	for _, tx := range res.Included {
-		includedBytes += tx.Size()
+	j := 0
+	for _, q := range batch {
+		if j < len(res.Included) && res.Included[j] == q.tx {
+			included = append(included, q)
+			includedBytes += q.tx.Size()
+			j++
+			continue
+		}
+		q.rc.Status = chain.StatusRejected
+		q.rc.Err = chain.ErrExecutionRejected
+		q.rc.Epoch = e
+		q.rc.Round = r
 	}
 
+	// A silent leader adds the view-change detour before the promoted
+	// leader's proposal succeeds, exactly as on the single-pool backend.
 	delay := s.cfg.Model.AgreementTime(s.cfg.CommitteeSize, includedBytes+300)
 	ck := s.committees[e]
-	block := sidechain.NewMetaBlock(e, r, ck.committee.Leader(), s.ledger.TipHash(), res.Included)
+	leader := ck.committee.Leader()
+	if s.cfg.Faults.SilentLeader(e, r) {
+		delay += s.cfg.ViewChangeTimeout + s.cfg.Model.ViewChangeTime(s.cfg.CommitteeSize)
+		s.ViewChanges++
+		leader = ck.committee.LeaderAt(1)
+	}
+	block := sidechain.NewMetaBlock(e, r, leader, s.ledger.TipHash(), res.Included)
 
 	s.sim.After(delay, func() {
+		if s.err != nil {
+			return
+		}
 		block.MinedAt = s.sim.Now()
 		block.CommitVotes = ck.threshold
 		if err := s.ledger.AppendMeta(block); err != nil {
-			panic(fmt.Sprintf("core: multi append meta: %v", err))
+			s.fail(fmt.Errorf("%w: meta %d/%d: %v", chain.ErrLedgerAppend, e, r, err))
+			return
 		}
-		for _, tx := range res.Included {
-			rec := &txRecord{tx: tx, minedAt: block.MinedAt, epoch: e}
-			s.recsByEpoch[e] = append(s.recsByEpoch[e], rec)
+		for _, q := range included {
+			q.rc.Status = chain.StatusExecuted
+			q.rc.ExecutedAt = block.MinedAt
+			q.rc.Epoch = e
+			q.rc.Round = r
+			s.recsByEpoch[e] = append(s.recsByEpoch[e], &txRecord{tx: q.tx, rc: q.rc, minedAt: block.MinedAt, epoch: e})
 		}
+		s.bus.Publish(chain.Event{
+			Type: chain.EventMetaBlock, At: block.MinedAt, Epoch: e, Round: r,
+			Txs: len(included), Bytes: includedBytes,
+		})
 		if r < uint64(s.cfg.EpochRounds) {
 			next := roundStart + s.cfg.RoundDuration
 			if next < s.sim.Now() {
@@ -333,7 +483,8 @@ func (s *MultiSystem) finishEpoch(e uint64, lastRoundStart time.Duration) {
 	nextKey := s.committees[e+1].group
 	epochRes, err := s.eng.EndEpoch(nextKey.PK.Bytes())
 	if err != nil {
-		panic(fmt.Sprintf("core: multi end epoch %d: %v", e, err))
+		s.fail(fmt.Errorf("%w: end epoch %d: %v", chain.ErrEngineFailed, e, err))
+		return
 	}
 	s.SummaryRoots[e] = epochRes.SummaryRoot
 
@@ -344,11 +495,22 @@ func (s *MultiSystem) finishEpoch(e uint64, lastRoundStart time.Duration) {
 	}
 	delay := s.cfg.Model.AgreementTime(s.cfg.CommitteeSize, totalBytes)
 	s.sim.After(delay, func() {
+		if s.err != nil {
+			return
+		}
 		for _, p := range epochRes.Payloads {
 			sb := sidechain.NewSummaryBlock(e, p, metas)
 			sb.MinedAt = s.sim.Now()
 			s.ledger.AppendSummary(sb)
 		}
+		for _, rec := range s.recsByEpoch[e] {
+			rec.rc.Status = chain.StatusCheckpointed
+			rec.rc.CheckpointedAt = s.sim.Now()
+		}
+		s.bus.Publish(chain.Event{
+			Type: chain.EventSummaryBlock, At: s.sim.Now(), Epoch: e,
+			Bytes: totalBytes, Root: epochRes.SummaryRoot,
+		})
 		s.submitSync(e, epochRes)
 
 		lastEpoch := int(e) >= s.epochsPlanned && len(s.queue) == 0
@@ -402,6 +564,8 @@ func (s *MultiSystem) submitSync(e uint64, res *engine.EpochResult) {
 	chunks := chunkPayloads(res.Payloads, s.cfg.SyncGasBudget)
 	submitted := s.sim.Now()
 	confirmed := 0
+	totalSize := 0
+	var totalGas uint64 // accumulated across parts for the event
 	for i, chunk := range chunks {
 		args := &mainchain.MultiSyncArgs{
 			Epoch:       e,
@@ -411,29 +575,42 @@ func (s *MultiSystem) submitSync(e uint64, res *engine.EpochResult) {
 			SummaryRoot: res.SummaryRoot,
 			NextKey:     nextKey,
 		}
-		sig, err := ck.signDigest(args.Digest())
+		digest := args.Digest()
+		if s.cfg.Faults.CorruptSyncEpochs[e] {
+			// Equivocating committee: the signed digest is corrupted, so
+			// MultiBank's TSQC verification rejects the part on-chain.
+			digest[0] ^= 0xff
+		}
+		sig, err := ck.signDigest(digest)
 		if err != nil {
-			panic(fmt.Sprintf("core: signing multi sync: %v", err))
+			s.fail(fmt.Errorf("%w: epoch %d: %v", chain.ErrSignFailed, e, err))
+			return
 		}
 		args.Sig = sig
 		size := 32
 		for _, p := range chunk {
 			size += p.MainchainBytes()
 		}
+		totalSize += size
 		tx := &mainchain.Tx{
 			ID: fmt.Sprintf("msync-e%d-p%d", e, i+1), From: "sc-committee",
 			To: mainchain.MultiBankAddress, Method: "sync", Size: size, Args: args,
 		}
 		tx.OnConfirmed = func(tx *mainchain.Tx) {
 			if tx.Status != mainchain.TxConfirmed {
-				panic(fmt.Sprintf("core: multi sync for epoch %d reverted: %v", e, tx.Err))
+				s.fail(fmt.Errorf("%w: epoch %d: %v", chain.ErrSyncReverted, e, tx.Err))
+				return
 			}
 			s.col.ObserveGas("sync", tx.GasUsed)
+			totalGas += tx.GasUsed
 			confirmed++
 			if confirmed < len(chunks) {
 				return
 			}
-			// Final part: the epoch is fully synced on-chain.
+			// Final part: the epoch is fully synced on-chain. Receipts
+			// advance before the event publishes (the documented
+			// visibility contract); the event aggregates the whole
+			// epoch's sync — parts, bytes, and gas.
 			s.SyncsOK++
 			s.col.ObserveMCLatency("sync", tx.ConfirmedAt-submitted)
 			for _, rec := range s.recsByEpoch[e] {
@@ -443,17 +620,33 @@ func (s *MultiSystem) submitSync(e uint64, res *engine.EpochResult) {
 					MinedAt:     rec.minedAt,
 					PayoutAt:    tx.ConfirmedAt,
 				})
+				rec.rc.Status = chain.StatusSynced
+				rec.rc.SyncedAt = tx.ConfirmedAt
+			}
+			s.bus.Publish(chain.Event{
+				Type: chain.EventSyncConfirmed, At: tx.ConfirmedAt, Epoch: e,
+				Parts: len(chunks), Bytes: totalSize, Gas: totalGas,
+			})
+			if err := s.ledger.Prune(e, true); err != nil && !errors.Is(err, sidechain.ErrAlreadyPruned) {
+				s.fail(fmt.Errorf("%w: epoch %d: %v", chain.ErrPruneFailed, e, err))
+				return
+			}
+			for _, rec := range s.recsByEpoch[e] {
+				rec.rc.Status = chain.StatusPruned
+				rec.rc.PrunedAt = s.sim.Now()
 			}
 			delete(s.recsByEpoch, e)
-			if err := s.ledger.Prune(e, true); err != nil && !errors.Is(err, sidechain.ErrAlreadyPruned) {
-				panic(fmt.Sprintf("core: multi prune epoch %d: %v", e, err))
-			}
+			s.bus.Publish(chain.Event{Type: chain.EventPruned, At: s.sim.Now(), Epoch: e})
 			if s.done && len(s.recsByEpoch) == 0 {
 				s.mc.Stop()
 			}
 		}
 		s.mc.Submit(tx)
 	}
+	s.bus.Publish(chain.Event{
+		Type: chain.EventSyncSubmitted, At: submitted, Epoch: e,
+		Parts: len(chunks), Bytes: totalSize,
+	})
 }
 
 // Validate checks cross-layer parity for every registered pool: the
@@ -487,42 +680,12 @@ func (s *MultiSystem) Validate() error {
 	return nil
 }
 
-// MultiReport summarizes a multi-pool run.
-type MultiReport struct {
-	Collector *metrics.Collector
-
-	EpochsRun  int
-	Duration   time.Duration
-	Throughput float64
-
-	AvgSCLatency     time.Duration
-	AvgPayoutLatency time.Duration
-
-	MainchainBytes int
-	MainchainGas   uint64
-
-	SidechainRetainedBytes int
-	SidechainPeakBytes     int
-	SidechainPrunedBytes   int
-
-	NumPools  int
-	NumShards int
-
-	SyncsOK   int
-	Rejected  int
-	QueuePeak int
-
-	PositionsLive int
-	// SummaryRoots[epoch] is the folded multi-pool root per epoch.
-	SummaryRoots map[uint64][32]byte
-}
-
-func (s *MultiSystem) report() *MultiReport {
+func (s *MultiSystem) report() *chain.Report {
 	live := 0
 	for _, pid := range s.eng.PoolIDs() {
 		live += s.eng.Pool(pid).NumPositions()
 	}
-	return &MultiReport{
+	return &chain.Report{
 		Collector:              s.col,
 		EpochsRun:              int(s.epoch),
 		Duration:               s.sim.Now(),
@@ -537,6 +700,7 @@ func (s *MultiSystem) report() *MultiReport {
 		NumPools:               len(s.eng.PoolIDs()),
 		NumShards:              s.eng.NumShards(),
 		SyncsOK:                s.SyncsOK,
+		ViewChanges:            s.ViewChanges,
 		Rejected:               s.Rejected,
 		QueuePeak:              s.queuePeak,
 		PositionsLive:          live,
@@ -553,9 +717,10 @@ type MultiDriverConfig struct {
 
 // NewMultiDriver builds the system and schedules its arrivals: ρ
 // transactions per round spread uniformly, pool choice per transaction
-// drawn from the Zipf popularity law.
-func NewMultiDriver(sysCfg MultiConfig, drvCfg MultiDriverConfig) (*MultiSystem, *workload.MultiGenerator, error) {
-	sysCfg = sysCfg.withDefaults()
+// drawn from the Zipf popularity law. The node is returned behind the
+// unified chain.Chain API.
+func NewMultiDriver(sysCfg chain.Config, drvCfg MultiDriverConfig) (chain.Chain, *workload.MultiGenerator, error) {
+	sysCfg = sysCfg.WithDefaults()
 	wcfg := drvCfg.Workload
 	if wcfg.NumPools == 0 {
 		wcfg.NumPools = sysCfg.NumPools
@@ -572,7 +737,7 @@ func NewMultiDriver(sysCfg MultiConfig, drvCfg MultiDriverConfig) (*MultiSystem,
 		roundStart := time.Duration(r) * rd
 		for i := 0; i < rho; i++ {
 			at := roundStart + time.Duration(float64(rd)*float64(i)/float64(rho))
-			sys.Sim().At(at, func() { sys.SubmitTx(gen.Next()) })
+			sys.Sim().At(at, func() { sys.Submit(gen.Next()) })
 		}
 	}
 	return sys, gen, nil

@@ -5,15 +5,23 @@
 // epoch-based deposits, delayed token payouts, and the interruption
 // recovery paths (leader view change, mass-sync after skipped or
 // rolled-back syncs).
+//
+// Both backends — the single-pool System and the sharded multi-pool
+// MultiSystem — implement the unified chain.Chain node API: submissions
+// return receipts that advance through the epoch lifecycle, lifecycle
+// faults surface as typed errors out of Run, and every stage publishes
+// chain.Events.
 package core
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"ammboost/internal/amm"
+	"ammboost/internal/chain"
 	"ammboost/internal/crypto/tsig"
 	"ammboost/internal/gasmodel"
 	"ammboost/internal/mainchain"
@@ -32,96 +40,6 @@ var (
 	ErrParity     = errors.New("core: cross-layer state parity violated")
 )
 
-// FaultPlan schedules the interruptions the paper's recovery mechanisms
-// handle.
-type FaultPlan struct {
-	// SilentLeaderRounds marks (epoch, round) pairs whose leader stays
-	// silent: the committee times out, changes view, and the next leader
-	// re-proposes.
-	SilentLeaderRounds map[[2]uint64]bool
-	// SkipSyncEpochs marks epochs whose committee fails to issue the
-	// Sync call (malicious leader at epoch end); the next committee
-	// mass-syncs.
-	SkipSyncEpochs map[uint64]bool
-	// ReorgSyncEpochs marks epochs whose Sync lands in a mainchain block
-	// that is rolled back; recovery is the same mass-sync path.
-	ReorgSyncEpochs map[uint64]bool
-}
-
-func (f FaultPlan) silentLeader(epoch, round uint64) bool {
-	return f.SilentLeaderRounds[[2]uint64{epoch, round}]
-}
-
-// Config parameterizes a run. Zero values take the paper's defaults.
-type Config struct {
-	Seed int64
-	// EpochRounds is ω, the rounds per epoch (default 30).
-	EpochRounds int
-	// RoundDuration is the sidechain round length (default 7 s).
-	RoundDuration time.Duration
-	// MetaBlockBytes caps the meta-block size (default 1 MB).
-	MetaBlockBytes int
-	// CommitteeSize is the PBFT committee size (default 500).
-	CommitteeSize int
-	// MinerPopulation is the sidechain miner count (default committee
-	// size + 100).
-	MinerPopulation int
-	// ViewChangeTimeout before a silent leader is replaced (default 3 s).
-	ViewChangeTimeout time.Duration
-	// FeePips is the pool fee (default 3000 = 0.30%).
-	FeePips uint32
-	// InitialLiquidity seeds the genesis full-range position.
-	InitialLiquidity u256.Int
-	// DepositPerUser0/1 fund each user's per-epoch deposit.
-	DepositPerUser0 u256.Int
-	DepositPerUser1 u256.Int
-
-	Mainchain mainchain.Config
-	Model     pbft.Model
-	Faults    FaultPlan
-}
-
-// withDefaults fills zero values with the paper's configuration.
-func (c Config) withDefaults() Config {
-	if c.EpochRounds == 0 {
-		c.EpochRounds = 30
-	}
-	if c.RoundDuration == 0 {
-		c.RoundDuration = 7 * time.Second
-	}
-	if c.MetaBlockBytes == 0 {
-		c.MetaBlockBytes = 1 << 20
-	}
-	if c.CommitteeSize == 0 {
-		c.CommitteeSize = 500
-	}
-	if c.MinerPopulation == 0 {
-		c.MinerPopulation = c.CommitteeSize + 100
-	}
-	if c.ViewChangeTimeout == 0 {
-		c.ViewChangeTimeout = 3 * time.Second
-	}
-	if c.FeePips == 0 {
-		c.FeePips = 3000
-	}
-	if c.InitialLiquidity.IsZero() {
-		c.InitialLiquidity = u256.MustFromDecimal("10000000000000") // 1e13
-	}
-	if c.DepositPerUser0.IsZero() {
-		c.DepositPerUser0 = u256.MustFromDecimal("2000000000") // 2e9
-	}
-	if c.DepositPerUser1.IsZero() {
-		c.DepositPerUser1 = u256.MustFromDecimal("2000000000")
-	}
-	if c.Mainchain.BlockInterval == 0 {
-		c.Mainchain = mainchain.DefaultConfig()
-	}
-	if c.Model.C1 == 0 {
-		c.Model = pbft.DefaultModel()
-	}
-	return c
-}
-
 // committeeKeys is the TSQC key material for one epoch's committee. For
 // experiment-scale committees the shares come from a dealer (see DESIGN.md
 // on the DKG substitution); the pbft functional tests run the full joint
@@ -133,16 +51,25 @@ type committeeKeys struct {
 	threshold int
 }
 
-// txRecord tracks one sidechain transaction through its lifecycle.
+// txRecord tracks one sidechain transaction through its lifecycle,
+// pairing the transaction with its client-facing receipt.
 type txRecord struct {
 	tx      *summary.Tx
+	rc      *chain.Receipt
 	minedAt time.Duration
 	epoch   uint64
 }
 
-// System is a running ammBoost deployment.
+// queuedTx is a queue entry: the transaction plus the receipt Submit
+// handed out for it.
+type queuedTx struct {
+	tx *summary.Tx
+	rc *chain.Receipt
+}
+
+// System is a running single-pool ammBoost deployment.
 type System struct {
-	cfg Config
+	cfg chain.Config
 	sim *sim.Simulator
 	rng *rand.Rand
 
@@ -158,7 +85,7 @@ type System struct {
 	pool     *amm.Pool // canonical sidechain pool, carried across epochs
 	executor *summary.Executor
 
-	queue        []*summary.Tx
+	queue        []queuedTx
 	queuePeak    int
 	seenDeposits map[string]summary.Deposit
 	approved     map[string]bool // users who granted TokenBank allowances
@@ -170,12 +97,13 @@ type System struct {
 	pendingPayload []*summary.SyncPayload // stashed summaries awaiting mass-sync
 
 	// Users.
-	users []string
-	lps   map[string]bool
+	users   []string
+	userSet map[string]bool
+	lps     map[string]bool
 
-	// Metrics.
+	// Observability.
 	col         *metrics.Collector
-	recs        []*txRecord
+	bus         *chain.Bus
 	recsByEpoch map[uint64][]*txRecord
 	ViewChanges int
 	MassSyncs   int
@@ -192,25 +120,40 @@ type System struct {
 
 	epochsPlanned int
 	done          bool
+	// err is the first lifecycle fault; once set, the run winds down and
+	// Run returns it (wrapping a chain sentinel).
+	err error
 }
+
+// System implements the unified node API.
+var _ chain.Chain = (*System)(nil)
 
 // NewSystem builds and genesis-initializes a deployment: ERC20s and
 // TokenBank on the mainchain, the miner registry, the epoch-1 committee
 // (whose group key is registered at deployment, per SystemSetup), the
 // genesis pool position, and funded, bank-approved users.
-func NewSystem(cfg Config, users []string, lps map[string]bool) (*System, error) {
-	cfg = cfg.withDefaults()
+func NewSystem(cfg chain.Config, users []string, lps map[string]bool) (*System, error) {
+	if err := checkSinglePool(cfg); err != nil {
+		return nil, err
+	}
+	cfg = cfg.WithDefaults()
 	s := &System{
 		cfg:         cfg,
 		sim:         sim.New(),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		committees:  make(map[uint64]*committeeKeys),
 		users:       users,
+		userSet:     make(map[string]bool, len(users)),
 		lps:         lps,
 		col:         metrics.New(),
+		bus:         chain.NewBus(),
 		recsByEpoch: make(map[uint64][]*txRecord),
 		approved:    make(map[string]bool),
 	}
+	for _, u := range users {
+		s.userSet[u] = true
+	}
+	s.bus.OnPublish(func(ev chain.Event) { s.col.ObserveLifecycle(ev.Type.String()) })
 	s.rng.Read(s.chainSeed[:])
 
 	// Miner registry with fast sortition keys.
@@ -294,9 +237,61 @@ func (s *System) SidechainLedger() *sidechain.Ledger { return s.ledger }
 // Collector exposes the metrics collector.
 func (s *System) Collector() *metrics.Collector { return s.col }
 
+// Epoch returns the currently-running epoch number.
+func (s *System) Epoch() uint64 { return s.epoch }
+
+// LastSyncedEpoch returns the highest epoch TokenBank confirmed a Sync
+// for.
+func (s *System) LastSyncedEpoch() uint64 { return s.bank.LastSyncedEpoch }
+
+// PoolIDs lists the registered pools: the single canonical pool routes
+// under the empty ID (matching Tx.PoolID semantics).
+func (s *System) PoolIDs() []string { return []string{""} }
+
+// PoolInfo reports the canonical pool's reserves and live positions.
+func (s *System) PoolInfo(poolID string) (chain.PoolInfo, bool) {
+	if poolID != "" {
+		return chain.PoolInfo{}, false
+	}
+	return chain.PoolInfo{
+		ID:        "",
+		Reserve0:  s.pool.Reserve0,
+		Reserve1:  s.pool.Reserve1,
+		Positions: s.pool.NumPositions(),
+	}, true
+}
+
+// Positions lists TokenBank's synced liquidity positions in ID order.
+func (s *System) Positions() []summary.PositionEntry {
+	out := make([]summary.PositionEntry, 0, len(s.bank.Positions))
+	for _, e := range s.bank.Positions {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Subscribe returns a channel of lifecycle events matching the mask; the
+// channel closes when Run finishes.
+func (s *System) Subscribe(mask chain.EventMask) <-chan chain.Event { return s.bus.Subscribe(mask) }
+
+// Unsubscribe releases an event subscription before the run ends.
+func (s *System) Unsubscribe(ch <-chan chain.Event) { s.bus.Unsubscribe(ch) }
+
 // EpochDuration returns ω × round duration.
 func (s *System) EpochDuration() time.Duration {
 	return time.Duration(s.cfg.EpochRounds) * s.cfg.RoundDuration
+}
+
+// fail records the first lifecycle fault, publishes the halt event, and
+// stops mainchain block production so the simulator drains. Subsequent
+// lifecycle callbacks see s.err and return without scheduling more work.
+func (s *System) fail(err error) {
+	if s.err == nil {
+		s.err = err
+		s.bus.Publish(chain.Event{Type: chain.EventHalted, At: s.sim.Now(), Epoch: s.epoch, Err: err})
+	}
+	s.mc.Stop()
 }
 
 // makeCommittee elects and key-provisions a committee for an epoch.
@@ -328,11 +323,6 @@ func provisionCommittee(rng *rand.Rand, reg *election.Registry, chainSeed [32]by
 
 func dealingShares(d *tsig.Dealing) []tsig.Share { return d.Shares }
 
-// signPayloads produces the committee's TSQC signature over payloads.
-func (ck *committeeKeys) signPayloads(payloads []*summary.SyncPayload) (tsig.Point, error) {
-	return ck.signDigest(combinedDigest(payloads))
-}
-
 // signDigest produces the committee's TSQC signature over an arbitrary
 // digest (multi-pool syncs sign the folded summary root).
 func (ck *committeeKeys) signDigest(digest [32]byte) (tsig.Point, error) {
@@ -355,13 +345,28 @@ func combinedDigest(payloads []*summary.SyncPayload) [32]byte {
 	return pbft.DigestOf(acc)
 }
 
-// SubmitTx queues a sidechain transaction at the current virtual time.
-func (s *System) SubmitTx(tx *summary.Tx) {
+// Submit validates the transaction up front and queues it at the current
+// virtual time, returning the receipt the lifecycle advances.
+func (s *System) Submit(tx *summary.Tx) (*chain.Receipt, error) {
+	if s.err != nil {
+		return nil, chain.ErrHalted
+	}
+	if err := chain.CheckTx(tx); err != nil {
+		return nil, err
+	}
+	if tx.PoolID != "" {
+		return nil, fmt.Errorf("%w: %q (single-pool deployment routes the empty pool ID)", chain.ErrUnknownPool, tx.PoolID)
+	}
+	if !s.userSet[tx.User] {
+		return nil, fmt.Errorf("%w: %s", chain.ErrUnfundedUser, tx.User)
+	}
 	tx.SubmittedAt = s.sim.Now()
-	s.queue = append(s.queue, tx)
+	rc := &chain.Receipt{TxID: tx.ID, Status: chain.StatusPending, SubmittedAt: tx.SubmittedAt}
+	s.queue = append(s.queue, queuedTx{tx: tx, rc: rc})
 	if len(s.queue) > s.queuePeak {
 		s.queuePeak = len(s.queue)
 	}
+	return rc, nil
 }
 
 // SubmitDeposit runs a user's deposit flow on the mainchain. A first-time
@@ -369,10 +374,21 @@ func (s *System) SubmitTx(tx *summary.Tx) {
 // deposit A -> deposit B, sequentially dependent - the pattern behind the
 // paper's ~4-block deposit latency); the approvals grant a max allowance
 // once, as wallets commonly do, so later epochs need only the two deposit
-// legs.
-func (s *System) SubmitDeposit(user string, epoch uint64, amount0, amount1 u256.Int) {
+// legs. The returned receipt jumps Pending → Synced when the final
+// deposit leg confirms: mainchain confirmation is a deposit's finality.
+func (s *System) SubmitDeposit(user string, epoch uint64, amount0, amount1 u256.Int) (*chain.Receipt, error) {
+	if s.err != nil {
+		return nil, chain.ErrHalted
+	}
+	if !s.userSet[user] {
+		return nil, fmt.Errorf("%w: %s", chain.ErrUnfundedUser, user)
+	}
+	if amount0.IsZero() && amount1.IsZero() {
+		return nil, fmt.Errorf("%w: empty deposit", chain.ErrMalformedTx)
+	}
 	base := fmt.Sprintf("dep-%s-e%d", user, epoch)
 	submitted := s.sim.Now()
+	rc := &chain.Receipt{TxID: base, Status: chain.StatusPending, Epoch: epoch, SubmittedAt: submitted}
 	var deps []string
 	var txs []*mainchain.Tx
 	firstTime := !s.approved[user]
@@ -403,13 +419,22 @@ func (s *System) SubmitDeposit(user string, epoch uint64, amount0, amount1 u256.
 		latencyLabel = "deposit-first"
 	}
 	d1.OnConfirmed = func(tx *mainchain.Tx) {
+		if tx.Status != mainchain.TxConfirmed {
+			rc.Status = chain.StatusRejected
+			rc.Err = tx.Err
+			return
+		}
 		depositGas += tx.GasUsed
 		s.col.ObserveGas("deposit", depositGas)
 		s.col.ObserveMCLatency(latencyLabel, tx.ConfirmedAt-submitted)
+		rc.Status = chain.StatusSynced
+		rc.ExecutedAt = tx.ConfirmedAt
+		rc.SyncedAt = tx.ConfirmedAt
 	}
 	for _, tx := range txs {
 		s.mc.Submit(tx)
 	}
+	return rc, nil
 }
 
 // GenesisDeposit seeds a user's epoch-1 deposit at genesis (before the
@@ -439,18 +464,25 @@ func (s *System) GenesisDeposit(user string, amount0, amount1 u256.Int) error {
 
 // Run executes the given number of epochs plus drain epochs until the
 // transaction queue empties (the paper drains queues for accurate latency
-// accounting), then returns the report.
-func (s *System) Run(epochs int) *Report {
+// accounting), then returns the report. A lifecycle fault ends the run
+// early: the report covers everything up to the fault and the returned
+// error wraps the matching chain sentinel (ErrSyncReverted,
+// ErrElectionFailed, …).
+func (s *System) Run(epochs int) (*chain.Report, error) {
 	s.epochsPlanned = epochs
 	s.ledger = sidechain.NewLedger(pbft.DigestOf([]byte("tokenbank-genesis")))
 	s.sim.At(0, func() { s.startEpoch(1) })
 	s.sim.Run()
-	return s.report()
+	s.bus.Close()
+	return s.report(), s.err
 }
 
 // startEpoch begins epoch e: SnapshotBank, next-committee election, and
 // the round schedule.
 func (s *System) startEpoch(e uint64) {
+	if s.err != nil {
+		return
+	}
 	s.epoch = e
 	if s.OnEpochStart != nil {
 		s.OnEpochStart(e)
@@ -466,10 +498,12 @@ func (s *System) startEpoch(e uint64) {
 	if _, ok := s.committees[e+1]; !ok {
 		ck, err := s.makeCommittee(e + 1)
 		if err != nil {
-			panic(fmt.Sprintf("core: electing committee %d: %v", e+1, err))
+			s.fail(fmt.Errorf("%w: epoch %d: %v", chain.ErrElectionFailed, e+1, err))
+			return
 		}
 		s.committees[e+1] = ck
 	}
+	s.bus.Publish(chain.Event{Type: chain.EventEpochStart, At: s.sim.Now(), Epoch: e})
 	s.runRound(e, 1)
 }
 
@@ -494,15 +528,20 @@ func (s *System) syncMidEpochDeposits(e uint64) {
 
 // runRound processes round r of epoch e at the current virtual time.
 func (s *System) runRound(e, r uint64) {
+	if s.err != nil {
+		return
+	}
 	roundStart := s.sim.Now()
 	s.syncMidEpochDeposits(e)
 
 	// Pack pending transactions (submitted before the round start) into
 	// the meta-block, executing them against the epoch snapshot.
-	var included []*summary.Tx
+	var included []queuedTx
+	var includedTxs []*summary.Tx
 	blockBytes := 0
 	consumed := 0
-	for _, tx := range s.queue {
+	for _, q := range s.queue {
+		tx := q.tx
 		if tx.SubmittedAt > roundStart {
 			break // queue is FIFO in submission time
 		}
@@ -512,12 +551,17 @@ func (s *System) runRound(e, r uint64) {
 		consumed++
 		if err := s.executor.Apply(tx, r); err != nil {
 			s.Rejected++
+			q.rc.Status = chain.StatusRejected
+			q.rc.Err = err
+			q.rc.Epoch = e
+			q.rc.Round = r
 			if s.OnReject != nil {
 				s.OnReject(err, tx.Kind.String())
 			}
 			continue // invalid transactions never enter a block
 		}
-		included = append(included, tx)
+		included = append(included, q)
+		includedTxs = append(includedTxs, tx)
 		blockBytes += tx.Size()
 	}
 	s.queue = s.queue[consumed:]
@@ -525,29 +569,39 @@ func (s *System) runRound(e, r uint64) {
 	// Agreement latency from the cost model; a silent leader adds the
 	// view-change detour before the new leader's proposal succeeds.
 	delay := s.cfg.Model.AgreementTime(s.cfg.CommitteeSize, blockBytes+300)
-	if s.cfg.Faults.silentLeader(e, r) {
+	if s.cfg.Faults.SilentLeader(e, r) {
 		delay += s.cfg.ViewChangeTimeout + s.cfg.Model.ViewChangeTime(s.cfg.CommitteeSize)
 		s.ViewChanges++
 	}
 
 	ck := s.committees[e]
 	leader := ck.committee.Leader()
-	if s.cfg.Faults.silentLeader(e, r) {
+	if s.cfg.Faults.SilentLeader(e, r) {
 		leader = ck.committee.LeaderAt(1)
 	}
-	block := sidechain.NewMetaBlock(e, r, leader, s.ledger.TipHash(), included)
+	block := sidechain.NewMetaBlock(e, r, leader, s.ledger.TipHash(), includedTxs)
 
 	s.sim.After(delay, func() {
+		if s.err != nil {
+			return
+		}
 		block.MinedAt = s.sim.Now()
 		block.CommitVotes = ck.threshold
 		if err := s.ledger.AppendMeta(block); err != nil {
-			panic(fmt.Sprintf("core: append meta: %v", err))
+			s.fail(fmt.Errorf("%w: meta %d/%d: %v", chain.ErrLedgerAppend, e, r, err))
+			return
 		}
-		for _, tx := range included {
-			rec := &txRecord{tx: tx, minedAt: block.MinedAt, epoch: e}
-			s.recs = append(s.recs, rec)
-			s.recsByEpoch[e] = append(s.recsByEpoch[e], rec)
+		for _, q := range included {
+			q.rc.Status = chain.StatusExecuted
+			q.rc.ExecutedAt = block.MinedAt
+			q.rc.Epoch = e
+			q.rc.Round = r
+			s.recsByEpoch[e] = append(s.recsByEpoch[e], &txRecord{tx: q.tx, rc: q.rc, minedAt: block.MinedAt, epoch: e})
 		}
+		s.bus.Publish(chain.Event{
+			Type: chain.EventMetaBlock, At: block.MinedAt, Epoch: e, Round: r,
+			Txs: len(included), Bytes: blockBytes,
+		})
 		if r < uint64(s.cfg.EpochRounds) {
 			next := roundStart + s.cfg.RoundDuration
 			if next < s.sim.Now() {
@@ -571,8 +625,19 @@ func (s *System) finishEpoch(e uint64, lastRoundStart time.Duration) {
 	// Agreement on the summary-block.
 	delay := s.cfg.Model.AgreementTime(s.cfg.CommitteeSize, payload.SidechainBytes())
 	s.sim.After(delay, func() {
+		if s.err != nil {
+			return
+		}
 		sb.MinedAt = s.sim.Now()
 		s.ledger.AppendSummary(sb)
+		for _, rec := range s.recsByEpoch[e] {
+			rec.rc.Status = chain.StatusCheckpointed
+			rec.rc.CheckpointedAt = sb.MinedAt
+		}
+		s.bus.Publish(chain.Event{
+			Type: chain.EventSummaryBlock, At: sb.MinedAt, Epoch: e,
+			Bytes: payload.SidechainBytes(), Root: payload.Digest(),
+		})
 
 		// The canonical pool advances to the epoch's final state.
 		s.pool = s.executor.Pool
@@ -608,9 +673,16 @@ func (s *System) finishEpoch(e uint64, lastRoundStart time.Duration) {
 func (s *System) submitSync(e uint64, payloads []*summary.SyncPayload) {
 	signEpoch := payloads[0].Epoch
 	ck := s.committees[signEpoch]
-	sig, err := ck.signPayloads(payloads)
+	digest := combinedDigest(payloads)
+	if s.cfg.Faults.CorruptSyncEpochs[e] {
+		// Equivocating committee: the signature covers a corrupted digest,
+		// so the bank's TSQC verification rejects the Sync on-chain.
+		digest[0] ^= 0xff
+	}
+	sig, err := ck.signDigest(digest)
 	if err != nil {
-		panic(fmt.Sprintf("core: signing sync: %v", err))
+		s.fail(fmt.Errorf("%w: epoch %d: %v", chain.ErrSignFailed, e, err))
+		return
 	}
 	if len(payloads) > 1 {
 		s.MassSyncs++
@@ -636,13 +708,21 @@ func (s *System) submitSync(e uint64, payloads []*summary.SyncPayload) {
 	for i, p := range payloads {
 		epochs[i] = p.Epoch
 	}
+	s.bus.Publish(chain.Event{
+		Type: chain.EventSyncSubmitted, At: submitted, Epoch: e,
+		Parts: len(payloads), Bytes: size,
+	})
 	tx.OnConfirmed = func(tx *mainchain.Tx) {
 		if tx.Status != mainchain.TxConfirmed {
-			panic(fmt.Sprintf("core: sync for epoch %d reverted: %v", e, tx.Err))
+			s.fail(fmt.Errorf("%w: epoch %d: %v", chain.ErrSyncReverted, e, tx.Err))
+			return
 		}
 		s.SyncsOK++
 		s.col.ObserveGas("sync", tx.GasUsed)
 		s.col.ObserveMCLatency("sync", tx.ConfirmedAt-submitted)
+		// Receipts advance before the event publishes: a subscriber that
+		// observes EventSyncConfirmed may immediately read the epoch's
+		// receipts as StatusSynced (the documented visibility contract).
 		for _, pe := range epochs {
 			// Payout latency: submission → sync confirmation.
 			for _, rec := range s.recsByEpoch[pe] {
@@ -652,12 +732,26 @@ func (s *System) submitSync(e uint64, payloads []*summary.SyncPayload) {
 					MinedAt:     rec.minedAt,
 					PayoutAt:    tx.ConfirmedAt,
 				})
+				rec.rc.Status = chain.StatusSynced
+				rec.rc.SyncedAt = tx.ConfirmedAt
 			}
-			delete(s.recsByEpoch, pe)
+		}
+		s.bus.Publish(chain.Event{
+			Type: chain.EventSyncConfirmed, At: tx.ConfirmedAt, Epoch: e,
+			Parts: len(payloads), Bytes: size, Gas: tx.GasUsed,
+		})
+		for _, pe := range epochs {
 			// Pruning: the sync is confirmed, the meta-blocks go.
 			if err := s.ledger.Prune(pe, true); err != nil && !errors.Is(err, sidechain.ErrAlreadyPruned) {
-				panic(fmt.Sprintf("core: prune epoch %d: %v", pe, err))
+				s.fail(fmt.Errorf("%w: epoch %d: %v", chain.ErrPruneFailed, pe, err))
+				return
 			}
+			for _, rec := range s.recsByEpoch[pe] {
+				rec.rc.Status = chain.StatusPruned
+				rec.rc.PrunedAt = s.sim.Now()
+			}
+			delete(s.recsByEpoch, pe)
+			s.bus.Publish(chain.Event{Type: chain.EventPruned, At: s.sim.Now(), Epoch: pe})
 		}
 		// The run ends once the final epoch's sync has landed.
 		if s.done && len(s.recsByEpoch) == 0 {
@@ -702,36 +796,8 @@ func (s *System) Validate() error {
 	return nil
 }
 
-// Report summarizes a run for the experiment harness.
-type Report struct {
-	Collector *metrics.Collector
-
-	EpochsRun  int
-	Duration   time.Duration
-	Throughput float64
-
-	AvgSCLatency     time.Duration
-	AvgPayoutLatency time.Duration
-
-	MainchainBytes int
-	MainchainGas   uint64
-
-	SidechainRetainedBytes int
-	SidechainPeakBytes     int
-	SidechainPrunedBytes   int
-	SidechainUnpruned      int
-
-	SyncsOK     int
-	MassSyncs   int
-	ViewChanges int
-	Rejected    int
-	QueuePeak   int
-
-	PositionsLive int
-}
-
-func (s *System) report() *Report {
-	return &Report{
+func (s *System) report() *chain.Report {
+	return &chain.Report{
 		Collector:              s.col,
 		EpochsRun:              int(s.epoch),
 		Duration:               s.sim.Now(),
@@ -744,6 +810,8 @@ func (s *System) report() *Report {
 		SidechainPeakBytes:     s.ledger.PeakBytes(),
 		SidechainPrunedBytes:   s.ledger.PrunedBytes(),
 		SidechainUnpruned:      s.ledger.UnprunedBytes(),
+		NumPools:               1,
+		NumShards:              1,
 		SyncsOK:                s.SyncsOK,
 		MassSyncs:              s.MassSyncs,
 		ViewChanges:            s.ViewChanges,
@@ -756,6 +824,3 @@ func (s *System) report() *Report {
 func gasmodelSyncGas(payouts, positions, b int) uint64 {
 	return gasmodel.SyncGas(payouts, positions, b)
 }
-
-// Epoch returns the currently-running epoch number.
-func (s *System) Epoch() uint64 { return s.epoch }

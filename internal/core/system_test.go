@@ -4,14 +4,15 @@ import (
 	"testing"
 	"time"
 
+	"ammboost/internal/chain"
 	"ammboost/internal/gasmodel"
 	"ammboost/internal/workload"
 )
 
 // smallConfig keeps functional-test runs fast: a tiny committee, short
 // epochs, small blocks.
-func smallConfig(seed int64) Config {
-	return Config{
+func smallConfig(seed int64) chain.Config {
+	return chain.Config{
 		Seed:            seed,
 		EpochRounds:     5,
 		RoundDuration:   7 * time.Second,
@@ -32,7 +33,10 @@ func TestEndToEndSmallRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := sys.Run(3)
+	rep, runErr := sys.Run(3)
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
 	if drv.Submitted == 0 {
 		t.Fatal("no traffic submitted")
 	}
@@ -63,7 +67,10 @@ func TestPruningBoundsChainGrowth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := sys.Run(4)
+	rep, runErr := sys.Run(4)
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
 	if rep.SidechainPrunedBytes == 0 {
 		t.Fatal("nothing was pruned")
 	}
@@ -84,12 +91,15 @@ func TestMassSyncAfterSkippedSync(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := sys.Run(4)
+	rep, runErr := sys.Run(4)
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
 	if rep.MassSyncs != 1 {
 		t.Errorf("mass syncs = %d, want 1", rep.MassSyncs)
 	}
-	if sys.Bank().LastSyncedEpoch < 4 {
-		t.Errorf("last synced epoch = %d, want 4", sys.Bank().LastSyncedEpoch)
+	if sys.LastSyncedEpoch() < 4 {
+		t.Errorf("last synced epoch = %d, want 4", sys.LastSyncedEpoch())
 	}
 	if err := sys.Validate(); err != nil {
 		t.Errorf("invariants after mass-sync: %v", err)
@@ -107,14 +117,17 @@ func TestMassSyncAfterConsecutiveSkips(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := sys.Run(5)
+	rep, runErr := sys.Run(5)
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
 	if rep.MassSyncs != 1 {
 		t.Errorf("mass syncs = %d (one covering epochs 2-4)", rep.MassSyncs)
 	}
 	// Drain may add an extra epoch when the queue is non-empty at the
 	// planned end.
-	if sys.Bank().LastSyncedEpoch < 5 {
-		t.Errorf("last synced epoch = %d", sys.Bank().LastSyncedEpoch)
+	if sys.LastSyncedEpoch() < 5 {
+		t.Errorf("last synced epoch = %d", sys.LastSyncedEpoch())
 	}
 	if err := sys.Validate(); err != nil {
 		t.Errorf("invariants: %v", err)
@@ -128,7 +141,10 @@ func TestReorgRecoveryViaMassSync(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := sys.Run(3)
+	rep, runErr := sys.Run(3)
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
 	if rep.MassSyncs != 1 {
 		t.Errorf("mass syncs = %d", rep.MassSyncs)
 	}
@@ -143,7 +159,10 @@ func TestSilentLeaderDelaysRound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	repA := sysA.Run(2)
+	repA, runErr := sysA.Run(2)
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
 
 	faulty := smallConfig(6)
 	faulty.Faults.SilentLeaderRounds = map[[2]uint64]bool{{1, 2}: true, {1, 3}: true}
@@ -151,7 +170,10 @@ func TestSilentLeaderDelaysRound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	repB := sysB.Run(2)
+	repB, runErr := sysB.Run(2)
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
 
 	if repB.ViewChanges != 2 {
 		t.Errorf("view changes = %d, want 2", repB.ViewChanges)
@@ -165,12 +187,16 @@ func TestSilentLeaderDelaysRound(t *testing.T) {
 }
 
 func TestDeterministicRuns(t *testing.T) {
-	run := func() *Report {
+	run := func() *chain.Report {
 		sys, _, err := NewDriver(smallConfig(7), smallDriver(500_000, 2, 7))
 		if err != nil {
 			t.Fatal(err)
 		}
-		return sys.Run(2)
+		rep, err := sys.Run(2)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return rep
 	}
 	a, b := run(), run()
 	if a.Throughput != b.Throughput || a.AvgSCLatency != b.AvgSCLatency ||
@@ -185,13 +211,19 @@ func TestCongestionRaisesLatency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	repLow := low.Run(2)
+	repLow, errLow := low.Run(2)
+	if errLow != nil {
+		t.Fatalf("run: %v", errLow)
+	}
 
 	high, _, err := NewDriver(smallConfig(8), smallDriver(60_000_000, 2, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
-	repHigh := high.Run(2)
+	repHigh, errHigh := high.Run(2)
+	if errHigh != nil {
+		t.Fatalf("run: %v", errHigh)
+	}
 
 	if repHigh.AvgSCLatency <= repLow.AvgSCLatency {
 		t.Errorf("congested latency %s should exceed uncongested %s",
@@ -211,7 +243,10 @@ func TestGasAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := sys.Run(3)
+	rep, runErr := sys.Run(3)
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
 	syncGas, n := rep.Collector.AvgGas("sync")
 	if n < 3 || syncGas == 0 {
 		t.Errorf("sync gas observations: %f x%d", syncGas, n)
@@ -238,7 +273,7 @@ func TestFlashLoansStayOnMainchain(t *testing.T) {
 	}
 	// Queue a flash loan after the first sync lands (pool reserves known).
 	sys.Sim().After(60*time.Second, func() {
-		bank := sys.Bank()
+		bank := sys.(*System).Bank()
 		amount := bank.PoolReserve0
 		if amount.IsZero() {
 			t.Error("pool reserve should be nonzero")
@@ -248,7 +283,10 @@ func TestFlashLoansStayOnMainchain(t *testing.T) {
 		// (closure executes within contract execution).
 		_ = amount
 	})
-	rep := sys.Run(2)
+	rep, runErr := sys.Run(2)
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
 	if rep.SyncsOK == 0 {
 		t.Fatal("no syncs")
 	}

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"ammboost/internal/chain"
 	"ammboost/internal/core"
 	"ammboost/internal/workload"
 )
@@ -39,13 +40,13 @@ func (o Options) withDefaults() Options {
 
 // paperSystemConfig is the paper's default deployment: 30 rounds of 7 s
 // per epoch, 1 MB meta-blocks, a 500-member committee.
-func paperSystemConfig(o Options) core.Config {
-	return core.Config{
-		Seed:          o.Seed,
-		EpochRounds:   30,
-		RoundDuration: 7 * time.Second,
-		CommitteeSize: o.CommitteeSize,
-	}
+func paperSystemConfig(o Options) chain.Config {
+	return chain.NewConfig(
+		chain.WithSeed(o.Seed),
+		chain.WithEpochRounds(30),
+		chain.WithRoundDuration(7*time.Second),
+		chain.WithCommittee(o.CommitteeSize),
+	)
 }
 
 func paperDriverConfig(o Options, dailyVolume int) core.DriverConfig {
@@ -56,18 +57,23 @@ func paperDriverConfig(o Options, dailyVolume int) core.DriverConfig {
 	}
 }
 
-// runAmmBoost executes a full ammBoost deployment and validates the
-// cross-layer invariants.
-func runAmmBoost(sysCfg core.Config, drvCfg core.DriverConfig) (*core.System, *core.Report, error) {
-	sys, _, err := core.NewDriver(sysCfg, drvCfg)
+// runAmmBoost executes a full ammBoost deployment through the unified
+// chain.Chain API and validates the cross-layer invariants. The concrete
+// *core.System is returned for the few experiments that inspect the
+// sidechain ledger directly.
+func runAmmBoost(sysCfg chain.Config, drvCfg core.DriverConfig) (*core.System, *chain.Report, error) {
+	node, _, err := core.NewDriver(sysCfg, drvCfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	rep := sys.Run(drvCfg.Epochs)
-	if err := sys.Validate(); err != nil {
+	rep, err := node.Run(drvCfg.Epochs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: lifecycle fault: %w", err)
+	}
+	if err := node.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("experiments: invariant violation: %w", err)
 	}
-	return sys, rep, nil
+	return node.(*core.System), rep, nil
 }
 
 // table renders an aligned text table.

@@ -27,6 +27,9 @@ type Collector struct {
 	// Gas per mainchain operation label.
 	gasByOp   map[string][]uint64
 	mcLatency map[string][]time.Duration
+	// lifecycle counts epoch lifecycle events by stage label (fed from
+	// the chain event bus: epoch-start, meta-block, sync-confirmed, …).
+	lifecycle map[string]int
 }
 
 // New creates an empty collector.
@@ -34,7 +37,24 @@ func New() *Collector {
 	return &Collector{
 		gasByOp:   make(map[string][]uint64),
 		mcLatency: make(map[string][]time.Duration),
+		lifecycle: make(map[string]int),
 	}
+}
+
+// ObserveLifecycle counts one epoch lifecycle event for a stage label.
+func (c *Collector) ObserveLifecycle(stage string) { c.lifecycle[stage]++ }
+
+// LifecycleCount returns how many events a stage recorded.
+func (c *Collector) LifecycleCount(stage string) int { return c.lifecycle[stage] }
+
+// LifecycleStages lists the stage labels with observations, sorted.
+func (c *Collector) LifecycleStages() []string {
+	out := make([]string, 0, len(c.lifecycle))
+	for s := range c.lifecycle {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // ObserveTx records a sidechain transaction lifecycle.

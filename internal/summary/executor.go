@@ -192,6 +192,19 @@ func (e *Executor) applyMint(tx *Tx) error {
 	if liquidity.IsZero() {
 		return ErrZeroLiquidity
 	}
+	// Check deposit coverage before touching the pool, using the exact
+	// funding math Mint applies. The former check-after-mint unwind
+	// (burn + collect) leaked rounding dust into the reserves — mint
+	// rounds amounts up, burn rounds down — leaving phantom reserve units
+	// with no token backing on every rejected mint.
+	need0, need1, err := amm.AmountsForLiquidity(e.Pool.SqrtPriceX96, sqrtA, sqrtB, liquidity, true)
+	if err != nil {
+		return err
+	}
+	if d.Amount0.Lt(need0) || d.Amount1.Lt(need1) {
+		return fmt.Errorf("%w: mint needs %s/%s, deposit has %s/%s",
+			ErrInsufficientDeposit, need0, need1, d.Amount0, d.Amount1)
+	}
 	posID := tx.PosID
 	if posID == "" {
 		posID = DerivePositionID(tx.ID, tx.User)
@@ -199,14 +212,6 @@ func (e *Executor) applyMint(tx *Tx) error {
 	res, err := e.Pool.Mint(posID, tx.User, tx.TickLower, tx.TickUpper, liquidity)
 	if err != nil {
 		return err
-	}
-	if d.Amount0.Lt(res.Amount0) || d.Amount1.Lt(res.Amount1) {
-		// Not coverable: unwind the mint.
-		if _, burnErr := e.Pool.Burn(posID, tx.User, liquidity); burnErr == nil {
-			_, _, _ = e.Pool.Collect(posID, tx.User, res.Amount0, res.Amount1)
-		}
-		return fmt.Errorf("%w: mint needs %s/%s, deposit has %s/%s",
-			ErrInsufficientDeposit, res.Amount0, res.Amount1, d.Amount0, d.Amount1)
 	}
 	d.Amount0 = u256.Sub(d.Amount0, res.Amount0)
 	d.Amount1 = u256.Sub(d.Amount1, res.Amount1)
