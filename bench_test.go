@@ -88,3 +88,9 @@ func BenchmarkAblations(b *testing.B) { runExperiment(b, "ablations", benchOpts(
 // wall-clock speedup over single-shard execution and verifying the epoch
 // summary roots stay bit-identical across shard counts.
 func BenchmarkPoolScale(b *testing.B) { runExperiment(b, "poolscale", benchOpts(2)) }
+
+// BenchmarkPipelineScale regenerates the epoch-lifecycle pipeline sweep:
+// PipelineDepth {1, 2, 3} over identical traffic, reporting wall-clock
+// speedup, commit-stage stall, and the payout-latency trade, and
+// verifying the summary roots stay bit-identical across depths.
+func BenchmarkPipelineScale(b *testing.B) { runExperiment(b, "pipelinescale", benchOpts(3)) }

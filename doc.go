@@ -6,10 +6,22 @@
 // chain.Chain interface implemented by both deployment backends (the
 // single-pool core.System and the sharded multi-pool core.MultiSystem),
 // with receipt-returning submission, typed lifecycle errors out of Run,
-// and subscribable epoch lifecycle events. The example binaries and the
-// experiments harness are all built on that surface; see DESIGN.md for the
-// system inventory (including the chain layer, the sharded multi-pool
-// engine, and its incremental state-commitment subsystem) and
-// EXPERIMENTS.md for the paper-vs-measured results plus the
-// BENCH_PR2.json/BENCH_PR3.json perf records.
+// and subscribable epoch lifecycle events.
+//
+// The multi-pool backend pipelines its epoch lifecycle: with
+// chain.Config.PipelineDepth >= 2 (default 2), a finished epoch's
+// commitment build, sync chunking, and TSQC signing run on an
+// asynchronous commit stage while the next epoch executes, bounded by a
+// backpressured in-flight window. PipelineDepth = 1 disables the overlap
+// and is guaranteed bit-identical to the pipelined depths in every
+// computed artifact — epoch summary roots and sync payload digests —
+// serving as the differential reference; pipelining changes timing,
+// never state.
+//
+// The example binaries and the experiments harness are all built on that
+// surface; see DESIGN.md for the system inventory (including the chain
+// layer, the sharded multi-pool engine, its incremental state-commitment
+// subsystem, and the pipelined lifecycle) and EXPERIMENTS.md for the
+// paper-vs-measured results plus the BENCH_PR2.json/BENCH_PR3.json/
+// BENCH_PR4.json perf records and the CI perf-regression gate.
 package ammboost

@@ -203,6 +203,42 @@ func (p *Pool) ClearDirty() {
 	clear(p.dirtyPositions)
 }
 
+// DirtyState is a pool's dirty tracking detached from the pool itself, so
+// a commitment can be computed on another goroutine while the pool's own
+// tracking starts accumulating the next epoch's changes. The maps are
+// owned by the holder; the pool they came from no longer references them.
+type DirtyState struct {
+	Header     bool
+	Structural bool
+	Ticks      map[int32]struct{}
+	Positions  map[string]struct{}
+}
+
+// Dirty reports whether the snapshot records any change.
+func (d *DirtyState) Dirty() bool {
+	return d.Header || d.Structural || len(d.Ticks) > 0 || len(d.Positions) > 0
+}
+
+// TakeDirty detaches the pool's current dirty tracking and resets it, the
+// hand-off point of the pipelined epoch lifecycle: the sealed epoch's
+// commitment job keeps the snapshot while the pool (now the canonical
+// epoch-start state) tracks the next epoch's changes from a clean slate.
+// Unlike ClearDirty, the dirty sets are moved, not cleared, so the caller
+// may read them concurrently with later Clone calls on the pool.
+func (p *Pool) TakeDirty() DirtyState {
+	d := DirtyState{
+		Header:     p.dirtyHeader,
+		Structural: p.structDirty,
+		Ticks:      p.dirtyTicks,
+		Positions:  p.dirtyPositions,
+	}
+	p.dirtyHeader = false
+	p.structDirty = false
+	p.dirtyTicks = nil
+	p.dirtyPositions = nil
+	return d
+}
+
 // Position returns the position with the given ID, or nil.
 func (p *Pool) Position(id string) *Position {
 	return p.positions[id]

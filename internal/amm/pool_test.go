@@ -501,6 +501,48 @@ func TestDirtyTrackingMint(t *testing.T) {
 	}
 }
 
+// TestTakeDirtyDetaches pins the pipelined hand-off contract: TakeDirty
+// moves the dirty sets out of the pool (leaving it clean and sharing no
+// maps), so a commitment job may read the snapshot while the pool — and
+// clones taken from it — accumulate the next epoch's changes.
+func TestTakeDirtyDetaches(t *testing.T) {
+	p := newTestPool(t)
+	p.ClearDirty()
+	if _, err := p.Mint("pos1", "lp1", -600, 600, liq(1_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	d := p.TakeDirty()
+	if !d.Dirty() || !d.Header || !d.Structural {
+		t.Error("snapshot should carry the mint's header + structural dirt")
+	}
+	if _, ok := d.Positions["pos1"]; !ok {
+		t.Error("snapshot missing minted position")
+	}
+	if p.Dirty() {
+		t.Error("pool should read clean after TakeDirty")
+	}
+	// New mutations land in fresh sets, not the detached snapshot.
+	if _, err := p.Mint("pos2", "lp1", -1200, 1200, liq(500)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Positions["pos2"]; ok {
+		t.Error("post-detach mutation leaked into the snapshot")
+	}
+	if _, ok := p.DirtyPositions()["pos2"]; !ok {
+		t.Error("post-detach mutation not tracked by the pool's new sets")
+	}
+	// A clone taken after TakeDirty carries only the new dirt.
+	c := p.Clone()
+	if _, ok := c.DirtyPositions()["pos1"]; ok {
+		t.Error("clone inherited detached dirt")
+	}
+	// An idle pool's snapshot is empty and cheap.
+	p.ClearDirty()
+	if d2 := p.TakeDirty(); d2.Dirty() {
+		t.Error("clean pool's TakeDirty should report no dirt")
+	}
+}
+
 func TestDirtyTrackingSwap(t *testing.T) {
 	p := newTestPool(t)
 	if _, err := p.Mint("pos1", "lp1", -887220, 887220, liq(10_000_000)); err != nil {

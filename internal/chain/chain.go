@@ -55,6 +55,14 @@ var (
 	ErrPruneFailed = errors.New("chain: pruning failed")
 	// ErrEngineFailed wraps a sharded-engine epoch lifecycle failure.
 	ErrEngineFailed = errors.New("chain: engine epoch lifecycle failed")
+	// ErrCommitStage wraps a fault raised inside the asynchronous
+	// commit/sync pipeline stage (payload fold, chunking, TSQC signing)
+	// before its epoch could retire. The wrapped cause is preserved, so
+	// errors.Is also matches the underlying sentinel (e.g. ErrSignFailed).
+	// Like every lifecycle fault it halts the node: in-flight pipeline
+	// work is drained, no further stage events publish, and subsequent
+	// submissions fail with ErrHalted.
+	ErrCommitStage = errors.New("chain: commit/sync pipeline stage failed")
 	// ErrExecutionRejected marks a receipt whose transaction was turned
 	// away by the epoch executor (insufficient deposit, bad position, …).
 	ErrExecutionRejected = errors.New("chain: transaction rejected by executor")

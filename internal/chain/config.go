@@ -79,6 +79,21 @@ type Config struct {
 	// whose payloads exceed it splits into multiple sync parts (default
 	// 20M, comfortably under the 30M block limit).
 	SyncGasBudget uint64
+	// PipelineDepth bounds how many epochs the multi-pool backend keeps
+	// in flight at once: the executing epoch plus the sealed epochs whose
+	// asynchronous commitment/sync stage has not yet retired (default 2).
+	// Depth 1 disables pipelining — each epoch's commitment build, summary
+	// checkpoint, and sync submission complete before the next epoch
+	// starts — and is bit-identical to the unpipelined lifecycle, which
+	// makes it the differential reference for every deeper setting.
+	// Depth >= 2 overlaps epoch N's commitment/sync stage with epoch
+	// N+1's execution: virtual epoch cadence stops waiting for the
+	// summary agreement, and wall-clock commitment hashing, chunking, and
+	// TSQC signing run concurrently with next-epoch execution. The
+	// computed state (summary roots, payload digests) is identical at
+	// every depth; only timing changes. The single-pool backend ignores
+	// the field.
+	PipelineDepth int
 
 	Mainchain mainchain.Config
 	Model     pbft.Model
@@ -124,6 +139,12 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.SyncGasBudget == 0 {
 		c.SyncGasBudget = 20_000_000
+	}
+	if c.PipelineDepth == 0 {
+		c.PipelineDepth = 2
+	}
+	if c.PipelineDepth < 1 {
+		c.PipelineDepth = 1
 	}
 	if c.Mainchain.BlockInterval == 0 {
 		c.Mainchain = mainchain.DefaultConfig()
@@ -171,6 +192,10 @@ func WithPools(n int) Option { return func(c *Config) { c.NumPools = n } }
 // WithShards sets the engine's worker-shard count.
 func WithShards(n int) Option { return func(c *Config) { c.NumShards = n } }
 
+// WithPipelineDepth bounds the multi-pool epoch pipeline's in-flight
+// window (1 disables pipelining).
+func WithPipelineDepth(n int) Option { return func(c *Config) { c.PipelineDepth = n } }
+
 // WithFaults installs the fault-injection plan.
 func WithFaults(f FaultPlan) Option { return func(c *Config) { c.Faults = f } }
 
@@ -214,4 +239,15 @@ type Report struct {
 	PositionsLive int
 	// SummaryRoots[epoch] is the folded multi-pool root per epoch.
 	SummaryRoots map[uint64][32]byte
+
+	// Pipeline telemetry (multi-pool backend). PipelineDepth echoes the
+	// configured in-flight window; PipelineOccupancy is the mean number
+	// of commit/sync stages still in flight when each epoch sealed (0 for
+	// an unpipelined run, approaching PipelineDepth-1 when the commit
+	// stage is the bottleneck); PipelineStallWall is the wall-clock time
+	// the run loop spent blocked waiting for the asynchronous commit
+	// stage to retire an epoch.
+	PipelineDepth     int
+	PipelineOccupancy float64
+	PipelineStallWall time.Duration
 }

@@ -65,6 +65,22 @@ type MultiSystem struct {
 	done          bool
 	err           error
 
+	// pipe is the asynchronous commit/sync stage (nil when
+	// cfg.PipelineDepth == 1: the unpipelined reference schedule).
+	pipe *commitPipeline
+	// lastSummaryAt enforces per-epoch ordering of the pipelined summary
+	// checkpoint events: epoch e+1's checkpoint never fires before epoch
+	// e's, whatever the agreement delays say.
+	lastSummaryAt time.Duration
+	// stallWall accumulates wall-clock time the run loop spent blocked on
+	// the commit stage (the pipeline's only synchronization point).
+	stallWall time.Duration
+	// lastSyncTxIDs are the previous epoch's sync part transactions, the
+	// on-chain dependency of every later sync part (the epoch completes —
+	// and registers the next committee key — only when its last part
+	// lands, and parts may confirm in any order).
+	lastSyncTxIDs []string
+
 	col         *metrics.Collector
 	bus         *chain.Bus
 	recsByEpoch map[uint64][]*txRecord
@@ -158,6 +174,9 @@ func NewMultiSystem(cfg chain.Config, users []string) (*MultiSystem, error) {
 	s.mc = mainchain.New(s.sim, cfg.Mainchain)
 	s.bank = mainchain.NewMultiBank(eng.PoolIDs(), ck.group)
 	s.mc.Deploy(s.bank)
+	if cfg.PipelineDepth > 1 {
+		s.pipe = newCommitPipeline(cfg.PipelineDepth)
+	}
 	return s, nil
 }
 
@@ -307,6 +326,12 @@ func (s *MultiSystem) Run(epochs int) (*chain.Report, error) {
 	s.ledger = sidechain.NewLedger(pbft.DigestOf([]byte("multibank-genesis")))
 	s.sim.At(0, func() { s.startEpoch(1) })
 	s.sim.Run()
+	if s.pipe != nil {
+		// Join the commit stage before reporting: a halted run may leave
+		// unretired jobs whose packages are simply abandoned, but the
+		// worker goroutine must be gone before callers inspect state.
+		s.pipe.close()
+	}
 	s.bus.Close()
 	return s.report(), s.err
 }
@@ -476,10 +501,145 @@ func (s *MultiSystem) runRound(e, r uint64) {
 	})
 }
 
-// finishEpoch folds every pool's epoch into its payload, mines one
-// summary-block per pool, and issues the TSQC-authenticated multi-pool
-// Sync carrying the folded summary root.
+// finishEpoch ends epoch e's execution. With PipelineDepth 1 it runs the
+// unpipelined reference schedule (finishEpochSync); otherwise the epoch
+// is sealed into the asynchronous commit/sync stage and the next epoch
+// starts executing immediately against the advanced canonical state.
 func (s *MultiSystem) finishEpoch(e uint64, lastRoundStart time.Duration) {
+	if s.err != nil {
+		return
+	}
+	if s.pipe == nil {
+		s.finishEpochSync(e, lastRoundStart)
+		return
+	}
+	// Occupancy is sampled before making room: how many earlier epochs'
+	// commit/sync stages were still unretired when this epoch finished
+	// executing.
+	s.col.ObservePipeline(s.pipe.depth())
+	// Backpressure: the window holds the executing epoch plus at most
+	// PipelineDepth-1 sealed epochs, so retire the oldest until this seal
+	// fits. Retirement order is FIFO — stage effects always publish in
+	// epoch order.
+	for s.pipe.depth() > s.cfg.PipelineDepth-2 {
+		if !s.retireOldest() {
+			return
+		}
+	}
+	nextKey := s.committees[e+1].group
+	sealed, err := s.eng.SealEpoch(nextKey.PK.Bytes())
+	if err != nil {
+		s.fail(fmt.Errorf("%w: end epoch %d: %v", chain.ErrEngineFailed, e, err))
+		return
+	}
+	s.pipe.submit(&commitJob{
+		epoch:     e,
+		sealed:    sealed,
+		ck:        s.committees[e],
+		nextKey:   nextKey,
+		corrupt:   s.cfg.Faults.CorruptSyncEpochs[e],
+		gasBudget: s.cfg.SyncGasBudget,
+		done:      make(chan struct{}),
+	})
+
+	// The end-of-run decision is deferred to the round boundary where
+	// the next epoch would start — the serial path decides inside its
+	// delayed summary callback, not at epoch end — so a transaction
+	// arriving between epoch end and the boundary still gets a drain
+	// epoch instead of being stranded with a Pending receipt.
+	next := lastRoundStart + s.cfg.RoundDuration
+	if next < s.sim.Now() {
+		next = s.sim.Now()
+	}
+	s.sim.At(next, func() {
+		if s.err != nil {
+			return
+		}
+		if int(e) >= s.epochsPlanned && len(s.queue) == 0 {
+			// No further execution to overlap with: drain every
+			// in-flight stage now. Syncs still confirm on the
+			// mainchain's own schedule; the chain stops once the final
+			// epoch prunes.
+			s.done = true
+			for s.pipe.depth() > 0 {
+				if !s.retireOldest() {
+					return
+				}
+			}
+			return
+		}
+		s.startEpoch(e + 1)
+	})
+}
+
+// retireOldest blocks until the oldest in-flight epoch's commit/sync
+// package is ready, then schedules its externally observable effects —
+// summary checkpoint, receipt stage advances, event publishes, sync
+// submission — on the simulator goroutine in per-epoch order. Returns
+// false when the node halted (a commit-stage fault or an earlier
+// lifecycle fault), in which case the remaining in-flight work is
+// abandoned: no further stage events publish and receipts keep the last
+// stage they reached.
+func (s *MultiSystem) retireOldest() bool {
+	wallStart := time.Now()
+	job := s.pipe.awaitOldest()
+	s.stallWall += time.Since(wallStart)
+	if s.err != nil {
+		return false
+	}
+	pkg := job.pkg
+	if pkg.err != nil {
+		s.fail(fmt.Errorf("%w: epoch %d: %w", chain.ErrCommitStage, job.epoch, pkg.err))
+		return false
+	}
+	e := job.epoch
+	s.SummaryRoots[e] = pkg.res.SummaryRoot
+	metas := s.ledger.MetaBlocks(e)
+	// The summary checkpoint still pays the committee agreement over the
+	// epoch's summaries; the clamp keeps checkpoints in epoch order even
+	// if agreement delays were wildly uneven.
+	at := s.sim.Now() + s.cfg.Model.AgreementTime(s.cfg.CommitteeSize, pkg.scBytes)
+	if at < s.lastSummaryAt {
+		at = s.lastSummaryAt
+	}
+	s.lastSummaryAt = at
+	s.sim.At(at, func() {
+		if s.err != nil {
+			return
+		}
+		s.checkpointEpoch(e, pkg.res.Payloads, metas, pkg.scBytes, pkg.res.SummaryRoot)
+		s.submitSignedSync(e, pkg.parts, pkg.partSizes)
+	})
+	return true
+}
+
+// checkpointEpoch mines the epoch's summary blocks, advances its
+// receipts to Checkpointed (before the event publishes — the documented
+// visibility contract), and publishes the SummaryBlock event: the
+// checkpoint step shared by both lifecycle schedules, so the serial
+// reference and the pipelined path can never drift apart. The caller
+// submits the epoch's sync immediately after.
+func (s *MultiSystem) checkpointEpoch(e uint64, payloads []*summary.SyncPayload, metas []*sidechain.MetaBlock, scBytes int, root [32]byte) {
+	for _, p := range payloads {
+		sb := sidechain.NewSummaryBlock(e, p, metas)
+		sb.MinedAt = s.sim.Now()
+		s.ledger.AppendSummary(sb)
+	}
+	for _, rec := range s.recsByEpoch[e] {
+		rec.rc.Status = chain.StatusCheckpointed
+		rec.rc.CheckpointedAt = s.sim.Now()
+	}
+	s.bus.Publish(chain.Event{
+		Type: chain.EventSummaryBlock, At: s.sim.Now(), Epoch: e,
+		Bytes: scBytes, Root: root,
+	})
+}
+
+// finishEpochSync is the PipelineDepth=1 reference schedule: fold every
+// pool's epoch into its payload, mine one summary-block per pool, issue
+// the TSQC-authenticated multi-pool Sync, and only then start the next
+// epoch. The pipelined path is differentially pinned against it.
+func (s *MultiSystem) finishEpochSync(e uint64, lastRoundStart time.Duration) {
 	nextKey := s.committees[e+1].group
 	epochRes, err := s.eng.EndEpoch(nextKey.PK.Bytes())
 	if err != nil {
@@ -498,19 +658,7 @@ func (s *MultiSystem) finishEpoch(e uint64, lastRoundStart time.Duration) {
 		if s.err != nil {
 			return
 		}
-		for _, p := range epochRes.Payloads {
-			sb := sidechain.NewSummaryBlock(e, p, metas)
-			sb.MinedAt = s.sim.Now()
-			s.ledger.AppendSummary(sb)
-		}
-		for _, rec := range s.recsByEpoch[e] {
-			rec.rc.Status = chain.StatusCheckpointed
-			rec.rc.CheckpointedAt = s.sim.Now()
-		}
-		s.bus.Publish(chain.Event{
-			Type: chain.EventSummaryBlock, At: s.sim.Now(), Epoch: e,
-			Bytes: totalBytes, Root: epochRes.SummaryRoot,
-		})
+		s.checkpointEpoch(e, epochRes.Payloads, metas, totalBytes, epochRes.SummaryRoot)
 		s.submitSync(e, epochRes)
 
 		lastEpoch := int(e) >= s.epochsPlanned && len(s.queue) == 0
@@ -555,46 +703,48 @@ func chunkPayloads(payloads []*summary.SyncPayload, budget uint64) [][]*summary.
 	return chunks
 }
 
-// submitSync signs and submits the epoch's multi-pool Sync, split into
-// as many parts as the gas budget demands; once every part confirms, the
-// payout metrics fire and the epoch's meta-blocks are pruned.
+// submitSync chunks, signs, and submits the epoch's multi-pool Sync on
+// the simulator goroutine — the unpipelined path. The pipelined path
+// runs the same signSyncParts on the commit-stage worker
+// (buildSyncPackage) and hands the pre-signed parts to submitSignedSync,
+// so both paths produce bit-identical sync transactions.
 func (s *MultiSystem) submitSync(e uint64, res *engine.EpochResult) {
-	ck := s.committees[e]
-	nextKey := s.committees[e+1].group
-	chunks := chunkPayloads(res.Payloads, s.cfg.SyncGasBudget)
+	parts, sizes, err := signSyncParts(e, res, s.committees[e], s.committees[e+1].group,
+		s.cfg.Faults.CorruptSyncEpochs[e], s.cfg.SyncGasBudget)
+	if err != nil {
+		s.fail(fmt.Errorf("sync epoch %d: %w", e, err))
+		return
+	}
+	s.submitSignedSync(e, parts, sizes)
+}
+
+// submitSignedSync submits pre-signed sync parts to the mainchain; once
+// every part confirms, the payout metrics fire and the epoch's
+// meta-blocks are pruned. Shared by the unpipelined path (submitSync)
+// and the pipelined retirement path.
+func (s *MultiSystem) submitSignedSync(e uint64, parts []*mainchain.MultiSyncArgs, sizes []int) {
 	submitted := s.sim.Now()
+	numParts := len(parts)
 	confirmed := 0
 	totalSize := 0
+	for _, sz := range sizes {
+		totalSize += sz
+	}
 	var totalGas uint64 // accumulated across parts for the event
-	for i, chunk := range chunks {
-		args := &mainchain.MultiSyncArgs{
-			Epoch:       e,
-			Part:        i + 1,
-			NumParts:    len(chunks),
-			Payloads:    chunk,
-			SummaryRoot: res.SummaryRoot,
-			NextKey:     nextKey,
-		}
-		digest := args.Digest()
-		if s.cfg.Faults.CorruptSyncEpochs[e] {
-			// Equivocating committee: the signed digest is corrupted, so
-			// MultiBank's TSQC verification rejects the part on-chain.
-			digest[0] ^= 0xff
-		}
-		sig, err := ck.signDigest(digest)
-		if err != nil {
-			s.fail(fmt.Errorf("%w: epoch %d: %v", chain.ErrSignFailed, e, err))
-			return
-		}
-		args.Sig = sig
-		size := 32
-		for _, p := range chunk {
-			size += p.MainchainBytes()
-		}
-		totalSize += size
+	// Every part verifies against the epoch's group key, which the
+	// PREVIOUS epoch registers on-chain only once ALL its parts have
+	// landed — so parts carry an explicit dependency on every part of
+	// the previous epoch. Without this, a block that defers one of the
+	// previous epoch's parts for gas could pack this epoch's parts first
+	// and revert them with an unknown-key error (reachable once the
+	// pipeline keeps several epochs' syncs in flight; harmless in the
+	// serial schedule where syncs are an epoch apart).
+	deps := s.lastSyncTxIDs
+	for i, args := range parts {
 		tx := &mainchain.Tx{
 			ID: fmt.Sprintf("msync-e%d-p%d", e, i+1), From: "sc-committee",
-			To: mainchain.MultiBankAddress, Method: "sync", Size: size, Args: args,
+			To: mainchain.MultiBankAddress, Method: "sync", Size: sizes[i], Args: args,
+			DependsOn: deps,
 		}
 		tx.OnConfirmed = func(tx *mainchain.Tx) {
 			if tx.Status != mainchain.TxConfirmed {
@@ -604,7 +754,7 @@ func (s *MultiSystem) submitSync(e uint64, res *engine.EpochResult) {
 			s.col.ObserveGas("sync", tx.GasUsed)
 			totalGas += tx.GasUsed
 			confirmed++
-			if confirmed < len(chunks) {
+			if confirmed < numParts {
 				return
 			}
 			// Final part: the epoch is fully synced on-chain. Receipts
@@ -625,7 +775,7 @@ func (s *MultiSystem) submitSync(e uint64, res *engine.EpochResult) {
 			}
 			s.bus.Publish(chain.Event{
 				Type: chain.EventSyncConfirmed, At: tx.ConfirmedAt, Epoch: e,
-				Parts: len(chunks), Bytes: totalSize, Gas: totalGas,
+				Parts: numParts, Bytes: totalSize, Gas: totalGas,
 			})
 			if err := s.ledger.Prune(e, true); err != nil && !errors.Is(err, sidechain.ErrAlreadyPruned) {
 				s.fail(fmt.Errorf("%w: epoch %d: %v", chain.ErrPruneFailed, e, err))
@@ -643,9 +793,13 @@ func (s *MultiSystem) submitSync(e uint64, res *engine.EpochResult) {
 		}
 		s.mc.Submit(tx)
 	}
+	s.lastSyncTxIDs = make([]string, numParts)
+	for i := range s.lastSyncTxIDs {
+		s.lastSyncTxIDs[i] = fmt.Sprintf("msync-e%d-p%d", e, i+1)
+	}
 	s.bus.Publish(chain.Event{
 		Type: chain.EventSyncSubmitted, At: submitted, Epoch: e,
-		Parts: len(chunks), Bytes: totalSize,
+		Parts: numParts, Bytes: totalSize,
 	})
 }
 
@@ -705,6 +859,9 @@ func (s *MultiSystem) report() *chain.Report {
 		QueuePeak:              s.queuePeak,
 		PositionsLive:          live,
 		SummaryRoots:           s.SummaryRoots,
+		PipelineDepth:          s.cfg.PipelineDepth,
+		PipelineOccupancy:      s.col.AvgPipelineOccupancy(),
+		PipelineStallWall:      s.stallWall,
 	}
 }
 

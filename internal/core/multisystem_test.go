@@ -83,9 +83,10 @@ type multiRunFingerprint struct {
 	payloads map[uint64][][32]byte
 }
 
-func runMultiFingerprint(t *testing.T, seed int64, shards int) multiRunFingerprint {
+func runMultiFingerprint(t *testing.T, seed int64, shards, pipelineDepth int) multiRunFingerprint {
 	t.Helper()
 	sysCfg, drvCfg := multiTestConfigs(seed, 16, shards, 2)
+	sysCfg.PipelineDepth = pipelineDepth
 	sys, _, err := NewMultiDriver(sysCfg, drvCfg)
 	if err != nil {
 		t.Fatalf("NewMultiDriver: %v", err)
@@ -110,15 +111,16 @@ func runMultiFingerprint(t *testing.T, seed int64, shards int) multiRunFingerpri
 // TestMultiSystemDeterministicRoots pins the redesign's determinism
 // acceptance: for fixed seeds {1, 42, 1337}, the full lifecycle (not
 // just the raw engine) yields bit-identical epoch summary roots AND sync
-// payload digests across shard counts {1, 4, 16}.
+// payload digests across shard counts {1, 4, 16}, at the default
+// (pipelined) depth.
 func TestMultiSystemDeterministicRoots(t *testing.T) {
 	for _, seed := range []int64{1, 42, 1337} {
-		base := runMultiFingerprint(t, seed, 1)
+		base := runMultiFingerprint(t, seed, 1, 0)
 		if len(base.roots) == 0 {
 			t.Fatalf("seed=%d: no summary roots recorded", seed)
 		}
 		for _, shards := range []int{4, 16} {
-			got := runMultiFingerprint(t, seed, shards)
+			got := runMultiFingerprint(t, seed, shards, 0)
 			if len(got.roots) != len(base.roots) {
 				t.Fatalf("seed=%d shards=%d: %d epochs, want %d", seed, shards, len(got.roots), len(base.roots))
 			}

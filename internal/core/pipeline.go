@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"ammboost/internal/chain"
+	"ammboost/internal/crypto/tsig"
+	"ammboost/internal/engine"
+	"ammboost/internal/mainchain"
+)
+
+// commitJob is one sealed epoch queued for the asynchronous commit/sync
+// stage. Everything the stage needs is captured at seal time on the
+// simulator goroutine — the sealed engine hand-off, the epoch's signing
+// committee, the next committee's group key, and the fault plan's verdict
+// for this epoch — so the stage worker never touches MultiSystem state.
+type commitJob struct {
+	epoch     uint64
+	sealed    *engine.SealedEpoch
+	ck        *committeeKeys
+	nextKey   tsig.GroupKey
+	corrupt   bool
+	gasBudget uint64
+
+	done chan struct{} // closed by the stage worker once pkg is set
+	pkg  *syncPackage
+}
+
+// syncPackage is the commit/sync stage's output for one epoch: the folded
+// engine result plus the fully signed, chunked mainchain sync parts. The
+// simulator goroutine consumes it at retirement — publishing the summary
+// checkpoint, advancing receipts, and submitting the pre-signed parts —
+// so every externally observable effect still happens in deterministic
+// per-epoch order on the simulator goroutine.
+type syncPackage struct {
+	res *engine.EpochResult
+	// parts are the signed sync chunks; partSizes the per-part mainchain
+	// byte sizes.
+	parts     []*mainchain.MultiSyncArgs
+	partSizes []int
+	// scBytes is the epoch's total sidechain summary size (drives the
+	// summary agreement delay).
+	scBytes int
+	// err is a commit-stage fault (today: TSQC signing failure). The
+	// retiring goroutine surfaces it as chain.ErrCommitStage wrapping the
+	// underlying sentinel.
+	err error
+}
+
+// commitPipeline is the bounded asynchronous commit/sync stage of the
+// pipelined epoch lifecycle. One stage worker consumes sealed epochs in
+// FIFO order — the incremental per-pool commitment caches require epochs
+// to finalize sequentially — and each job's Finalize fans out across the
+// engine's shard workers, so the stage is a bounded worker pool: one
+// coordinator plus numShards hashing workers, all overlapping the
+// simulator goroutine's execution of later epochs.
+//
+// The inflight window is owned by the simulator goroutine; only the jobs
+// channel and each job's done/pkg pair cross goroutines.
+type commitPipeline struct {
+	jobs     chan *commitJob
+	wg       sync.WaitGroup
+	inflight []*commitJob
+}
+
+// newCommitPipeline starts the stage worker. depth bounds the number of
+// sealed-but-unretired epochs the caller will ever allow, sizing the
+// queue so submission never blocks the simulator goroutine.
+func newCommitPipeline(depth int) *commitPipeline {
+	p := &commitPipeline{jobs: make(chan *commitJob, depth)}
+	p.wg.Add(1)
+	go p.run()
+	return p
+}
+
+func (p *commitPipeline) run() {
+	defer p.wg.Done()
+	for job := range p.jobs {
+		job.pkg = buildSyncPackage(job)
+		close(job.done)
+	}
+}
+
+// submit queues a sealed epoch for the stage. Caller must have made room
+// in the window first (retire until inflight < depth).
+func (p *commitPipeline) submit(job *commitJob) {
+	p.inflight = append(p.inflight, job)
+	p.jobs <- job
+}
+
+// depth returns the number of sealed epochs not yet retired.
+func (p *commitPipeline) depth() int { return len(p.inflight) }
+
+// awaitOldest blocks until the oldest in-flight epoch's package is ready
+// and removes it from the window. This is the pipeline's only
+// synchronization point: virtual time is untouched — only wall-clock is
+// spent here, and only when the commit stage is still behind.
+func (p *commitPipeline) awaitOldest() *commitJob {
+	job := p.inflight[0]
+	<-job.done
+	p.inflight = p.inflight[1:]
+	return job
+}
+
+// close shuts the stage down after the simulator drained: the worker
+// finishes any queued jobs (a halted run may abandon their packages) and
+// exits. Blocks until the worker goroutine is gone, so Run never leaks a
+// goroutine still touching engine state.
+func (p *commitPipeline) close() {
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// buildSyncPackage runs the heavy half of epoch close on the stage
+// worker: the engine fold (payloads, state roots, summary root), gas
+// chunking, digest computation (including the fault plan's digest
+// corruption), and TSQC signing of every part.
+func buildSyncPackage(job *commitJob) *syncPackage {
+	res := job.sealed.Finalize()
+	pkg := &syncPackage{res: res}
+	for _, p := range res.Payloads {
+		pkg.scBytes += p.SidechainBytes()
+	}
+	pkg.parts, pkg.partSizes, pkg.err = signSyncParts(
+		job.epoch, res, job.ck, job.nextKey, job.corrupt, job.gasBudget)
+	return pkg
+}
+
+// signSyncParts chunks an epoch's payloads by gas budget and TSQC-signs
+// every part, returning the signed sync args with their mainchain byte
+// sizes. The one implementation behind both lifecycle paths — the serial
+// schedule signs on the run loop, the pipelined schedule on the commit
+// stage — so the two can never drift apart in the sync transactions they
+// produce (the depth-1 equivalence pin depends on that).
+func signSyncParts(epoch uint64, res *engine.EpochResult, ck *committeeKeys,
+	nextKey tsig.GroupKey, corrupt bool, gasBudget uint64) ([]*mainchain.MultiSyncArgs, []int, error) {
+	chunks := chunkPayloads(res.Payloads, gasBudget)
+	parts := make([]*mainchain.MultiSyncArgs, 0, len(chunks))
+	sizes := make([]int, 0, len(chunks))
+	for i, chunk := range chunks {
+		args := &mainchain.MultiSyncArgs{
+			Epoch:       epoch,
+			Part:        i + 1,
+			NumParts:    len(chunks),
+			Payloads:    chunk,
+			SummaryRoot: res.SummaryRoot,
+			NextKey:     nextKey,
+		}
+		digest := args.Digest()
+		if corrupt {
+			// Equivocating committee: the signed digest is corrupted, so
+			// MultiBank's TSQC verification rejects the part on-chain.
+			digest[0] ^= 0xff
+		}
+		sig, err := ck.signDigest(digest)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: part %d/%d: %v", chain.ErrSignFailed, i+1, len(chunks), err)
+		}
+		args.Sig = sig
+		size := 32
+		for _, p := range chunk {
+			size += p.MainchainBytes()
+		}
+		parts = append(parts, args)
+		sizes = append(sizes, size)
+	}
+	return parts, sizes, nil
+}

@@ -39,8 +39,8 @@ type poolCommit struct {
 	posLeaf    map[string][32]byte
 
 	tree   *merkle.Updatable
-	buf    []byte      // chunk serialization scratch
-	hashes [][32]byte  // leaf-hash assembly scratch
+	buf    []byte     // chunk serialization scratch
+	hashes [][32]byte // leaf-hash assembly scratch
 }
 
 func newPoolCommit() *poolCommit {
@@ -53,35 +53,44 @@ func newPoolCommit() *poolCommit {
 // Root returns the commitment root for the pool's current state and
 // clears the pool's dirty tracking: the cache now reflects that state.
 func (c *poolCommit) Root(poolID string, p *amm.Pool) [32]byte {
-	if c.valid && !p.Dirty() {
+	d := p.TakeDirty()
+	return c.RootFrom(poolID, p, &d)
+}
+
+// RootFrom computes the commitment root for a pool whose dirty tracking
+// was already detached with TakeDirty. This is the pipelined epoch
+// lifecycle's entry point: the sealed pool is read-only (later epochs
+// clone it but never mutate it), so the commit job may run on another
+// goroutine while the next epoch executes.
+func (c *poolCommit) RootFrom(poolID string, p *amm.Pool, d *amm.DirtyState) [32]byte {
+	if c.valid && !d.Dirty() {
 		return c.root
 	}
 	if 1+p.NumTicks()+p.NumPositions() < smallPoolLeaves {
 		c.root = StateRoot(poolID, p)
 		c.leavesValid = false
 	} else {
-		if c.leavesValid && !p.StructurallyDirty() {
-			c.updatePaths(poolID, p)
+		if c.leavesValid && !d.Structural {
+			c.updatePaths(poolID, p, d)
 		} else {
-			c.rebuild(poolID, p)
+			c.rebuild(poolID, p, d)
 		}
 		c.leavesValid = true
 		c.root = c.tree.Root()
 	}
-	p.ClearDirty()
 	c.valid = true
 	return c.root
 }
 
 // updatePaths handles the common case — value changes only, no leaf
 // insertions or removals — with O(dirty · log n) hashing.
-func (c *poolCommit) updatePaths(poolID string, p *amm.Pool) {
-	if p.HeaderDirty() {
+func (c *poolCommit) updatePaths(poolID string, p *amm.Pool, d *amm.DirtyState) {
+	if d.Header {
 		c.buf = appendHeaderChunk(c.buf[:0], poolID, p)
 		c.headerLeaf = merkle.HashLeaf(c.buf)
 		c.tree.Update(0, c.headerLeaf)
 	}
-	for tick := range p.DirtyTicks() {
+	for tick := range d.Ticks {
 		// No structural change, so every dirty tick is still initialized
 		// and sits at its cached index.
 		i := sort.Search(len(c.tickKeys), func(i int) bool { return c.tickKeys[i] >= tick })
@@ -91,7 +100,7 @@ func (c *poolCommit) updatePaths(poolID string, p *amm.Pool) {
 		c.tree.Update(1+i, h)
 	}
 	base := 1 + len(c.tickKeys)
-	for id := range p.DirtyPositions() {
+	for id := range d.Positions {
 		i := sort.SearchStrings(c.posKeys, id)
 		c.buf = appendPositionChunk(c.buf[:0], p.Position(id))
 		h := merkle.HashLeaf(c.buf)
@@ -103,7 +112,7 @@ func (c *poolCommit) updatePaths(poolID string, p *amm.Pool) {
 // rebuild handles structural changes and cold starts: dirty chunks are
 // re-hashed (or dropped, for removed leaves), untouched chunk hashes are
 // reused, and the tree is re-folded over the new leaf layout.
-func (c *poolCommit) rebuild(poolID string, p *amm.Pool) {
+func (c *poolCommit) rebuild(poolID string, p *amm.Pool, d *amm.DirtyState) {
 	ticks := p.TickKeys()
 	positions := p.PositionKeys()
 
@@ -122,14 +131,14 @@ func (c *poolCommit) rebuild(poolID string, p *amm.Pool) {
 			c.posLeaf[id] = merkle.HashLeaf(c.buf)
 		}
 	} else {
-		if p.HeaderDirty() {
+		if d.Header {
 			c.buf = appendHeaderChunk(c.buf[:0], poolID, p)
 			c.headerLeaf = merkle.HashLeaf(c.buf)
 		}
 		// Removed leaves are always in the dirty sets (flips and deletes
 		// mark them), so processing the dirty sets alone keeps the leaf
 		// maps covering exactly the live keys.
-		for tick := range p.DirtyTicks() {
+		for tick := range d.Ticks {
 			if ti := p.TickInfoAt(tick); ti == nil {
 				delete(c.tickLeaf, tick)
 			} else {
@@ -137,7 +146,7 @@ func (c *poolCommit) rebuild(poolID string, p *amm.Pool) {
 				c.tickLeaf[tick] = merkle.HashLeaf(c.buf)
 			}
 		}
-		for id := range p.DirtyPositions() {
+		for id := range d.Positions {
 			if pos := p.Position(id); pos == nil {
 				delete(c.posLeaf, id)
 			} else {

@@ -161,16 +161,22 @@ func (e *Engine) Epoch() uint64 { return e.epoch }
 // call touches only its shard's pools, so no synchronization beyond the
 // final barrier is needed.
 func (e *Engine) runShards(fn func(shard int, poolIDs []string)) {
-	if e.numShards == 1 {
-		fn(0, e.shardPools[0])
+	runSharded(e.numShards, e.shardPools, fn)
+}
+
+// runSharded is the shard fan-out shared by the engine and by sealed
+// epochs finalizing off the engine's goroutine.
+func runSharded(numShards int, shardPools [][]string, fn func(shard int, poolIDs []string)) {
+	if numShards == 1 {
+		fn(0, shardPools[0])
 		return
 	}
 	var wg sync.WaitGroup
-	wg.Add(e.numShards)
-	for s := 0; s < e.numShards; s++ {
+	wg.Add(numShards)
+	for s := 0; s < numShards; s++ {
 		go func(s int) {
 			defer wg.Done()
-			fn(s, e.shardPools[s])
+			fn(s, shardPools[s])
 		}(s)
 	}
 	wg.Wait()
@@ -322,14 +328,13 @@ func (r *EpochResult) RootFor(poolID string) ([32]byte, bool) {
 
 // poolRoot returns pool i's state root: the incremental commitment by
 // default, the full re-hash in FullRecompute reference mode. Dirty
-// tracking is cleared either way so both modes leave identical state.
+// tracking is detached either way so both modes leave identical state.
 func (e *Engine) poolRoot(i int, id string, p *amm.Pool) [32]byte {
+	d := p.TakeDirty()
 	if e.cfg.FullRecompute {
-		root := StateRoot(id, p)
-		p.ClearDirty()
-		return root
+		return StateRoot(id, p)
 	}
-	return e.commits[i].Root(id, p)
+	return e.commits[i].RootFrom(id, p, &d)
 }
 
 // untouchedPayload is the sync payload of a pool with no executor this
@@ -359,57 +364,28 @@ func untouchedPayload(epoch uint64, p *amm.Pool, deposits map[string]summary.Dep
 // snapshotted: their payloads are derived directly from canonical state
 // and their roots answered from the commitment cache, so epoch-close cost
 // scales with the epoch's activity rather than accumulated state.
+//
+// EndEpoch is exactly SealEpoch + Finalize run back to back on the
+// caller's goroutine; the pipelined lifecycle calls the two halves
+// separately so the fold overlaps the next epoch's execution.
 func (e *Engine) EndEpoch(nextGroupKey []byte) (*EpochResult, error) {
-	if !e.running {
-		return nil, ErrNoEpoch
+	sealed, err := e.SealEpoch(nextGroupKey)
+	if err != nil {
+		return nil, err
 	}
-	ids := e.reg.IDs()
-	payloads := make([]*summary.SyncPayload, len(ids))
-	roots := make([][32]byte, len(ids))
-	finals := make([]*amm.Pool, len(ids))
-	e.runShards(func(_ int, poolIDs []string) {
-		for _, id := range poolIDs {
-			i := e.poolIndex[id]
-			exec := e.execs[i]
-			if exec == nil {
-				pool := e.reg.Get(id)
-				p := untouchedPayload(e.epoch, pool, e.epochDeposits[id], nextGroupKey)
-				p.PoolID = id
-				payloads[i] = p
-				roots[i] = e.poolRoot(i, id, pool)
-				continue
-			}
-			p := exec.Summary(nextGroupKey)
-			p.PoolID = id
-			payloads[i] = p
-			finals[i] = exec.Pool
-			roots[i] = e.poolRoot(i, id, exec.Pool)
-		}
-	})
-	// Advance canonical pool states on the caller's goroutine (the
-	// registry map is not written concurrently). Untouched pools keep
-	// their canonical state.
-	for i, id := range ids {
-		if finals[i] != nil {
-			e.reg.replace(id, finals[i])
-		}
-	}
-	res := &EpochResult{
-		Epoch:       e.epoch,
-		PoolIDs:     append([]string(nil), ids...),
-		Payloads:    payloads,
-		PoolRoots:   roots,
-		SummaryRoot: FoldRoots(roots),
-	}
-	e.execs = nil
-	e.epochDeposits = nil
-	e.running = false
-	return res, nil
+	return sealed.Finalize(), nil
 }
 
 // StateRoots returns the current canonical state root of every pool in
 // canonical order (valid between epochs). Between epochs every pool is
 // clean, so the incremental path answers entirely from cached roots.
+//
+// "Between epochs" includes the commit stage: StateRoots shares the
+// per-pool commitment caches with SealedEpoch.Finalize, so it must not
+// run while a sealed epoch is still finalizing (in a pipelined
+// MultiSystem, epoch N's Finalize overlaps epoch N+1's execution — an
+// OnEpochStart hook is NOT a safe place to call this; read roots from
+// the epoch's EpochResult or the run report instead).
 func (e *Engine) StateRoots() [][32]byte {
 	ids := e.reg.IDs()
 	roots := make([][32]byte, len(ids))

@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"ammboost/internal/amm"
+	"ammboost/internal/summary"
+)
+
+// SealedEpoch is the frozen hand-off between an epoch's execution and its
+// commitment build, the unit of work the pipelined lifecycle moves off
+// the run loop. SealEpoch captures everything Finalize needs — the final
+// per-pool states, the epoch's executors, the detached dirty tracking,
+// and the incremental commitment caches — and leaves the engine ready
+// for the next BeginEpoch. Finalize may then run on any goroutine: the
+// captured pools are read-only from the engine's perspective (the next
+// epoch's executors clone them but never mutate them), and the dirty
+// tracking was detached at seal time, so the only writers of the captured
+// structures are Finalize's own shard workers.
+//
+// Hand-off discipline for the caller:
+//   - At most one Finalize may run at a time across the SealedEpochs of
+//     one engine (they share the per-pool commitment caches), and sealed
+//     epochs must finalize in seal order — the incremental commitments
+//     advance epoch by epoch.
+//   - Finalize must be called exactly once per sealed epoch; skipping one
+//     would leave the commitment caches behind the canonical state.
+type SealedEpoch struct {
+	epoch uint64
+	ids   []string
+	// pools[i] is ids[i]'s end-of-epoch state (canonical since the seal).
+	pools []*amm.Pool
+	// execs[i] is the epoch executor, nil for pools untouched this epoch.
+	execs    []*summary.Executor
+	deposits map[string]map[string]summary.Deposit
+	// dirty[i] is pools[i]'s dirty tracking detached at seal time.
+	dirty        []amm.DirtyState
+	commits      []*poolCommit
+	nextGroupKey []byte
+
+	numShards     int
+	shardPools    [][]string
+	poolIndex     map[string]int
+	fullRecompute bool
+}
+
+// Epoch returns the sealed epoch's number.
+func (se *SealedEpoch) Epoch() uint64 { return se.epoch }
+
+// SealEpoch closes the running epoch without building its commitment:
+// canonical pool states advance to the epoch's final states and the
+// frozen hand-off is captured, after which BeginEpoch may open the next
+// epoch immediately. The heavy fold — per-pool sync payloads, state
+// roots, the summary root — is deferred to SealedEpoch.Finalize.
+// EndEpoch is exactly SealEpoch followed by an immediate Finalize, which
+// is what makes the unpipelined path the differential reference for the
+// pipelined one.
+func (e *Engine) SealEpoch(nextGroupKey []byte) (*SealedEpoch, error) {
+	if !e.running {
+		return nil, ErrNoEpoch
+	}
+	ids := e.reg.IDs()
+	se := &SealedEpoch{
+		epoch:         e.epoch,
+		ids:           append([]string(nil), ids...),
+		pools:         make([]*amm.Pool, len(ids)),
+		execs:         e.execs,
+		deposits:      e.epochDeposits,
+		dirty:         make([]amm.DirtyState, len(ids)),
+		commits:       e.commits,
+		nextGroupKey:  nextGroupKey,
+		numShards:     e.numShards,
+		shardPools:    e.shardPools,
+		poolIndex:     e.poolIndex,
+		fullRecompute: e.cfg.FullRecompute,
+	}
+	// Settle every active executor — the epoch's final pool mutation
+	// (fee-growth pokes for summary-included positions) — then detach the
+	// dirty tracking. Both are pool-local, so the seal fans out across
+	// the shard workers; after this pass the sealed pools are never
+	// mutated again and Finalize may read them from any goroutine.
+	e.runShards(func(_ int, poolIDs []string) {
+		for _, id := range poolIDs {
+			i := e.poolIndex[id]
+			p := e.reg.Get(id)
+			if exec := e.execs[i]; exec != nil {
+				exec.Settle()
+				p = exec.Pool
+			}
+			se.pools[i] = p
+			se.dirty[i] = p.TakeDirty()
+		}
+	})
+	// Advance canonical states on the caller's goroutine (the registry
+	// map must not be written concurrently). Untouched pools keep theirs.
+	for i, id := range ids {
+		if e.execs[i] != nil {
+			e.reg.replace(id, se.pools[i])
+		}
+	}
+	e.execs = nil
+	e.epochDeposits = nil
+	e.running = false
+	return se, nil
+}
+
+// Finalize builds the sealed epoch's folded outcome: per-pool sync
+// payloads and state roots in canonical pool order, and the summary root.
+// The fold fans out across the engine's shard layout (a bounded worker
+// pool: one worker per shard), so commitment hashing parallelizes the
+// same way execution does. Safe to call off the engine's goroutine under
+// the hand-off discipline documented on SealedEpoch.
+func (se *SealedEpoch) Finalize() *EpochResult {
+	payloads := make([]*summary.SyncPayload, len(se.ids))
+	roots := make([][32]byte, len(se.ids))
+	runSharded(se.numShards, se.shardPools, func(_ int, poolIDs []string) {
+		for _, id := range poolIDs {
+			i := se.poolIndex[id]
+			pool := se.pools[i]
+			var p *summary.SyncPayload
+			if exec := se.execs[i]; exec == nil {
+				p = untouchedPayload(se.epoch, pool, se.deposits[id], se.nextGroupKey)
+			} else {
+				p = exec.Summary(se.nextGroupKey)
+			}
+			p.PoolID = id
+			payloads[i] = p
+			if se.fullRecompute {
+				roots[i] = StateRoot(id, pool)
+			} else {
+				roots[i] = se.commits[i].RootFrom(id, pool, &se.dirty[i])
+			}
+		}
+	})
+	return &EpochResult{
+		Epoch:       se.epoch,
+		PoolIDs:     se.ids,
+		Payloads:    payloads,
+		PoolRoots:   roots,
+		SummaryRoot: FoldRoots(roots),
+	}
+}

@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"testing"
+
+	"ammboost/internal/gasmodel"
+	"ammboost/internal/summary"
+	"ammboost/internal/u256"
+	"ammboost/internal/workload"
+)
+
+// sealRun drives one engine through epochs of identical Zipf traffic. In
+// pipelined mode each epoch is sealed and finalized on a separate
+// goroutine while the next epoch begins executing against the advanced
+// canonical state — exactly the overlap the lifecycle pipeline creates —
+// with the previous epoch's Finalize joined only when the next epoch
+// ends (a depth-2 window). Returns the per-epoch summary roots.
+func sealRun(t *testing.T, pipelined bool, seed int64, pools, shards, epochs, rounds, txPerRound int) [][32]byte {
+	t.Helper()
+	eng, err := New(Config{Seed: seed, NumPools: pools, NumShards: shards})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	wcfg := workload.DefaultMultiConfig(seed, pools)
+	wcfg.PoolIDs = eng.PoolIDs()
+	gen := workload.NewMulti(wcfg)
+	dep := u256.FromUint64(1 << 40)
+
+	roots := make([][32]byte, epochs)
+	var pending *SealedEpoch
+	var pendingIdx int
+	resCh := make(chan *EpochResult, 1)
+	joinPending := func() {
+		if pending == nil {
+			return
+		}
+		roots[pendingIdx] = (<-resCh).SummaryRoot
+		pending = nil
+	}
+	for e := 1; e <= epochs; e++ {
+		deps := UniformDeposits(eng.PoolIDs(), gen.Users(), dep, dep)
+		if err := eng.BeginEpoch(uint64(e), deps); err != nil {
+			t.Fatalf("BeginEpoch: %v", err)
+		}
+		for r := 1; r <= rounds; r++ {
+			batch := make([]*summary.Tx, txPerRound)
+			for i := range batch {
+				batch[i] = gen.Next()
+			}
+			if _, err := eng.ExecuteRound(batch, uint64(r)); err != nil {
+				t.Fatalf("ExecuteRound: %v", err)
+			}
+		}
+		if !pipelined {
+			res, err := eng.EndEpoch([]byte("next-key"))
+			if err != nil {
+				t.Fatalf("EndEpoch: %v", err)
+			}
+			roots[e-1] = res.SummaryRoot
+			continue
+		}
+		joinPending() // stage capacity 1: finalizations stay sequential
+		sealed, err := eng.SealEpoch([]byte("next-key"))
+		if err != nil {
+			t.Fatalf("SealEpoch: %v", err)
+		}
+		pending, pendingIdx = sealed, e-1
+		go func() { resCh <- sealed.Finalize() }()
+	}
+	joinPending()
+	return roots
+}
+
+// TestSealFinalizeMatchesEndEpoch pins the pipelined engine hand-off:
+// finalizing sealed epochs concurrently with the next epoch's execution
+// yields bit-identical summary roots to the synchronous EndEpoch path,
+// across seeds and shard counts. Run with -race this also proves the
+// sealed state is genuinely frozen (no writes race the finalizer).
+func TestSealFinalizeMatchesEndEpoch(t *testing.T) {
+	for _, seed := range []int64{1, 42, 1337} {
+		for _, shards := range []int{1, 4} {
+			base := sealRun(t, false, seed, 24, shards, 3, 4, 300)
+			over := sealRun(t, true, seed, 24, shards, 3, 4, 300)
+			for e := range base {
+				if base[e] != over[e] {
+					t.Errorf("seed=%d shards=%d: epoch %d root diverged between EndEpoch and Seal+Finalize",
+						seed, shards, e+1)
+				}
+			}
+		}
+	}
+}
+
+// TestSealEpochAdvancesCanonicalState checks that sealing (without
+// finalizing) already advances the canonical pools: the next epoch's
+// lazily created executors must snapshot the sealed epoch's final,
+// settled state.
+func TestSealEpochAdvancesCanonicalState(t *testing.T) {
+	eng, err := New(Config{Seed: 7, NumPools: 2, NumShards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid := eng.PoolIDs()[0]
+	before := eng.Pool(pid).Reserve0
+	if err := eng.BeginEpoch(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddDeposit(pid, "u", u256.FromUint64(1<<40), u256.FromUint64(1<<40)); err != nil {
+		t.Fatal(err)
+	}
+	tx := &summary.Tx{ID: "s1", Kind: gasmodel.KindSwap, User: "u", PoolID: pid,
+		ZeroForOne: true, ExactIn: true, Amount: u256.FromUint64(1_000_000)}
+	if _, err := eng.ExecuteRound([]*summary.Tx{tx}, 1); err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := eng.SealEpoch([]byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Pool(pid).Reserve0.Eq(before) {
+		t.Error("canonical reserves unchanged after seal; want the epoch's trades applied")
+	}
+	if !eng.Pool(pid).Dirty() {
+		// TakeDirty detached the tracking: the sealed pool reads clean.
+	} else {
+		t.Error("sealed pool still reports dirty state; tracking should be detached")
+	}
+	// Lifecycle guards: sealing twice, or ending after a seal, is an error.
+	if _, err := eng.SealEpoch([]byte("k")); err == nil {
+		t.Error("second SealEpoch should fail (no epoch in progress)")
+	}
+	if _, err := eng.EndEpoch([]byte("k")); err == nil {
+		t.Error("EndEpoch after SealEpoch should fail (no epoch in progress)")
+	}
+	// The next epoch opens against the sealed state while the finalize
+	// is still outstanding.
+	if err := eng.BeginEpoch(2, nil); err != nil {
+		t.Fatalf("BeginEpoch after seal: %v", err)
+	}
+	res := sealed.Finalize()
+	if res.Epoch != 1 || len(res.Payloads) != 2 {
+		t.Fatalf("finalized epoch %d with %d payloads, want epoch 1 with 2", res.Epoch, len(res.Payloads))
+	}
+	if _, err := eng.EndEpoch([]byte("k2")); err != nil {
+		t.Fatalf("EndEpoch for epoch 2: %v", err)
+	}
+}

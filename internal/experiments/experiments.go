@@ -148,6 +148,9 @@ func Registry() map[string]Runner {
 		"table12":   func(o Options) (Result, error) { return RunTable12(o) },
 		"ablations": func(o Options) (Result, error) { return RunAblations(o) },
 		"poolscale": func(o Options) (Result, error) { return RunPoolScale(o) },
+		"pipelinescale": func(o Options) (Result, error) {
+			return RunPipelineScale(o)
+		},
 	}
 }
 
@@ -164,6 +167,8 @@ func Names() []string {
 				return 45 // between table4 and table5
 			case "poolscale":
 				return 500 // after the paper tables
+			case "pipelinescale":
+				return 510 // after poolscale
 			case "ablations":
 				return 999 // last
 			default:

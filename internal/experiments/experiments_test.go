@@ -15,8 +15,8 @@ func fastOpts() Options {
 
 func TestRegistryComplete(t *testing.T) {
 	names := Names()
-	if len(names) != 15 {
-		t.Fatalf("registry has %d experiments, want 15 (12 tables + fig5 + poolscale + ablations)", len(names))
+	if len(names) != 16 {
+		t.Fatalf("registry has %d experiments, want 16 (12 tables + fig5 + poolscale + pipelinescale + ablations)", len(names))
 	}
 	if names[len(names)-1] != "ablations" {
 		t.Errorf("ablations should run last, got order %v", names)
@@ -204,6 +204,33 @@ func TestAblations(t *testing.T) {
 	}
 	if r.MassSyncGas >= r.SeparateSyncGas {
 		t.Error("mass-sync should amortize base and auth costs")
+	}
+}
+
+func TestPipelineScale(t *testing.T) {
+	r, err := RunPipelineScale(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.RootsIdentical {
+		t.Error("summary roots diverged across pipeline depths")
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("sweep has %d points, want 3 (depths 1, 2, 3)", len(r.Points))
+	}
+	if r.Points[0].Depth != 1 || r.Points[0].Occupancy != 0 {
+		t.Errorf("depth-1 reference point wrong: %+v", r.Points[0])
+	}
+	for _, p := range r.Points[1:] {
+		if p.Occupancy <= 0 {
+			t.Errorf("depth %d occupancy = %.2f, want > 0 (stages should overlap)", p.Depth, p.Occupancy)
+		}
+		if p.EpochsRun != r.Points[0].EpochsRun {
+			t.Errorf("depth %d ran %d epochs, reference ran %d", p.Depth, p.EpochsRun, r.Points[0].EpochsRun)
+		}
+	}
+	if out := r.Render(); !strings.Contains(out, "bit-identical") {
+		t.Errorf("render missing root confirmation:\n%s", out)
 	}
 }
 

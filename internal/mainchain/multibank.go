@@ -166,17 +166,43 @@ func (b *MultiBank) sync(env *Env, a *MultiSyncArgs) error {
 	if stored, ok := b.SummaryRoots[a.Epoch]; ok && stored != a.SummaryRoot {
 		return ErrRootMismatch
 	}
+	// Charge the full storage bill before mutating ANY state. The chain
+	// defers a transaction that runs out of the block's remaining gas and
+	// re-executes it from scratch in the next block without rolling back
+	// contract writes — so a sync part must be atomic: either it fits and
+	// applies completely, or it leaves no trace. (The pipelined lifecycle
+	// keeps several epochs' sync parts in flight at once, which is when
+	// blocks actually fill up and the deferral path starts running.)
+	completing := len(applied)+1 == numParts
+	var bill uint64
 	for _, p := range a.Payloads {
-		if err := b.applyPoolPayload(env, p); err != nil {
-			return err
+		if _, ok := b.Positions[p.PoolID]; !ok {
+			return fmt.Errorf("%w: %s", ErrUnknownBankPool, p.PoolID)
 		}
+		bill += uint64(len(p.Payouts)) * gasmodel.PayoutEntryGas
+		for _, e := range p.Positions {
+			if e.Deleted {
+				bill += gasmodel.SstoreClearGas
+			} else {
+				bill += uint64(gasmodel.PositionEntryWords) * gasmodel.SstoreWordGas
+			}
+		}
+		bill += uint64(gasmodel.PoolBalanceWords) * gasmodel.SstoreWordGas
 	}
-	applied[part] = true
-	if err := env.Gas.Charge(gasmodel.SstoreGas(32)); err != nil {
+	bill += gasmodel.SstoreGas(32)
+	if completing {
+		// Next committee key registration (vk_c) on the completing part.
+		bill += gasmodel.SstoreGas(gasmodel.ABIGroupKeyBytes)
+	}
+	if err := env.Gas.Charge(bill); err != nil {
 		return err
 	}
+	for _, p := range a.Payloads {
+		b.applyPoolPayload(p)
+	}
+	applied[part] = true
 	b.SummaryRoots[a.Epoch] = a.SummaryRoot
-	if len(applied) < numParts {
+	if !completing {
 		return nil // epoch completes when the remaining parts land
 	}
 	b.synced[a.Epoch] = true
@@ -184,42 +210,22 @@ func (b *MultiBank) sync(env *Env, a *MultiSyncArgs) error {
 	if a.Epoch > b.LastSyncedEpoch {
 		b.LastSyncedEpoch = a.Epoch
 	}
-	// Next committee key registration (vk_c) on the completing part.
-	if err := env.Gas.Charge(gasmodel.SstoreGas(gasmodel.ABIGroupKeyBytes)); err != nil {
-		return err
-	}
 	b.groupKeys[a.Epoch+1] = a.NextKey
 	return nil
 }
 
-func (b *MultiBank) applyPoolPayload(env *Env, p *summary.SyncPayload) error {
-	positions, ok := b.Positions[p.PoolID]
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrUnknownBankPool, p.PoolID)
-	}
-	for range p.Payouts {
-		if err := env.Gas.Charge(gasmodel.PayoutEntryGas); err != nil {
-			return err
-		}
-	}
+// applyPoolPayload writes one pool's synced state; gas was charged up
+// front by sync, so application cannot fail partway.
+func (b *MultiBank) applyPoolPayload(p *summary.SyncPayload) {
+	positions := b.Positions[p.PoolID]
 	for _, e := range p.Positions {
 		if e.Deleted {
-			if err := env.Gas.Charge(gasmodel.SstoreClearGas); err != nil {
-				return err
-			}
 			delete(positions, e.ID)
 			continue
 		}
-		if err := env.Gas.Charge(uint64(gasmodel.PositionEntryWords) * gasmodel.SstoreWordGas); err != nil {
-			return err
-		}
 		positions[e.ID] = e
 	}
-	if err := env.Gas.Charge(uint64(gasmodel.PoolBalanceWords) * gasmodel.SstoreWordGas); err != nil {
-		return err
-	}
 	b.Reserves[p.PoolID] = PoolReserves{Reserve0: p.PoolReserve0, Reserve1: p.PoolReserve1}
-	return nil
 }
 
 func sha256Digest(data []byte) [32]byte {

@@ -30,6 +30,11 @@ type Collector struct {
 	// lifecycle counts epoch lifecycle events by stage label (fed from
 	// the chain event bus: epoch-start, meta-block, sync-confirmed, …).
 	lifecycle map[string]int
+	// Pipeline occupancy: one sample per epoch seal, counting the
+	// commit/sync stages still in flight at that moment.
+	pipelineSamples int
+	pipelineSum     int
+	pipelineMax     int
 }
 
 // New creates an empty collector.
@@ -59,6 +64,29 @@ func (c *Collector) LifecycleStages() []string {
 
 // ObserveTx records a sidechain transaction lifecycle.
 func (c *Collector) ObserveTx(o TxObservation) { c.txs = append(c.txs, o) }
+
+// ObservePipeline records one epoch-seal observation of the lifecycle
+// pipeline: inflight is the number of earlier epochs whose asynchronous
+// commit/sync stage had not yet retired when this epoch sealed.
+func (c *Collector) ObservePipeline(inflight int) {
+	c.pipelineSamples++
+	c.pipelineSum += inflight
+	if inflight > c.pipelineMax {
+		c.pipelineMax = inflight
+	}
+}
+
+// AvgPipelineOccupancy is the mean in-flight commit/sync stage count over
+// all epoch seals (0 when the run never overlapped stages).
+func (c *Collector) AvgPipelineOccupancy() float64 {
+	if c.pipelineSamples == 0 {
+		return 0
+	}
+	return float64(c.pipelineSum) / float64(c.pipelineSamples)
+}
+
+// MaxPipelineOccupancy is the deepest overlap observed at any seal.
+func (c *Collector) MaxPipelineOccupancy() int { return c.pipelineMax }
 
 // ObserveGas records gas for a labeled mainchain operation.
 func (c *Collector) ObserveGas(op string, gas uint64) {

@@ -105,3 +105,19 @@ func TestByKindCounts(t *testing.T) {
 		t.Errorf("byKind = %v", byKind)
 	}
 }
+
+func TestPipelineOccupancy(t *testing.T) {
+	c := New()
+	if c.AvgPipelineOccupancy() != 0 || c.MaxPipelineOccupancy() != 0 {
+		t.Error("fresh collector should report zero pipeline occupancy")
+	}
+	for _, inflight := range []int{0, 1, 1, 2} {
+		c.ObservePipeline(inflight)
+	}
+	if got := c.AvgPipelineOccupancy(); got != 1.0 {
+		t.Errorf("avg occupancy = %v, want 1.0", got)
+	}
+	if got := c.MaxPipelineOccupancy(); got != 2 {
+		t.Errorf("max occupancy = %d, want 2", got)
+	}
+}

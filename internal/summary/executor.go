@@ -42,6 +42,10 @@ type Executor struct {
 	// inside its range at epoch start; positions whose fees moved (their
 	// liquidity filled a swap) are swept into the summary per Fig. 4.
 	startFees map[string][2]u256.Int
+	// settled is the summary inclusion set computed by Settle (nil until
+	// the epoch is settled); after Settle the executor never mutates the
+	// pool again.
+	settled map[string]bool
 
 	// Stats.
 	Processed map[gasmodel.TxKind]int
@@ -293,6 +297,7 @@ func (e *Executor) applyCollect(tx *Tx) error {
 // liquidity and fee balances. Pool reserves carry the updated pool balance
 // TokenBank stores.
 func (e *Executor) Summary(nextGroupKey []byte) *SyncPayload {
+	e.Settle()
 	p := &SyncPayload{
 		Epoch:        e.epoch,
 		PoolReserve0: e.Pool.Reserve0,
@@ -302,28 +307,11 @@ func (e *Executor) Summary(nextGroupKey []byte) *SyncPayload {
 	for user, d := range e.Deposits {
 		p.Payouts = append(p.Payouts, PayoutEntry{User: user, Amount0: d.Amount0, Amount1: d.Amount1})
 	}
-	include := make(map[string]bool, len(e.touched))
-	for posID := range e.touched {
-		include[posID] = true
-	}
-	// Fig. 4: positions whose liquidity filled a swap have updated fee
-	// balances and belong in the summary.
-	for _, pos := range e.Pool.Positions() {
-		if include[pos.ID] {
-			continue
-		}
-		fg0, fg1 := e.Pool.FeeGrowthInside(pos.TickLower, pos.TickUpper)
-		if start, ok := e.startFees[pos.ID]; !ok || !start[0].Eq(fg0) || !start[1].Eq(fg1) {
-			include[pos.ID] = true
-		}
-	}
-	for posID := range include {
+	for posID := range e.settled {
 		pos := e.Pool.Position(posID)
 		if pos == nil {
 			continue
 		}
-		// Poke to fold pending fee growth into TokensOwed.
-		_, _ = e.Pool.Burn(posID, pos.Owner, u256.Zero)
 		p.Positions = append(p.Positions, PositionEntry{
 			ID:        pos.ID,
 			Owner:     pos.Owner,
@@ -339,6 +327,42 @@ func (e *Executor) Summary(nextGroupKey []byte) *SyncPayload {
 	}
 	p.SortEntries()
 	return p
+}
+
+// Settle ends the epoch's state evolution: it decides which positions
+// the summary will include (explicitly touched, plus Fig. 4's positions
+// whose liquidity filled a swap and therefore have moved fee balances)
+// and pokes each one — a zero burn folding pending fee growth into
+// TokensOwed. Settle is the executor's last pool mutation; Summary is a
+// pure read afterwards. The pipelined lifecycle relies on that split: a
+// sealed epoch is settled on the run-loop goroutine before its pool
+// becomes the next epoch's snapshot source, and the payload build runs
+// on the commit-stage worker against the then-frozen state. Idempotent;
+// Summary calls it implicitly for unpipelined callers.
+func (e *Executor) Settle() {
+	if e.settled != nil {
+		return
+	}
+	include := make(map[string]bool, len(e.touched))
+	for posID := range e.touched {
+		include[posID] = true
+	}
+	for _, pos := range e.Pool.Positions() {
+		if include[pos.ID] {
+			continue
+		}
+		fg0, fg1 := e.Pool.FeeGrowthInside(pos.TickLower, pos.TickUpper)
+		if start, ok := e.startFees[pos.ID]; !ok || !start[0].Eq(fg0) || !start[1].Eq(fg1) {
+			include[pos.ID] = true
+		}
+	}
+	for posID := range include {
+		if pos := e.Pool.Position(posID); pos != nil {
+			// Poke to fold pending fee growth into TokensOwed.
+			_, _ = e.Pool.Burn(posID, pos.Owner, u256.Zero)
+		}
+	}
+	e.settled = include
 }
 
 // TotalDeposits sums all deposit balances (conservation checks).

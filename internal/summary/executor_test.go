@@ -364,3 +364,41 @@ func TestDerivePositionIDUnique(t *testing.T) {
 		t.Error("position ID derivation must be deterministic")
 	}
 }
+
+// TestSettleThenSummaryIsPure pins the pipelined hand-off seam: Settle
+// is the executor's last pool mutation (idempotent), and Summary after
+// an explicit Settle is a pure read producing exactly what the
+// one-shot Summary path produces — the contract that lets the commit
+// stage build payloads on another goroutine while the sealed pool is
+// cloned by the next epoch.
+func TestSettleThenSummaryIsPure(t *testing.T) {
+	build := func() *Executor {
+		p := newPool(t)
+		seedLiquidity(t, p)
+		ex := NewExecutor(1, p, map[string]Deposit{"alice": dep(1_000_000, 1_000_000)})
+		for i, amt := range []uint64{40_000, 25_000, 60_000} {
+			tx := &Tx{ID: fmt.Sprintf("s%d", i), Kind: gasmodel.KindSwap, User: "alice",
+				ZeroForOne: i%2 == 0, ExactIn: true, Amount: u256.FromUint64(amt)}
+			if err := ex.Apply(tx, uint64(i+1)); err != nil {
+				t.Fatalf("Apply %d: %v", i, err)
+			}
+		}
+		return ex
+	}
+
+	oneShot := build().Summary([]byte("k"))
+
+	ex := build()
+	ex.Settle()
+	ex.Settle() // idempotent: the second call must not re-poke
+	split := ex.Summary([]byte("k"))
+	if oneShot.Digest() != split.Digest() {
+		t.Error("Settle+Summary digest diverged from one-shot Summary")
+	}
+	// Summary must not have mutated the pool after Settle: a second
+	// Summary call yields the identical payload.
+	again := ex.Summary([]byte("k"))
+	if split.Digest() != again.Digest() {
+		t.Error("repeated Summary after Settle diverged (Summary is not pure)")
+	}
+}

@@ -1,27 +1,36 @@
 #!/usr/bin/env bash
-# bench.sh — run the repo's tracked micro-benchmarks and record them as
-# BENCH_PR3.json (benchmark name → ns/op, B/op, allocs/op) so the perf
-# trajectory is tracked in-tree. BENCH_PR2.json is the retained PR 2
-# record the incremental-commitment numbers are compared against.
+# bench.sh — run the repo's tracked micro-benchmarks and record them as a
+# JSON file (benchmark name → ns/op, B/op, allocs/op) so the perf
+# trajectory is tracked in-tree. Earlier BENCH_PR*.json files are the
+# retained per-PR records the CI regression gate (scripts/bench_check.sh)
+# compares against.
 #
-# PR 3 adds the chain.Chain submit-path benchmarks: SubmitReceipt (the
-# redesigned validated+receipt path), SubmitBaseline (the PR 2
-# fire-and-forget append), and SubmitExecutePath (submission + executor
-# application — the real per-transaction hot path). The JSON includes
-# receipt_overhead_pct = (SubmitReceipt − SubmitBaseline) /
-# SubmitExecutePath, which must stay under 5%.
+# Tracked benchmarks:
+#   - incremental commitments: StateRoot, FoldRoots, EpochClose
+#   - chain.Chain submit path: SubmitReceipt, SubmitBaseline,
+#     SubmitExecutePath (JSON adds receipt_overhead_pct, bound < 5%)
+#   - pipelined epoch lifecycle: EpochPipeline at PipelineDepth 1 vs 2
+#     (JSON adds pipeline_speedup_depth2 = ns(depth1)/ns(depth2); the
+#     redesign's >= 1.3x target holds on hosts with >= 2 CPUs — a
+#     single-CPU host serializes the overlap and measures ~1.0x, which
+#     the JSON documents via the "cpus" field)
 #
 # Usage:
-#   scripts/bench.sh           # full run (default -benchtime=2s)
-#   scripts/bench.sh --smoke   # CI smoke: one iteration per benchmark
-#   BENCHTIME=5s scripts/bench.sh
+#   scripts/bench.sh [OUT.json]           # full run (default -benchtime=2s)
+#   scripts/bench.sh --smoke [OUT.json]   # CI smoke: one iteration per benchmark
+#   BENCHTIME=5s scripts/bench.sh out.json
+#
+# OUT.json defaults to BENCH_PR4.json; pass the path explicitly when
+# recording a new PR's baseline so this script never needs editing again.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2s}"
 if [ "${1:-}" = "--smoke" ]; then
   BENCHTIME=1x
+  shift
 fi
+OUT="${1:-BENCH_PR4.json}"
 
 out=$(go test -run='^$' \
   -bench='BenchmarkStateRoot|BenchmarkFoldRoots|BenchmarkEpochClose' \
@@ -33,7 +42,20 @@ submit=$(go test -run='^$' \
   -benchtime="$BENCHTIME" -benchmem ./internal/core/)
 echo "$submit"
 
-printf '%s\n%s\n' "$out" "$submit" | awk '
+# One EpochPipeline op is a full multi-epoch run (seconds); cap its
+# benchtime so the full run stays tractable.
+PIPETIME="$BENCHTIME"
+case "$PIPETIME" in
+  *x) ;;
+  *) PIPETIME=2x ;;
+esac
+pipe=$(go test -run='^$' \
+  -bench='BenchmarkEpochPipeline' \
+  -benchtime="$PIPETIME" -benchmem ./internal/core/)
+echo "$pipe"
+
+cpu_model=$(awk -F': *' '/model name/ { print $2; exit }' /proc/cpuinfo 2>/dev/null || echo unknown)
+printf '%s\n%s\n%s\n' "$out" "$submit" "$pipe" | awk -v cpus="$(nproc 2>/dev/null || echo 1)" -v cpu_model="$cpu_model" '
 BEGIN { print "{"; first = 1 }
 /^Benchmark/ {
   name = $1
@@ -59,9 +81,20 @@ END {
     pct = 100 * (r - b) / p
     printf(",\n  \"receipt_overhead_pct\": %.2f", pct)
   }
+  d1 = nsv["BenchmarkEpochPipeline/depth=1"]
+  d2 = nsv["BenchmarkEpochPipeline/depth=2"]
+  if (d1 != "" && d2 != "" && d2 + 0 > 0) {
+    printf(",\n  \"pipeline_speedup_depth2\": %.3f", d1 / d2)
+  }
+  # Measurement provenance: wall-time (ns/op) comparisons are only
+  # meaningful between runs on the same CPU model; the regression gate
+  # downgrades ns/op to advisory when models differ.
+  gsub(/"/, "", cpu_model)
+  printf(",\n  \"cpus\": %d", cpus)
+  printf(",\n  \"cpu_model\": \"%s\"", cpu_model)
   print "\n}"
 }
-' > BENCH_PR3.json
+' > "$OUT"
 
-echo "wrote BENCH_PR3.json:"
-cat BENCH_PR3.json
+echo "wrote $OUT:"
+cat "$OUT"

@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# bench_check.sh — CI perf-regression gate.
+#
+# Runs scripts/bench.sh into a scratch file and compares every benchmark
+# that also appears in the committed baseline (default: the newest
+# BENCH_PR*.json in the repo root, override with BASELINE=path). The gate
+# FAILS when, on any tracked benchmark,
+#   - ns/op regresses by more than REGRESSION_PCT (default 25) — enforced
+#     only when the baseline was recorded on the same CPU model
+#     (cpu_model in the JSON); across differing hardware a wall-time
+#     delta measures the machines, not the code, so mismatches downgrade
+#     ns/op to a printed WARNING, or
+#   - allocs/op regresses by more than REGRESSION_PCT (allocs are
+#     machine-independent, so this catches real regressions even across
+#     differing runner hardware), or
+#   - receipt_overhead_pct >= 5% (a ratio, machine-independent), or
+#   - pipeline_speedup_depth2 falls below SPEEDUP_FLOOR (default 1.30)
+#     while the measuring host has >= 2 CPUs. A single-CPU host cannot
+#     overlap the commit stage with execution — the pipeline degrades
+#     gracefully to ~1.0x there — so the speedup floor is skipped (and
+#     the skip printed loudly); the regression thresholds still apply.
+#
+# Waiver procedure
+# ----------------
+# A PR that intentionally changes a tracked benchmark's cost (a feature
+# added to the measured path, a remodeled workload, a re-sized
+# benchmark) must re-record the baseline IN THE SAME PR:
+#     scripts/bench.sh BENCH_PR<n>.json     # on a quiet machine
+# commit the new file, and justify the delta in the PR description. Do
+# NOT raise REGRESSION_PCT in CI to paper over a regression — the knob
+# exists for one-off local investigation only.
+#
+# Usage:
+#   scripts/bench_check.sh                # compare against newest BENCH_PR*.json
+#   BASELINE=BENCH_PR3.json scripts/bench_check.sh
+#   BENCHTIME=1s scripts/bench_check.sh   # longer, steadier measurement
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+command -v jq >/dev/null || { echo "bench_check: jq is required" >&2; exit 2; }
+
+REGRESSION_PCT="${REGRESSION_PCT:-25}"
+SPEEDUP_FLOOR="${SPEEDUP_FLOOR:-1.30}"
+# Smoke benchtime keeps the gate fast; raise via BENCHTIME for steadier
+# numbers when investigating a failure.
+BENCHTIME="${BENCHTIME:-0.5s}"
+
+BASELINE="${BASELINE:-$(ls BENCH_PR*.json 2>/dev/null | sort -V | tail -1)}"
+[ -n "$BASELINE" ] && [ -f "$BASELINE" ] || { echo "bench_check: no BENCH_PR*.json baseline found" >&2; exit 2; }
+
+current=$(mktemp /tmp/bench_current.XXXXXX.json)
+trap 'rm -f "$current"' EXIT
+echo "bench_check: measuring (BENCHTIME=$BENCHTIME) ..."
+BENCHTIME="$BENCHTIME" scripts/bench.sh "$current" >/dev/null
+echo "bench_check: comparing against $BASELINE (threshold ${REGRESSION_PCT}%)"
+
+fail=0
+
+# Wall-time comparisons only bind on matching hardware.
+base_model=$(jq -r '.cpu_model // ""' "$BASELINE")
+cur_model=$(jq -r '.cpu_model // ""' "$current")
+ns_binding=1
+if [ -z "$base_model" ] || [ "$base_model" != "$cur_model" ]; then
+  ns_binding=0
+  echo "  NOTE  baseline CPU (${base_model:-unrecorded}) != current CPU (${cur_model:-unknown});"
+  echo "        ns/op regressions reported as warnings only (allocs/op still enforced)"
+fi
+
+# Per-benchmark ns/op and allocs/op regressions.
+while IFS=$'\t' read -r name base_ns base_allocs; do
+  cur_ns=$(jq -r --arg n "$name" '.[$n].ns_per_op // empty' "$current")
+  cur_allocs=$(jq -r --arg n "$name" '.[$n].allocs_per_op // empty' "$current")
+  if [ -z "$cur_ns" ]; then
+    echo "  SKIP  $name (absent from current run)"
+    continue
+  fi
+  ns_ok=$(awk -v c="$cur_ns" -v b="$base_ns" -v t="$REGRESSION_PCT" \
+    'BEGIN { print (b > 0 && c > b * (1 + t/100)) ? "regress" : "ok" }')
+  alloc_ok="ok"
+  if [ -n "$cur_allocs" ] && [ "$base_allocs" != "null" ] && [ -n "$base_allocs" ]; then
+    alloc_ok=$(awk -v c="$cur_allocs" -v b="$base_allocs" -v t="$REGRESSION_PCT" \
+      'BEGIN { print (b > 0 && c > b * (1 + t/100)) ? "regress" : "ok" }')
+  fi
+  if [ "$alloc_ok" = "regress" ] || { [ "$ns_ok" = "regress" ] && [ "$ns_binding" = 1 ]; }; then
+    echo "  FAIL  $name: ns/op $base_ns -> $cur_ns, allocs/op $base_allocs -> $cur_allocs"
+    fail=1
+  elif [ "$ns_ok" = "regress" ]; then
+    echo "  WARN  $name: ns/op $base_ns -> $cur_ns (differing hardware; not enforced)"
+  else
+    echo "  ok    $name: ns/op $base_ns -> $cur_ns, allocs/op $base_allocs -> $cur_allocs"
+  fi
+done < <(jq -r 'to_entries[] | select(.value | type == "object")
+                | [.key, (.value.ns_per_op // empty), (.value.allocs_per_op // "null")] | @tsv' "$BASELINE")
+
+# Pipeline speedup floor (hosts that can actually overlap only).
+cpus=$(jq -r '.cpus // 1' "$current")
+speedup=$(jq -r '.pipeline_speedup_depth2 // empty' "$current")
+if [ -z "$speedup" ]; then
+  echo "  FAIL  pipeline_speedup_depth2 missing from bench output"
+  fail=1
+elif [ "$cpus" -lt 2 ]; then
+  echo "  SKIP  pipeline speedup floor: host has $cpus CPU(s); the commit stage"
+  echo "        cannot overlap execution without a second core (measured ${speedup}x)"
+else
+  ok=$(awk -v s="$speedup" -v f="$SPEEDUP_FLOOR" 'BEGIN { print (s + 0 >= f + 0) ? "ok" : "regress" }')
+  if [ "$ok" = "ok" ]; then
+    echo "  ok    pipeline_speedup_depth2 = ${speedup}x (floor ${SPEEDUP_FLOOR}x, $cpus CPUs)"
+  else
+    echo "  FAIL  pipeline_speedup_depth2 = ${speedup}x < floor ${SPEEDUP_FLOOR}x ($cpus CPUs)"
+    fail=1
+  fi
+fi
+
+# Receipt overhead bound carried over from PR 3.
+overhead=$(jq -r '.receipt_overhead_pct // empty' "$current")
+if [ -n "$overhead" ]; then
+  ok=$(awk -v o="$overhead" 'BEGIN { print (o < 5.0) ? "ok" : "regress" }')
+  if [ "$ok" = "ok" ]; then
+    echo "  ok    receipt_overhead_pct = ${overhead}% (< 5%)"
+  else
+    echo "  FAIL  receipt_overhead_pct = ${overhead}% (>= 5%)"
+    fail=1
+  fi
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "bench_check: PERF REGRESSION (see waiver procedure in scripts/bench_check.sh)" >&2
+  exit 1
+fi
+echo "bench_check: all tracked benchmarks within budget"
