@@ -18,10 +18,32 @@
 // serving as the differential reference; pipelining changes timing,
 // never state.
 //
+// Multi-pool deployments are durable: chain.Open(dir, cfg) opens (or
+// creates) an append-only epoch store and returns a node that persists
+// every retired epoch — pool snapshots, summary roots, payload digests,
+// the receipt table, and the TSQC-signed sync-part log. A node killed at
+// any point reopens from the newest valid snapshot, replays the sync
+// log through the bank's verification chain, and resumes Run with
+// summary roots and payload digests bit-identical to an uninterrupted
+// run (DESIGN.md invariant 9). Recovery quickstart:
+//
+//	cfg := chain.NewConfig(chain.WithPools(16), chain.WithUsers(users))
+//	node, err := chain.Open(dataDir, cfg) // fresh dir or crash survivor
+//	if ms, ok := node.(*core.MultiSystem); ok && ms.Recovery() != nil {
+//	    log.Printf("recovered at epoch %d", ms.Recovery().Epoch)
+//	}
+//	rep, err := node.Run(totalEpochs) // resumes mid-lifecycle
+//	err = node.Close()
+//
+// (see cmd/ammnode -data-dir and examples/crashrecovery for the
+// recovery-aware traffic pattern: derive epoch e's workload from
+// (seed, e) so restarted nodes regenerate the same stream).
+//
 // The example binaries and the experiments harness are all built on that
 // surface; see DESIGN.md for the system inventory (including the chain
 // layer, the sharded multi-pool engine, its incremental state-commitment
-// subsystem, and the pipelined lifecycle) and EXPERIMENTS.md for the
-// paper-vs-measured results plus the BENCH_PR2.json/BENCH_PR3.json/
-// BENCH_PR4.json perf records and the CI perf-regression gate.
+// subsystem, the pipelined lifecycle, and the durable store) and
+// EXPERIMENTS.md for the paper-vs-measured results plus the
+// BENCH_PR2.json–BENCH_PR5.json perf records and the CI perf-regression
+// gate.
 package ammboost

@@ -1,0 +1,127 @@
+// Package binenc holds the length-prefixed big-endian binary primitives
+// the durable-store codecs share: append helpers for strings and u256
+// values, and a bounds-checked decoding cursor whose first overrun
+// latches an error (every later read returns zero values), so decoders
+// stay linear instead of error-checking each field. Callers wrap
+// Cursor.Err into their own sentinel (amm.ErrBadPoolEncoding,
+// chain.ErrCorruptStore) at their API boundary.
+package binenc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ammboost/internal/u256"
+)
+
+// ErrTruncated is the cursor's underlying decode failure.
+var ErrTruncated = errors.New("binenc: truncated or malformed encoding")
+
+// AppendString appends a u32 length prefix followed by the bytes of s.
+func AppendString(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+// AppendU256 appends the 32-byte big-endian encoding of v.
+func AppendU256(buf []byte, v u256.Int) []byte {
+	b := v.Bytes32()
+	return append(buf, b[:]...)
+}
+
+// Cursor is a bounds-checked reader over an encoded payload.
+type Cursor struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewCursor wraps buf for decoding.
+func NewCursor(buf []byte) *Cursor { return &Cursor{buf: buf} }
+
+// Err returns the latched decode failure (nil while all reads fit).
+func (d *Cursor) Err() error { return d.err }
+
+// Offset returns the number of bytes consumed so far.
+func (d *Cursor) Offset() int { return d.off }
+
+// Remaining returns the number of unread bytes.
+func (d *Cursor) Remaining() int { return len(d.buf) - d.off }
+
+// Fail latches an external validation failure onto the cursor.
+func (d *Cursor) Fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrTruncated, fmt.Sprintf(format, args...))
+	}
+}
+
+// Take returns the next n bytes as a view into the payload (nil once the
+// cursor has failed or the payload is exhausted).
+func (d *Cursor) Take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.Remaining() < n {
+		d.err = fmt.Errorf("%w: need %d bytes at offset %d", ErrTruncated, n, d.off)
+		return nil
+	}
+	out := d.buf[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+// Read copies the next len(dst) bytes into dst.
+func (d *Cursor) Read(dst []byte) {
+	if src := d.Take(len(dst)); src != nil {
+		copy(dst, src)
+	}
+}
+
+// U8 reads one byte.
+func (d *Cursor) U8() byte {
+	b := d.Take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 reads a big-endian uint32.
+func (d *Cursor) U32() uint32 {
+	b := d.Take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian uint64.
+func (d *Cursor) U64() uint64 {
+	b := d.Take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Str reads a u32-length-prefixed string.
+func (d *Cursor) Str() string {
+	return string(d.Take(int(d.U32())))
+}
+
+// Bytes reads a u32-length-prefixed byte slice (view into the payload).
+func (d *Cursor) Bytes() []byte {
+	return d.Take(int(d.U32()))
+}
+
+// U256 reads a 32-byte big-endian value.
+func (d *Cursor) U256() u256.Int {
+	b := d.Take(32)
+	if b == nil {
+		return u256.Int{}
+	}
+	var arr [32]byte
+	copy(arr[:], b)
+	return u256.FromBytes32(arr)
+}

@@ -170,12 +170,18 @@ type Chain interface {
 	// buffering for it.
 	Unsubscribe(ch <-chan Event)
 	// Run executes the planned epochs (plus drain epochs until the queue
-	// empties) and returns the run report. A lifecycle fault ends the run
-	// early: the report covers everything up to the fault and the error
-	// wraps one of the lifecycle sentinels above.
+	// empties) and returns the run report. A node recovered from a
+	// durable store resumes at its restored boundary and treats epochs
+	// as the total planned for the deployment. A lifecycle fault ends
+	// the run early: the report covers everything up to the fault and
+	// the error wraps one of the lifecycle sentinels above.
 	Run(epochs int) (*Report, error)
 	// Validate checks the cross-layer invariants after a run.
 	Validate() error
+	// Close releases the node's resources — flushing and closing its
+	// durable store when one is attached. Safe to call after Run (and on
+	// nodes without a store, where it is a no-op).
+	Close() error
 
 	// Sim exposes the shared discrete-event simulator for scheduling.
 	Sim() *sim.Simulator

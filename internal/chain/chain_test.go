@@ -198,7 +198,8 @@ func TestBusSubscribeAfterClose(t *testing.T) {
 
 func TestEventTypeMask(t *testing.T) {
 	types := []EventType{EventEpochStart, EventMetaBlock, EventSummaryBlock,
-		EventSyncSubmitted, EventSyncConfirmed, EventPruned, EventHalted}
+		EventSyncSubmitted, EventSyncConfirmed, EventPruned, EventHalted,
+		EventRecovered, EventLagged}
 	var acc EventMask
 	for _, ty := range types {
 		if ty.Mask()&MaskAll == 0 {
@@ -211,5 +212,75 @@ func TestEventTypeMask(t *testing.T) {
 	}
 	if acc != MaskAll {
 		t.Errorf("union of type masks %b != MaskAll %b", acc, MaskAll)
+	}
+}
+
+// TestBusSlowSubscriberLags is the slow-subscriber regression test: a
+// subscriber that stops reading no longer buffers unboundedly — the bus
+// sheds its oldest events once the per-subscriber limit is hit, counts
+// every drop, and delivers an EventLagged marker carrying the loss ahead
+// of the surviving events, so the gap is visible instead of silent.
+func TestBusSlowSubscriberLags(t *testing.T) {
+	b := NewBus()
+	b.SetBufferLimit(8)
+	slow := b.Subscribe(MaskMetaBlock)
+	fast := b.Subscribe(MaskMetaBlock)
+	fastDrops := make(chan int, 1)
+	go func() {
+		n := 0
+		for ev := range fast {
+			if ev.Type == EventLagged {
+				n += ev.Dropped
+			}
+		}
+		fastDrops <- n
+	}()
+
+	const published = 512
+	for i := 0; i < published; i++ {
+		b.Publish(Event{Type: EventMetaBlock, Round: uint64(i)})
+	}
+	b.Close()
+
+	var lagged []Event
+	var regular []Event
+	for ev := range slow {
+		if ev.Type == EventLagged {
+			lagged = append(lagged, ev)
+		} else {
+			regular = append(regular, ev)
+		}
+	}
+	if len(lagged) == 0 {
+		t.Fatal("slow subscriber never received an EventLagged marker")
+	}
+	droppedSeen := 0
+	for _, ev := range lagged {
+		if ev.Dropped <= 0 {
+			t.Errorf("Lagged event with Dropped = %d", ev.Dropped)
+		}
+		droppedSeen += ev.Dropped
+	}
+	if droppedSeen+len(regular) != published {
+		t.Errorf("dropped (%d) + delivered (%d) != published (%d)",
+			droppedSeen, len(regular), published)
+	}
+	// Survivors are the newest events, still in order.
+	for i := 1; i < len(regular); i++ {
+		if regular[i].Round <= regular[i-1].Round {
+			t.Errorf("survivors out of order at %d: %d then %d", i, regular[i-1].Round, regular[i].Round)
+		}
+	}
+	if len(regular) == 0 {
+		t.Fatal("bus shed every event: no regular deliveries survived")
+	}
+	if regular[len(regular)-1].Round != published-1 {
+		t.Errorf("newest event lost: last survivor is round %d", regular[len(regular)-1].Round)
+	}
+	// The bus aggregate equals exactly what the Lagged markers reported
+	// across every subscriber (the concurrent reader may drop too when
+	// the publish burst outruns its pump).
+	if got, want := b.Dropped(), droppedSeen+<-fastDrops; got != want {
+		t.Errorf("bus.Dropped() = %d, want %d (what Lagged markers reported)", got, want)
 	}
 }

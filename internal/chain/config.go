@@ -95,6 +95,32 @@ type Config struct {
 	// the field.
 	PipelineDepth int
 
+	// Users registers the deployment's known user set up front. The
+	// multi-pool backend requires it when a node is constructed through
+	// Open (there is no workload generator to supply users at recovery);
+	// NewMultiDriver fills it from the generator. The durable store's
+	// deployment fingerprint covers it.
+	Users []string
+
+	// RetainEpochs bounds per-epoch bookkeeping on long-running nodes:
+	// when > 0, summary-root history (node and bank) older than the
+	// newest pruned epoch minus RetainEpochs is compacted away, tied to
+	// the prune horizon exactly like the sidechain's meta-block pruning.
+	// 0 retains everything (experiment runs that compare all roots).
+	RetainEpochs int
+	// EventBuffer bounds each event subscriber's undelivered buffer; a
+	// subscriber further behind loses oldest events and receives an
+	// EventLagged carrying the drop count (default 4096).
+	EventBuffer int
+	// MetricsSampleCap bounds the metrics collector's raw sample
+	// retention (percentiles then cover the newest window; counts and
+	// averages stay exact). 0 keeps every sample.
+	MetricsSampleCap int
+	// StoreFsyncEvery batches the durable store's fsyncs to every n-th
+	// epoch retirement (default 1 = every epoch). Larger values trade
+	// the last <n epochs on a crash for lower epoch-close latency.
+	StoreFsyncEvery int
+
 	Mainchain mainchain.Config
 	Model     pbft.Model
 	Faults    FaultPlan
@@ -146,6 +172,9 @@ func (c Config) WithDefaults() Config {
 	if c.PipelineDepth < 1 {
 		c.PipelineDepth = 1
 	}
+	if c.StoreFsyncEvery < 1 {
+		c.StoreFsyncEvery = 1
+	}
 	if c.Mainchain.BlockInterval == 0 {
 		c.Mainchain = mainchain.DefaultConfig()
 	}
@@ -195,6 +224,14 @@ func WithShards(n int) Option { return func(c *Config) { c.NumShards = n } }
 // WithPipelineDepth bounds the multi-pool epoch pipeline's in-flight
 // window (1 disables pipelining).
 func WithPipelineDepth(n int) Option { return func(c *Config) { c.PipelineDepth = n } }
+
+// WithUsers registers the deployment's known user set (required when
+// opening a durable node without a workload generator).
+func WithUsers(users []string) Option { return func(c *Config) { c.Users = users } }
+
+// WithRetainEpochs bounds per-epoch bookkeeping to the prune horizon
+// plus n epochs (0 retains everything).
+func WithRetainEpochs(n int) Option { return func(c *Config) { c.RetainEpochs = n } }
 
 // WithFaults installs the fault-injection plan.
 func WithFaults(f FaultPlan) Option { return func(c *Config) { c.Faults = f } }

@@ -25,6 +25,14 @@ const (
 	EventPruned
 	// EventHalted: a lifecycle fault stopped the node; Err is set.
 	EventHalted
+	// EventRecovered: the node restored state from its durable store;
+	// Epoch is the recovered boundary and Run resumes at Epoch+1.
+	EventRecovered
+	// EventLagged: this subscriber fell behind and the bus dropped
+	// events for it; Dropped counts how many were lost since the last
+	// Lagged delivery. Synthesized per subscriber, delivered regardless
+	// of the subscription mask, and never dropped itself.
+	EventLagged
 
 	numEventTypes
 )
@@ -46,6 +54,10 @@ func (t EventType) String() string {
 		return "pruned"
 	case EventHalted:
 		return "halted"
+	case EventRecovered:
+		return "recovered"
+	case EventLagged:
+		return "lagged"
 	}
 	return fmt.Sprintf("event(%d)", uint8(t))
 }
@@ -64,6 +76,8 @@ const (
 	MaskSyncConfirmed = EventMask(1) << EventSyncConfirmed
 	MaskPruned        = EventMask(1) << EventPruned
 	MaskHalted        = EventMask(1) << EventHalted
+	MaskRecovered     = EventMask(1) << EventRecovered
+	MaskLagged        = EventMask(1) << EventLagged
 	// MaskAll subscribes to every lifecycle event.
 	MaskAll = EventMask(1)<<numEventTypes - 1
 )
@@ -81,24 +95,58 @@ type Event struct {
 	Bytes int
 	Parts int
 	Gas   uint64
-	Root  [32]byte
-	Err   error
+	// Dropped is the number of events lost to this subscriber since its
+	// previous Lagged delivery (EventLagged only).
+	Dropped int
+	Root    [32]byte
+	Err     error
 }
+
+// DefaultEventBuffer is the per-subscriber buffered-event bound applied
+// when the bus's limit is unset.
+const DefaultEventBuffer = 4096
 
 // Bus fans lifecycle events out to subscribers. Publishing happens on
 // the simulator goroutine and never blocks: each subscription buffers
 // internally and a per-subscription goroutine feeds its channel, so a
-// slow reader cannot stall the epoch lifecycle. Closing the bus closes
+// slow reader cannot stall the epoch lifecycle. The buffer is BOUNDED:
+// when a subscriber falls more than the limit behind, the oldest
+// buffered events are dropped — and, unlike the earlier silently-lossy
+// design, the loss is visible: the subscriber receives an EventLagged
+// carrying the drop count before the next regular event, and the bus
+// counts total drops for metrics (Dropped). Closing the bus closes
 // every subscription channel after its buffer drains.
 type Bus struct {
-	mu     sync.Mutex
-	subs   []*subscription
-	hooks  []func(Event)
-	closed bool
+	mu      sync.Mutex
+	subs    []*subscription
+	hooks   []func(Event)
+	closed  bool
+	limit   int
+	dropped int
 }
 
-// NewBus creates an empty bus.
-func NewBus() *Bus { return &Bus{} }
+// NewBus creates an empty bus with the default per-subscriber buffer.
+func NewBus() *Bus { return &Bus{limit: DefaultEventBuffer} }
+
+// SetBufferLimit bounds the number of undelivered events buffered per
+// subscriber (n < 1 restores the default). Applies to subsequent
+// Subscribe calls.
+func (b *Bus) SetBufferLimit(n int) {
+	if n < 1 {
+		n = DefaultEventBuffer
+	}
+	b.mu.Lock()
+	b.limit = n
+	b.mu.Unlock()
+}
+
+// Dropped returns the total events dropped across all subscribers, the
+// quantity the node surfaces through metrics.Collector.
+func (b *Bus) Dropped() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
 
 // OnPublish registers a synchronous hook called for every published
 // event (e.g. metrics counting). Hooks run on the publisher's goroutine
@@ -114,7 +162,10 @@ func (b *Bus) OnPublish(fn func(Event)) {
 // drain it to completion or release it with Unsubscribe — an abandoned,
 // undrained subscription parks its pump goroutine on the blocked send.
 func (b *Bus) Subscribe(mask EventMask) <-chan Event {
-	s := &subscription{mask: mask, ch: make(chan Event, 16), quit: make(chan struct{})}
+	b.mu.Lock()
+	limit := b.limit
+	b.mu.Unlock()
+	s := &subscription{mask: mask, bus: b, limit: limit, ch: make(chan Event, 16), quit: make(chan struct{})}
 	s.cond = sync.NewCond(&s.mu)
 	b.mu.Lock()
 	closed := b.closed
@@ -185,13 +236,16 @@ func (b *Bus) Close() {
 // subscription buffers events between the publisher (simulator
 // goroutine) and one consumer channel.
 type subscription struct {
-	mask EventMask
-	ch   chan Event
-	quit chan struct{}
+	mask  EventMask
+	bus   *Bus
+	limit int
+	ch    chan Event
+	quit  chan struct{}
 
 	mu       sync.Mutex
 	cond     *sync.Cond
 	buf      []Event
+	dropped  int // events lost since the last Lagged delivery
 	done     bool
 	canceled bool
 }
@@ -202,8 +256,22 @@ func (s *subscription) push(ev Event) {
 		s.mu.Unlock()
 		return
 	}
+	lost := 0
+	if len(s.buf) >= s.limit {
+		// Slow subscriber: shed the oldest buffered events (the newest
+		// state is the useful one) and make the loss observable.
+		shed := len(s.buf) - s.limit + 1
+		s.buf = append(s.buf[:0], s.buf[shed:]...)
+		s.dropped += shed
+		lost = shed
+	}
 	s.buf = append(s.buf, ev)
 	s.mu.Unlock()
+	if lost > 0 {
+		s.bus.mu.Lock()
+		s.bus.dropped += lost
+		s.bus.mu.Unlock()
+	}
 	s.cond.Signal()
 }
 
@@ -238,13 +306,21 @@ func (s *subscription) pump() {
 		for len(s.buf) == 0 && !s.done {
 			s.cond.Wait()
 		}
-		if s.canceled || len(s.buf) == 0 {
+		if s.canceled || (len(s.buf) == 0 && s.dropped == 0) {
 			s.mu.Unlock()
 			close(s.ch)
 			return
 		}
-		ev := s.buf[0]
-		s.buf = s.buf[1:]
+		var ev Event
+		if s.dropped > 0 {
+			// Surface the loss before the next regular event so the
+			// subscriber knows its view has a gap.
+			ev = Event{Type: EventLagged, Dropped: s.dropped}
+			s.dropped = 0
+		} else {
+			ev = s.buf[0]
+			s.buf = s.buf[1:]
+		}
 		s.mu.Unlock()
 		select {
 		case s.ch <- ev:

@@ -1,0 +1,82 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Durable-store errors surfaced by Open.
+var (
+	// ErrCorruptStore rejects a store whose framing or payloads cannot be
+	// parsed at all (a damaged header, a record that decodes to
+	// nonsense). A torn or corrupt tail is NOT this error: recovery rolls
+	// back to the newest valid epoch instead.
+	ErrCorruptStore = errors.New("chain: corrupt durable store")
+	// ErrStoreVersion rejects a store written by an incompatible format
+	// version.
+	ErrStoreVersion = errors.New("chain: durable store format version mismatch")
+	// ErrStoreMismatch rejects a store whose recorded deployment
+	// fingerprint (seed, pools, users, epoch geometry) differs from the
+	// opening Config: resuming it would silently diverge from the
+	// original run, which is exactly what the fingerprint exists to
+	// prevent.
+	ErrStoreMismatch = errors.New("chain: durable store belongs to a different deployment")
+	// ErrStoreUnsupported rejects an Open on a configuration whose
+	// backend has no persistence (today: the single-pool System).
+	ErrStoreUnsupported = errors.New("chain: durable store requires the multi-pool backend")
+	// ErrStoreWrite halts a node whose durable store stopped accepting
+	// writes mid-run: continuing would silently void the recovery
+	// contract.
+	ErrStoreWrite = errors.New("chain: durable store write failed")
+	// ErrStoreLocked rejects opening a data directory another live node
+	// already holds — two writers would interleave records and corrupt
+	// the log. The lock dies with the owning process, so a crashed
+	// node's store reopens freely.
+	ErrStoreLocked = errors.New("chain: durable store locked by another process")
+)
+
+// RecoveryInfo reports what Open restored from the durable store.
+type RecoveryInfo struct {
+	// Epoch is the recovered boundary: every epoch <= Epoch was restored
+	// from the store; Run resumes at Epoch+1.
+	Epoch uint64
+	// SummaryRoots[e] is the persisted folded multi-pool root of epoch e.
+	SummaryRoots map[uint64][32]byte
+	// PayloadDigests[e] holds epoch e's per-pool sync payload digests in
+	// canonical pool order.
+	PayloadDigests map[uint64][][32]byte
+	// Receipts are the persisted receipt-table rows, re-materialized.
+	// Rows for epochs the replayed sync-part log confirmed are reported
+	// as Pruned; sync/prune virtual timestamps did not survive the crash
+	// and stay zero.
+	Receipts []*Receipt
+	// Halted reports that the node had halted on a lifecycle fault
+	// before the crash; the reopened node refuses submissions with
+	// ErrHalted and Run returns immediately.
+	Halted bool
+	// HaltReason is the persisted fault description when Halted.
+	HaltReason string
+}
+
+// opener is installed by the backend package (internal/core); the
+// indirection keeps this API package free of a dependency cycle with its
+// implementations.
+var opener func(dir string, cfg Config) (Chain, error)
+
+// RegisterOpener installs the backend's durable-store opener. Called
+// from the backend package's init; last registration wins.
+func RegisterOpener(fn func(dir string, cfg Config) (Chain, error)) { opener = fn }
+
+// Open opens (or creates) a durable node deployment rooted at dir. An
+// empty or absent store starts a fresh node that persists every retired
+// epoch; an existing store restores the newest valid snapshot, replays
+// the sync parts logged after it, and returns a node whose Run resumes
+// mid-lifecycle with summary roots and payload digests pinned
+// bit-identical to an uninterrupted run. The concrete backend registers
+// itself via RegisterOpener (importing internal/core is enough).
+func Open(dir string, cfg Config) (Chain, error) {
+	if opener == nil {
+		return nil, fmt.Errorf("%w: no backend registered (import internal/core)", ErrStoreUnsupported)
+	}
+	return opener(dir, cfg)
+}

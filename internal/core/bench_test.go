@@ -155,6 +155,107 @@ func BenchmarkEpochPipeline(b *testing.B) {
 	}
 }
 
+// benchPersist sizes BenchmarkEpochPersist: the PR 2 epoch-close regime
+// (256 pools, <= 10% active) run through the serial lifecycle so the
+// durable store's cost — snapshot encode, receipt suffix, append, fsync
+// — lands entirely on the measured path rather than hiding behind the
+// pipeline's overlap.
+const (
+	benchPersistPools      = 256
+	benchPersistActive     = 25
+	benchPersistShards     = 4
+	benchPersistEpochs     = 4
+	benchPersistRounds     = 3
+	benchPersistTxPerRound = 800
+	benchPersistCommittee  = 60
+)
+
+// benchPersistSystem builds the deployment; dir == "" runs storeless.
+func benchPersistSystem(b *testing.B, dir string) *MultiSystem {
+	b.Helper()
+	wcfg := workload.DefaultMultiConfig(42, benchPersistActive)
+	gen := workload.NewMulti(wcfg)
+	cfg := chain.Config{
+		Seed:           42,
+		NumPools:       benchPersistPools,
+		NumShards:      benchPersistShards,
+		EpochRounds:    benchPersistRounds,
+		RoundDuration:  7 * time.Second,
+		CommitteeSize:  benchPersistCommittee,
+		MetaBlockBytes: 8 << 20,
+		PipelineDepth:  1,
+		Users:          gen.Users(),
+	}
+	var sys *MultiSystem
+	if dir == "" {
+		s, err := NewMultiSystem(cfg, cfg.Users)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys = s
+	} else {
+		node, err := Open(dir, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys = node.(*MultiSystem)
+	}
+	for e := uint64(2); e <= benchPersistEpochs+2; e++ {
+		if _, ok := sys.committees[e]; ok {
+			continue
+		}
+		ck, err := provisionCommittee(sys.rng, sys.registry, sys.chainSeed, e, cfg.CommitteeSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.committees[e] = ck
+	}
+	rd := sys.cfg.RoundDuration
+	for r := 0; r < benchPersistEpochs*benchPersistRounds; r++ {
+		roundStart := time.Duration(r) * rd
+		for i := 0; i < benchPersistTxPerRound; i++ {
+			at := roundStart + time.Duration(float64(rd)*float64(i)/float64(benchPersistTxPerRound))
+			sys.Sim().At(at, func() { sys.Submit(gen.Next()) })
+		}
+	}
+	return sys
+}
+
+// BenchmarkEpochPersist measures what durable epoch snapshots cost the
+// serial lifecycle: store=off is the in-memory reference, store=on
+// persists every retired epoch (snapshot record, sync-part log, receipt
+// table, one fsync per epoch) to a real directory. scripts/bench.sh
+// derives persist_overhead_pct = 100*(on-off)/off and the CI bench gate
+// enforces the PR's < 10% epoch-close overhead bound.
+func BenchmarkEpochPersist(b *testing.B) {
+	for _, variant := range []string{"off", "on"} {
+		b.Run("store="+variant, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir := ""
+				if variant == "on" {
+					dir = b.TempDir()
+				}
+				sys := benchPersistSystem(b, dir)
+				b.StartTimer()
+				rep, err := sys.Run(benchPersistEpochs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if rep.SyncsOK != rep.EpochsRun {
+					b.Fatalf("SyncsOK = %d, want %d", rep.SyncsOK, rep.EpochsRun)
+				}
+				if err := sys.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
 // BenchmarkSubmitExecutePath measures the end-to-end per-transaction hot
 // path the redesign must not regress: submission with receipt tracking
 // plus executor application (the work one meta-block round performs per

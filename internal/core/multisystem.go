@@ -16,6 +16,7 @@ import (
 	"ammboost/internal/sidechain/election"
 	"ammboost/internal/sidechain/pbft"
 	"ammboost/internal/sim"
+	"ammboost/internal/store"
 	"ammboost/internal/summary"
 	"ammboost/internal/u256"
 	"ammboost/internal/workload"
@@ -84,6 +85,16 @@ type MultiSystem struct {
 	col         *metrics.Collector
 	bus         *chain.Bus
 	recsByEpoch map[uint64][]*txRecord
+
+	// st is the durable epoch store (nil for in-memory nodes). Epochs
+	// persist at retirement — snapshot record then sync-part record —
+	// before their sync parts reach the mainchain.
+	st *store.Writer
+	// recovered describes what Open restored; nil for fresh nodes.
+	recovered *chain.RecoveryInfo
+	// rootsCompacted tracks the highest epoch whose bookkeeping the
+	// retention horizon already dropped.
+	rootsCompacted uint64
 
 	// SummaryRoots records each epoch's folded multi-pool root.
 	SummaryRoots map[uint64][32]byte
@@ -158,6 +169,8 @@ func NewMultiSystem(cfg chain.Config, users []string) (*MultiSystem, error) {
 		s.poolSet[pid] = true
 	}
 	s.bus.OnPublish(func(ev chain.Event) { s.col.ObserveLifecycle(ev.Type.String()) })
+	s.bus.SetBufferLimit(cfg.EventBuffer)
+	s.col.SetSampleCap(cfg.MetricsSampleCap)
 	s.rng.Read(s.chainSeed[:])
 
 	s.registry = election.NewRegistry()
@@ -173,7 +186,16 @@ func NewMultiSystem(cfg chain.Config, users []string) (*MultiSystem, error) {
 
 	s.mc = mainchain.New(s.sim, cfg.Mainchain)
 	s.bank = mainchain.NewMultiBank(eng.PoolIDs(), ck.group)
+	s.bank.Retain = cfg.RetainEpochs
 	s.mc.Deploy(s.bank)
+	if cfg.RetainEpochs > 0 {
+		// Bound the simulated mainchain's in-memory history to the same
+		// horizon, in blocks: comfortably past every DependsOn distance
+		// the sync pipeline creates (one epoch), with margin.
+		epochDur := time.Duration(cfg.EpochRounds) * cfg.RoundDuration
+		blocksPerEpoch := int(epochDur/cfg.Mainchain.BlockInterval) + 2
+		s.mc.SetRetention((cfg.RetainEpochs + 4) * blocksPerEpoch)
+	}
 	if cfg.PipelineDepth > 1 {
 		s.pipe = newCommitPipeline(cfg.PipelineDepth)
 	}
@@ -246,14 +268,33 @@ func (s *MultiSystem) Subscribe(mask chain.EventMask) <-chan chain.Event {
 // Unsubscribe releases an event subscription before the run ends.
 func (s *MultiSystem) Unsubscribe(ch <-chan chain.Event) { s.bus.Unsubscribe(ch) }
 
-// fail records the first lifecycle fault, publishes the halt event, and
-// stops mainchain block production so the simulator drains.
+// fail records the first lifecycle fault, persists it (a halted node
+// must recover as halted), publishes the halt event, and stops mainchain
+// block production so the simulator drains.
 func (s *MultiSystem) fail(err error) {
 	if s.err == nil {
 		s.err = err
+		if s.st != nil {
+			// Best-effort: the store may itself be the failing component.
+			_ = s.st.AppendHalt(s.epoch, err.Error())
+		}
 		s.bus.Publish(chain.Event{Type: chain.EventHalted, At: s.sim.Now(), Epoch: s.epoch, Err: err})
 	}
 	s.mc.Stop()
+}
+
+// Recovery describes what Open restored from the durable store (nil for
+// fresh or in-memory nodes).
+func (s *MultiSystem) Recovery() *chain.RecoveryInfo { return s.recovered }
+
+// Close flushes and closes the durable store (no-op without one).
+func (s *MultiSystem) Close() error {
+	if s.st == nil {
+		return nil
+	}
+	err := s.st.Close()
+	s.st = nil
+	return err
 }
 
 // Submit validates the transaction up front (pool registration, shape,
@@ -320,12 +361,26 @@ func (s *MultiSystem) SubmitDeposit(user string, epoch uint64, amount0, amount1 
 
 // Run executes the planned epochs (plus drain epochs until the queue
 // empties) and returns the report; lifecycle faults surface as typed
-// errors instead of panics.
+// errors instead of panics. A node recovered from a durable store
+// resumes at its restored boundary — epochs counts the TOTAL planned for
+// the deployment, so a node recovered at epoch 5 of 8 runs epochs 6–8.
+// A node that recovered as halted runs nothing and returns the persisted
+// fault.
 func (s *MultiSystem) Run(epochs int) (*chain.Report, error) {
 	s.epochsPlanned = epochs
 	s.ledger = sidechain.NewLedger(pbft.DigestOf([]byte("multibank-genesis")))
-	s.sim.At(0, func() { s.startEpoch(1) })
-	s.sim.Run()
+	s.ledger.SetRetention(s.cfg.RetainEpochs)
+	if s.recovered != nil {
+		s.bus.Publish(chain.Event{Type: chain.EventRecovered, Epoch: s.recovered.Epoch})
+	}
+	// A recovered node may have nothing left to do: already halted, or
+	// already past the planned epoch count.
+	resumedDone := s.epoch > 0 && int(s.epoch) >= epochs && len(s.queue) == 0
+	if s.err == nil && !resumedDone {
+		start := s.epoch + 1
+		s.sim.At(0, func() { s.startEpoch(start) })
+		s.sim.Run()
+	}
 	if s.pipe != nil {
 		// Join the commit stage before reporting: a halted run may leave
 		// unretired jobs whose packages are simply abandoned, but the
@@ -333,6 +388,7 @@ func (s *MultiSystem) Run(epochs int) (*chain.Report, error) {
 		s.pipe.close()
 	}
 	s.bus.Close()
+	s.col.ObserveEventDrops(s.bus.Dropped())
 	return s.report(), s.err
 }
 
@@ -539,6 +595,7 @@ func (s *MultiSystem) finishEpoch(e uint64, lastRoundStart time.Duration) {
 		nextKey:   nextKey,
 		corrupt:   s.cfg.Faults.CorruptSyncEpochs[e],
 		gasBudget: s.cfg.SyncGasBudget,
+		persist:   s.st != nil,
 		done:      make(chan struct{}),
 	})
 
@@ -608,6 +665,14 @@ func (s *MultiSystem) retireOldest() bool {
 			return
 		}
 		s.checkpointEpoch(e, pkg.res.Payloads, metas, pkg.scBytes, pkg.res.SummaryRoot)
+		// Persist before the sync parts become externally visible: the
+		// snapshot and its sync-part log entry hit stable storage in
+		// epoch-retire order (the blobs were encoded on the commit-stage
+		// worker; only the receipt suffix and the write happen here).
+		s.persistEpoch(e, pkg.snapPrefix, pkg.partsBlob)
+		if s.err != nil {
+			return
+		}
 		s.submitSignedSync(e, pkg.parts, pkg.partSizes)
 	})
 	return true
@@ -638,15 +703,29 @@ func (s *MultiSystem) checkpointEpoch(e uint64, payloads []*summary.SyncPayload,
 // finishEpochSync is the PipelineDepth=1 reference schedule: fold every
 // pool's epoch into its payload, mine one summary-block per pool, issue
 // the TSQC-authenticated multi-pool Sync, and only then start the next
-// epoch. The pipelined path is differentially pinned against it.
+// epoch. The pipelined path is differentially pinned against it. Seal,
+// fold, signing, and snapshot encoding run through the same helpers the
+// commit-stage worker uses, so the two schedules persist and submit
+// bit-identical records.
 func (s *MultiSystem) finishEpochSync(e uint64, lastRoundStart time.Duration) {
 	nextKey := s.committees[e+1].group
-	epochRes, err := s.eng.EndEpoch(nextKey.PK.Bytes())
+	sealed, err := s.eng.SealEpoch(nextKey.PK.Bytes())
 	if err != nil {
 		s.fail(fmt.Errorf("%w: end epoch %d: %v", chain.ErrEngineFailed, e, err))
 		return
 	}
+	epochRes := sealed.Finalize()
 	s.SummaryRoots[e] = epochRes.SummaryRoot
+	parts, sizes, err := signSyncParts(e, epochRes, s.committees[e], nextKey,
+		s.cfg.Faults.CorruptSyncEpochs[e], s.cfg.SyncGasBudget)
+	if err != nil {
+		s.fail(fmt.Errorf("sync epoch %d: %w", e, err))
+		return
+	}
+	var snapPrefix, partsBlob []byte
+	if s.st != nil {
+		snapPrefix, partsBlob = encodeEpochBlobs(sealed, epochRes, parts)
+	}
 
 	metas := s.ledger.MetaBlocks(e)
 	totalBytes := 0
@@ -659,7 +738,11 @@ func (s *MultiSystem) finishEpochSync(e uint64, lastRoundStart time.Duration) {
 			return
 		}
 		s.checkpointEpoch(e, epochRes.Payloads, metas, totalBytes, epochRes.SummaryRoot)
-		s.submitSync(e, epochRes)
+		s.persistEpoch(e, snapPrefix, partsBlob)
+		if s.err != nil {
+			return
+		}
+		s.submitSignedSync(e, parts, sizes)
 
 		lastEpoch := int(e) >= s.epochsPlanned && len(s.queue) == 0
 		if lastEpoch {
@@ -672,6 +755,59 @@ func (s *MultiSystem) finishEpochSync(e uint64, lastRoundStart time.Duration) {
 		}
 		s.sim.At(next, func() { s.startEpoch(e + 1) })
 	})
+}
+
+// encodeEpochBlobs builds the epoch's snapshot-record prefix and
+// sync-part record payload. Shared by the commit-stage worker (pipelined
+// schedule, off the simulator goroutine) and finishEpochSync (serial
+// schedule), so both lifecycles persist identical bytes.
+func encodeEpochBlobs(sealed *engine.SealedEpoch, res *engine.EpochResult,
+	parts []*mainchain.MultiSyncArgs) (snapPrefix, partsBlob []byte) {
+	digests := make([][32]byte, len(res.Payloads))
+	for i, p := range res.Payloads {
+		digests[i] = p.Digest()
+	}
+	activeIDs, activePools := sealed.ActiveSnapshots()
+	snapPrefix = store.EncodeSnapshotPrefix(res.Epoch, res.SummaryRoot,
+		res.PoolIDs, res.PoolRoots, digests, activeIDs, activePools)
+	partsBlob = store.EncodeSyncParts(res.Epoch, parts)
+	return snapPrefix, partsBlob
+}
+
+// persistEpoch completes the pre-encoded snapshot record with the
+// epoch's receipt table and run counters, appends snapshot + sync-part
+// records, and commits them under the configured fsync batching. A
+// write failure halts the node: continuing without durability would
+// break the recovery contract silently.
+func (s *MultiSystem) persistEpoch(e uint64, snapPrefix, partsBlob []byte) {
+	if s.st == nil {
+		return
+	}
+	epochRecs := s.recsByEpoch[e]
+	recs := make([]store.ReceiptRecord, 0, len(epochRecs))
+	for _, rec := range epochRecs {
+		recs = append(recs, store.ReceiptRecord{
+			TxID:           rec.rc.TxID,
+			PoolID:         rec.rc.PoolID,
+			Status:         uint8(rec.rc.Status),
+			Epoch:          rec.rc.Epoch,
+			Round:          rec.rc.Round,
+			SubmittedAt:    int64(rec.rc.SubmittedAt),
+			ExecutedAt:     int64(rec.rc.ExecutedAt),
+			CheckpointedAt: int64(rec.rc.CheckpointedAt),
+		})
+	}
+	snap := store.AppendReceiptsAndMeta(snapPrefix, recs, store.RunMeta{
+		Rejected:       uint64(s.Rejected),
+		SyncsOK:        uint64(s.SyncsOK),
+		ViewChanges:    uint64(s.ViewChanges),
+		QueuePeak:      uint64(s.queuePeak),
+		EngineAccepted: uint64(s.eng.Accepted),
+		EngineRejected: uint64(s.eng.Rejected),
+	})
+	if err := s.st.AppendEpoch(snap, partsBlob); err != nil {
+		s.fail(fmt.Errorf("%w: epoch %d: %v", chain.ErrStoreWrite, e, err))
+	}
 }
 
 // chunkPayloads splits the epoch's per-pool payloads into sync parts
@@ -703,25 +839,11 @@ func chunkPayloads(payloads []*summary.SyncPayload, budget uint64) [][]*summary.
 	return chunks
 }
 
-// submitSync chunks, signs, and submits the epoch's multi-pool Sync on
-// the simulator goroutine — the unpipelined path. The pipelined path
-// runs the same signSyncParts on the commit-stage worker
-// (buildSyncPackage) and hands the pre-signed parts to submitSignedSync,
-// so both paths produce bit-identical sync transactions.
-func (s *MultiSystem) submitSync(e uint64, res *engine.EpochResult) {
-	parts, sizes, err := signSyncParts(e, res, s.committees[e], s.committees[e+1].group,
-		s.cfg.Faults.CorruptSyncEpochs[e], s.cfg.SyncGasBudget)
-	if err != nil {
-		s.fail(fmt.Errorf("sync epoch %d: %w", e, err))
-		return
-	}
-	s.submitSignedSync(e, parts, sizes)
-}
-
 // submitSignedSync submits pre-signed sync parts to the mainchain; once
 // every part confirms, the payout metrics fire and the epoch's
-// meta-blocks are pruned. Shared by the unpipelined path (submitSync)
-// and the pipelined retirement path.
+// meta-blocks are pruned. Shared by the serial schedule (finishEpochSync
+// signs via signSyncParts and submits here) and the pipelined retirement
+// path (parts pre-signed on the commit-stage worker).
 func (s *MultiSystem) submitSignedSync(e uint64, parts []*mainchain.MultiSyncArgs, sizes []int) {
 	submitted := s.sim.Now()
 	numParts := len(parts)
@@ -786,6 +908,7 @@ func (s *MultiSystem) submitSignedSync(e uint64, parts []*mainchain.MultiSyncArg
 				rec.rc.PrunedAt = s.sim.Now()
 			}
 			delete(s.recsByEpoch, e)
+			s.compactEpoch(e)
 			s.bus.Publish(chain.Event{Type: chain.EventPruned, At: s.sim.Now(), Epoch: e})
 			if s.done && len(s.recsByEpoch) == 0 {
 				s.mc.Stop()
@@ -801,6 +924,21 @@ func (s *MultiSystem) submitSignedSync(e uint64, parts []*mainchain.MultiSyncArg
 		Type: chain.EventSyncSubmitted, At: submitted, Epoch: e,
 		Parts: numParts, Bytes: totalSize,
 	})
+}
+
+// compactEpoch drops bookkeeping a fully pruned epoch no longer needs.
+// The committee key material (hundreds of shares per epoch) goes
+// unconditionally — epoch e's committee signed its last bytes before the
+// prune — while summary-root history follows the configured retention
+// horizon (RetainEpochs 0 keeps every root for post-run comparison).
+func (s *MultiSystem) compactEpoch(e uint64) {
+	delete(s.committees, e)
+	if r := s.cfg.RetainEpochs; r > 0 && e > uint64(r) {
+		for old := s.rootsCompacted + 1; old <= e-uint64(r); old++ {
+			delete(s.SummaryRoots, old)
+		}
+		s.rootsCompacted = e - uint64(r)
+	}
 }
 
 // Validate checks cross-layer parity for every registered pool: the

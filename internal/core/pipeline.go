@@ -22,6 +22,10 @@ type commitJob struct {
 	nextKey   tsig.GroupKey
 	corrupt   bool
 	gasBudget uint64
+	// persist asks the stage worker to also encode the epoch's durable
+	// snapshot and sync-part record payloads, keeping that serialization
+	// off the simulator goroutine.
+	persist bool
 
 	done chan struct{} // closed by the stage worker once pkg is set
 	pkg  *syncPackage
@@ -42,6 +46,11 @@ type syncPackage struct {
 	// scBytes is the epoch's total sidechain summary size (drives the
 	// summary agreement delay).
 	scBytes int
+	// snapPrefix/partsBlob are the pre-encoded durable-store record
+	// payloads (nil when the node has no store); the retiring goroutine
+	// appends the receipt table and writes them.
+	snapPrefix []byte
+	partsBlob  []byte
 	// err is a commit-stage fault (today: TSQC signing failure). The
 	// retiring goroutine surfaces it as chain.ErrCommitStage wrapping the
 	// underlying sentinel.
@@ -124,6 +133,9 @@ func buildSyncPackage(job *commitJob) *syncPackage {
 	}
 	pkg.parts, pkg.partSizes, pkg.err = signSyncParts(
 		job.epoch, res, job.ck, job.nextKey, job.corrupt, job.gasBudget)
+	if job.persist && pkg.err == nil {
+		pkg.snapPrefix, pkg.partsBlob = encodeEpochBlobs(job.sealed, res, pkg.parts)
+	}
 	return pkg
 }
 

@@ -1,0 +1,517 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ammboost/internal/chain"
+	"ammboost/internal/gasmodel"
+	"ammboost/internal/store"
+	"ammboost/internal/summary"
+	"ammboost/internal/u256"
+)
+
+// recoveryUsers is the fixed deployment user set for the restart tests.
+func recoveryUsers() []string {
+	users := make([]string, 8)
+	for i := range users {
+		users[i] = fmt.Sprintf("ru-%d", i)
+	}
+	return users
+}
+
+func recoveryCfg(seed int64, pools, shards, depth int) chain.Config {
+	return chain.Config{
+		Seed:          seed,
+		NumPools:      pools,
+		NumShards:     shards,
+		PipelineDepth: depth,
+		EpochRounds:   3,
+		RoundDuration: 7 * time.Second,
+		CommitteeSize: 10,
+		Users:         recoveryUsers(),
+	}
+}
+
+// attachRecoveryTraffic drives deterministic per-epoch traffic: every
+// epoch's transactions are derived from (seed, epoch) alone, so a node
+// recovered at any boundary regenerates exactly the stream the
+// uninterrupted run saw — the property a recovery-aware driver needs
+// (pre-crash traffic that never executed is gone, like any mempool).
+func attachRecoveryTraffic(t *testing.T, sys *MultiSystem, seed int64, perEpoch int) {
+	t.Helper()
+	pools := sys.PoolIDs()
+	users := recoveryUsers()
+	sys.OnEpochStart = func(epoch uint64) {
+		rng := rand.New(rand.NewSource(seed*1_000_003 + int64(epoch)))
+		type mintRef struct{ id, user, pool string }
+		var minted []mintRef
+		for i := 0; i < perEpoch; i++ {
+			user := users[rng.Intn(len(users))]
+			pid := pools[rng.Intn(len(pools))]
+			txID := fmt.Sprintf("rt-e%d-%d", epoch, i)
+			var tx *summary.Tx
+			switch k := rng.Intn(10); {
+			case k < 6 || (k >= 8 && len(minted) == 0):
+				tx = &summary.Tx{ID: txID, Kind: gasmodel.KindSwap, User: user, PoolID: pid,
+					ZeroForOne: rng.Intn(2) == 0, ExactIn: true,
+					Amount: u256.FromUint64(uint64(rng.Intn(500_000) + 1))}
+			case k < 8:
+				lo := int32(rng.Intn(20)-10) * 60
+				tx = &summary.Tx{ID: txID, Kind: gasmodel.KindMint, User: user, PoolID: pid,
+					TickLower: lo, TickUpper: lo + 600,
+					Amount0Desired: u256.FromUint64(1 << 20), Amount1Desired: u256.FromUint64(1 << 20)}
+				minted = append(minted, mintRef{summary.DerivePositionID(txID, user), user, pid})
+			default:
+				m := minted[rng.Intn(len(minted))]
+				tx = &summary.Tx{ID: txID, Kind: gasmodel.KindBurn, User: m.user, PoolID: m.pool,
+					PosID: m.id, BurnFractionBps: 5000}
+			}
+			if _, err := sys.Submit(tx); err != nil && !errors.Is(err, chain.ErrHalted) {
+				t.Errorf("submit %s: %v", txID, err)
+			}
+		}
+	}
+}
+
+// runPrint is the state fingerprint the restart matrix compares:
+// per-epoch summary roots and per-epoch, per-pool payload digests.
+type runPrint struct {
+	roots   map[uint64][32]byte
+	digests map[uint64][][32]byte
+}
+
+func fingerprintRun(rep *chain.Report, ms *MultiSystem) runPrint {
+	fp := runPrint{roots: rep.SummaryRoots, digests: make(map[uint64][][32]byte)}
+	if rec := ms.Recovery(); rec != nil {
+		for e, ds := range rec.PayloadDigests {
+			fp.digests[e] = ds
+		}
+	}
+	for _, sb := range ms.SidechainLedger().Summaries() {
+		fp.digests[sb.Epoch] = append(fp.digests[sb.Epoch], sb.Payload.Digest())
+	}
+	return fp
+}
+
+func comparePrints(t *testing.T, label string, want, got runPrint, epochs int) {
+	t.Helper()
+	for e := uint64(1); e <= uint64(epochs); e++ {
+		if want.roots[e] != got.roots[e] {
+			t.Errorf("%s: epoch %d summary root diverged", label, e)
+		}
+		wd, gd := want.digests[e], got.digests[e]
+		if len(wd) != len(gd) {
+			t.Errorf("%s: epoch %d has %d payload digests, want %d", label, e, len(gd), len(wd))
+			continue
+		}
+		for i := range wd {
+			if wd[i] != gd[i] {
+				t.Errorf("%s: epoch %d payload %d digest diverged", label, e, i)
+			}
+		}
+	}
+}
+
+// TestKillRestartDeterminism is the PR's acceptance matrix: a node
+// killed at an epoch boundary (the store truncated to that boundary,
+// exactly what kill -9 after the boundary's fsync leaves) and reopened
+// with chain.Open re-derives bit-identical summary roots and payload
+// digests for every epoch — restored ones and resumed ones — across
+// seeds × shard counts × pipeline depths. It also pins that attaching
+// the store perturbs nothing: the store-backed full run matches the
+// storeless reference.
+func TestKillRestartDeterminism(t *testing.T) {
+	const epochs, pools, perEpoch = 4, 8, 24
+	for _, seed := range []int64{1, 42, 1337} {
+		for _, shards := range []int{1, 4, 16} {
+			for _, depth := range []int{1, 2} {
+				label := fmt.Sprintf("seed=%d shards=%d depth=%d", seed, shards, depth)
+				cfg := recoveryCfg(seed, pools, shards, depth)
+
+				// Storeless reference.
+				refSys, err := NewMultiSystem(cfg, cfg.Users)
+				if err != nil {
+					t.Fatal(err)
+				}
+				attachRecoveryTraffic(t, refSys, seed, perEpoch)
+				refRep, err := refSys.Run(epochs)
+				if err != nil {
+					t.Fatalf("%s: reference run: %v", label, err)
+				}
+				ref := fingerprintRun(refRep, refSys)
+				if len(ref.roots) != epochs {
+					t.Fatalf("%s: reference recorded %d roots", label, len(ref.roots))
+				}
+
+				// Store-backed full run: persistence must not perturb.
+				dir := t.TempDir()
+				node, err := chain.Open(dir, cfg)
+				if err != nil {
+					t.Fatalf("%s: open: %v", label, err)
+				}
+				ms := node.(*MultiSystem)
+				if ms.Recovery() != nil {
+					t.Fatalf("%s: fresh dir reported a recovery", label)
+				}
+				attachRecoveryTraffic(t, ms, seed, perEpoch)
+				rep, err := node.Run(epochs)
+				if err != nil {
+					t.Fatalf("%s: store-backed run: %v", label, err)
+				}
+				comparePrints(t, label+" (store-backed)", ref, fingerprintRun(rep, ms), epochs)
+				if err := node.Close(); err != nil {
+					t.Fatalf("%s: close: %v", label, err)
+				}
+
+				// Kill -9 at a seed-derived epoch boundary: truncate the
+				// log to that boundary's fsync point.
+				rec, w, err := store.Open(store.OSFS{}, dir, Fingerprint(cfg))
+				if err != nil {
+					t.Fatal(err)
+				}
+				w.Close()
+				if len(rec.Boundaries) != epochs {
+					t.Fatalf("%s: %d boundaries persisted, want %d", label, len(rec.Boundaries), epochs)
+				}
+				kill := 1 + int((seed+int64(3*shards+depth))%(epochs-1)) // 1..epochs-1
+				data, err := os.ReadFile(filepath.Join(dir, store.FileName))
+				if err != nil {
+					t.Fatal(err)
+				}
+				dir2 := t.TempDir()
+				if err := os.WriteFile(filepath.Join(dir2, store.FileName),
+					data[:rec.Boundaries[kill-1]], 0o644); err != nil {
+					t.Fatal(err)
+				}
+
+				node2, err := chain.Open(dir2, cfg)
+				if err != nil {
+					t.Fatalf("%s: reopen after kill@%d: %v", label, kill, err)
+				}
+				ms2 := node2.(*MultiSystem)
+				if got := ms2.Recovery(); got == nil || got.Epoch != uint64(kill) {
+					t.Fatalf("%s: recovered %+v, want boundary %d", label, got, kill)
+				}
+				attachRecoveryTraffic(t, ms2, seed, perEpoch)
+				rep2, err := node2.Run(epochs)
+				if err != nil {
+					t.Fatalf("%s: resumed run: %v", label, err)
+				}
+				if rep2.EpochsRun != epochs {
+					t.Errorf("%s: resumed run covered %d epochs", label, rep2.EpochsRun)
+				}
+				if rep2.SyncsOK != refRep.SyncsOK {
+					t.Errorf("%s: resumed SyncsOK = %d, reference %d (replayed confirmations must count)",
+						label, rep2.SyncsOK, refRep.SyncsOK)
+				}
+				comparePrints(t, fmt.Sprintf("%s kill@%d", label, kill), ref,
+					fingerprintRun(rep2, ms2), epochs)
+				if err := node2.Validate(); err != nil {
+					t.Errorf("%s: resumed Validate: %v", label, err)
+				}
+				if err := node2.Close(); err != nil {
+					t.Errorf("%s: resumed close: %v", label, err)
+				}
+			}
+		}
+	}
+}
+
+// TestCrashOffsetSweep kills the store at arbitrary byte offsets — not
+// just boundaries — through the FaultFS crash harness: whatever survives
+// on "disk", recovery must come back at some earlier boundary and the
+// resumed run must still re-derive the reference fingerprint. This is
+// the torn-final-record acceptance: roll back, never panic, never
+// silently diverge.
+func TestCrashOffsetSweep(t *testing.T) {
+	const seed, epochs, pools, perEpoch = 11, 3, 4, 16
+	cfg := recoveryCfg(seed, pools, 2, 2)
+
+	refSys, err := NewMultiSystem(cfg, cfg.Users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attachRecoveryTraffic(t, refSys, seed, perEpoch)
+	refRep, err := refSys.Run(epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := fingerprintRun(refRep, refSys)
+
+	// Clean store-backed run to learn the file geometry.
+	clean := &store.MemFS{}
+	node, err := OpenFS(clean, "", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := node.(*MultiSystem)
+	attachRecoveryTraffic(t, ms, seed, perEpoch)
+	if _, err := node.Run(epochs); err != nil {
+		t.Fatal(err)
+	}
+	node.Close()
+	rec, w, err := store.Open(clean, "", Fingerprint(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	offsets := []int64{rec.HeaderEnd, rec.HeaderEnd + 1}
+	for _, b := range rec.Boundaries {
+		offsets = append(offsets, b-1, b, b+1, b+57)
+	}
+	for _, crash := range offsets {
+		inner := &store.MemFS{}
+		ffs := store.NewFaultFS(inner)
+		ffs.CrashAfter = crash
+		crashed, err := OpenFS(ffs, "", cfg)
+		if err != nil {
+			t.Fatalf("crash=%d open: %v", crash, err)
+		}
+		cms := crashed.(*MultiSystem)
+		attachRecoveryTraffic(t, cms, seed, perEpoch)
+		if _, err := crashed.Run(epochs); err != nil {
+			t.Fatalf("crash=%d run: %v", crash, err)
+		}
+		crashed.Close()
+
+		// Reboot on what survived.
+		reopened, err := OpenFS(inner, "", cfg)
+		if err != nil {
+			t.Fatalf("crash=%d reopen: %v", crash, err)
+		}
+		rms := reopened.(*MultiSystem)
+		boundary := uint64(0)
+		for i, b := range rec.Boundaries {
+			if b <= crash {
+				boundary = uint64(i + 1)
+			}
+		}
+		if got := rms.Epoch(); got != boundary {
+			t.Fatalf("crash=%d: recovered epoch %d, want %d", crash, got, boundary)
+		}
+		attachRecoveryTraffic(t, rms, seed, perEpoch)
+		rep, err := reopened.Run(epochs)
+		if err != nil {
+			t.Fatalf("crash=%d resumed run: %v", crash, err)
+		}
+		comparePrints(t, fmt.Sprintf("crash=%d", crash), ref, fingerprintRun(rep, rms), epochs)
+		reopened.Close()
+	}
+}
+
+// TestOpenEdgeCases covers the chain.Open contract around the happy
+// path: fresh directories, config mismatches, unsupported backends, and
+// resuming a deployment that already finished its planned epochs.
+func TestOpenEdgeCases(t *testing.T) {
+	cfg := recoveryCfg(5, 4, 2, 2)
+
+	t.Run("empty dir is a fresh node", func(t *testing.T) {
+		dir := t.TempDir()
+		node, err := chain.Open(filepath.Join(dir, "data"), cfg) // not yet created
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms := node.(*MultiSystem)
+		if ms.Recovery() != nil {
+			t.Error("fresh node claims a recovery")
+		}
+		attachRecoveryTraffic(t, ms, 5, 8)
+		if _, err := node.Run(1); err != nil {
+			t.Fatal(err)
+		}
+		node.Close()
+	})
+
+	t.Run("fingerprint mismatch", func(t *testing.T) {
+		dir := t.TempDir()
+		node, err := chain.Open(dir, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.Close()
+		other := cfg
+		other.Seed = 999
+		if _, err := chain.Open(dir, other); !errors.Is(err, chain.ErrStoreMismatch) {
+			t.Errorf("seed change: err = %v, want ErrStoreMismatch", err)
+		}
+		users := cfg
+		users.Users = append([]string{"intruder"}, cfg.Users...)
+		if _, err := chain.Open(dir, users); !errors.Is(err, chain.ErrStoreMismatch) {
+			t.Errorf("user change: err = %v, want ErrStoreMismatch", err)
+		}
+		// Shard count and pipeline depth are state-invariant: no mismatch.
+		reshard := cfg
+		reshard.NumShards = 16
+		reshard.PipelineDepth = 1
+		node2, err := chain.Open(dir, reshard)
+		if err != nil {
+			t.Errorf("reshard reopen: %v", err)
+		} else {
+			node2.Close()
+		}
+	})
+
+	t.Run("single-pool backend unsupported", func(t *testing.T) {
+		single := chain.Config{Seed: 1}
+		if _, err := chain.Open(t.TempDir(), single); !errors.Is(err, chain.ErrStoreUnsupported) {
+			t.Errorf("err = %v, want ErrStoreUnsupported", err)
+		}
+	})
+
+	t.Run("resume past planned epochs", func(t *testing.T) {
+		dir := t.TempDir()
+		node, err := chain.Open(dir, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms := node.(*MultiSystem)
+		attachRecoveryTraffic(t, ms, 5, 8)
+		rep, err := node.Run(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.Close()
+
+		node2, err := chain.Open(dir, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms2 := node2.(*MultiSystem)
+		if got := ms2.Recovery().Epoch; got != 2 {
+			t.Fatalf("recovered epoch %d, want 2", got)
+		}
+		rep2, err := node2.Run(2) // already done: nothing to execute
+		if err != nil {
+			t.Fatalf("no-op resume: %v", err)
+		}
+		if rep2.EpochsRun != rep.EpochsRun {
+			t.Errorf("no-op resume ran %d epochs, want %d", rep2.EpochsRun, rep.EpochsRun)
+		}
+		for e, root := range rep.SummaryRoots {
+			if rep2.SummaryRoots[e] != root {
+				t.Errorf("epoch %d root not restored", e)
+			}
+		}
+		if err := node2.Validate(); err != nil {
+			t.Errorf("restored Validate: %v", err)
+		}
+		node2.Close()
+	})
+}
+
+// TestRecoverHaltedStaysHalted pins the armed-faults edge case: a node
+// that halted on a lifecycle fault (corrupt epoch-2 sync) persists the
+// halt, and reopening it — with the same FaultPlan still armed — yields
+// a node that is halted on arrival: submissions refused, Run returns the
+// persisted fault, no epoch re-executes.
+func TestRecoverHaltedStaysHalted(t *testing.T) {
+	cfg := recoveryCfg(13, 4, 2, 2)
+	cfg.Faults.CorruptSyncEpochs = map[uint64]bool{2: true}
+	dir := t.TempDir()
+	node, err := chain.Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := node.(*MultiSystem)
+	attachRecoveryTraffic(t, ms, 13, 8)
+	if _, err := node.Run(4); !errors.Is(err, chain.ErrSyncReverted) {
+		t.Fatalf("faulted run err = %v, want ErrSyncReverted", err)
+	}
+	node.Close()
+
+	node2, err := chain.Open(dir, cfg)
+	if err != nil {
+		t.Fatalf("reopen halted store: %v", err)
+	}
+	ms2 := node2.(*MultiSystem)
+	rec := ms2.Recovery()
+	if rec == nil || !rec.Halted || rec.HaltReason == "" {
+		t.Fatalf("recovery = %+v, want halted with reason", rec)
+	}
+	if _, err := ms2.Submit(&summary.Tx{ID: "post", Kind: gasmodel.KindSwap, User: "ru-0",
+		Amount: u256.FromUint64(1)}); !errors.Is(err, chain.ErrHalted) {
+		t.Errorf("submit on recovered-halted node: %v, want ErrHalted", err)
+	}
+	rep, err := node2.Run(4)
+	if !errors.Is(err, chain.ErrHalted) {
+		t.Errorf("run on recovered-halted node: %v, want ErrHalted", err)
+	}
+	if rep.EpochsRun != int(rec.Epoch) {
+		t.Errorf("halted resume ran epochs: %d, want %d", rep.EpochsRun, rec.Epoch)
+	}
+	node2.Close()
+}
+
+// TestRecoveredReceiptTable pins the receipt-table round trip: receipts
+// persisted at checkpoint come back with their identity, stages, and
+// virtual timestamps, upgraded to Pruned for epochs the replayed
+// sync-part log confirmed.
+func TestRecoveredReceiptTable(t *testing.T) {
+	cfg := recoveryCfg(17, 4, 2, 1)
+	dir := t.TempDir()
+	node, err := chain.Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := node.(*MultiSystem)
+	attachRecoveryTraffic(t, ms, 17, 12)
+	if _, err := node.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	node.Close()
+
+	node2, err := chain.Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := node2.(*MultiSystem).Recovery()
+	if rec == nil || len(rec.Receipts) == 0 {
+		t.Fatal("no receipts recovered")
+	}
+	for _, rc := range rec.Receipts {
+		if rc.TxID == "" || rc.Epoch == 0 {
+			t.Errorf("receipt missing identity: %+v", rc)
+		}
+		switch rc.Status {
+		case chain.StatusPruned, chain.StatusRejected:
+		default:
+			t.Errorf("receipt %s recovered at %v, want pruned (sync log replayed) or rejected",
+				rc.TxID, rc.Status)
+		}
+		if rc.Status == chain.StatusPruned && (rc.ExecutedAt == 0 || rc.CheckpointedAt == 0) {
+			t.Errorf("receipt %s lost its timestamps: %+v", rc.TxID, rc)
+		}
+	}
+	node2.Close()
+}
+
+// TestStoreLockSingleWriter pins the single-writer contract: a second
+// Open on a live data directory fails with ErrStoreLocked instead of
+// interleaving records, and the lock dies with the holder (Close), so a
+// crashed node's store reopens freely.
+func TestStoreLockSingleWriter(t *testing.T) {
+	cfg := recoveryCfg(29, 4, 2, 1)
+	dir := t.TempDir()
+	node, err := chain.Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chain.Open(dir, cfg); !errors.Is(err, chain.ErrStoreLocked) {
+		t.Errorf("second open err = %v, want ErrStoreLocked", err)
+	}
+	if err := node.Close(); err != nil {
+		t.Fatal(err)
+	}
+	node2, err := chain.Open(dir, cfg)
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	node2.Close()
+}

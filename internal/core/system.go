@@ -154,6 +154,8 @@ func NewSystem(cfg chain.Config, users []string, lps map[string]bool) (*System, 
 		s.userSet[u] = true
 	}
 	s.bus.OnPublish(func(ev chain.Event) { s.col.ObserveLifecycle(ev.Type.String()) })
+	s.bus.SetBufferLimit(cfg.EventBuffer)
+	s.col.SetSampleCap(cfg.MetricsSampleCap)
 	s.rng.Read(s.chainSeed[:])
 
 	// Miner registry with fast sortition keys.
@@ -277,6 +279,10 @@ func (s *System) Subscribe(mask chain.EventMask) <-chan chain.Event { return s.b
 
 // Unsubscribe releases an event subscription before the run ends.
 func (s *System) Unsubscribe(ch <-chan chain.Event) { s.bus.Unsubscribe(ch) }
+
+// Close implements chain.Chain; the single-pool backend holds no durable
+// resources.
+func (s *System) Close() error { return nil }
 
 // EpochDuration returns ω × round duration.
 func (s *System) EpochDuration() time.Duration {
@@ -474,6 +480,7 @@ func (s *System) Run(epochs int) (*chain.Report, error) {
 	s.sim.At(0, func() { s.startEpoch(1) })
 	s.sim.Run()
 	s.bus.Close()
+	s.col.ObserveEventDrops(s.bus.Dropped())
 	return s.report(), s.err
 }
 
@@ -751,6 +758,9 @@ func (s *System) submitSync(e uint64, payloads []*summary.SyncPayload) {
 				rec.rc.PrunedAt = s.sim.Now()
 			}
 			delete(s.recsByEpoch, pe)
+			// The epoch's committee key material (hundreds of shares) is
+			// spent once its sync confirmed and its blocks pruned.
+			delete(s.committees, pe)
 			s.bus.Publish(chain.Event{Type: chain.EventPruned, At: s.sim.Now(), Epoch: pe})
 		}
 		// The run ends once the final epoch's sync has landed.

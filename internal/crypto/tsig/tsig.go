@@ -327,3 +327,26 @@ func Verify(g GroupKey, msg []byte, sig Point) error {
 func PublicShare(share Share) Point {
 	return scalarBase(share.Value)
 }
+
+// ErrBadPointEncoding rejects a byte slice that does not decode to a
+// curve point (durable-store recovery re-verifies persisted signatures,
+// so corrupt encodings must surface as errors, not panics).
+var ErrBadPointEncoding = errors.New("tsig: malformed point encoding")
+
+// PointFromBytes decodes the 64-byte X||Y encoding produced by
+// Point.Bytes. All-zero bytes decode to the identity; any other encoding
+// must be a point on the curve.
+func PointFromBytes(b []byte) (Point, error) {
+	if len(b) != 64 {
+		return Point{}, fmt.Errorf("%w: %d bytes, want 64", ErrBadPointEncoding, len(b))
+	}
+	x := new(big.Int).SetBytes(b[:32])
+	y := new(big.Int).SetBytes(b[32:])
+	if x.Sign() == 0 && y.Sign() == 0 {
+		return Point{}, nil
+	}
+	if !curve.IsOnCurve(x, y) {
+		return Point{}, fmt.Errorf("%w: not on curve", ErrBadPointEncoding)
+	}
+	return Point{X: x, Y: y}, nil
+}

@@ -398,6 +398,26 @@ func (e *Engine) StateRoots() [][32]byte {
 	return roots
 }
 
+// RestorePools replaces the canonical state of the named pools with
+// recovered snapshots (crash recovery, before any BeginEpoch). The
+// incremental commitment caches for restored pools are reset, so the
+// next epoch close rebuilds their commitments from the restored state —
+// the recovered roots are therefore re-derived, never trusted from disk.
+func (e *Engine) RestorePools(pools map[string]*amm.Pool) error {
+	if e.running {
+		return ErrEpochStarted
+	}
+	for id, p := range pools {
+		i, ok := e.poolIndex[id]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrUnknownPool, id)
+		}
+		e.reg.replace(id, p)
+		e.commits[i] = newPoolCommit()
+	}
+	return nil
+}
+
 // UniformDeposits earmarks the same two-token deposit for every (pool,
 // user) pair — the multi-pool analogue of the paper's per-epoch deposit.
 func UniformDeposits(poolIDs, users []string, amount0, amount1 u256.Int) map[string]map[string]summary.Deposit {

@@ -45,6 +45,22 @@ type SealedEpoch struct {
 // Epoch returns the sealed epoch's number.
 func (se *SealedEpoch) Epoch() uint64 { return se.epoch }
 
+// ActiveSnapshots returns the sealed epoch's per-pool final states for
+// the pools touched during the epoch (those with executors), in
+// canonical order. The returned pools are the frozen end-of-epoch
+// states — read-only by the SealedEpoch contract — which is exactly what
+// the durable store encodes into the epoch's snapshot record (untouched
+// pools carry forward from earlier snapshots or genesis).
+func (se *SealedEpoch) ActiveSnapshots() (ids []string, pools []*amm.Pool) {
+	for i, id := range se.ids {
+		if se.execs[i] != nil {
+			ids = append(ids, id)
+			pools = append(pools, se.pools[i])
+		}
+	}
+	return ids, pools
+}
+
 // SealEpoch closes the running epoch without building its commitment:
 // canonical pool states advance to the epoch's final states and the
 // frozen hand-off is captured, after which BeginEpoch may open the next

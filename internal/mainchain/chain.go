@@ -143,6 +143,11 @@ type Chain struct {
 	txByID  map[string]*Tx
 	blocks  []*Block
 	stopped bool
+	// retain bounds the in-memory block history (0 = keep all);
+	// prunedBlocks counts blocks dropped from the front so Height stays
+	// monotone.
+	retain       int
+	prunedBlocks uint64
 
 	// Growth accounting.
 	TotalBytes int
@@ -181,11 +186,39 @@ func (c *Chain) Deploy(contract Contract) {
 // ContractByName returns a deployed contract or nil.
 func (c *Chain) ContractByName(name string) Contract { return c.contracts[name] }
 
-// Height returns the number of produced blocks.
-func (c *Chain) Height() uint64 { return uint64(len(c.blocks)) }
+// Height returns the number of blocks ever produced (including any the
+// history retention dropped from memory).
+func (c *Chain) Height() uint64 { return c.prunedBlocks + uint64(len(c.blocks)) }
 
-// Blocks returns the produced blocks (do not mutate).
+// Blocks returns the retained blocks (all of them unless SetRetention
+// bounded the history; do not mutate).
 func (c *Chain) Blocks() []*Block { return c.blocks }
+
+// SetRetention bounds the in-memory block (and confirmed-transaction)
+// history to the newest n blocks; 0 keeps everything. A real chain's
+// history lives on disk — a simulated long run must not hold every
+// confirmed sync payload in RAM. The horizon must comfortably exceed
+// the longest DependsOn distance in flight (the node sizes it from its
+// epoch retention), or dependent transactions would stall on evicted
+// parents.
+func (c *Chain) SetRetention(n int) { c.retain = n }
+
+// pruneHistory drops blocks behind the retention horizon along with
+// their confirmed transactions' index entries.
+func (c *Chain) pruneHistory() {
+	if c.retain <= 0 || len(c.blocks) <= c.retain {
+		return
+	}
+	drop := len(c.blocks) - c.retain
+	for _, blk := range c.blocks[:drop] {
+		for _, tx := range blk.Txs {
+			delete(c.txByID, tx.ID)
+		}
+	}
+	// Copy the tail so the dropped prefix's backing array is released.
+	c.blocks = append([]*Block(nil), c.blocks[drop:]...)
+	c.prunedBlocks += uint64(drop)
+}
 
 // Stop halts block production after the current block.
 func (c *Chain) Stop() { c.stopped = true }
@@ -231,7 +264,21 @@ func (c *Chain) scheduleNextBlock() {
 func (c *Chain) dependenciesMet(tx *Tx, currentBlock uint64) bool {
 	for _, dep := range tx.DependsOn {
 		d, ok := c.txByID[dep]
-		if !ok || d.Status == TxPending || d.BlockNum >= currentBlock {
+		if !ok {
+			// Under history retention a missing id should only be a
+			// transaction confirmed in a block already pruned from
+			// memory: only confirmed transactions are evicted, and
+			// reorged ones keep their entries. Treat it as met —
+			// blocking on it would strand the dependent forever. The
+			// trade: a dependency that was never submitted at all (a
+			// caller bug) executes early here and fails loudly at its
+			// contract instead of hanging the run silently.
+			if c.retain > 0 && c.prunedBlocks > 0 {
+				continue
+			}
+			return false
+		}
+		if d.Status == TxPending || d.BlockNum >= currentBlock {
 			return false
 		}
 	}
@@ -261,6 +308,7 @@ func (c *Chain) produceBlock() {
 	}
 	c.mempool = remaining
 	c.blocks = append(c.blocks, blk)
+	c.pruneHistory()
 	c.TotalBytes += blk.SizeB
 	c.TotalGas += blk.GasUsed
 	for _, fn := range c.OnBlock {

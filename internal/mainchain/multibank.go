@@ -49,6 +49,16 @@ type MultiBank struct {
 	partsApplied map[uint64]map[int]bool
 	// LastSyncedEpoch is the highest epoch whose summary was fully applied.
 	LastSyncedEpoch uint64
+
+	// Retain, when > 0, compacts per-epoch bookkeeping (group keys,
+	// synced markers, summary roots) older than LastSyncedEpoch-Retain
+	// each time an epoch completes, bounding the bank's footprint on
+	// long-running deployments. 0 keeps the full history. Replaying a
+	// compacted epoch's sync still fails deterministically — its group
+	// key is gone, so verification reports an unknown epoch key.
+	Retain int
+	// compacted is the highest epoch already compacted away.
+	compacted uint64
 }
 
 // NewMultiBank deploys the bank over the registered pool IDs with the
@@ -123,7 +133,20 @@ func (b *MultiBank) Execute(env *Env, method string, args any) error {
 	}
 }
 
+// sync executes an on-chain sync part under gas metering; the
+// verification chain itself is shared with crash-recovery replay
+// (applySync).
 func (b *MultiBank) sync(env *Env, a *MultiSyncArgs) error {
+	return b.applySync(env, a)
+}
+
+// applySync is the one implementation of the sync verification chain —
+// epoch key lookup, TSQC signature over the part digest, part
+// bookkeeping, root consistency, payload application, completion — used
+// by on-chain execution (env != nil, gas charged) and by crash-recovery
+// replay (env == nil: the original execution already paid the gas). One
+// body, so the two paths cannot drift: a check added here guards both.
+func (b *MultiBank) applySync(env *Env, a *MultiSyncArgs) error {
 	key, ok := b.groupKeys[a.Epoch]
 	if !ok {
 		return fmt.Errorf("%w: epoch %d", ErrUnknownEpochKey, a.Epoch)
@@ -134,12 +157,14 @@ func (b *MultiBank) sync(env *Env, a *MultiSyncArgs) error {
 	if a.SummaryRoot == ([32]byte{}) {
 		return ErrNoSummaryRoot
 	}
-	sumBytes := 0
-	for _, p := range a.Payloads {
-		sumBytes += p.MainchainBytes()
-	}
-	if err := env.Gas.Charge(gasmodel.TxBaseGas + gasmodel.SyncAuthGas(sumBytes)); err != nil {
-		return err
+	if env != nil {
+		sumBytes := 0
+		for _, p := range a.Payloads {
+			sumBytes += p.MainchainBytes()
+		}
+		if err := env.Gas.Charge(gasmodel.TxBaseGas + gasmodel.SyncAuthGas(sumBytes)); err != nil {
+			return err
+		}
 	}
 	digest := a.Digest()
 	if err := tsig.Verify(key, digest[:], a.Sig); err != nil {
@@ -166,8 +191,9 @@ func (b *MultiBank) sync(env *Env, a *MultiSyncArgs) error {
 	if stored, ok := b.SummaryRoots[a.Epoch]; ok && stored != a.SummaryRoot {
 		return ErrRootMismatch
 	}
-	// Charge the full storage bill before mutating ANY state. The chain
-	// defers a transaction that runs out of the block's remaining gas and
+	// Validate every payload's pool — and, on-chain, charge the full
+	// storage bill — before mutating ANY state. The chain defers a
+	// transaction that runs out of the block's remaining gas and
 	// re-executes it from scratch in the next block without rolling back
 	// contract writes — so a sync part must be atomic: either it fits and
 	// applies completely, or it leaves no trace. (The pipelined lifecycle
@@ -194,8 +220,10 @@ func (b *MultiBank) sync(env *Env, a *MultiSyncArgs) error {
 		// Next committee key registration (vk_c) on the completing part.
 		bill += gasmodel.SstoreGas(gasmodel.ABIGroupKeyBytes)
 	}
-	if err := env.Gas.Charge(bill); err != nil {
-		return err
+	if env != nil {
+		if err := env.Gas.Charge(bill); err != nil {
+			return err
+		}
 	}
 	for _, p := range a.Payloads {
 		b.applyPoolPayload(p)
@@ -205,13 +233,38 @@ func (b *MultiBank) sync(env *Env, a *MultiSyncArgs) error {
 	if !completing {
 		return nil // epoch completes when the remaining parts land
 	}
+	b.complete(a)
+	return nil
+}
+
+// complete finalizes an epoch whose last sync part just applied:
+// registers the next committee key, advances the sync horizon, and
+// compacts bookkeeping behind the retention window.
+func (b *MultiBank) complete(a *MultiSyncArgs) {
 	b.synced[a.Epoch] = true
 	delete(b.partsApplied, a.Epoch)
 	if a.Epoch > b.LastSyncedEpoch {
 		b.LastSyncedEpoch = a.Epoch
 	}
 	b.groupKeys[a.Epoch+1] = a.NextKey
-	return nil
+	if b.Retain > 0 && b.LastSyncedEpoch > uint64(b.Retain) {
+		for e := b.compacted + 1; e <= b.LastSyncedEpoch-uint64(b.Retain); e++ {
+			delete(b.groupKeys, e)
+			delete(b.synced, e)
+			delete(b.SummaryRoots, e)
+		}
+		b.compacted = b.LastSyncedEpoch - uint64(b.Retain)
+	}
+}
+
+// ReplaySync re-applies a persisted sync part during crash recovery:
+// the full verification chain (applySync) runs exactly as on-chain
+// execution would, so a recovered bank's state is re-derived from
+// authenticated records rather than trusted from disk; only gas
+// accounting is skipped (the original execution already paid it).
+// Parts must replay in their original submission order.
+func (b *MultiBank) ReplaySync(a *MultiSyncArgs) error {
+	return b.applySync(nil, a)
 }
 
 // applyPoolPayload writes one pool's synced state; gas was charged up

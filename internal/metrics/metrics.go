@@ -2,6 +2,12 @@
 // throughput (tx/s), sidechain transaction latency (submission →
 // meta-block), payout latency (submission → Sync confirmation on the
 // mainchain), gas per operation, and byte growth of both chains.
+//
+// Counts and averages are maintained as exact running aggregates, so
+// they cost O(1) memory regardless of run length. Raw samples (used for
+// percentiles) are retained in full by default; long-running nodes cap
+// them with SetSampleCap, after which percentile queries cover the
+// newest window while every count and average stays exact.
 package metrics
 
 import (
@@ -20,16 +26,86 @@ type TxObservation struct {
 	PayoutAt    time.Duration // epoch Sync confirmed on the mainchain
 }
 
+// ring is a capacity-bounded sample window: Append keeps the newest cap
+// entries (cap 0 = unbounded).
+type ring[T any] struct {
+	buf   []T
+	start int // index of the oldest entry when the ring has wrapped
+	cap   int
+}
+
+func (r *ring[T]) append(v T) {
+	if r.cap > 0 && len(r.buf) >= r.cap {
+		r.buf[r.start] = v
+		r.start = (r.start + 1) % len(r.buf)
+		return
+	}
+	r.buf = append(r.buf, v)
+}
+
+func (r *ring[T]) len() int { return len(r.buf) }
+
+// setCap re-bounds the ring. Shrinking below the current size keeps the
+// newest n samples and releases the rest, so a mid-run cap actually
+// frees memory; a wrapped ring is unwrapped into logical order first,
+// because append's grow path (after a raise) assumes physical order ==
+// oldest-to-newest.
+func (r *ring[T]) setCap(n int) {
+	if r.start != 0 || (n > 0 && len(r.buf) > n) {
+		keep := len(r.buf)
+		if n > 0 && keep > n {
+			keep = n
+		}
+		fresh := make([]T, 0, keep)
+		for i := len(r.buf) - keep; i < len(r.buf); i++ {
+			fresh = append(fresh, r.buf[(r.start+i)%len(r.buf)])
+		}
+		r.buf = fresh
+		r.start = 0
+	}
+	r.cap = n
+}
+
+// each visits the retained samples (order unspecified).
+func (r *ring[T]) each(fn func(T)) {
+	for _, v := range r.buf {
+		fn(v)
+	}
+}
+
+type gasAgg struct {
+	sum     uint64
+	count   int
+	samples ring[uint64]
+}
+
+type latAgg struct {
+	sum     time.Duration
+	count   int
+	samples ring[time.Duration]
+}
+
 // Collector aggregates observations from one run.
 type Collector struct {
-	txs []TxObservation
+	sampleCap int
 
-	// Gas per mainchain operation label.
-	gasByOp   map[string][]uint64
-	mcLatency map[string][]time.Duration
+	// Transaction lifecycle aggregates.
+	processed       int
+	processedByKind map[gasmodel.TxKind]int
+	lastMinedAt     time.Duration
+	scLatencySum    float64 // seconds; see AvgSCLatency on overflow
+	payoutSum       float64
+	payoutCount     int
+	scSamples       ring[time.Duration]
+
+	// Gas and confirmation latency per mainchain operation label.
+	gasByOp   map[string]*gasAgg
+	mcLatency map[string]*latAgg
 	// lifecycle counts epoch lifecycle events by stage label (fed from
 	// the chain event bus: epoch-start, meta-block, sync-confirmed, …).
 	lifecycle map[string]int
+	// eventDrops counts bus events shed for slow subscribers.
+	eventDrops int
 	// Pipeline occupancy: one sample per epoch seal, counting the
 	// commit/sync stages still in flight at that moment.
 	pipelineSamples int
@@ -37,12 +113,30 @@ type Collector struct {
 	pipelineMax     int
 }
 
-// New creates an empty collector.
+// New creates an empty collector retaining every sample.
 func New() *Collector {
 	return &Collector{
-		gasByOp:   make(map[string][]uint64),
-		mcLatency: make(map[string][]time.Duration),
-		lifecycle: make(map[string]int),
+		processedByKind: make(map[gasmodel.TxKind]int),
+		gasByOp:         make(map[string]*gasAgg),
+		mcLatency:       make(map[string]*latAgg),
+		lifecycle:       make(map[string]int),
+	}
+}
+
+// SetSampleCap bounds raw-sample retention per series to the newest n
+// entries (0 restores unbounded retention). Aggregated counts and
+// averages are unaffected; percentile queries cover the retained window.
+func (c *Collector) SetSampleCap(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.sampleCap = n
+	c.scSamples.setCap(n)
+	for _, g := range c.gasByOp {
+		g.samples.setCap(n)
+	}
+	for _, l := range c.mcLatency {
+		l.samples.setCap(n)
 	}
 }
 
@@ -62,8 +156,36 @@ func (c *Collector) LifecycleStages() []string {
 	return out
 }
 
+// ObserveEventDrops accumulates bus events dropped for slow subscribers.
+func (c *Collector) ObserveEventDrops(n int) {
+	if n > 0 {
+		c.eventDrops += n
+	}
+}
+
+// EventDrops returns the total bus events shed for slow subscribers; a
+// nonzero value means at least one subscriber's view has gaps (each also
+// received EventLagged markers).
+func (c *Collector) EventDrops() int { return c.eventDrops }
+
 // ObserveTx records a sidechain transaction lifecycle.
-func (c *Collector) ObserveTx(o TxObservation) { c.txs = append(c.txs, o) }
+func (c *Collector) ObserveTx(o TxObservation) {
+	if o.MinedAt > 0 {
+		c.processed++
+		c.processedByKind[o.Kind]++
+		if o.MinedAt > c.lastMinedAt {
+			c.lastMinedAt = o.MinedAt
+		}
+		// Sums accumulate in float64 seconds: a week-long payout window
+		// over 10^5 observations overflows int64 nanoseconds.
+		c.scLatencySum += (o.MinedAt - o.SubmittedAt).Seconds()
+		c.scSamples.append(o.MinedAt - o.SubmittedAt)
+	}
+	if o.PayoutAt > 0 {
+		c.payoutSum += (o.PayoutAt - o.SubmittedAt).Seconds()
+		c.payoutCount++
+	}
+}
 
 // ObservePipeline records one epoch-seal observation of the lifecycle
 // pipeline: inflight is the number of earlier epochs whose asynchronous
@@ -90,32 +212,36 @@ func (c *Collector) MaxPipelineOccupancy() int { return c.pipelineMax }
 
 // ObserveGas records gas for a labeled mainchain operation.
 func (c *Collector) ObserveGas(op string, gas uint64) {
-	c.gasByOp[op] = append(c.gasByOp[op], gas)
+	g := c.gasByOp[op]
+	if g == nil {
+		g = &gasAgg{samples: ring[uint64]{cap: c.sampleCap}}
+		c.gasByOp[op] = g
+	}
+	g.sum += gas
+	g.count++
+	g.samples.append(gas)
 }
 
 // ObserveMCLatency records a mainchain confirmation latency for a label.
 func (c *Collector) ObserveMCLatency(op string, d time.Duration) {
-	c.mcLatency[op] = append(c.mcLatency[op], d)
+	l := c.mcLatency[op]
+	if l == nil {
+		l = &latAgg{samples: ring[time.Duration]{cap: c.sampleCap}}
+		c.mcLatency[op] = l
+	}
+	l.sum += d
+	l.count++
+	l.samples.append(d)
 }
 
 // NumProcessed counts transactions that reached a meta-block.
-func (c *Collector) NumProcessed() int {
-	n := 0
-	for _, o := range c.txs {
-		if o.MinedAt > 0 {
-			n++
-		}
-	}
-	return n
-}
+func (c *Collector) NumProcessed() int { return c.processed }
 
 // NumProcessedByKind counts processed transactions per kind.
 func (c *Collector) NumProcessedByKind() map[gasmodel.TxKind]int {
-	out := make(map[gasmodel.TxKind]int)
-	for _, o := range c.txs {
-		if o.MinedAt > 0 {
-			out[o.Kind]++
-		}
+	out := make(map[gasmodel.TxKind]int, len(c.processedByKind))
+	for k, n := range c.processedByKind {
+		out[k] = n
 	}
 	return out
 }
@@ -123,68 +249,36 @@ func (c *Collector) NumProcessedByKind() map[gasmodel.TxKind]int {
 // Throughput returns processed transactions per second over the window
 // ending at the last processing event.
 func (c *Collector) Throughput() float64 {
-	var last time.Duration
-	n := 0
-	for _, o := range c.txs {
-		if o.MinedAt > 0 {
-			n++
-			if o.MinedAt > last {
-				last = o.MinedAt
-			}
-		}
-	}
-	if last == 0 {
+	if c.lastMinedAt == 0 {
 		return 0
 	}
-	return float64(n) / last.Seconds()
+	return float64(c.processed) / c.lastMinedAt.Seconds()
 }
 
-// AvgSCLatency is the mean submission → meta-block delay. Sums accumulate
-// in float64 seconds: a week-long payout window over 10^5 observations
-// overflows int64 nanoseconds.
+// AvgSCLatency is the mean submission → meta-block delay.
 func (c *Collector) AvgSCLatency() time.Duration {
-	var sum float64
-	n := 0
-	for _, o := range c.txs {
-		if o.MinedAt > 0 {
-			sum += (o.MinedAt - o.SubmittedAt).Seconds()
-			n++
-		}
-	}
-	if n == 0 {
+	if c.processed == 0 {
 		return 0
 	}
-	return time.Duration(sum / float64(n) * float64(time.Second))
+	return time.Duration(c.scLatencySum / float64(c.processed) * float64(time.Second))
 }
 
 // AvgPayoutLatency is the mean submission → Sync-confirmation delay.
 func (c *Collector) AvgPayoutLatency() time.Duration {
-	var sum float64
-	n := 0
-	for _, o := range c.txs {
-		if o.PayoutAt > 0 {
-			sum += (o.PayoutAt - o.SubmittedAt).Seconds()
-			n++
-		}
-	}
-	if n == 0 {
+	if c.payoutCount == 0 {
 		return 0
 	}
-	return time.Duration(sum / float64(n) * float64(time.Second))
+	return time.Duration(c.payoutSum / float64(c.payoutCount) * float64(time.Second))
 }
 
 // PercentileSCLatency returns the p-th percentile (0–100) sidechain
-// latency.
+// latency over the retained sample window.
 func (c *Collector) PercentileSCLatency(p float64) time.Duration {
-	var ds []time.Duration
-	for _, o := range c.txs {
-		if o.MinedAt > 0 {
-			ds = append(ds, o.MinedAt-o.SubmittedAt)
-		}
-	}
-	if len(ds) == 0 {
+	if c.scSamples.len() == 0 {
 		return 0
 	}
+	ds := make([]time.Duration, 0, c.scSamples.len())
+	c.scSamples.each(func(d time.Duration) { ds = append(ds, d) })
 	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
 	idx := int(p / 100 * float64(len(ds)-1))
 	return ds[idx]
@@ -193,39 +287,29 @@ func (c *Collector) PercentileSCLatency(p float64) time.Duration {
 // AvgGas returns the mean gas for an operation label, with the sample
 // count.
 func (c *Collector) AvgGas(op string) (float64, int) {
-	xs := c.gasByOp[op]
-	if len(xs) == 0 {
+	g := c.gasByOp[op]
+	if g == nil || g.count == 0 {
 		return 0, 0
 	}
-	var sum uint64
-	for _, x := range xs {
-		sum += x
-	}
-	return float64(sum) / float64(len(xs)), len(xs)
+	return float64(g.sum) / float64(g.count), g.count
 }
 
 // TotalGas sums gas across every labeled operation.
 func (c *Collector) TotalGas() uint64 {
 	var sum uint64
-	for _, xs := range c.gasByOp {
-		for _, x := range xs {
-			sum += x
-		}
+	for _, g := range c.gasByOp {
+		sum += g.sum
 	}
 	return sum
 }
 
 // AvgMCLatency returns the mean confirmation latency for a label.
 func (c *Collector) AvgMCLatency(op string) (time.Duration, int) {
-	xs := c.mcLatency[op]
-	if len(xs) == 0 {
+	l := c.mcLatency[op]
+	if l == nil || l.count == 0 {
 		return 0, 0
 	}
-	var sum time.Duration
-	for _, x := range xs {
-		sum += x
-	}
-	return sum / time.Duration(len(xs)), len(xs)
+	return l.sum / time.Duration(l.count), l.count
 }
 
 // Ops lists the labels with gas observations.

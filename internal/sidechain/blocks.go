@@ -117,6 +117,8 @@ type Ledger struct {
 	lastHash     [32]byte
 	lastEpoch    uint64
 	lastRound    uint64
+	// retainSummaries bounds the in-memory summary window (0 = all).
+	retainSummaries int
 
 	// Growth accounting.
 	liveMetaBytes    int
@@ -167,7 +169,27 @@ func (l *Ledger) AppendSummary(sb *SummaryBlock) {
 	if s := l.SizeBytes(); s > l.peakBytes {
 		l.peakBytes = s
 	}
+	if l.retainSummaries > 0 && sb.Epoch > uint64(l.retainSummaries) {
+		horizon := sb.Epoch - uint64(l.retainSummaries)
+		cut := 0
+		for cut < len(l.summaries) && l.summaries[cut].Epoch <= horizon {
+			cut++
+		}
+		if cut > 0 {
+			// Copy so the dropped prefix's backing array (and its payload
+			// pointers) are released; the byte accounting is untouched —
+			// the chain itself retains summaries permanently, only this
+			// process's window is bounded.
+			l.summaries = append([]*SummaryBlock(nil), l.summaries[cut:]...)
+		}
+	}
 }
+
+// SetRetention bounds the in-memory summary history to epochs newer
+// than the newest summary minus n (0 keeps everything). The summary
+// chain is permanent on-chain; this bounds only what a long-running
+// process keeps resident.
+func (l *Ledger) SetRetention(n int) { l.retainSummaries = n }
 
 // MetaBlocks returns the (unpruned) meta-blocks of an epoch.
 func (l *Ledger) MetaBlocks(epoch uint64) []*MetaBlock {

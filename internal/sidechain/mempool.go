@@ -80,17 +80,39 @@ func (m *Mempool) maybeCompact() {
 	if m.dead <= 32 || m.dead <= len(m.order)/2 {
 		return
 	}
-	keep := m.order[:0]
-	for _, s := range m.order {
-		if m.live(s) {
-			keep = append(keep, s)
+	m.compact()
+}
+
+func (m *Mempool) compact() {
+	live := len(m.byID)
+	if cap(m.order) > 64 && live < cap(m.order)/4 {
+		// The live set has fallen far below the backing array's peak:
+		// in-place compaction would pin that peak capacity (and the Go
+		// map's peak bucket count) forever, turning one traffic spike
+		// into a permanent heap hold. Rebuild both at the live size.
+		fresh := make([]mslot, 0, live)
+		byID := make(map[string]mslot, live)
+		for _, s := range m.order {
+			if m.live(s) {
+				fresh = append(fresh, s)
+				byID[s.tx.ID] = s
+			}
 		}
+		m.order = fresh
+		m.byID = byID
+	} else {
+		keep := m.order[:0]
+		for _, s := range m.order {
+			if m.live(s) {
+				keep = append(keep, s)
+			}
+		}
+		// Release the dropped tail for GC.
+		for i := len(keep); i < len(m.order); i++ {
+			m.order[i] = mslot{}
+		}
+		m.order = keep
 	}
-	// Release the dropped tail for GC.
-	for i := len(keep); i < len(m.order); i++ {
-		m.order[i] = mslot{}
-	}
-	m.order = keep
 	m.dead = 0
 }
 

@@ -178,3 +178,38 @@ func TestMempoolSamePointerReAdd(t *testing.T) {
 		t.Fatalf("len = %d, want 2", m.Len())
 	}
 }
+
+// TestMempoolCompactReleasesSpike pins the long-run memory contract: a
+// traffic spike followed by removals must not pin the spike's backing
+// array or index-map capacity — the amortized compaction rebuilds both
+// at the live size as the spike drains, with no explicit call needed.
+func TestMempoolCompactReleasesSpike(t *testing.T) {
+	m := NewMempool()
+	const spike = 100_000
+	for i := 0; i < spike; i++ {
+		m.Add(&summary.Tx{ID: fmt.Sprintf("spike-%d", i), Kind: gasmodel.KindSwap})
+	}
+	for i := 0; i < spike-10; i++ {
+		m.Remove(fmt.Sprintf("spike-%d", i))
+	}
+	if m.Len() != 10 {
+		t.Fatalf("live = %d, want 10", m.Len())
+	}
+	if c := cap(m.order); c > 1024 {
+		t.Errorf("order backing array still holds capacity %d after the spike drained", c)
+	}
+	// FIFO order of the survivors is preserved.
+	peek := m.Peek(1 << 30)
+	if len(peek) != 10 || peek[0].ID != fmt.Sprintf("spike-%d", spike-10) {
+		t.Errorf("survivors disordered: %d entries, first %q", len(peek), peek[0].ID)
+	}
+	// Steady-state churn at small size never rebuilds into growth.
+	for i := 0; i < 10_000; i++ {
+		id := fmt.Sprintf("churn-%d", i)
+		m.Add(&summary.Tx{ID: id, Kind: gasmodel.KindSwap})
+		m.Remove(id)
+	}
+	if c := cap(m.order); c > 4096 {
+		t.Errorf("churn grew the backing array to %d", c)
+	}
+}

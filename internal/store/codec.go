@@ -1,0 +1,340 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ammboost/internal/amm"
+	"ammboost/internal/binenc"
+	"ammboost/internal/chain"
+	"ammboost/internal/crypto/tsig"
+	"ammboost/internal/mainchain"
+	"ammboost/internal/summary"
+)
+
+// ReceiptRecord is one persisted receipt-table row. Rows are written at
+// epoch retirement, when the receipt has just advanced to Checkpointed;
+// later stages (Synced, Pruned) are re-derived at recovery from the
+// replayed sync-part log rather than persisted, so the hot path writes
+// each receipt exactly once.
+type ReceiptRecord struct {
+	TxID   string
+	PoolID string
+	Status uint8
+	Epoch  uint64
+	Round  uint64
+	// Virtual-time stamps in nanoseconds (zero = stage not reached).
+	SubmittedAt    int64
+	ExecutedAt     int64
+	CheckpointedAt int64
+}
+
+// RunMeta carries the run counters snapshot alongside each epoch so a
+// recovered node's report continues from sensible totals.
+type RunMeta struct {
+	Rejected       uint64
+	SyncsOK        uint64
+	ViewChanges    uint64
+	QueuePeak      uint64
+	EngineAccepted uint64
+	EngineRejected uint64
+}
+
+// EpochRecord is one recovered epoch: the decoded snapshot record plus
+// the sync-part record logged after it.
+type EpochRecord struct {
+	Epoch       uint64
+	SummaryRoot [32]byte
+	// PoolIDs / PoolRoots / PayloadDigests cover every registered pool in
+	// canonical order.
+	PoolIDs        []string
+	PoolRoots      [][32]byte
+	PayloadDigests [][32]byte
+	// Pools holds the full state of the pools touched during this epoch
+	// (untouched pools carry forward from earlier records or genesis).
+	Pools    map[string]*amm.Pool
+	Receipts []ReceiptRecord
+	Meta     RunMeta
+	// Parts is the epoch's TSQC-signed mainchain sync-part log entry.
+	Parts []*mainchain.MultiSyncArgs
+}
+
+// EncodeSnapshotPrefix builds the snapshot record payload up to (but not
+// including) the receipt table: epoch identity, the folded summary root,
+// every pool's root and payload digest, and the full state of the pools
+// touched this epoch. It runs on the commit-stage worker, off the
+// simulator goroutine, so the epoch-close hot path only appends the
+// receipt suffix and writes.
+func EncodeSnapshotPrefix(epoch uint64, summaryRoot [32]byte, poolIDs []string,
+	poolRoots, payloadDigests [][32]byte, activeIDs []string, active []*amm.Pool) []byte {
+	buf := make([]byte, 0, 512+len(poolIDs)*80)
+	buf = binary.BigEndian.AppendUint64(buf, epoch)
+	buf = append(buf, summaryRoot[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(poolIDs)))
+	for i, id := range poolIDs {
+		buf = binenc.AppendString(buf, id)
+		buf = append(buf, poolRoots[i][:]...)
+		buf = append(buf, payloadDigests[i][:]...)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(activeIDs)))
+	for i, id := range activeIDs {
+		buf = binenc.AppendString(buf, id)
+		start := len(buf)
+		buf = append(buf, 0, 0, 0, 0) // length placeholder
+		buf = amm.AppendPool(buf, active[i])
+		binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	}
+	return buf
+}
+
+// AppendReceiptsAndMeta completes a snapshot payload started by
+// EncodeSnapshotPrefix with the epoch's receipt-table rows and the run
+// counters.
+func AppendReceiptsAndMeta(buf []byte, recs []ReceiptRecord, meta RunMeta) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(recs)))
+	for _, r := range recs {
+		buf = binenc.AppendString(buf, r.TxID)
+		buf = binenc.AppendString(buf, r.PoolID)
+		buf = append(buf, r.Status)
+		buf = binary.BigEndian.AppendUint64(buf, r.Epoch)
+		buf = binary.BigEndian.AppendUint64(buf, r.Round)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(r.SubmittedAt))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(r.ExecutedAt))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(r.CheckpointedAt))
+	}
+	for _, v := range [...]uint64{meta.Rejected, meta.SyncsOK, meta.ViewChanges,
+		meta.QueuePeak, meta.EngineAccepted, meta.EngineRejected} {
+		buf = binary.BigEndian.AppendUint64(buf, v)
+	}
+	return buf
+}
+
+func decodeSnapshot(payload []byte) (*EpochRecord, error) {
+	d := binenc.NewCursor(payload)
+	rec := &EpochRecord{Epoch: d.U64()}
+	d.Read(rec.SummaryRoot[:])
+	n := int(d.U32())
+	if d.Err() == nil && n > d.Remaining()/68 {
+		return nil, fmt.Errorf("%w: snapshot pool count %d", chain.ErrCorruptStore, n)
+	}
+	rec.PoolIDs = make([]string, 0, n)
+	rec.PoolRoots = make([][32]byte, n)
+	rec.PayloadDigests = make([][32]byte, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		rec.PoolIDs = append(rec.PoolIDs, d.Str())
+		d.Read(rec.PoolRoots[i][:])
+		d.Read(rec.PayloadDigests[i][:])
+	}
+	nActive := int(d.U32())
+	if d.Err() == nil && nActive > d.Remaining()/8 {
+		return nil, fmt.Errorf("%w: snapshot active count %d", chain.ErrCorruptStore, nActive)
+	}
+	rec.Pools = make(map[string]*amm.Pool, nActive)
+	for i := 0; i < nActive && d.Err() == nil; i++ {
+		id := d.Str()
+		blob := d.Bytes()
+		if d.Err() != nil {
+			break
+		}
+		pool, used, err := amm.DecodePool(blob)
+		if err != nil || used != len(blob) {
+			return nil, fmt.Errorf("%w: pool %s snapshot: %v", chain.ErrCorruptStore, id, err)
+		}
+		rec.Pools[id] = pool
+	}
+	nRecs := int(d.U32())
+	if d.Err() == nil && nRecs > d.Remaining()/41 {
+		return nil, fmt.Errorf("%w: receipt count %d", chain.ErrCorruptStore, nRecs)
+	}
+	rec.Receipts = make([]ReceiptRecord, 0, nRecs)
+	for i := 0; i < nRecs && d.Err() == nil; i++ {
+		r := ReceiptRecord{
+			TxID:   d.Str(),
+			PoolID: d.Str(),
+			Status: d.U8(),
+			Epoch:  d.U64(),
+			Round:  d.U64(),
+		}
+		r.SubmittedAt = int64(d.U64())
+		r.ExecutedAt = int64(d.U64())
+		r.CheckpointedAt = int64(d.U64())
+		rec.Receipts = append(rec.Receipts, r)
+	}
+	rec.Meta = RunMeta{
+		Rejected:       d.U64(),
+		SyncsOK:        d.U64(),
+		ViewChanges:    d.U64(),
+		QueuePeak:      d.U64(),
+		EngineAccepted: d.U64(),
+		EngineRejected: d.U64(),
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing snapshot bytes", chain.ErrCorruptStore, d.Remaining())
+	}
+	return rec, nil
+}
+
+// EncodeSyncParts builds the sync-part log record payload for one epoch:
+// every TSQC-signed mainchain sync chunk, bit-exact, so recovery can
+// replay them through the bank's verification path.
+func EncodeSyncParts(epoch uint64, parts []*mainchain.MultiSyncArgs) []byte {
+	buf := make([]byte, 0, 1024)
+	buf = binary.BigEndian.AppendUint64(buf, epoch)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(parts)))
+	for _, a := range parts {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(a.Part))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(a.NumParts))
+		buf = append(buf, a.SummaryRoot[:]...)
+		buf = append(buf, a.Sig.Bytes()...)
+		buf = append(buf, a.NextKey.PK.Bytes()...)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(a.NextKey.Threshold))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(a.NextKey.N))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(a.Payloads)))
+		for _, p := range a.Payloads {
+			buf = appendSyncPayload(buf, p)
+		}
+	}
+	return buf
+}
+
+func appendSyncPayload(buf []byte, p *summary.SyncPayload) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, p.Epoch)
+	buf = binenc.AppendString(buf, p.PoolID)
+	buf = binenc.AppendU256(buf, p.PoolReserve0)
+	buf = binenc.AppendU256(buf, p.PoolReserve1)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(p.NextGroupKey)))
+	buf = append(buf, p.NextGroupKey...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(p.Payouts)))
+	for _, e := range p.Payouts {
+		buf = binenc.AppendString(buf, e.User)
+		buf = binenc.AppendU256(buf, e.Amount0)
+		buf = binenc.AppendU256(buf, e.Amount1)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(p.Positions)))
+	for _, e := range p.Positions {
+		buf = binenc.AppendString(buf, e.ID)
+		buf = binenc.AppendString(buf, e.Owner)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(e.TickLower))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(e.TickUpper))
+		buf = binenc.AppendU256(buf, e.Liquidity)
+		buf = binenc.AppendU256(buf, e.Fees0)
+		buf = binenc.AppendU256(buf, e.Fees1)
+		if e.Deleted {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+func decodeSyncParts(payload []byte) (uint64, []*mainchain.MultiSyncArgs, error) {
+	d := binenc.NewCursor(payload)
+	epoch := d.U64()
+	n := int(d.U32())
+	if d.Err() == nil && n > d.Remaining()/140+1 {
+		return 0, nil, fmt.Errorf("%w: sync part count %d", chain.ErrCorruptStore, n)
+	}
+	parts := make([]*mainchain.MultiSyncArgs, 0, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		a := &mainchain.MultiSyncArgs{
+			Part:     int(d.U32()),
+			NumParts: int(d.U32()),
+			Epoch:    epoch,
+		}
+		d.Read(a.SummaryRoot[:])
+		var err error
+		if a.Sig, err = readPoint(d); err != nil {
+			return 0, nil, err
+		}
+		if a.NextKey.PK, err = readPoint(d); err != nil {
+			return 0, nil, err
+		}
+		a.NextKey.Threshold = int(d.U32())
+		a.NextKey.N = int(d.U32())
+		np := int(d.U32())
+		if d.Err() == nil && np > d.Remaining()/76+1 {
+			return 0, nil, fmt.Errorf("%w: payload count %d", chain.ErrCorruptStore, np)
+		}
+		a.Payloads = make([]*summary.SyncPayload, 0, np)
+		for j := 0; j < np && d.Err() == nil; j++ {
+			p, err := decodeSyncPayload(d)
+			if err != nil {
+				return 0, nil, err
+			}
+			a.Payloads = append(a.Payloads, p)
+		}
+		parts = append(parts, a)
+	}
+	if d.Err() != nil {
+		return 0, nil, d.Err()
+	}
+	if d.Remaining() != 0 {
+		return 0, nil, fmt.Errorf("%w: %d trailing sync-part bytes", chain.ErrCorruptStore, d.Remaining())
+	}
+	return epoch, parts, nil
+}
+
+func decodeSyncPayload(d *binenc.Cursor) (*summary.SyncPayload, error) {
+	p := &summary.SyncPayload{Epoch: d.U64()}
+	p.PoolID = d.Str()
+	p.PoolReserve0 = d.U256()
+	p.PoolReserve1 = d.U256()
+	nk := int(d.U32())
+	if d.Err() == nil && nk > d.Remaining() {
+		return nil, fmt.Errorf("%w: group key length %d", chain.ErrCorruptStore, nk)
+	}
+	if nk > 0 {
+		p.NextGroupKey = make([]byte, nk)
+		d.Read(p.NextGroupKey)
+	}
+	nPay := int(d.U32())
+	if d.Err() == nil && nPay > d.Remaining()/68+1 {
+		return nil, fmt.Errorf("%w: payout count %d", chain.ErrCorruptStore, nPay)
+	}
+	for i := 0; i < nPay && d.Err() == nil; i++ {
+		p.Payouts = append(p.Payouts, summary.PayoutEntry{
+			User:    d.Str(),
+			Amount0: d.U256(),
+			Amount1: d.U256(),
+		})
+	}
+	nPos := int(d.U32())
+	if d.Err() == nil && nPos > d.Remaining()/113+1 {
+		return nil, fmt.Errorf("%w: position count %d", chain.ErrCorruptStore, nPos)
+	}
+	for i := 0; i < nPos && d.Err() == nil; i++ {
+		e := summary.PositionEntry{
+			ID:        d.Str(),
+			Owner:     d.Str(),
+			TickLower: int32(d.U32()),
+			TickUpper: int32(d.U32()),
+			Liquidity: d.U256(),
+			Fees0:     d.U256(),
+			Fees1:     d.U256(),
+		}
+		e.Deleted = d.U8() == 1
+		p.Positions = append(p.Positions, e)
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	return p, nil
+}
+
+// readPoint decodes a 64-byte curve point, wrapping failures as store
+// corruption.
+func readPoint(d *binenc.Cursor) (tsig.Point, error) {
+	b := d.Take(64)
+	if b == nil {
+		return tsig.Point{}, fmt.Errorf("%w: %v", chain.ErrCorruptStore, d.Err())
+	}
+	p, err := tsig.PointFromBytes(b)
+	if err != nil {
+		return tsig.Point{}, fmt.Errorf("%w: %v", chain.ErrCorruptStore, err)
+	}
+	return p, nil
+}

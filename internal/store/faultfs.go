@@ -1,0 +1,78 @@
+package store
+
+// FaultFS wraps an FS and injects the write-path faults a crashed or
+// corrupting disk produces, at byte granularity:
+//
+//   - CrashAfter n: every byte past the first n written to a file is
+//     silently dropped, modeling a kill -9 (or power loss) with a
+//     partially flushed tail. Writes and fsyncs keep "succeeding" — the
+//     process does not observe its own death — so the recovery path, not
+//     the writer, must detect the torn record.
+//   - FlipBit off: the byte at absolute file offset off has its low bit
+//     inverted as it passes through, modeling on-disk corruption that a
+//     CRC-framed record must catch.
+//
+// Offsets are absolute within the file (the append base counts), so a
+// fault can be aimed precisely at a record boundary chosen from a clean
+// reference file.
+type FaultFS struct {
+	Inner FS
+	// CrashAfter is the number of bytes accepted per file before writes
+	// start being dropped; negative disables.
+	CrashAfter int64
+	// FlipBit is the absolute file offset whose low bit is inverted;
+	// negative disables.
+	FlipBit int64
+}
+
+// NewFaultFS wraps inner with all faults disabled.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{Inner: inner, CrashAfter: -1, FlipBit: -1}
+}
+
+// ReadFile implements FS (reads are not faulted; recovery must see
+// exactly what "survived").
+func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.Inner.ReadFile(name) }
+
+// OpenAppend implements FS.
+func (f *FaultFS) OpenAppend(name string, size int64) (File, error) {
+	inner, err := f.Inner.OpenAppend(name, size)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner, off: size}, nil
+}
+
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+	off   int64 // absolute offset of the next byte to be written
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	// The caller always observes full success; faults act on what lands.
+	n := len(p)
+	start := f.off
+	f.off += int64(n)
+
+	data := p
+	if fb := f.fs.FlipBit; fb >= start && fb < start+int64(n) {
+		data = append([]byte(nil), p...)
+		data[fb-start] ^= 1
+	}
+	if ca := f.fs.CrashAfter; ca >= 0 {
+		if start >= ca {
+			return n, nil // everything dropped
+		}
+		if start+int64(len(data)) > ca {
+			data = data[:ca-start] // tail dropped mid-record
+		}
+	}
+	if _, err := f.inner.Write(data); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func (f *faultFile) Sync() error  { return f.inner.Sync() }
+func (f *faultFile) Close() error { return f.inner.Close() }

@@ -1,0 +1,113 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+
+	"ammboost/internal/chain"
+)
+
+// File is the append-only handle the store writes through.
+type File interface {
+	io.Writer
+	// Sync flushes written bytes to stable storage (fsync).
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the two filesystem operations the store needs, so tests
+// can interpose crash and corruption faults (FaultFS) or run fully
+// in memory (MemFS) without touching the disk format.
+type FS interface {
+	// ReadFile returns the entire contents of the named file;
+	// fs.ErrNotExist when it does not exist.
+	ReadFile(name string) ([]byte, error)
+	// OpenAppend opens the named file for appending, creating it if
+	// missing and truncating it to size bytes first (recovery discards
+	// any torn tail before resuming writes).
+	OpenAppend(name string, size int64) (File, error)
+}
+
+// OSFS is the production FS: real files under the operating system.
+type OSFS struct{}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// OpenAppend implements FS. The file is flock'd exclusively — two
+// processes appending to the same store would interleave records and
+// corrupt the log, so the second Open fails instead; the kernel releases
+// the lock on process death (kill -9 included), so crashes never leave a
+// stale lock behind. The parent directory is fsynced after a
+// create-or-truncate so the file's existence survives a crash too.
+func (OSFS) OpenAppend(name string, size int64) (File, error) {
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s is locked by another process", chain.ErrStoreLocked, name)
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if dir, err := os.Open(filepath.Dir(name)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return f, nil
+}
+
+// MemFS is an in-memory FS for tests and benchmarks that must not pay
+// disk latency. The zero value is ready to use; not safe for concurrent
+// use by multiple writers.
+type MemFS struct {
+	files map[string][]byte
+}
+
+// ReadFile implements FS.
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	data, ok := m.files[name]
+	if !ok {
+		return nil, os.ErrNotExist
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// OpenAppend implements FS.
+func (m *MemFS) OpenAppend(name string, size int64) (File, error) {
+	if m.files == nil {
+		m.files = make(map[string][]byte)
+	}
+	data := m.files[name]
+	if int64(len(data)) > size {
+		data = data[:size]
+	}
+	for int64(len(data)) < size {
+		data = append(data, 0)
+	}
+	m.files[name] = data
+	return &memFile{fs: m, name: name}, nil
+}
+
+type memFile struct {
+	fs   *MemFS
+	name string
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.files[f.name] = append(f.fs.files[f.name], p...)
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error  { return nil }
+func (f *memFile) Close() error { return nil }

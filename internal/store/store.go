@@ -1,0 +1,341 @@
+// Package store is ammBoost's durable persistence subsystem: an
+// append-only, CRC-framed record log that checkpoints every retired
+// epoch — pool state snapshots, summary roots, payload digests, the
+// receipt table, and the TSQC-signed mainchain sync-part log — so a node
+// killed at an arbitrary point restarts from its newest valid snapshot
+// instead of replaying its entire history.
+//
+// File layout (one file, ammboost.store, per data directory):
+//
+//	header record                     (format version + deployment fingerprint)
+//	snapshot record for epoch 1       ┐ written at epoch-1 retirement,
+//	sync-part record for epoch 1      ┘ fsynced together (batched)
+//	snapshot record for epoch 2
+//	sync-part record for epoch 2
+//	...
+//	[halt record]                     (only after a lifecycle fault)
+//
+// Record framing:
+//
+//	| length u32 | type u8 | payload ... | crc32c u32 |
+//
+// where length covers type+payload and the CRC (Castagnoli) covers the
+// same bytes. Recovery scans the file front to back and stops at the
+// first record whose frame or CRC fails: everything before it is
+// trusted, everything after is a torn tail from the crash and is
+// truncated before writes resume. An epoch counts as recovered only when
+// BOTH its snapshot and its sync-part record survive (replay invariant 9
+// in DESIGN.md); a snapshot without its log tail rolls back to the
+// previous epoch.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"path/filepath"
+
+	"ammboost/internal/binenc"
+	"ammboost/internal/chain"
+)
+
+// FormatVersion is the on-disk format this package reads and writes.
+const FormatVersion = 1
+
+// FileName is the store's single log file inside the data directory.
+const FileName = "ammboost.store"
+
+// Record types.
+const (
+	recHeader    = 1
+	recSnapshot  = 2
+	recSyncParts = 3
+	recHalt      = 4
+)
+
+// maxRecordLen bounds a single record frame; anything larger is treated
+// as framing corruption rather than attempted as an allocation.
+const maxRecordLen = 1 << 30
+
+// headerFrameLen is the exact framed size of the header record:
+// length(4) + type(1) + version(2) + fingerprint(32) + crc(4).
+const headerFrameLen = 4 + 1 + 2 + 32 + 4
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// HaltRecord is a persisted lifecycle fault: the node halted before the
+// crash and must recover as halted.
+type HaltRecord struct {
+	Epoch  uint64
+	Reason string
+}
+
+// Recovery is everything a scan restored from an existing store.
+type Recovery struct {
+	// Epochs holds the recovered epoch records in increasing epoch
+	// order; empty for a fresh store.
+	Epochs []*EpochRecord
+	// Boundaries[i] is the file offset just past Epochs[i]'s sync-part
+	// record — the durable boundary a kill -9 lands on. Crash tests
+	// truncate at (or around) these offsets.
+	Boundaries []int64
+	// Halt is non-nil when the node had halted on a lifecycle fault.
+	Halt *HaltRecord
+	// HeaderEnd is the file offset just past the header record.
+	HeaderEnd int64
+}
+
+// Epoch returns the recovered boundary epoch (0 for a fresh store).
+func (r *Recovery) Epoch() uint64 {
+	if len(r.Epochs) == 0 {
+		return 0
+	}
+	return r.Epochs[len(r.Epochs)-1].Epoch
+}
+
+// Writer appends epoch records to the store. Not safe for concurrent
+// use; the epoch lifecycle retires epochs one at a time.
+type Writer struct {
+	f          File
+	bw         *bufio.Writer
+	fsyncEvery int
+	sinceSync  int
+	err        error
+}
+
+// SetFsyncEvery batches fsyncs: the file is synced on every n-th epoch
+// append instead of every one, trading the last <n epochs on a crash
+// for less epoch-close latency. n < 1 is treated as 1. Halt records
+// always sync immediately.
+func (w *Writer) SetFsyncEvery(n int) {
+	if n < 1 {
+		n = 1
+	}
+	w.fsyncEvery = n
+}
+
+func (w *Writer) appendRecord(typ byte, payload []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	hdr[4] = typ
+	crc := crc32.Checksum(hdr[4:5], crcTable)
+	crc = crc32.Update(crc, crcTable, payload)
+	var tail [4]byte
+	binary.BigEndian.PutUint32(tail[:], crc)
+	for _, b := range [][]byte{hdr[:], payload, tail[:]} {
+		if _, err := w.bw.Write(b); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// AppendEpoch appends one retired epoch — its snapshot record followed
+// by its sync-part record — and commits according to the fsync policy.
+func (w *Writer) AppendEpoch(snapshot, syncParts []byte) error {
+	if err := w.appendRecord(recSnapshot, snapshot); err != nil {
+		return err
+	}
+	if err := w.appendRecord(recSyncParts, syncParts); err != nil {
+		return err
+	}
+	w.sinceSync++
+	if w.sinceSync >= w.fsyncEvery {
+		return w.commit()
+	}
+	return w.bw.Flush()
+}
+
+// AppendHalt records a lifecycle fault and syncs immediately: a halted
+// node must recover as halted.
+func (w *Writer) AppendHalt(epoch uint64, reason string) error {
+	payload := binary.BigEndian.AppendUint64(nil, epoch)
+	payload = binenc.AppendString(payload, reason)
+	if err := w.appendRecord(recHalt, payload); err != nil {
+		return err
+	}
+	return w.commit()
+}
+
+func (w *Writer) commit() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = err
+		return err
+	}
+	w.sinceSync = 0
+	return nil
+}
+
+// Close flushes, syncs, and closes the underlying file.
+func (w *Writer) Close() error {
+	flushErr := w.commit()
+	closeErr := w.f.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// Open opens (or creates) the store in dir: it scans the existing log,
+// validates the header against the deployment fingerprint, recovers the
+// longest valid prefix of epoch records, truncates any torn tail, and
+// returns the recovery alongside a writer positioned to append the next
+// epoch. A missing file yields an empty recovery and a fresh store whose
+// header is written (and synced) immediately.
+func Open(fsys FS, dir string, fingerprint [32]byte) (*Recovery, *Writer, error) {
+	path := filepath.Join(dir, FileName)
+	data, err := fsys.ReadFile(path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		return create(fsys, path, fingerprint)
+	case err != nil:
+		return nil, nil, err
+	case len(data) < headerFrameLen:
+		// Shorter than one complete header frame: this can only be a
+		// creation torn by a crash before the header's fsync (a store
+		// that ever synced retains its full header), so start fresh
+		// instead of bricking the directory. A complete-but-corrupt
+		// header stays a hard ErrCorruptStore — that is real damage to a
+		// real store, not a torn birth.
+		return create(fsys, path, fingerprint)
+	}
+
+	rec, validLen, err := scan(data, fingerprint)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := fsys.OpenAppend(path, validLen)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rec, newWriter(f), nil
+}
+
+func create(fsys FS, path string, fingerprint [32]byte) (*Recovery, *Writer, error) {
+	f, err := fsys.OpenAppend(path, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := newWriter(f)
+	payload := binary.BigEndian.AppendUint16(nil, FormatVersion)
+	payload = append(payload, fingerprint[:]...)
+	if err := w.appendRecord(recHeader, payload); err != nil {
+		w.Close() // release the file (and its lock) — a later retry must not see it held
+		return nil, nil, err
+	}
+	if err := w.commit(); err != nil {
+		w.Close()
+		return nil, nil, err
+	}
+	return &Recovery{}, w, nil
+}
+
+func newWriter(f File) *Writer {
+	return &Writer{f: f, bw: bufio.NewWriterSize(f, 1<<16), fsyncEvery: 1}
+}
+
+// frame is one raw record lifted out of the log.
+type frame struct {
+	typ     byte
+	payload []byte
+	end     int64 // offset just past this record's CRC
+}
+
+// nextFrame parses the record starting at off; ok is false when the
+// frame is torn or its CRC fails (the scan stops there).
+func nextFrame(data []byte, off int64) (frame, bool) {
+	if int64(len(data))-off < 9 {
+		return frame{}, false
+	}
+	n := binary.BigEndian.Uint32(data[off:])
+	if n < 1 || n > maxRecordLen || int64(len(data))-off-8 < int64(n) {
+		return frame{}, false
+	}
+	body := data[off+4 : off+4+int64(n)]
+	want := binary.BigEndian.Uint32(data[off+4+int64(n):])
+	if crc32.Checksum(body, crcTable) != want {
+		return frame{}, false
+	}
+	return frame{typ: body[0], payload: body[1:], end: off + 8 + int64(n)}, true
+}
+
+// scan walks the log front to back. The header must parse and match —
+// those failures are hard errors (ErrCorruptStore / ErrStoreVersion /
+// ErrStoreMismatch) — while any later framing, CRC, or decode failure
+// ends the scan: the valid prefix up to the last fully recovered epoch
+// (or halt record) is returned along with its byte length for
+// truncation.
+func scan(data []byte, fingerprint [32]byte) (*Recovery, int64, error) {
+	hdr, ok := nextFrame(data, 0)
+	if !ok || hdr.typ != recHeader || len(hdr.payload) != 34 {
+		return nil, 0, fmt.Errorf("%w: unreadable header", chain.ErrCorruptStore)
+	}
+	if v := binary.BigEndian.Uint16(hdr.payload); v != FormatVersion {
+		return nil, 0, fmt.Errorf("%w: store version %d, this binary reads %d",
+			chain.ErrStoreVersion, v, FormatVersion)
+	}
+	var got [32]byte
+	copy(got[:], hdr.payload[2:])
+	if got != fingerprint {
+		return nil, 0, fmt.Errorf("%w: fingerprint %x, config derives %x",
+			chain.ErrStoreMismatch, got[:8], fingerprint[:8])
+	}
+
+	rec := &Recovery{HeaderEnd: hdr.end}
+	validLen := hdr.end
+	var pending *EpochRecord
+	off := hdr.end
+	for {
+		fr, ok := nextFrame(data, off)
+		if !ok {
+			break // torn tail (or clean EOF): roll back to validLen
+		}
+		off = fr.end
+		switch fr.typ {
+		case recSnapshot:
+			snap, err := decodeSnapshot(fr.payload)
+			if err != nil {
+				return rec, validLen, nil // undecodable tail: roll back
+			}
+			if snap.Epoch != rec.Epoch()+1 {
+				return rec, validLen, nil // out-of-order tail: roll back
+			}
+			pending = snap
+		case recSyncParts:
+			epoch, parts, err := decodeSyncParts(fr.payload)
+			if err != nil || pending == nil || epoch != pending.Epoch {
+				return rec, validLen, nil
+			}
+			pending.Parts = parts
+			rec.Epochs = append(rec.Epochs, pending)
+			rec.Boundaries = append(rec.Boundaries, fr.end)
+			pending = nil
+			validLen = fr.end
+		case recHalt:
+			d := binenc.NewCursor(fr.payload)
+			h := &HaltRecord{Epoch: d.U64(), Reason: d.Str()}
+			if d.Err() != nil {
+				return rec, validLen, nil
+			}
+			rec.Halt = h
+			validLen = fr.end
+		default:
+			return rec, validLen, nil // unknown record from the future: stop
+		}
+	}
+	return rec, validLen, nil
+}

@@ -14,6 +14,9 @@
 #     redesign's >= 1.3x target holds on hosts with >= 2 CPUs — a
 #     single-CPU host serializes the overlap and measures ~1.0x, which
 #     the JSON documents via the "cpus" field)
+#   - durable epoch persistence: EpochPersist with the store off vs on
+#     (JSON adds persist_overhead_pct = 100*(on-off)/off; the PR 5
+#     recovery subsystem's epoch-close overhead bound is < 10%)
 #
 # Usage:
 #   scripts/bench.sh [OUT.json]           # full run (default -benchtime=2s)
@@ -54,8 +57,14 @@ pipe=$(go test -run='^$' \
   -benchtime="$PIPETIME" -benchmem ./internal/core/)
 echo "$pipe"
 
+# One EpochPersist op is a 4-epoch run; same capped benchtime.
+persist=$(go test -run='^$' \
+  -bench='BenchmarkEpochPersist' \
+  -benchtime="$PIPETIME" -benchmem ./internal/core/)
+echo "$persist"
+
 cpu_model=$(awk -F': *' '/model name/ { print $2; exit }' /proc/cpuinfo 2>/dev/null || echo unknown)
-printf '%s\n%s\n%s\n' "$out" "$submit" "$pipe" | awk -v cpus="$(nproc 2>/dev/null || echo 1)" -v cpu_model="$cpu_model" '
+printf '%s\n%s\n%s\n%s\n' "$out" "$submit" "$pipe" "$persist" | awk -v cpus="$(nproc 2>/dev/null || echo 1)" -v cpu_model="$cpu_model" '
 BEGIN { print "{"; first = 1 }
 /^Benchmark/ {
   name = $1
@@ -85,6 +94,11 @@ END {
   d2 = nsv["BenchmarkEpochPipeline/depth=2"]
   if (d1 != "" && d2 != "" && d2 + 0 > 0) {
     printf(",\n  \"pipeline_speedup_depth2\": %.3f", d1 / d2)
+  }
+  poff = nsv["BenchmarkEpochPersist/store=off"]
+  pon = nsv["BenchmarkEpochPersist/store=on"]
+  if (poff != "" && pon != "" && poff + 0 > 0) {
+    printf(",\n  \"persist_overhead_pct\": %.2f", 100 * (pon - poff) / poff)
   }
   # Measurement provenance: wall-time (ns/op) comparisons are only
   # meaningful between runs on the same CPU model; the regression gate

@@ -14,6 +14,8 @@
 #     machine-independent, so this catches real regressions even across
 #     differing runner hardware), or
 #   - receipt_overhead_pct >= 5% (a ratio, machine-independent), or
+#   - persist_overhead_pct >= 10% (the PR 5 durable-store epoch-close
+#     bound, also a machine-independent ratio), or
 #   - pipeline_speedup_depth2 falls below SPEEDUP_FLOOR (default 1.30)
 #     while the measuring host has >= 2 CPUs. A single-CPU host cannot
 #     overlap the commit stage with execution — the pipeline degrades
@@ -119,6 +121,21 @@ if [ -n "$overhead" ]; then
     echo "  ok    receipt_overhead_pct = ${overhead}% (< 5%)"
   else
     echo "  FAIL  receipt_overhead_pct = ${overhead}% (>= 5%)"
+    fail=1
+  fi
+fi
+
+# Durable-store epoch-close overhead bound carried over from PR 5.
+persist=$(jq -r '.persist_overhead_pct // empty' "$current")
+if [ -z "$persist" ]; then
+  echo "  FAIL  persist_overhead_pct missing from bench output"
+  fail=1
+else
+  ok=$(awk -v o="$persist" 'BEGIN { print (o < 10.0) ? "ok" : "regress" }')
+  if [ "$ok" = "ok" ]; then
+    echo "  ok    persist_overhead_pct = ${persist}% (< 10%)"
+  else
+    echo "  FAIL  persist_overhead_pct = ${persist}% (>= 10%)"
     fail=1
   fi
 fi
