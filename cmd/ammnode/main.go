@@ -23,14 +23,19 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"ammboost/internal/chain"
 	"ammboost/internal/core"
 	"ammboost/internal/gasmodel"
 	"ammboost/internal/summary"
+	"ammboost/internal/trace"
 	"ammboost/internal/u256"
 	"ammboost/internal/workload"
 )
@@ -44,18 +49,25 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable store directory (enables the multi-pool persistent node)")
 	pools := flag.Int("pools", 0, "registered pools (required with -data-dir)")
 	killAt := flag.Int("kill-at-epoch", 0, "exit abruptly (kill -9 style) once epoch N has persisted")
+	adminAddr := flag.String("admin", "", "serve the telemetry surface (/metrics /healthz /trace /debug/pprof) on this address, e.g. 127.0.0.1:6060; the process stays alive after the run until SIGINT")
 	flag.Parse()
 
 	if *dataDir != "" {
-		os.Exit(runDurable(*dataDir, *pools, *epochs, *daily, *committee, *seed, *killAt, *verbose))
+		os.Exit(runDurable(*dataDir, *pools, *epochs, *daily, *committee, *seed, *killAt, *verbose, *adminAddr))
 	}
 
-	sysCfg := chain.NewConfig(
+	var tr *trace.Tracer
+	cfgOpts := []chain.Option{
 		chain.WithSeed(*seed),
 		chain.WithEpochRounds(30),
-		chain.WithRoundDuration(7*time.Second),
+		chain.WithRoundDuration(7 * time.Second),
 		chain.WithCommittee(*committee),
-	)
+	}
+	if *adminAddr != "" {
+		tr = trace.New(16)
+		cfgOpts = append(cfgOpts, chain.WithTracer(tr))
+	}
+	sysCfg := chain.NewConfig(cfgOpts...)
 	drvCfg := core.DriverConfig{
 		DailyVolume: *daily,
 		Epochs:      *epochs,
@@ -64,6 +76,11 @@ func main() {
 	node, drv, err := core.NewDriver(sysCfg, drvCfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ammnode: %v\n", err)
+		os.Exit(1)
+	}
+	adminWait, err := serveAdmin(node, tr, *adminAddr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ammnode: admin listener: %v\n", err)
 		os.Exit(1)
 	}
 
@@ -141,6 +158,58 @@ func main() {
 			fmt.Printf("gas[%s]: %.0f avg over %d\n", op, g, n)
 		}
 	}
+	printStageReport(rep)
+	adminWait()
+}
+
+// printStageReport renders the report's per-stage latency histograms and
+// shard-imbalance summary (present only when the run was traced).
+func printStageReport(rep *chain.Report) {
+	if len(rep.Stages) == 0 {
+		return
+	}
+	fmt.Printf("\n=== stage latency (wall clock; sync-confirm is virtual time) ===\n")
+	fmt.Printf("%-14s %8s %12s %12s %12s\n", "stage", "count", "p50", "p95", "p99")
+	for _, st := range rep.Stages {
+		fmt.Printf("%-14s %8d %12s %12s %12s\n", st.Stage, st.Count, st.P50, st.P95, st.P99)
+	}
+	if rep.ShardImbalanceMax > 0 {
+		fmt.Printf("shard imbalance (max/mean busy): avg %.2f, worst %.2f at epoch %d\n",
+			rep.ShardImbalanceAvg, rep.ShardImbalanceMax, rep.ShardImbalanceMaxEpoch)
+	}
+	if len(rep.PipelineStallByStage) > 0 {
+		fmt.Printf("pipeline stalls by commit phase:")
+		for _, stage := range []string{"queued", "commit-build", "sign", "store-encode"} {
+			if d, ok := rep.PipelineStallByStage[stage]; ok {
+				fmt.Printf(" %s=%s", stage, d)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+// serveAdmin starts the admin telemetry listener when addr is non-empty.
+// The returned wait function blocks until SIGINT/SIGTERM so the surface
+// stays inspectable after the run (a no-op when the listener is off).
+func serveAdmin(node chain.Chain, tr *trace.Tracer, addr string) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	admin := chain.NewAdmin(node, tr)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: admin.Handler()}
+	go srv.Serve(ln)
+	fmt.Printf("ammnode: admin surface on http://%s (/metrics /healthz /trace /debug/pprof)\n", ln.Addr())
+	return func() {
+		fmt.Printf("ammnode: run complete; admin surface stays up on http://%s — Ctrl-C to exit\n", ln.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		srv.Close()
+	}, nil
 }
 
 func max(a, b int) int {
@@ -187,7 +256,7 @@ func attachEpochTraffic(ms *core.MultiSystem, seed int64, perEpoch int) {
 }
 
 // runDurable runs (or resumes) the persistent multi-pool node.
-func runDurable(dataDir string, pools, epochs, daily, committee int, seed int64, killAt int, verbose bool) int {
+func runDurable(dataDir string, pools, epochs, daily, committee int, seed int64, killAt int, verbose bool, adminAddr string) int {
 	if pools <= 0 {
 		fmt.Fprintln(os.Stderr, "ammnode: -data-dir requires -pools N (the durable store backs the multi-pool engine)")
 		return 2
@@ -200,15 +269,26 @@ func runDurable(dataDir string, pools, epochs, daily, committee int, seed int64,
 			killAt, epochs-2, epochs)
 		return 2
 	}
-	cfg := chain.NewConfig(
+	var tr *trace.Tracer
+	cfgOpts := []chain.Option{
 		chain.WithSeed(seed),
 		chain.WithPools(pools),
 		chain.WithCommittee(committee),
 		chain.WithUsers(durableUsers()),
-	)
+	}
+	if adminAddr != "" {
+		tr = trace.New(16)
+		cfgOpts = append(cfgOpts, chain.WithTracer(tr))
+	}
+	cfg := chain.NewConfig(cfgOpts...)
 	node, err := chain.Open(dataDir, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ammnode: open %s: %v\n", dataDir, err)
+		return 1
+	}
+	adminWait, err := serveAdmin(node, tr, adminAddr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ammnode: admin listener: %v\n", err)
 		return 1
 	}
 	ms := node.(*core.MultiSystem)
@@ -305,6 +385,8 @@ func runDurable(dataDir string, pools, epochs, daily, committee int, seed int64,
 			fmt.Printf("  epoch %2d summary root %x\n", e, root[:8])
 		}
 	}
+	printStageReport(rep)
+	adminWait()
 	if err := node.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "ammnode: close: %v\n", err)
 		return 1

@@ -2,41 +2,46 @@
 // chain.Chain API's event stream — the consumer a block explorer or
 // monitoring stack would build on. It subscribes to the full lifecycle
 // (epoch starts, meta-blocks, summary checkpoints, syncs, pruning),
-// renders a compact per-epoch digest, and follows one transaction's
-// receipt from submission to pruning.
+// renders a compact per-epoch digest, follows one transaction's receipt
+// from submission to pruning, and — with the lifecycle tracer attached —
+// closes with the operator's view: per-stage wall-clock latency
+// (p50/p95/p99) and the shard-imbalance summary from the run report.
 package main
 
 import (
 	"fmt"
 	"log"
-	"time"
 
 	"ammboost/internal/chain"
 	"ammboost/internal/core"
 	"ammboost/internal/gasmodel"
 	"ammboost/internal/summary"
+	"ammboost/internal/trace"
 	"ammboost/internal/u256"
 	"ammboost/internal/workload"
 )
 
 func main() {
+	tr := trace.New(8)
 	sysCfg := chain.NewConfig(
 		chain.WithSeed(7),
+		chain.WithPools(16),
+		chain.WithShards(4),
 		chain.WithEpochRounds(10),
-		chain.WithRoundDuration(7*time.Second),
 		chain.WithCommittee(14),
+		chain.WithTracer(tr),
 	)
-	wcfg := workload.DefaultConfig(7)
-	wcfg.NumUsers = 40
-	drvCfg := core.DriverConfig{DailyVolume: 500_000, Epochs: 3, Workload: wcfg}
-	node, _, err := core.NewDriver(sysCfg, drvCfg)
+	wcfg := workload.DefaultMultiConfig(7, 6)
+	drvCfg := core.MultiDriverConfig{DailyVolume: 500_000, Epochs: 3, Workload: wcfg}
+	node, gen, err := core.NewMultiDriver(sysCfg, drvCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// One receipt to follow end to end.
 	rc, err := node.Submit(&summary.Tx{
-		ID: "watched-swap", Kind: gasmodel.KindSwap, User: "user-001",
+		ID: "watched-swap", Kind: gasmodel.KindSwap,
+		User: gen.Users()[0], PoolID: node.PoolIDs()[0],
 		ZeroForOne: true, ExactIn: true, Amount: u256.FromUint64(5000),
 	})
 	if err != nil {
@@ -105,5 +110,20 @@ func main() {
 	fmt.Printf("  pruned:       %s\n", rc.PrunedAt)
 	if rc.Status != chain.StatusPruned {
 		log.Fatalf("watched receipt ended at %s, want pruned", rc.Status)
+	}
+
+	// The operator's view of the same run: where the wall-clock went,
+	// stage by stage, and how evenly the shard fan-out was loaded.
+	fmt.Println("\nstage latency (wall clock; sync-confirm is virtual time):")
+	fmt.Printf("  %-14s %6s %12s %12s %12s\n", "stage", "count", "p50", "p95", "p99")
+	for _, st := range rep.Stages {
+		fmt.Printf("  %-14s %6d %12s %12s %12s\n", st.Stage, st.Count, st.P50, st.P95, st.P99)
+	}
+	if rep.ShardImbalanceMax > 0 {
+		fmt.Printf("shard imbalance (max/mean busy): avg %.2f, worst %.2f at epoch %d\n",
+			rep.ShardImbalanceAvg, rep.ShardImbalanceMax, rep.ShardImbalanceMaxEpoch)
+	}
+	if len(rep.Stages) == 0 {
+		log.Fatal("traced run produced no stage summaries")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"ammboost/internal/mainchain"
 	"ammboost/internal/metrics"
 	"ammboost/internal/sidechain/pbft"
+	"ammboost/internal/trace"
 	"ammboost/internal/u256"
 )
 
@@ -121,6 +122,19 @@ type Config struct {
 	// the last <n epochs on a crash for lower epoch-close latency.
 	StoreFsyncEvery int
 
+	// Tracer, when non-nil, records a span per lifecycle stage per epoch
+	// (submit, per-shard execute, seal, commit build, chunking, signing,
+	// store append/fsync, sync submit/confirm, prune) with bounded
+	// memory, exportable as Chrome trace-event JSON and summarized into
+	// the Report's stage histograms. Nil disables tracing at zero cost.
+	// Tracing never perturbs computed state: roots and payload digests
+	// are bit-identical with tracing on or off. Multi-pool backend only.
+	Tracer *trace.Tracer
+	// TraceBuffer bounds the tracer's retained-epoch window (default 8).
+	// Older epochs' spans rotate out, so tracing holds constant memory on
+	// arbitrarily long runs.
+	TraceBuffer int
+
 	Mainchain mainchain.Config
 	Model     pbft.Model
 	Faults    FaultPlan
@@ -174,6 +188,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.StoreFsyncEvery < 1 {
 		c.StoreFsyncEvery = 1
+	}
+	if c.TraceBuffer <= 0 {
+		c.TraceBuffer = trace.DefaultRetention
 	}
 	if c.Mainchain.BlockInterval == 0 {
 		c.Mainchain = mainchain.DefaultConfig()
@@ -242,6 +259,13 @@ func WithMainchain(mc mainchain.Config) Option { return func(c *Config) { c.Main
 // WithModel overrides the PBFT cost model.
 func WithModel(m pbft.Model) Option { return func(c *Config) { c.Model = m } }
 
+// WithTracer attaches an epoch-lifecycle span tracer (nil leaves
+// tracing disabled).
+func WithTracer(tr *trace.Tracer) Option { return func(c *Config) { c.Tracer = tr } }
+
+// WithTraceBuffer bounds the tracer's retained-epoch window.
+func WithTraceBuffer(epochs int) Option { return func(c *Config) { c.TraceBuffer = epochs } }
+
 // Report is the unified run summary both backends return from Run.
 // Fields that only one backend produces are zero on the other
 // (MassSyncs/ViewChanges/SidechainUnpruned are single-pool;
@@ -287,4 +311,27 @@ type Report struct {
 	PipelineDepth     int
 	PipelineOccupancy float64
 	PipelineStallWall time.Duration
+
+	// Tracing-derived summaries (empty unless Config.Tracer was set).
+	// Stages carries one latency summary per observed lifecycle stage;
+	// ShardImbalance* report the per-epoch max/mean shard execute-time
+	// ratio (1.0 = perfectly balanced) on average, at its worst, and the
+	// epoch that hit the worst; PipelineStallByStage attributes
+	// PipelineStallWall to the commit-stage phase the run loop found the
+	// oldest in-flight epoch blocked in.
+	Stages                 []StageSummary
+	ShardImbalanceAvg      float64
+	ShardImbalanceMax      float64
+	ShardImbalanceMaxEpoch uint64
+	PipelineStallByStage   map[string]time.Duration
+}
+
+// StageSummary is one lifecycle stage's latency histogram summary.
+type StageSummary struct {
+	Stage string
+	Count int
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Total time.Duration
 }

@@ -9,15 +9,18 @@ import (
 	"ammboost/internal/chain"
 	"ammboost/internal/gasmodel"
 	"ammboost/internal/summary"
+	"ammboost/internal/trace"
 	"ammboost/internal/u256"
 )
 
 // TestLongRunBoundedHeap is the 10k-epoch soak: with retention tied to
-// the prune horizon (RetainEpochs), bounded metrics sampling, and the
-// committee/bank compaction at prune time, a node's heap stops growing
-// with epoch count. The test warms up for 2k epochs, then asserts the
-// remaining 8k epochs add no more than a small constant amount of heap
-// and that every per-epoch map stays within its horizon.
+// the prune horizon (RetainEpochs), bounded metrics sampling, the
+// committee/bank compaction at prune time, and — since PR 6 — the
+// lifecycle tracer attached, a node's heap stops growing with epoch
+// count. The test warms up for 2k epochs, then asserts the remaining 8k
+// epochs add no more than a small constant amount of heap and that
+// every per-epoch structure (including the tracer's retention window)
+// stays within its horizon.
 func TestLongRunBoundedHeap(t *testing.T) {
 	if testing.Short() {
 		t.Skip("10k-epoch soak skipped in -short mode")
@@ -26,7 +29,9 @@ func TestLongRunBoundedHeap(t *testing.T) {
 		warmEpochs  = 2_000
 		totalEpochs = 10_000
 		retain      = 64
+		traceWindow = 8
 	)
+	tr := trace.New(traceWindow)
 	cfg := chain.Config{
 		Seed:             3,
 		NumPools:         4,
@@ -38,6 +43,7 @@ func TestLongRunBoundedHeap(t *testing.T) {
 		RetainEpochs:     retain,
 		MetricsSampleCap: 1024,
 		EventBuffer:      256,
+		Tracer:           tr,
 	}
 	users := []string{"lu-0", "lu-1", "lu-2"}
 	sys, err := NewMultiSystem(cfg, users)
@@ -96,6 +102,21 @@ func TestLongRunBoundedHeap(t *testing.T) {
 	}
 	if n := len(sys.bank.SummaryRoots); n > retain+8 {
 		t.Errorf("bank retained %d summary roots, want <= %d", n, retain)
+	}
+	// The tracer recorded through all 10k epochs but retains only its
+	// window — the bounded-memory half of the "leave it on in
+	// production" contract (the heap bound above is the other half).
+	if n := len(tr.Epochs()); n > traceWindow {
+		t.Errorf("tracer retained %d epochs, want <= %d", n, traceWindow)
+	}
+	if tr.Total() < uint64(totalEpochs) {
+		t.Errorf("tracer recorded %d spans over %d epochs, want at least one per epoch",
+			tr.Total(), totalEpochs)
+	}
+	for _, e := range tr.Epochs() {
+		if e < totalEpochs-2*traceWindow {
+			t.Errorf("tracer retained stale epoch %d (run ended at %d)", e, totalEpochs)
+		}
 	}
 }
 

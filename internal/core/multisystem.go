@@ -18,6 +18,7 @@ import (
 	"ammboost/internal/sim"
 	"ammboost/internal/store"
 	"ammboost/internal/summary"
+	"ammboost/internal/trace"
 	"ammboost/internal/u256"
 	"ammboost/internal/workload"
 )
@@ -86,6 +87,17 @@ type MultiSystem struct {
 	bus         *chain.Bus
 	recsByEpoch map[uint64][]*txRecord
 
+	// tr is the lifecycle tracer (nil = disabled). Tracing only reads
+	// the wall clock — roots and payload digests are bit-identical with
+	// tracing on or off (pinned by the determinism matrix).
+	tr *trace.Tracer
+	// Submission-validation accounting, aggregated into one submit span
+	// per epoch at seal time (per-transaction spans would blow the span
+	// cap at realistic volumes).
+	submitBusy  time.Duration
+	submitTxs   int
+	submitFirst time.Duration
+
 	// st is the durable epoch store (nil for in-memory nodes). Epochs
 	// persist at retirement — snapshot record then sync-part record —
 	// before their sync parts reach the mainchain.
@@ -138,12 +150,14 @@ func NewMultiSystem(cfg chain.Config, users []string) (*MultiSystem, error) {
 	if cfg.NumPools == 0 {
 		cfg.NumPools = 1
 	}
+	cfg.Tracer.SetRetention(cfg.TraceBuffer)
 	eng, err := engine.New(engine.Config{
 		Seed:             cfg.Seed,
 		NumPools:         cfg.NumPools,
 		NumShards:        cfg.NumShards,
 		FeePips:          cfg.FeePips,
 		InitialLiquidity: cfg.InitialLiquidity,
+		Tracer:           cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -160,6 +174,7 @@ func NewMultiSystem(cfg chain.Config, users []string) (*MultiSystem, error) {
 		col:          metrics.New(),
 		bus:          chain.NewBus(),
 		recsByEpoch:  make(map[uint64][]*txRecord),
+		tr:           cfg.Tracer,
 		SummaryRoots: make(map[uint64][32]byte),
 	}
 	for _, u := range users {
@@ -303,6 +318,10 @@ func (s *MultiSystem) Submit(tx *summary.Tx) (*chain.Receipt, error) {
 	if s.err != nil {
 		return nil, chain.ErrHalted
 	}
+	var start time.Duration
+	if s.tr != nil {
+		start = s.tr.Since()
+	}
 	if err := chain.CheckTx(tx); err != nil {
 		return nil, err
 	}
@@ -318,7 +337,80 @@ func (s *MultiSystem) Submit(tx *summary.Tx) (*chain.Receipt, error) {
 	if len(s.queue) > s.queuePeak {
 		s.queuePeak = len(s.queue)
 	}
+	if s.tr != nil {
+		if s.submitTxs == 0 {
+			s.submitFirst = start
+		}
+		s.submitTxs++
+		s.submitBusy += s.tr.Since() - start
+	}
 	return rc, nil
+}
+
+// flushSubmitSpan records the epoch's aggregated submission-validation
+// span (accepted submissions since the last flush) and feeds the submit
+// stage histogram. No-op when untraced or nothing was submitted.
+func (s *MultiSystem) flushSubmitSpan(e uint64) {
+	if s.tr == nil || s.submitTxs == 0 {
+		return
+	}
+	s.tr.Record(trace.SpanRecord{
+		Stage: trace.StageSubmit, Epoch: e,
+		Start: s.submitFirst, Dur: s.submitBusy, Txs: s.submitTxs,
+	})
+	s.col.ObserveStage(trace.StageSubmit.String(), s.submitBusy)
+	s.submitBusy, s.submitTxs, s.submitFirst = 0, 0, 0
+}
+
+// sealTraced seals epoch e (flushing the epoch's submit span first) and,
+// when traced, records the seal span, per-shard execute histograms, and
+// the epoch's shard-imbalance observation. Returns nil after failing the
+// node on a seal error.
+func (s *MultiSystem) sealTraced(e uint64, nextKeyBytes []byte) *engine.SealedEpoch {
+	s.flushSubmitSpan(e)
+	var start time.Duration
+	if s.tr != nil {
+		start = s.tr.Since()
+	}
+	sealed, err := s.eng.SealEpoch(nextKeyBytes)
+	if err != nil {
+		s.fail(fmt.Errorf("%w: end epoch %d: %v", chain.ErrEngineFailed, e, err))
+		return nil
+	}
+	if s.tr != nil {
+		dur := s.tr.Since() - start
+		s.tr.Record(trace.SpanRecord{Stage: trace.StageSeal, Epoch: e, Start: start, Dur: dur})
+		s.col.ObserveStage(trace.StageSeal.String(), dur)
+		s.observeShardStats(e, sealed.ShardStats())
+	}
+	return sealed
+}
+
+// observeShardStats feeds the per-shard execute histograms and the
+// epoch's imbalance gauge (max/mean busy time over ALL shards — an idle
+// shard drags the mean down, which is exactly the skew the gauge exists
+// to expose).
+func (s *MultiSystem) observeShardStats(e uint64, stats []engine.ShardStat) {
+	if len(stats) == 0 {
+		return
+	}
+	var max, sum time.Duration
+	worked := false
+	for _, st := range stats {
+		if st.Txs > 0 {
+			s.col.ObserveStage(trace.StageExecute.String(), st.Busy)
+			worked = true
+		}
+		sum += st.Busy
+		if st.Busy > max {
+			max = st.Busy
+		}
+	}
+	if !worked || sum == 0 {
+		return
+	}
+	mean := float64(sum) / float64(len(stats))
+	s.col.ObserveShardImbalance(e, float64(max)/mean)
 }
 
 // SubmitDeposit credits a user's deposit on the default pool for the
@@ -583,9 +675,8 @@ func (s *MultiSystem) finishEpoch(e uint64, lastRoundStart time.Duration) {
 		}
 	}
 	nextKey := s.committees[e+1].group
-	sealed, err := s.eng.SealEpoch(nextKey.PK.Bytes())
-	if err != nil {
-		s.fail(fmt.Errorf("%w: end epoch %d: %v", chain.ErrEngineFailed, e, err))
+	sealed := s.sealTraced(e, nextKey.PK.Bytes())
+	if sealed == nil {
 		return
 	}
 	s.pipe.submit(&commitJob{
@@ -596,6 +687,7 @@ func (s *MultiSystem) finishEpoch(e uint64, lastRoundStart time.Duration) {
 		corrupt:   s.cfg.Faults.CorruptSyncEpochs[e],
 		gasBudget: s.cfg.SyncGasBudget,
 		persist:   s.st != nil,
+		tr:        s.tr,
 		done:      make(chan struct{}),
 	})
 
@@ -638,9 +730,31 @@ func (s *MultiSystem) finishEpoch(e uint64, lastRoundStart time.Duration) {
 // abandoned: no further stage events publish and receipts keep the last
 // stage they reached.
 func (s *MultiSystem) retireOldest() bool {
+	// Stall attribution: peek the oldest job before blocking on it. When
+	// it is not done yet, the phase marker names what retirement is about
+	// to wait on — read BEFORE the blocking wait, because afterwards the
+	// job is always "finished".
+	var stalledIn string
+	var stallStart time.Duration
+	if s.tr != nil && len(s.pipe.inflight) > 0 {
+		oldest := s.pipe.inflight[0]
+		select {
+		case <-oldest.done:
+		default:
+			stalledIn = jobStageName(oldest.stage.Load())
+			stallStart = s.tr.Since()
+		}
+	}
 	wallStart := time.Now()
 	job := s.pipe.awaitOldest()
-	s.stallWall += time.Since(wallStart)
+	wall := time.Since(wallStart)
+	s.stallWall += wall
+	if stalledIn != "" {
+		s.col.ObserveStall(stalledIn, wall)
+		s.tr.Record(trace.SpanRecord{
+			Stage: trace.StageStall, Epoch: job.epoch, Start: stallStart, Dur: wall,
+		})
+	}
 	if s.err != nil {
 		return false
 	}
@@ -649,6 +763,7 @@ func (s *MultiSystem) retireOldest() bool {
 		s.fail(fmt.Errorf("%w: epoch %d: %w", chain.ErrCommitStage, job.epoch, pkg.err))
 		return false
 	}
+	s.observeCommitTimings(pkg)
 	e := job.epoch
 	s.SummaryRoots[e] = pkg.res.SummaryRoot
 	metas := s.ledger.MetaBlocks(e)
@@ -709,40 +824,43 @@ func (s *MultiSystem) checkpointEpoch(e uint64, payloads []*summary.SyncPayload,
 // bit-identical records.
 func (s *MultiSystem) finishEpochSync(e uint64, lastRoundStart time.Duration) {
 	nextKey := s.committees[e+1].group
-	sealed, err := s.eng.SealEpoch(nextKey.PK.Bytes())
-	if err != nil {
-		s.fail(fmt.Errorf("%w: end epoch %d: %v", chain.ErrEngineFailed, e, err))
+	sealed := s.sealTraced(e, nextKey.PK.Bytes())
+	if sealed == nil {
 		return
 	}
-	epochRes := sealed.Finalize()
+	// The serial schedule runs the commit stage inline through the same
+	// package builder the pipelined stage worker uses, so the two
+	// schedules can never drift in the bytes they sign and persist.
+	pkg := buildSyncPackage(&commitJob{
+		epoch:     e,
+		sealed:    sealed,
+		ck:        s.committees[e],
+		nextKey:   nextKey,
+		corrupt:   s.cfg.Faults.CorruptSyncEpochs[e],
+		gasBudget: s.cfg.SyncGasBudget,
+		persist:   s.st != nil,
+		tr:        s.tr,
+	})
+	if pkg.err != nil {
+		s.fail(fmt.Errorf("sync epoch %d: %w", e, pkg.err))
+		return
+	}
+	s.observeCommitTimings(pkg)
+	epochRes := pkg.res
 	s.SummaryRoots[e] = epochRes.SummaryRoot
-	parts, sizes, err := signSyncParts(e, epochRes, s.committees[e], nextKey,
-		s.cfg.Faults.CorruptSyncEpochs[e], s.cfg.SyncGasBudget)
-	if err != nil {
-		s.fail(fmt.Errorf("sync epoch %d: %w", e, err))
-		return
-	}
-	var snapPrefix, partsBlob []byte
-	if s.st != nil {
-		snapPrefix, partsBlob = encodeEpochBlobs(sealed, epochRes, parts)
-	}
 
 	metas := s.ledger.MetaBlocks(e)
-	totalBytes := 0
-	for _, p := range epochRes.Payloads {
-		totalBytes += p.SidechainBytes()
-	}
-	delay := s.cfg.Model.AgreementTime(s.cfg.CommitteeSize, totalBytes)
+	delay := s.cfg.Model.AgreementTime(s.cfg.CommitteeSize, pkg.scBytes)
 	s.sim.After(delay, func() {
 		if s.err != nil {
 			return
 		}
-		s.checkpointEpoch(e, epochRes.Payloads, metas, totalBytes, epochRes.SummaryRoot)
-		s.persistEpoch(e, snapPrefix, partsBlob)
+		s.checkpointEpoch(e, epochRes.Payloads, metas, pkg.scBytes, epochRes.SummaryRoot)
+		s.persistEpoch(e, pkg.snapPrefix, pkg.partsBlob)
 		if s.err != nil {
 			return
 		}
-		s.submitSignedSync(e, parts, sizes)
+		s.submitSignedSync(e, pkg.parts, pkg.partSizes)
 
 		lastEpoch := int(e) >= s.epochsPlanned && len(s.queue) == 0
 		if lastEpoch {
@@ -755,6 +873,28 @@ func (s *MultiSystem) finishEpochSync(e uint64, lastRoundStart time.Duration) {
 		}
 		s.sim.At(next, func() { s.startEpoch(e + 1) })
 	})
+}
+
+// observeCommitTimings feeds a retired package's measured commit-stage
+// phase durations into the collector's stage histograms. Runs on the
+// simulator goroutine only (the collector is not locked); the worker
+// merely measured into the package.
+func (s *MultiSystem) observeCommitTimings(pkg *syncPackage) {
+	if s.tr == nil {
+		return
+	}
+	if pkg.tm.build > 0 {
+		s.col.ObserveStage(trace.StageCommitBuild.String(), pkg.tm.build)
+	}
+	if pkg.tm.chunk > 0 {
+		s.col.ObserveStage(trace.StageChunk.String(), pkg.tm.chunk)
+	}
+	if pkg.tm.sign > 0 {
+		s.col.ObserveStage(trace.StageSign.String(), pkg.tm.sign)
+	}
+	if pkg.tm.encode > 0 {
+		s.col.ObserveStage(trace.StageEncode.String(), pkg.tm.encode)
+	}
 }
 
 // encodeEpochBlobs builds the epoch's snapshot-record prefix and
@@ -805,8 +945,19 @@ func (s *MultiSystem) persistEpoch(e uint64, snapPrefix, partsBlob []byte) {
 		EngineAccepted: uint64(s.eng.Accepted),
 		EngineRejected: uint64(s.eng.Rejected),
 	})
-	if err := s.st.AppendEpoch(snap, partsBlob); err != nil {
+	var appendStart time.Duration
+	if s.tr != nil {
+		appendStart = s.tr.Since()
+	}
+	if err := s.st.AppendEpoch(e, snap, partsBlob); err != nil {
 		s.fail(fmt.Errorf("%w: epoch %d: %v", chain.ErrStoreWrite, e, err))
+		return
+	}
+	if s.tr != nil {
+		s.col.ObserveStage(trace.StageStoreAppend.String(), s.tr.Since()-appendStart)
+		if d := s.st.LastFsyncDur(); d > 0 {
+			s.col.ObserveStage(trace.StageStoreFsync.String(), d)
+		}
 	}
 }
 
@@ -852,6 +1003,15 @@ func (s *MultiSystem) submitSignedSync(e uint64, parts []*mainchain.MultiSyncArg
 	for _, sz := range sizes {
 		totalSize += sz
 	}
+	// syncWallStart anchors the epoch's sync-confirm span: wall-clock from
+	// submission to the last part's confirmation, which in a pipelined run
+	// visualizes the sync overlapping later epochs' execution. (The
+	// sync-confirm stage HISTOGRAM instead observes the virtual
+	// submission→confirmation latency — the paper's payout-relevant number.)
+	var syncWallStart time.Duration
+	if s.tr != nil {
+		syncWallStart = s.tr.Since()
+	}
 	var totalGas uint64 // accumulated across parts for the event
 	// Every part verifies against the epoch's group key, which the
 	// PREVIOUS epoch registers on-chain only once ALL its parts have
@@ -885,6 +1045,14 @@ func (s *MultiSystem) submitSignedSync(e uint64, parts []*mainchain.MultiSyncArg
 			// epoch's sync — parts, bytes, and gas.
 			s.SyncsOK++
 			s.col.ObserveMCLatency("sync", tx.ConfirmedAt-submitted)
+			if s.tr != nil {
+				s.tr.Record(trace.SpanRecord{
+					Stage: trace.StageSyncConfirm, Epoch: e,
+					Start: syncWallStart, Dur: s.tr.Since() - syncWallStart,
+					Bytes: totalSize, Gas: totalGas,
+				})
+				s.col.ObserveStage(trace.StageSyncConfirm.String(), tx.ConfirmedAt-submitted)
+			}
 			for _, rec := range s.recsByEpoch[e] {
 				s.col.ObserveTx(metrics.TxObservation{
 					Kind:        rec.tx.Kind,
@@ -899,6 +1067,7 @@ func (s *MultiSystem) submitSignedSync(e uint64, parts []*mainchain.MultiSyncArg
 				Type: chain.EventSyncConfirmed, At: tx.ConfirmedAt, Epoch: e,
 				Parts: numParts, Bytes: totalSize, Gas: totalGas,
 			})
+			spPrune := s.tr.Start(trace.StagePrune, e)
 			if err := s.ledger.Prune(e, true); err != nil && !errors.Is(err, sidechain.ErrAlreadyPruned) {
 				s.fail(fmt.Errorf("%w: epoch %d: %v", chain.ErrPruneFailed, e, err))
 				return
@@ -909,6 +1078,10 @@ func (s *MultiSystem) submitSignedSync(e uint64, parts []*mainchain.MultiSyncArg
 			}
 			delete(s.recsByEpoch, e)
 			s.compactEpoch(e)
+			if s.tr != nil {
+				s.col.ObserveStage(trace.StagePrune.String(), s.tr.Since()-spPrune.StartOffset())
+			}
+			spPrune.End()
 			s.bus.Publish(chain.Event{Type: chain.EventPruned, At: s.sim.Now(), Epoch: e})
 			if s.done && len(s.recsByEpoch) == 0 {
 				s.mc.Stop()
@@ -919,6 +1092,14 @@ func (s *MultiSystem) submitSignedSync(e uint64, parts []*mainchain.MultiSyncArg
 	s.lastSyncTxIDs = make([]string, numParts)
 	for i := range s.lastSyncTxIDs {
 		s.lastSyncTxIDs[i] = fmt.Sprintf("msync-e%d-p%d", e, i+1)
+	}
+	if s.tr != nil {
+		d := s.tr.Since() - syncWallStart
+		s.tr.Record(trace.SpanRecord{
+			Stage: trace.StageSyncSubmit, Epoch: e,
+			Start: syncWallStart, Dur: d, Bytes: totalSize,
+		})
+		s.col.ObserveStage(trace.StageSyncSubmit.String(), d)
 	}
 	s.bus.Publish(chain.Event{
 		Type: chain.EventSyncSubmitted, At: submitted, Epoch: e,
@@ -977,6 +1158,18 @@ func (s *MultiSystem) report() *chain.Report {
 	for _, pid := range s.eng.PoolIDs() {
 		live += s.eng.Pool(pid).NumPositions()
 	}
+	var stages []chain.StageSummary
+	for _, name := range s.col.StageNames() {
+		stages = append(stages, chain.StageSummary{
+			Stage: name,
+			Count: s.col.StageCount(name),
+			P50:   s.col.StagePercentile(name, 50),
+			P95:   s.col.StagePercentile(name, 95),
+			P99:   s.col.StagePercentile(name, 99),
+			Total: s.col.StageTotal(name),
+		})
+	}
+	imbAvg, imbMax, imbMaxEpoch := s.col.ShardImbalance()
 	return &chain.Report{
 		Collector:              s.col,
 		EpochsRun:              int(s.epoch),
@@ -1000,6 +1193,11 @@ func (s *MultiSystem) report() *chain.Report {
 		PipelineDepth:          s.cfg.PipelineDepth,
 		PipelineOccupancy:      s.col.AvgPipelineOccupancy(),
 		PipelineStallWall:      s.stallWall,
+		Stages:                 stages,
+		ShardImbalanceAvg:      imbAvg,
+		ShardImbalanceMax:      imbMax,
+		ShardImbalanceMaxEpoch: imbMaxEpoch,
+		PipelineStallByStage:   s.col.StallByStage(),
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ammboost/internal/chain"
+	"ammboost/internal/trace"
 	"ammboost/internal/workload"
 )
 
@@ -84,9 +85,17 @@ type multiRunFingerprint struct {
 }
 
 func runMultiFingerprint(t *testing.T, seed int64, shards, pipelineDepth int) multiRunFingerprint {
+	return runMultiFingerprintTraced(t, seed, shards, pipelineDepth, nil)
+}
+
+// runMultiFingerprintTraced is runMultiFingerprint with a lifecycle
+// tracer attached (nil = untraced) — the trace-on/off determinism pin
+// compares the two.
+func runMultiFingerprintTraced(t *testing.T, seed int64, shards, pipelineDepth int, tr *trace.Tracer) multiRunFingerprint {
 	t.Helper()
 	sysCfg, drvCfg := multiTestConfigs(seed, 16, shards, 2)
 	sysCfg.PipelineDepth = pipelineDepth
+	sysCfg.Tracer = tr
 	sys, _, err := NewMultiDriver(sysCfg, drvCfg)
 	if err != nil {
 		t.Fatalf("NewMultiDriver: %v", err)

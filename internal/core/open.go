@@ -47,6 +47,7 @@ func OpenFS(fsys store.FS, dir string, cfg chain.Config) (chain.Chain, error) {
 	}
 	s.st = w
 	s.st.SetFsyncEvery(cfg.StoreFsyncEvery)
+	s.st.SetTracer(cfg.Tracer)
 	if err := s.restore(rec); err != nil {
 		w.Close()
 		s.st = nil

@@ -3,11 +3,14 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ammboost/internal/chain"
 	"ammboost/internal/crypto/tsig"
 	"ammboost/internal/engine"
 	"ammboost/internal/mainchain"
+	"ammboost/internal/trace"
 )
 
 // commitJob is one sealed epoch queued for the asynchronous commit/sync
@@ -26,9 +29,38 @@ type commitJob struct {
 	// snapshot and sync-part record payloads, keeping that serialization
 	// off the simulator goroutine.
 	persist bool
+	// tr is the lifecycle tracer (nil = disabled); the stage worker
+	// records its commit-build / chunk / sign / encode spans through it.
+	tr *trace.Tracer
+
+	// stage marks the commit-stage phase the worker is currently in, for
+	// stall attribution: when the run loop blocks on this job, the phase
+	// it reads here names what retirement is waiting on.
+	stage atomic.Int32
 
 	done chan struct{} // closed by the stage worker once pkg is set
 	pkg  *syncPackage
+}
+
+// Commit-stage phases, in worker order (stall attribution labels).
+const (
+	jobQueued int32 = iota // submitted, worker not started yet
+	jobBuild               // engine fold (Finalize)
+	jobSign                // gas chunking + TSQC signing
+	jobEncode              // durable-store blob encoding
+)
+
+// jobStageName labels a commit-stage phase for stall attribution.
+func jobStageName(st int32) string {
+	switch st {
+	case jobBuild:
+		return trace.StageCommitBuild.String()
+	case jobSign:
+		return trace.StageSign.String()
+	case jobEncode:
+		return trace.StageEncode.String()
+	}
+	return "queued"
 }
 
 // syncPackage is the commit/sync stage's output for one epoch: the folded
@@ -55,6 +87,18 @@ type syncPackage struct {
 	// retiring goroutine surfaces it as chain.ErrCommitStage wrapping the
 	// underlying sentinel.
 	err error
+	// tm carries the stage's measured wall-clock per phase (zero when
+	// untraced); the retiring goroutine feeds it into the collector's
+	// stage histograms so the collector stays single-goroutine.
+	tm stageTimings
+}
+
+// stageTimings is the commit stage's per-phase wall-clock for one epoch.
+type stageTimings struct {
+	build  time.Duration
+	chunk  time.Duration
+	sign   time.Duration
+	encode time.Duration
 }
 
 // commitPipeline is the bounded asynchronous commit/sync stage of the
@@ -124,17 +168,35 @@ func (p *commitPipeline) close() {
 // buildSyncPackage runs the heavy half of epoch close on the stage
 // worker: the engine fold (payloads, state roots, summary root), gas
 // chunking, digest computation (including the fault plan's digest
-// corruption), and TSQC signing of every part.
+// corruption), and TSQC signing of every part. When the job carries a
+// tracer it records commit-build / chunk / sign / encode spans and fills
+// the package's stage timings; the phase marker advances alongside for
+// stall attribution. Tracing never touches the package's payload bytes.
 func buildSyncPackage(job *commitJob) *syncPackage {
+	job.stage.Store(jobBuild)
+	spBuild := job.tr.Start(trace.StageCommitBuild, job.epoch)
 	res := job.sealed.Finalize()
 	pkg := &syncPackage{res: res}
+	if job.tr != nil {
+		pkg.tm.build = job.tr.Since() - spBuild.StartOffset()
+		spBuild.Pools = len(res.PoolIDs)
+	}
+	spBuild.End()
 	for _, p := range res.Payloads {
 		pkg.scBytes += p.SidechainBytes()
 	}
+	job.stage.Store(jobSign)
 	pkg.parts, pkg.partSizes, pkg.err = signSyncParts(
-		job.epoch, res, job.ck, job.nextKey, job.corrupt, job.gasBudget)
+		job.epoch, res, job.ck, job.nextKey, job.corrupt, job.gasBudget, job.tr, &pkg.tm)
 	if job.persist && pkg.err == nil {
+		job.stage.Store(jobEncode)
+		spEnc := job.tr.Start(trace.StageEncode, job.epoch)
 		pkg.snapPrefix, pkg.partsBlob = encodeEpochBlobs(job.sealed, res, pkg.parts)
+		if job.tr != nil {
+			pkg.tm.encode = job.tr.Since() - spEnc.StartOffset()
+			spEnc.Bytes = len(pkg.snapPrefix) + len(pkg.partsBlob)
+		}
+		spEnc.End()
 	}
 	return pkg
 }
@@ -144,10 +206,26 @@ func buildSyncPackage(job *commitJob) *syncPackage {
 // sizes. The one implementation behind both lifecycle paths — the serial
 // schedule signs on the run loop, the pipelined schedule on the commit
 // stage — so the two can never drift apart in the sync transactions they
-// produce (the depth-1 equivalence pin depends on that).
+// produce (the depth-1 equivalence pin depends on that). tr records the
+// chunk and sign spans (nil = untraced); tm, when non-nil, receives the
+// measured chunk/sign wall-clock.
 func signSyncParts(epoch uint64, res *engine.EpochResult, ck *committeeKeys,
-	nextKey tsig.GroupKey, corrupt bool, gasBudget uint64) ([]*mainchain.MultiSyncArgs, []int, error) {
+	nextKey tsig.GroupKey, corrupt bool, gasBudget uint64,
+	tr *trace.Tracer, tm *stageTimings) ([]*mainchain.MultiSyncArgs, []int, error) {
+	spChunk := tr.Start(trace.StageChunk, epoch)
 	chunks := chunkPayloads(res.Payloads, gasBudget)
+	if tr != nil && tm != nil {
+		tm.chunk = tr.Since() - spChunk.StartOffset()
+	}
+	spChunk.End()
+	spSign := tr.Start(trace.StageSign, epoch)
+	spSign.Txs = len(chunks)
+	defer func() {
+		if tr != nil && tm != nil {
+			tm.sign = tr.Since() - spSign.StartOffset()
+		}
+		spSign.End()
+	}()
 	parts := make([]*mainchain.MultiSyncArgs, 0, len(chunks))
 	sizes := make([]int, 0, len(chunks))
 	for i, chunk := range chunks {

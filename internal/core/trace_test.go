@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"ammboost/internal/chain"
+	"ammboost/internal/trace"
+)
+
+// assertFingerprintsEqual compares two runs' determinism fingerprints:
+// per-epoch summary roots and sync payload digests, bit for bit.
+func assertFingerprintsEqual(t *testing.T, label string, base, got multiRunFingerprint) {
+	t.Helper()
+	if len(got.roots) != len(base.roots) {
+		t.Fatalf("%s: %d epochs, want %d", label, len(got.roots), len(base.roots))
+	}
+	for e, root := range base.roots {
+		if got.roots[e] != root {
+			t.Errorf("%s: epoch %d summary root diverged", label, e)
+		}
+	}
+	for e, digests := range base.payloads {
+		other := got.payloads[e]
+		if len(other) != len(digests) {
+			t.Errorf("%s: epoch %d has %d payloads, want %d", label, e, len(other), len(digests))
+			continue
+		}
+		for i, d := range digests {
+			if other[i] != d {
+				t.Errorf("%s: epoch %d payload %d digest diverged", label, e, i)
+			}
+		}
+	}
+}
+
+// TestTraceOnOffDeterminism pins the tracer's core safety property: a
+// traced run yields bit-identical summary roots and sync payload
+// digests to the untraced run, across the full seed × shard × depth
+// matrix. The tracer reads only the wall clock, so attaching it must
+// never perturb state — this is what allows leaving tracing on in
+// production.
+func TestTraceOnOffDeterminism(t *testing.T) {
+	for _, seed := range []int64{1, 42, 1337} {
+		for _, shards := range []int{1, 4, 16} {
+			for _, depth := range []int{1, 2} {
+				base := runMultiFingerprint(t, seed, shards, depth)
+				if len(base.roots) == 0 {
+					t.Fatalf("seed=%d shards=%d depth=%d: no summary roots recorded", seed, shards, depth)
+				}
+				traced := runMultiFingerprintTraced(t, seed, shards, depth, trace.New(4))
+				assertFingerprintsEqual(t,
+					fmt.Sprintf("seed=%d shards=%d depth=%d traced-vs-untraced", seed, shards, depth),
+					base, traced)
+			}
+		}
+	}
+}
+
+// TestTraceReportSurfaces checks the traced run's report carries the
+// observability summaries: per-stage latency histograms covering the
+// whole lifecycle and the shard-imbalance gauge (>= 1 by construction,
+// max/mean). Stall attribution is not asserted — a fast commit stage
+// may legitimately never block retirement.
+func TestTraceReportSurfaces(t *testing.T) {
+	tr := trace.New(8)
+	sysCfg, drvCfg := multiTestConfigs(5, 16, 4, 3)
+	sysCfg.PipelineDepth = 2
+	sysCfg.Tracer = tr
+	sys, _, err := NewMultiDriver(sysCfg, drvCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run(drvCfg.Epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(rep.Stages) == 0 {
+		t.Fatal("traced run report has no stage summaries")
+	}
+	byName := make(map[string]chain.StageSummary, len(rep.Stages))
+	for _, st := range rep.Stages {
+		byName[st.Stage] = st
+		if st.Count <= 0 {
+			t.Errorf("stage %q has count %d, want > 0", st.Stage, st.Count)
+		}
+		if st.P99 < st.P95 || st.P95 < st.P50 {
+			t.Errorf("stage %q quantiles not monotone: p50=%v p95=%v p99=%v",
+				st.Stage, st.P50, st.P95, st.P99)
+		}
+	}
+	for _, want := range []string{
+		"submit", "execute-shard", "seal", "commit-build", "chunk", "sign",
+		"sync-submit", "sync-confirm", "prune",
+	} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("report stage summaries missing %q (have %v)", want, rep.Stages)
+		}
+	}
+	if rep.ShardImbalanceAvg < 1 {
+		t.Errorf("shard imbalance avg = %.3f, want >= 1 (max/mean)", rep.ShardImbalanceAvg)
+	}
+	if rep.ShardImbalanceMax < rep.ShardImbalanceAvg {
+		t.Errorf("imbalance max %.3f < avg %.3f", rep.ShardImbalanceMax, rep.ShardImbalanceAvg)
+	}
+	if rep.ShardImbalanceMaxEpoch == 0 {
+		t.Error("worst-imbalance epoch not recorded")
+	}
+	if tr.Total() == 0 {
+		t.Error("tracer recorded no spans")
+	}
+
+	// The untraced report stays clean: no stage summaries, no imbalance.
+	plainCfg, plainDrv := multiTestConfigs(5, 16, 4, 3)
+	plain, _, err := NewMultiDriver(plainCfg, plainDrv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainRep, err := plain.Run(plainDrv.Epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plainRep.Stages) != 0 || plainRep.ShardImbalanceMax != 0 {
+		t.Errorf("untraced report carries telemetry: stages=%d imbalanceMax=%.2f",
+			len(plainRep.Stages), plainRep.ShardImbalanceMax)
+	}
+}

@@ -3,11 +3,13 @@ package engine
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"ammboost/internal/amm"
 	"ammboost/internal/crypto/merkle"
 	"ammboost/internal/gasmodel"
 	"ammboost/internal/summary"
+	"ammboost/internal/trace"
 	"ammboost/internal/u256"
 )
 
@@ -96,13 +98,40 @@ func BenchmarkFoldRoots(b *testing.B) {
 // state; each iteration is one epoch: BeginEpoch (snapshot), one round
 // of swaps on the active pools, EndEpoch (summaries + roots + fold).
 func epochCloseBench(b *testing.B, full bool) {
+	epochCloseBenchCfg(b, Config{NumPools: 256, NumShards: 8, FullRecompute: full})
+}
+
+// epochCloseState is a primed 256-pool deployment plus the fixed
+// per-epoch inputs, so one close() call is exactly one measured epoch
+// cycle — shared by the per-variant benchmarks and the paired
+// trace-overhead measurement.
+type epochCloseState struct {
+	eng   *Engine
+	deps  map[string]map[string]summary.Deposit
+	batch []*summary.Tx
+	epoch uint64
+}
+
+func (s *epochCloseState) close(b *testing.B) {
+	s.epoch++
+	if err := s.eng.BeginEpoch(s.epoch, s.deps); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.eng.ExecuteRound(s.batch, 1); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.eng.EndEpoch(nil); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func newEpochCloseState(b *testing.B, cfg Config) *epochCloseState {
 	const (
-		pools       = 256
 		activePools = 25 // <=10% of pools see traffic per epoch
 		seedPos     = 24
 		swapsPerEp  = 100
 	)
-	eng, err := New(Config{NumPools: pools, NumShards: 8, FullRecompute: full})
+	eng, err := New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -132,26 +161,63 @@ func epochCloseBench(b *testing.B, full bool) {
 		}
 	}
 
+	return &epochCloseState{eng: eng, deps: deps, batch: batch}
+}
+
+func epochCloseBenchCfg(b *testing.B, cfg Config) {
+	s := newEpochCloseState(b, cfg)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		epoch := uint64(i + 1)
-		if err := eng.BeginEpoch(epoch, deps); err != nil {
-			b.Fatal(err)
-		}
-		if _, err := eng.ExecuteRound(batch, 1); err != nil {
-			b.Fatal(err)
-		}
-		if _, err := eng.EndEpoch(nil); err != nil {
-			b.Fatal(err)
-		}
+		s.close(b)
 	}
 }
 
 // BenchmarkEpochClose is the PR's headline number: full epoch cycles on
 // a 256-pool deployment with ~10% pool activity, reference full-rehash
-// mode vs the incremental commitment subsystem.
+// mode vs the incremental commitment subsystem. The "traced" variant is
+// the incremental path with the lifecycle tracer attached; the paired
+// "trace-overhead" sub-benchmark is what bench.sh records as
+// trace_overhead_pct (gated < 3% by bench_check.sh).
 func BenchmarkEpochClose(b *testing.B) {
 	b.Run("full", func(b *testing.B) { epochCloseBench(b, true) })
 	b.Run("incremental", func(b *testing.B) { epochCloseBench(b, false) })
+	b.Run("traced", func(b *testing.B) {
+		epochCloseBenchCfg(b, Config{NumPools: 256, NumShards: 8, Tracer: trace.New(8)})
+	})
+	// The gated ratio comes from this PAIRED measurement: each iteration
+	// closes one epoch untraced and one traced back to back, so host
+	// load and CPU-speed swings hit both sides equally. Comparing the
+	// separate incremental/traced sub-benchmarks instead measures
+	// whatever the machine was doing between their windows — observed
+	// anywhere from -9% to +23% for identical code on a busy host.
+	b.Run("trace-overhead", func(b *testing.B) {
+		plain := newEpochCloseState(b, Config{NumPools: 256, NumShards: 8})
+		traced := newEpochCloseState(b, Config{NumPools: 256, NumShards: 8, Tracer: trace.New(8)})
+		var plainNS, tracedNS time.Duration
+		b.ResetTimer()
+		// Alternate which side runs first so cache-warmth and GC-cycle
+		// placement cancel instead of systematically taxing one side.
+		for i := 0; i < b.N; i++ {
+			if i%2 == 0 {
+				t0 := time.Now()
+				plain.close(b)
+				t1 := time.Now()
+				traced.close(b)
+				plainNS += t1.Sub(t0)
+				tracedNS += time.Since(t1)
+			} else {
+				t0 := time.Now()
+				traced.close(b)
+				t1 := time.Now()
+				plain.close(b)
+				tracedNS += t1.Sub(t0)
+				plainNS += time.Since(t1)
+			}
+		}
+		b.StopTimer()
+		if plainNS > 0 {
+			b.ReportMetric(100*float64(tracedNS-plainNS)/float64(plainNS), "overhead_pct")
+		}
+	})
 }

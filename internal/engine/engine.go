@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"ammboost/internal/amm"
+	"ammboost/internal/gasmodel"
 	"ammboost/internal/summary"
+	"ammboost/internal/trace"
 	"ammboost/internal/u256"
 )
 
@@ -43,6 +46,11 @@ type Config struct {
 	// the retained reference mode the incremental path is differentially
 	// tested against; production runs leave it false.
 	FullRecompute bool
+	// Tracer, when non-nil, accumulates per-shard execute timing (busy
+	// wall-clock, tx count, gas) each epoch and records one execute-shard
+	// span per active shard at seal time. Nil costs nothing on the
+	// execute path and never changes computed state.
+	Tracer *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +104,14 @@ type Engine struct {
 	// Cumulative stats across all epochs.
 	Accepted int
 	Rejected int
+
+	// Execute-shard tracing accumulators (allocated only when cfg.Tracer
+	// is set; each shard writes its own slot, so no locking is needed).
+	tr         *trace.Tracer
+	shardBusy  []time.Duration // summed execute wall-clock this epoch
+	shardTxs   []int           // accepted transactions this epoch
+	shardGas   []uint64        // gas-model cost of accepted transactions
+	shardFirst []time.Duration // tracer offset of the shard's first work
 }
 
 // GenesisPositionID names pool i's genesis full-range position.
@@ -113,6 +129,13 @@ func New(cfg Config) (*Engine, error) {
 		reg:       NewRegistry(),
 		numShards: cfg.NumShards,
 		poolIndex: make(map[string]int),
+		tr:        cfg.Tracer,
+	}
+	if e.tr != nil {
+		e.shardBusy = make([]time.Duration, cfg.NumShards)
+		e.shardTxs = make([]int, cfg.NumShards)
+		e.shardGas = make([]uint64, cfg.NumShards)
+		e.shardFirst = make([]time.Duration, cfg.NumShards)
 	}
 	for i := 0; i < cfg.NumPools; i++ {
 		id := PoolName(i)
@@ -201,6 +224,11 @@ func (e *Engine) BeginEpoch(epoch uint64, deposits map[string]map[string]summary
 	e.epochDeposits = deposits
 	e.epoch = epoch
 	e.running = true
+	if e.tr != nil {
+		for s := 0; s < e.numShards; s++ {
+			e.shardBusy[s], e.shardTxs[s], e.shardGas[s], e.shardFirst[s] = 0, 0, 0, 0
+		}
+	}
 	if e.cfg.FullRecompute {
 		e.runShards(func(_ int, poolIDs []string) {
 			for _, id := range poolIDs {
@@ -272,6 +300,10 @@ func (e *Engine) ExecuteRound(txs []*summary.Tx, round uint64) (RoundResult, err
 	}
 	rejectedPerShard := make([]int, e.numShards)
 	e.runShards(func(shard int, poolIDs []string) {
+		var roundStart time.Duration
+		if e.tr != nil {
+			roundStart = e.tr.Since()
+		}
 		for _, id := range poolIDs {
 			idxs := perPool[id]
 			if len(idxs) == 0 {
@@ -284,7 +316,17 @@ func (e *Engine) ExecuteRound(txs []*summary.Tx, round uint64) (RoundResult, err
 					continue
 				}
 				accepted[i] = true
+				if e.tr != nil {
+					e.shardTxs[shard]++
+					e.shardGas[shard] += gasmodel.UniswapOpGas(txs[i].Kind)
+				}
 			}
+		}
+		if e.tr != nil {
+			if e.shardBusy[shard] == 0 {
+				e.shardFirst[shard] = roundStart
+			}
+			e.shardBusy[shard] += e.tr.Since() - roundStart
 		}
 	})
 	res := RoundResult{Rejected: unknown}

@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"fmt"
 	"testing"
 
 	"ammboost/internal/gasmodel"
 	"ammboost/internal/summary"
+	"ammboost/internal/trace"
 	"ammboost/internal/u256"
 	"ammboost/internal/workload"
 )
@@ -144,4 +146,99 @@ func TestSealEpochAdvancesCanonicalState(t *testing.T) {
 	if _, err := eng.EndEpoch([]byte("k2")); err != nil {
 		t.Fatalf("EndEpoch for epoch 2: %v", err)
 	}
+}
+
+// TestShardStatsAccounting pins the traced execute path: per-shard stats
+// captured at seal cover every accepted transaction exactly once, gas
+// follows the gas model, pool counts match active executors, and one
+// execute-shard span per working shard lands in the tracer — while an
+// untraced engine reports nil stats.
+func TestShardStatsAccounting(t *testing.T) {
+	tr := trace.New(8)
+	eng, err := New(Config{NumPools: 8, NumShards: 4, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := eng.PoolIDs()
+	dep := u256.FromUint64(1 << 40)
+	deps := UniformDeposits(ids, []string{"trader"}, dep, dep)
+	if err := eng.BeginEpoch(1, deps); err != nil {
+		t.Fatal(err)
+	}
+	var batch []*summary.Tx
+	for i := 0; i < 40; i++ {
+		batch = append(batch, &summary.Tx{
+			ID: fmt.Sprintf("swap-%02d", i), Kind: gasmodel.KindSwap, User: "trader",
+			PoolID: ids[i%len(ids)], ZeroForOne: i%2 == 0, ExactIn: true,
+			Amount: u256.FromUint64(5_000),
+		})
+	}
+	res, err := eng.ExecuteRound(batch, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := eng.SealEpoch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := sealed.ShardStats()
+	if len(stats) != 4 {
+		t.Fatalf("ShardStats len = %d, want 4", len(stats))
+	}
+	totTxs, totPools := 0, 0
+	var totGas uint64
+	for s, st := range stats {
+		if st.Shard != s {
+			t.Fatalf("stats[%d].Shard = %d", s, st.Shard)
+		}
+		totTxs += st.Txs
+		totGas += st.Gas
+		totPools += st.Pools
+	}
+	if totTxs != len(res.Included) {
+		t.Fatalf("stats cover %d txs, engine accepted %d", totTxs, len(res.Included))
+	}
+	if want := uint64(totTxs) * gasmodel.UniswapOpGas(gasmodel.KindSwap); totGas != want {
+		t.Fatalf("stats gas = %d, want %d", totGas, want)
+	}
+	if totPools != len(ids) {
+		t.Fatalf("stats cover %d active pools, want %d", totPools, len(ids))
+	}
+	var spans int
+	for _, rec := range tr.Snapshot(0) {
+		if rec.Stage == trace.StageExecute && rec.Epoch == 1 {
+			spans++
+			if rec.Txs != stats[rec.Shard].Txs || rec.Gas != stats[rec.Shard].Gas {
+				t.Fatalf("span for shard %d disagrees with stats: %+v vs %+v",
+					rec.Shard, rec, stats[rec.Shard])
+			}
+		}
+	}
+	working := 0
+	for _, st := range stats {
+		if st.Txs > 0 || st.Busy > 0 {
+			working++
+		}
+	}
+	if spans != working {
+		t.Fatalf("%d execute-shard spans for %d working shards", spans, working)
+	}
+	sealed.Finalize()
+
+	// Untraced engines report nil stats and skip all accounting.
+	plain, err := New(Config{NumPools: 2, NumShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.BeginEpoch(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := plain.SealEpoch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.ShardStats() != nil {
+		t.Fatal("untraced engine returned shard stats")
+	}
+	ps.Finalize()
 }

@@ -7,6 +7,7 @@ import (
 
 	"ammboost/internal/chain"
 	"ammboost/internal/core"
+	"ammboost/internal/trace"
 	"ammboost/internal/workload"
 )
 
@@ -17,27 +18,32 @@ type pipeScalePoint struct {
 	Depth int
 	// Wall is real elapsed time for the full lifecycle run.
 	Wall time.Duration
-	// Stall is the wall-clock the run loop spent blocked on the commit
-	// stage (the overlap the host's cores could not absorb; on a
-	// single-CPU host it equals nearly the whole stage cost).
-	Stall time.Duration
-	// Occupancy is the mean in-flight commit stages at epoch seals.
-	Occupancy float64
 	// Virtual is the simulated duration of the run.
 	Virtual time.Duration
 	// PayoutLatency is the mean submission → sync-confirmed latency,
 	// showing the pipeline's latency/throughput trade.
 	PayoutLatency time.Duration
-	SummaryRoot   [32]byte
-	EpochsRun     int
+	// Stages are the run's per-stage wall-clock latency histograms
+	// (p50/p95/p99 over every occurrence), from the lifecycle tracer.
+	Stages []chain.StageSummary
+	// ImbalanceAvg/Max summarize per-epoch shard skew (max/mean shard
+	// execute time); ImbalanceMaxEpoch names the worst epoch.
+	ImbalanceAvg      float64
+	ImbalanceMax      float64
+	ImbalanceMaxEpoch uint64
+	// StallByStage attributes run-loop blocking to the commit-stage
+	// phase it was waiting on (pipelined depths only).
+	StallByStage map[string]time.Duration
+	SummaryRoot  [32]byte
+	EpochsRun    int
 }
 
 // PipeScaleResult sweeps PipelineDepth over identical multi-pool traffic:
-// wall-clock epoch throughput versus the depth-1 serial reference, the
-// commit-stage overlap the host absorbed, and the payout-latency cost of
-// decoupling execution from mainchain synchronization. The final epoch
-// summary root must be bit-identical at every depth — pipelining may
-// change timing, never state.
+// wall-clock epoch throughput versus the depth-1 serial reference, where
+// each depth's wall-clock goes stage by stage (p50/p95/p99), how skewed
+// the shard fan-out ran, and which commit-stage phase the pipeline
+// stalled on. The final epoch summary root must be bit-identical at
+// every depth — pipelining (and tracing) may change timing, never state.
 type PipeScaleResult struct {
 	Points         []pipeScalePoint
 	RootsIdentical bool
@@ -53,7 +59,8 @@ const (
 )
 
 // RunPipelineScale reproduces the lifecycle-pipeline experiment:
-// PipelineDepth {1, 2, 3} over identical traffic and seeds.
+// PipelineDepth {1, 2, 3} over identical traffic and seeds, with the
+// lifecycle tracer attached for the stage-latency breakdown.
 func RunPipelineScale(o Options) (*PipeScaleResult, error) {
 	o = o.withDefaults()
 	res := &PipeScaleResult{RootsIdentical: true, NumCPU: runtime.NumCPU()}
@@ -70,6 +77,7 @@ func RunPipelineScale(o Options) (*PipeScaleResult, error) {
 			chain.WithEpochRounds(5),
 			chain.WithCommittee(o.CommitteeSize),
 			chain.WithPipelineDepth(depth),
+			chain.WithTracer(trace.New(epochs)),
 		)
 		wcfg := workload.DefaultMultiConfig(o.Seed, pipeScaleActive)
 		drvCfg := core.MultiDriverConfig{
@@ -95,14 +103,17 @@ func RunPipelineScale(o Options) (*PipeScaleResult, error) {
 			}
 		}
 		pt := pipeScalePoint{
-			Depth:         depth,
-			Wall:          wall,
-			Stall:         rep.PipelineStallWall,
-			Occupancy:     rep.PipelineOccupancy,
-			Virtual:       rep.Duration,
-			PayoutLatency: rep.AvgPayoutLatency,
-			SummaryRoot:   lastRoot,
-			EpochsRun:     rep.EpochsRun,
+			Depth:             depth,
+			Wall:              wall,
+			Virtual:           rep.Duration,
+			PayoutLatency:     rep.AvgPayoutLatency,
+			Stages:            rep.Stages,
+			ImbalanceAvg:      rep.ShardImbalanceAvg,
+			ImbalanceMax:      rep.ShardImbalanceMax,
+			ImbalanceMaxEpoch: rep.ShardImbalanceMaxEpoch,
+			StallByStage:      rep.PipelineStallByStage,
+			SummaryRoot:       lastRoot,
+			EpochsRun:         rep.EpochsRun,
 		}
 		if depth == 1 {
 			baseRoot = lastRoot
@@ -122,8 +133,8 @@ func (r *PipeScaleResult) Render() string {
 	t := &table{
 		title: fmt.Sprintf("Pipelinescale: epoch lifecycle pipeline sweep (%d pools, ~%d active, %d CPU(s))",
 			pipeScalePools, pipeScaleActive, r.NumCPU),
-		headers: []string{"Depth", "Wall (ms)", "Speedup vs depth 1", "Stall (ms)",
-			"Occupancy", "Virtual (s)", "Payout latency (s)"},
+		headers: []string{"Depth", "Wall (ms)", "Speedup vs depth 1",
+			"Shard imbalance", "Virtual (s)", "Payout latency (s)"},
 	}
 	var baseWall time.Duration
 	for i, p := range r.Points {
@@ -135,19 +146,40 @@ func (r *PipeScaleResult) Render() string {
 			fmt.Sprintf("%d", p.Depth),
 			fmt.Sprintf("%.1f", float64(p.Wall.Microseconds())/1000),
 			fmt.Sprintf("%.2fx", speedup),
-			fmt.Sprintf("%.1f", float64(p.Stall.Microseconds())/1000),
-			fmt.Sprintf("%.2f", p.Occupancy),
+			fmt.Sprintf("%.2f avg / %.2f max @e%d", p.ImbalanceAvg, p.ImbalanceMax, p.ImbalanceMaxEpoch),
 			secs(p.Virtual),
 			secs(p.PayoutLatency),
 		)
 	}
 	s := t.String()
+
+	for _, p := range r.Points {
+		st := &table{
+			title:   fmt.Sprintf("depth %d stage latency (wall clock; sync-confirm virtual)", p.Depth),
+			headers: []string{"Stage", "Count", "p50", "p95", "p99"},
+		}
+		for _, sm := range p.Stages {
+			st.add(sm.Stage, fmt.Sprintf("%d", sm.Count),
+				sm.P50.String(), sm.P95.String(), sm.P99.String())
+		}
+		s += st.String()
+		if len(p.StallByStage) > 0 {
+			s += "  stalled on:"
+			for _, stage := range []string{"queued", "commit-build", "sign", "store-encode"} {
+				if d, ok := p.StallByStage[stage]; ok {
+					s += fmt.Sprintf(" %s=%s", stage, d)
+				}
+			}
+			s += "\n"
+		}
+	}
+
 	if r.RootsIdentical {
-		s += "final epoch summary root: bit-identical across all pipeline depths\n"
+		s += "final epoch summary root: bit-identical across all pipeline depths (tracing on)\n"
 	} else {
 		s += "final epoch summary root: DIVERGED (determinism violation)\n"
 	}
-	s += "stall is commit-stage work the host could not overlap; on a single-CPU host it\n" +
-		"approaches the whole stage cost and wall-clock speedup tends to 1.0x.\n"
+	s += "shard imbalance is max/mean per-shard execute time per epoch (1.00 = perfectly\n" +
+		"balanced); stall attribution names the commit-stage phase retirement waited on.\n"
 	return s
 }

@@ -218,19 +218,28 @@ func TestPipelineScale(t *testing.T) {
 	if len(r.Points) != 3 {
 		t.Fatalf("sweep has %d points, want 3 (depths 1, 2, 3)", len(r.Points))
 	}
-	if r.Points[0].Depth != 1 || r.Points[0].Occupancy != 0 {
+	if r.Points[0].Depth != 1 {
 		t.Errorf("depth-1 reference point wrong: %+v", r.Points[0])
 	}
-	for _, p := range r.Points[1:] {
-		if p.Occupancy <= 0 {
-			t.Errorf("depth %d occupancy = %.2f, want > 0 (stages should overlap)", p.Depth, p.Occupancy)
+	for _, p := range r.Points {
+		if len(p.Stages) == 0 {
+			t.Errorf("depth %d has no stage-latency summaries (tracer not wired?)", p.Depth)
+		}
+		if p.ImbalanceMax < 1 && p.ImbalanceMax != 0 {
+			t.Errorf("depth %d shard imbalance max = %.2f, want >= 1 (max/mean)", p.Depth, p.ImbalanceMax)
 		}
 		if p.EpochsRun != r.Points[0].EpochsRun {
 			t.Errorf("depth %d ran %d epochs, reference ran %d", p.Depth, p.EpochsRun, r.Points[0].EpochsRun)
 		}
 	}
-	if out := r.Render(); !strings.Contains(out, "bit-identical") {
+	out := r.Render()
+	if !strings.Contains(out, "bit-identical") {
 		t.Errorf("render missing root confirmation:\n%s", out)
+	}
+	for _, want := range []string{"stage latency", "p50", "p99", "execute-shard", "Shard imbalance"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -37,9 +37,11 @@ import (
 	"hash/crc32"
 	"io/fs"
 	"path/filepath"
+	"time"
 
 	"ammboost/internal/binenc"
 	"ammboost/internal/chain"
+	"ammboost/internal/trace"
 )
 
 // FormatVersion is the on-disk format this package reads and writes.
@@ -104,7 +106,20 @@ type Writer struct {
 	fsyncEvery int
 	sinceSync  int
 	err        error
+
+	// Lifecycle tracing (nil = disabled): AppendEpoch records a
+	// store-append span and each actual fsync a store-fsync span.
+	tr        *trace.Tracer
+	epoch     uint64        // epoch of the append in progress, for spans
+	lastFsync time.Duration // fsync duration of the last AppendEpoch (0 = skipped)
 }
+
+// SetTracer attaches the lifecycle tracer (nil disables tracing).
+func (w *Writer) SetTracer(tr *trace.Tracer) { w.tr = tr }
+
+// LastFsyncDur returns how long the last AppendEpoch's fsync took, or 0
+// when the fsync policy batched it away (or tracing is off).
+func (w *Writer) LastFsyncDur() time.Duration { return w.lastFsync }
 
 // SetFsyncEvery batches fsyncs: the file is synced on every n-th epoch
 // append instead of every one, trading the last <n epochs on a crash
@@ -139,7 +154,14 @@ func (w *Writer) appendRecord(typ byte, payload []byte) error {
 
 // AppendEpoch appends one retired epoch — its snapshot record followed
 // by its sync-part record — and commits according to the fsync policy.
-func (w *Writer) AppendEpoch(snapshot, syncParts []byte) error {
+// The epoch number only labels trace spans; record contents are the
+// caller's encodings, unchanged.
+func (w *Writer) AppendEpoch(epoch uint64, snapshot, syncParts []byte) error {
+	sp := w.tr.Start(trace.StageStoreAppend, epoch)
+	sp.Bytes = len(snapshot) + len(syncParts)
+	w.epoch = epoch
+	w.lastFsync = 0
+	defer sp.End()
 	if err := w.appendRecord(recSnapshot, snapshot); err != nil {
 		return err
 	}
@@ -172,9 +194,17 @@ func (w *Writer) commit() error {
 		w.err = err
 		return err
 	}
+	syncStart := w.tr.Since()
 	if err := w.f.Sync(); err != nil {
 		w.err = err
 		return err
+	}
+	if w.tr != nil {
+		w.lastFsync = w.tr.Since() - syncStart
+		w.tr.Record(trace.SpanRecord{
+			Stage: trace.StageStoreFsync, Epoch: w.epoch,
+			Start: syncStart, Dur: w.lastFsync,
+		})
 	}
 	w.sinceSync = 0
 	return nil

@@ -49,7 +49,7 @@ func writeEpochs(t *testing.T, n int) *MemFS {
 	pool := testPool(t)
 	for e := uint64(1); e <= uint64(n); e++ {
 		snap, parts := synthEpoch(t, e, pool)
-		if err := w.AppendEpoch(snap, parts); err != nil {
+		if err := w.AppendEpoch(e, snap, parts); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -171,7 +171,7 @@ func TestStoreTornTail(t *testing.T) {
 		// The writer must be positioned at the recovered boundary: a
 		// fresh epoch appended after recovery is recovered in turn.
 		snap, parts := synthEpoch(t, rec.Epoch()+1, testPool(t))
-		if err := w.AppendEpoch(snap, parts); err != nil {
+		if err := w.AppendEpoch(rec.Epoch()+1, snap, parts); err != nil {
 			t.Fatal(err)
 		}
 		w.Close()
@@ -197,7 +197,7 @@ func TestStoreSnapshotWithoutLogTail(t *testing.T) {
 	}
 	pool := testPool(t)
 	snap, parts := synthEpoch(t, 1, pool)
-	if err := w.AppendEpoch(snap, parts); err != nil {
+	if err := w.AppendEpoch(1, snap, parts); err != nil {
 		t.Fatal(err)
 	}
 	// Epoch 2: snapshot record only — as if the crash hit between the
@@ -313,7 +313,7 @@ func TestFaultFSCrashAndFlip(t *testing.T) {
 		pool := testPool(t)
 		for e := uint64(1); e <= 3; e++ {
 			snap, parts := synthEpoch(t, e, pool)
-			if err := w.AppendEpoch(snap, parts); err != nil {
+			if err := w.AppendEpoch(e, snap, parts); err != nil {
 				t.Fatalf("writes after a silent crash must not error: %v", err)
 			}
 		}
@@ -348,7 +348,7 @@ func TestFaultFSCrashAndFlip(t *testing.T) {
 	pool := testPool(t)
 	for e := uint64(1); e <= 3; e++ {
 		snap, parts := synthEpoch(t, e, pool)
-		if err := w.AppendEpoch(snap, parts); err != nil {
+		if err := w.AppendEpoch(e, snap, parts); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -396,7 +396,7 @@ func TestWriterFsyncBatching(t *testing.T) {
 	pool := testPool(t)
 	for e := uint64(1); e <= 10; e++ {
 		snap, parts := synthEpoch(t, e, pool)
-		if err := w.AppendEpoch(snap, parts); err != nil {
+		if err := w.AppendEpoch(e, snap, parts); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -17,6 +17,13 @@
 #   - durable epoch persistence: EpochPersist with the store off vs on
 #     (JSON adds persist_overhead_pct = 100*(on-off)/off; the PR 5
 #     recovery subsystem's epoch-close overhead bound is < 10%)
+#   - lifecycle tracing: EpochClose/trace-overhead (a PAIRED benchmark —
+#     each iteration closes one epoch untraced and one traced back to
+#     back and reports the ratio as a custom overhead_pct metric; the
+#     JSON records the median across repeats as trace_overhead_pct; the
+#     PR 6 observability bound is < 3%) and TraceDisabled (its
+#     allocs_per_op is recorded as 0, so any allocation on the disabled
+#     path fails the alloc regression gate)
 #
 # Usage:
 #   scripts/bench.sh [OUT.json]           # full run (default -benchtime=2s)
@@ -29,20 +36,27 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2s}"
+# Each benchmark repeats BENCHCOUNT times and the JSON records the
+# minimum ns/op — robust against background-load spikes on shared
+# hosts, which otherwise swing the derived overhead ratios (trace,
+# persist) past their gate bounds. Allocs/op are deterministic, so
+# repetition only steadies the wall-clock numbers.
+BENCHCOUNT="${BENCHCOUNT:-3}"
 if [ "${1:-}" = "--smoke" ]; then
   BENCHTIME=1x
+  BENCHCOUNT=1
   shift
 fi
 OUT="${1:-BENCH_PR4.json}"
 
 out=$(go test -run='^$' \
   -bench='BenchmarkStateRoot|BenchmarkFoldRoots|BenchmarkEpochClose' \
-  -benchtime="$BENCHTIME" -benchmem ./internal/engine/)
+  -benchtime="$BENCHTIME" -benchmem -count="$BENCHCOUNT" ./internal/engine/)
 echo "$out"
 
 submit=$(go test -run='^$' \
   -bench='BenchmarkSubmitReceipt|BenchmarkSubmitBaseline|BenchmarkSubmitExecutePath' \
-  -benchtime="$BENCHTIME" -benchmem ./internal/core/)
+  -benchtime="$BENCHTIME" -benchmem -count="$BENCHCOUNT" ./internal/core/)
 echo "$submit"
 
 # One EpochPipeline op is a full multi-epoch run (seconds); cap its
@@ -54,18 +68,36 @@ case "$PIPETIME" in
 esac
 pipe=$(go test -run='^$' \
   -bench='BenchmarkEpochPipeline' \
-  -benchtime="$PIPETIME" -benchmem ./internal/core/)
+  -benchtime="$PIPETIME" -benchmem -count="$BENCHCOUNT" ./internal/core/)
 echo "$pipe"
 
-# One EpochPersist op is a 4-epoch run; same capped benchtime.
+# One EpochPersist op is a 4-epoch run (~0.25 s), far cheaper than an
+# EpochPipeline op, so it gets a higher iteration floor: the on/off
+# ratio feeds the persist_overhead_pct gate, and at 2 iterations the
+# ratio swings well past the 10% bound on a busy host. 8 iterations
+# cost ~4 s and hold the ratio steady.
+PERSISTTIME="$BENCHTIME"
+case "$PERSISTTIME" in
+  *x) ;;
+  *) PERSISTTIME=8x ;;
+esac
 persist=$(go test -run='^$' \
   -bench='BenchmarkEpochPersist' \
-  -benchtime="$PIPETIME" -benchmem ./internal/core/)
+  -benchtime="$PERSISTTIME" -benchmem -count="$BENCHCOUNT" ./internal/core/)
 echo "$persist"
 
+tracer=$(go test -run='^$' \
+  -bench='BenchmarkTraceDisabled' \
+  -benchtime="$BENCHTIME" -benchmem -count="$BENCHCOUNT" ./internal/trace/)
+echo "$tracer"
+
 cpu_model=$(awk -F': *' '/model name/ { print $2; exit }' /proc/cpuinfo 2>/dev/null || echo unknown)
-printf '%s\n%s\n%s\n%s\n' "$out" "$submit" "$pipe" "$persist" | awk -v cpus="$(nproc 2>/dev/null || echo 1)" -v cpu_model="$cpu_model" '
-BEGIN { print "{"; first = 1 }
+printf '%s\n%s\n%s\n%s\n%s\n' "$out" "$submit" "$pipe" "$persist" "$tracer" | awk -v cpus="$(nproc 2>/dev/null || echo 1)" -v cpu_model="$cpu_model" '
+# Each benchmark runs -count times; keep the MINIMUM ns/op per name.
+# On a shared single-CPU host a whole 2s benchmark window can run 20%
+# slow from background load, which no per-window iteration count fixes;
+# the minimum across repeats is robust to those spikes and is what the
+# derived ratio gates (trace/persist overhead) are computed from.
 /^Benchmark/ {
   name = $1
   sub(/-[0-9]+$/, "", name)
@@ -76,13 +108,27 @@ BEGIN { print "{"; first = 1 }
     if ($i == "allocs/op") aop = $(i-1)
   }
   if (ns == "") next
-  nsv[name] = ns
-  if (!first) printf(",\n")
-  first = 0
-  printf("  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-         name, ns, (bop == "" ? "null" : bop), (aop == "" ? "null" : aop))
+  if (!(name in nsv)) { order[++nnames] = name }
+  if (!(name in nsv) || ns + 0 < nsv[name] + 0) {
+    nsv[name] = ns; bv[name] = bop; av[name] = aop
+  }
+  # The paired trace-overhead benchmark reports its ratio as a custom
+  # metric; collect every repeat for a median (the ratio is already
+  # load-immune per run, the median shrugs off GC-placement noise).
+  for (i = 2; i <= NF; i++) {
+    if ($i == "overhead_pct") trace_ov[++ntrace] = $(i-1)
+  }
 }
 END {
+  print "{"
+  for (i = 1; i <= nnames; i++) {
+    name = order[i]
+    if (i > 1) printf(",\n")
+    printf("  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+           name, nsv[name],
+           (bv[name] == "" ? "null" : bv[name]),
+           (av[name] == "" ? "null" : av[name]))
+  }
   r = nsv["BenchmarkSubmitReceipt"]
   b = nsv["BenchmarkSubmitBaseline"]
   p = nsv["BenchmarkSubmitExecutePath"]
@@ -99,6 +145,21 @@ END {
   pon = nsv["BenchmarkEpochPersist/store=on"]
   if (poff != "" && pon != "" && poff + 0 > 0) {
     printf(",\n  \"persist_overhead_pct\": %.2f", 100 * (pon - poff) / poff)
+  }
+  # trace_overhead_pct: median of the paired trace-overhead repeats.
+  # (Never derived from the separate incremental/traced sub-benchmarks:
+  # those run in different measurement windows, and on a busy host the
+  # window-to-window CPU-speed drift dwarfs the actual overhead.)
+  if (ntrace > 0) {
+    for (i = 1; i <= ntrace; i++)
+      for (j = i + 1; j <= ntrace; j++)
+        if (trace_ov[j] + 0 < trace_ov[i] + 0) {
+          tmp = trace_ov[i]; trace_ov[i] = trace_ov[j]; trace_ov[j] = tmp
+        }
+    mid = int((ntrace + 1) / 2)
+    med = trace_ov[mid] + 0
+    if (ntrace % 2 == 0) med = (med + trace_ov[mid + 1]) / 2
+    printf(",\n  \"trace_overhead_pct\": %.2f", med)
   }
   # Measurement provenance: wall-time (ns/op) comparisons are only
   # meaningful between runs on the same CPU model; the regression gate
