@@ -66,6 +66,12 @@ var (
 	// ErrExecutionRejected marks a receipt whose transaction was turned
 	// away by the epoch executor (insufficient deposit, bad position, …).
 	ErrExecutionRejected = errors.New("chain: transaction rejected by executor")
+	// ErrConsensusStalled surfaces a live-fidelity committee that could
+	// not decide a round within Config.LiveRoundTimeout — a partition that
+	// outlasts the window, or more than f byzantine replicas. The halt is
+	// deterministic: the same seed and fault schedule stall at the same
+	// simulated instant on every rerun.
+	ErrConsensusStalled = errors.New("chain: live consensus stalled")
 )
 
 // Status is a receipt's position in the epoch lifecycle.

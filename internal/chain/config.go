@@ -5,9 +5,28 @@ import (
 
 	"ammboost/internal/mainchain"
 	"ammboost/internal/metrics"
+	"ammboost/internal/netsim"
 	"ammboost/internal/sidechain/pbft"
 	"ammboost/internal/trace"
 	"ammboost/internal/u256"
+)
+
+// ConsensusFidelity selects how the multi-pool backend reaches agreement
+// each round.
+type ConsensusFidelity string
+
+const (
+	// FidelityModel advances the clock by the calibrated analytic
+	// agreement-time model (the default: 500-member committees without the
+	// wall-clock cost of real signature rounds).
+	FidelityModel ConsensusFidelity = "model"
+	// FidelityLive routes every committee round through real PBFT
+	// replicas exchanging threshold-signature shares over the simulated
+	// (and optionally faulted) network. Observable outputs — summary
+	// roots, sync payload digests, receipt stage sequences — are pinned
+	// identical to the model path when no faults are injected
+	// (invariant 11); only timing differs.
+	FidelityLive ConsensusFidelity = "live"
 )
 
 // FaultPlan schedules the interruptions the paper's recovery mechanisms
@@ -34,11 +53,34 @@ type FaultPlan struct {
 	// on-chain, and Run surfaces ErrSyncReverted (there is no recovery
 	// path for an equivocating committee).
 	CorruptSyncEpochs map[uint64]bool
+	// ByzantineReplicas assigns an adversarial strategy to live-fidelity
+	// committee replicas by index (equivocate on roots, vote-then-stall,
+	// propose corrupt digests, stay silent). Live fidelity only: the
+	// analytic model cannot represent per-replica behavior, so the
+	// multi-pool constructor rejects the combination with
+	// ErrUnsupportedFault instead of silently ignoring it.
+	ByzantineReplicas map[int]pbft.Byzantine
+	// ViewChangeStormRounds marks (epoch, round) pairs that suffer k
+	// consecutive silent leaders: the committee burns through k view
+	// changes before the (k+1)-th leader proposes. Works on both
+	// fidelities (the model charges k timeout+view-change delays; live
+	// replicas genuinely stay mute k views in a row). k <= 0 is ignored.
+	ViewChangeStormRounds map[[2]uint64]int
 }
 
 // SilentLeader reports whether (epoch, round)'s leader stays silent.
 func (f FaultPlan) SilentLeader(epoch, round uint64) bool {
 	return f.SilentLeaderRounds[[2]uint64{epoch, round}]
+}
+
+// StormLength returns how many consecutive leaders stay silent at
+// (epoch, round) — 0 when the round is storm-free.
+func (f FaultPlan) StormLength(epoch, round uint64) int {
+	k := f.ViewChangeStormRounds[[2]uint64{epoch, round}]
+	if k < 0 {
+		return 0
+	}
+	return k
 }
 
 // Config parameterizes a deployment on either backend. Zero values take
@@ -135,6 +177,29 @@ type Config struct {
 	// arbitrarily long runs.
 	TraceBuffer int
 
+	// ConsensusFidelity routes multi-pool committee rounds through the
+	// analytic cost model (default) or real PBFT replicas over the
+	// simulated network. The single-pool backend ignores it.
+	ConsensusFidelity ConsensusFidelity
+	// LiveFaultBudget is f for the live committee: 3f+2 replicas carry
+	// the message-level protocol (default 1 → 5 replicas). The full
+	// CommitteeSize still parameterizes key provisioning and the round
+	// cadence; the live replica set is the protocol core whose decisions
+	// the wider committee follows, keeping wall-clock cost bounded.
+	LiveFaultBudget int
+	// LiveNet parameterizes the live committee's network fabric
+	// (defaults to netsim.DefaultConfig: the paper's 1 Gbps cluster).
+	LiveNet netsim.Config
+	// NetFaults, when non-nil, installs a deterministic fault schedule on
+	// the live network (drop/duplicate/reorder, link degradation,
+	// scheduled partitions, crash windows). Live fidelity only.
+	NetFaults *netsim.FaultSchedule
+	// LiveRoundTimeout bounds one live round's simulated duration: a
+	// committee that cannot decide within it (partition outlasting the
+	// window, > f byzantine replicas) halts the node deterministically
+	// with ErrConsensusStalled (default 20 × RoundDuration).
+	LiveRoundTimeout time.Duration
+
 	Mainchain mainchain.Config
 	Model     pbft.Model
 	Faults    FaultPlan
@@ -191,6 +256,18 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.TraceBuffer <= 0 {
 		c.TraceBuffer = trace.DefaultRetention
+	}
+	if c.ConsensusFidelity == "" {
+		c.ConsensusFidelity = FidelityModel
+	}
+	if c.LiveFaultBudget == 0 {
+		c.LiveFaultBudget = 1
+	}
+	if c.LiveNet.BaseLatency == 0 && c.LiveNet.BandwidthBps == 0 {
+		c.LiveNet = netsim.DefaultConfig()
+	}
+	if c.LiveRoundTimeout == 0 {
+		c.LiveRoundTimeout = 20 * c.RoundDuration
 	}
 	if c.Mainchain.BlockInterval == 0 {
 		c.Mainchain = mainchain.DefaultConfig()
@@ -253,6 +330,27 @@ func WithRetainEpochs(n int) Option { return func(c *Config) { c.RetainEpochs = 
 // WithFaults installs the fault-injection plan.
 func WithFaults(f FaultPlan) Option { return func(c *Config) { c.Faults = f } }
 
+// WithConsensusFidelity selects model or live committee rounds.
+func WithConsensusFidelity(f ConsensusFidelity) Option {
+	return func(c *Config) { c.ConsensusFidelity = f }
+}
+
+// WithLiveFaultBudget sets f for the live committee (3f+2 replicas).
+func WithLiveFaultBudget(f int) Option { return func(c *Config) { c.LiveFaultBudget = f } }
+
+// WithLiveNet overrides the live committee's network fabric.
+func WithLiveNet(nc netsim.Config) Option { return func(c *Config) { c.LiveNet = nc } }
+
+// WithNetFaults installs a deterministic network fault schedule on the
+// live committee's fabric.
+func WithNetFaults(fs *netsim.FaultSchedule) Option { return func(c *Config) { c.NetFaults = fs } }
+
+// WithLiveRoundTimeout bounds one live round's simulated duration before
+// the node halts with ErrConsensusStalled.
+func WithLiveRoundTimeout(d time.Duration) Option {
+	return func(c *Config) { c.LiveRoundTimeout = d }
+}
+
 // WithMainchain overrides the layer-1 parameters.
 func WithMainchain(mc mainchain.Config) Option { return func(c *Config) { c.Mainchain = mc } }
 
@@ -296,6 +394,10 @@ type Report struct {
 	ViewChanges int
 	Rejected    int
 	QueuePeak   int
+
+	// NetStats is the live committee network's traffic summary (zero for
+	// model-fidelity runs: no messages actually flow there).
+	NetStats netsim.Stats
 
 	PositionsLive int
 	// SummaryRoots[epoch] is the folded multi-pool root per epoch.

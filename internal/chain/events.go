@@ -33,6 +33,10 @@ const (
 	// Lagged delivery. Synthesized per subscriber, delivered regardless
 	// of the subscription mask, and never dropped itself.
 	EventLagged
+	// EventViewChange: a committee round replaced its leader (silent,
+	// corrupt, or equivocating) before deciding; Round is the affected
+	// round and Parts carries how many view changes the round burned.
+	EventViewChange
 
 	numEventTypes
 )
@@ -58,6 +62,8 @@ func (t EventType) String() string {
 		return "recovered"
 	case EventLagged:
 		return "lagged"
+	case EventViewChange:
+		return "view-change"
 	}
 	return fmt.Sprintf("event(%d)", uint8(t))
 }
@@ -78,6 +84,7 @@ const (
 	MaskHalted        = EventMask(1) << EventHalted
 	MaskRecovered     = EventMask(1) << EventRecovered
 	MaskLagged        = EventMask(1) << EventLagged
+	MaskViewChange    = EventMask(1) << EventViewChange
 	// MaskAll subscribes to every lifecycle event.
 	MaskAll = EventMask(1)<<numEventTypes - 1
 )

@@ -279,3 +279,69 @@ func BenchmarkSubmitExecutePath(b *testing.B) {
 		sys.queue = sys.queue[:0]
 	}
 }
+
+// benchFidelity sizes BenchmarkConsensusFidelity: a deliberately small
+// deployment (the live variant's cost is per-agreement threshold crypto
+// and message fan-out, not throughput), run once per op at each fidelity.
+const (
+	benchFidelityPools      = 4
+	benchFidelityEpochs     = 2
+	benchFidelityRounds     = 3
+	benchFidelityTxPerEpoch = 32
+	benchFidelityCommittee  = 20
+)
+
+func benchFidelitySystem(b *testing.B, fidelity chain.ConsensusFidelity) *MultiSystem {
+	b.Helper()
+	wcfg := workload.DefaultMultiConfig(42, benchFidelityPools)
+	gen := workload.NewMulti(wcfg)
+	cfg := chain.Config{
+		Seed:              42,
+		NumPools:          benchFidelityPools,
+		NumShards:         1,
+		EpochRounds:       benchFidelityRounds,
+		RoundDuration:     7 * time.Second,
+		CommitteeSize:     benchFidelityCommittee,
+		ConsensusFidelity: fidelity,
+		Users:             gen.Users(),
+	}
+	sys, err := NewMultiSystem(cfg, cfg.Users)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.OnEpochStart = func(epoch uint64) {
+		for i := 0; i < benchFidelityTxPerEpoch; i++ {
+			sys.Submit(gen.Next())
+		}
+	}
+	return sys
+}
+
+// BenchmarkConsensusFidelity measures what routing committee rounds
+// through real PBFT over the simulated network (FidelityLive) costs the
+// host relative to the analytic agreement model (FidelityModel): per
+// round, a DKG-keyed 3f+2 replica core exchanges threshold-signed
+// prepare/commit shares instead of one scheduled callback. scripts/
+// bench.sh derives live_fidelity_slowdown = ns(live)/ns(model) and the CI
+// bench gate tracks it against the committed baseline.
+func BenchmarkConsensusFidelity(b *testing.B) {
+	for _, fidelity := range []chain.ConsensusFidelity{chain.FidelityModel, chain.FidelityLive} {
+		b.Run("fidelity="+string(fidelity), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sys := benchFidelitySystem(b, fidelity)
+				b.StartTimer()
+				rep, err := sys.Run(benchFidelityEpochs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if rep.SyncsOK != rep.EpochsRun {
+					b.Fatalf("SyncsOK = %d, want %d", rep.SyncsOK, rep.EpochsRun)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ammboost/internal/chain"
+	"ammboost/internal/netsim"
+	"ammboost/internal/sidechain/pbft"
+	"ammboost/internal/workload"
+)
+
+// receiptStamp is one receipt's lifecycle outcome, stripped of virtual
+// timestamps: the fidelity equivalence pin compares outcomes, not clocks
+// (live agreement lands rounds a few milliseconds later than the model's
+// analytic delay, by design).
+type receiptStamp struct {
+	id     string
+	status chain.Status
+	epoch  uint64
+	round  uint64
+}
+
+// fidelityFingerprint pins what invariant 11 demands be identical between
+// the model and live consensus paths of a zero-fault run — and what
+// same-seed chaos replays must reproduce bit-identically.
+type fidelityFingerprint struct {
+	roots       map[uint64][32]byte
+	payloads    map[uint64][][32]byte
+	receipts    []receiptStamp
+	syncsOK     int
+	viewChanges int
+	duration    time.Duration
+	netStats    netsim.Stats
+}
+
+// runFidelity runs a short multi-pool deployment, retaining every receipt,
+// and returns the report, fingerprint, and Run error. mutate adjusts the
+// base config (nil = model fidelity, no faults).
+func runFidelity(t *testing.T, seed int64, epochs int, mutate func(*chain.Config)) (*chain.Report, fidelityFingerprint, error) {
+	t.Helper()
+	sysCfg, _ := multiTestConfigs(seed, 8, 2, epochs)
+	if mutate != nil {
+		mutate(&sysCfg)
+	}
+	wcfg := workload.DefaultMultiConfig(seed, 8)
+	wcfg.NumUsers = 30
+	gen := workload.NewMulti(wcfg)
+	sys, err := NewMultiSystem(sysCfg, gen.Users())
+	if err != nil {
+		t.Fatalf("NewMultiSystem: %v", err)
+	}
+	var recs []*chain.Receipt
+	rho := workload.Rho(800_000, sysCfg.RoundDuration.Seconds())
+	// Stop arrivals one round early so the final round drains the queue:
+	// a tail of in-flight submissions would make "queue empty?" at the
+	// last sync commit depend on agreement latency, and the planned epoch
+	// count would differ across fidelities for timing (not semantic)
+	// reasons.
+	totalRounds := epochs*sysCfg.EpochRounds - 1
+	for r := 0; r < totalRounds; r++ {
+		start := time.Duration(r) * sysCfg.RoundDuration
+		for i := 0; i < rho; i++ {
+			at := start + time.Duration(float64(sysCfg.RoundDuration)*float64(i)/float64(rho))
+			sys.Sim().At(at, func() {
+				if rc, err := sys.Submit(gen.Next()); err == nil {
+					recs = append(recs, rc)
+				}
+			})
+		}
+	}
+	rep, runErr := sys.Run(epochs)
+
+	fp := fidelityFingerprint{payloads: make(map[uint64][][32]byte)}
+	if rep != nil {
+		fp.roots = rep.SummaryRoots
+		fp.syncsOK = rep.SyncsOK
+		fp.viewChanges = rep.ViewChanges
+		fp.duration = rep.Duration
+		fp.netStats = rep.NetStats
+	}
+	for _, sb := range sys.SidechainLedger().Summaries() {
+		fp.payloads[sb.Epoch] = append(fp.payloads[sb.Epoch], sb.Payload.Digest())
+	}
+	for _, rc := range recs {
+		fp.receipts = append(fp.receipts, receiptStamp{rc.TxID, rc.Status, rc.Epoch, rc.Round})
+	}
+	return rep, fp, runErr
+}
+
+// assertObservablesEqual compares the consensus-independent observables:
+// summary roots, sync payload digests, receipt outcome sequences, and the
+// sync count. Durations and traffic stats are excluded — they legitimately
+// differ across fidelities.
+func assertObservablesEqual(t *testing.T, label string, a, b fidelityFingerprint) {
+	t.Helper()
+	if len(a.roots) != len(b.roots) {
+		t.Fatalf("%s: %d vs %d epochs of summary roots", label, len(a.roots), len(b.roots))
+	}
+	for e, root := range a.roots {
+		if b.roots[e] != root {
+			t.Errorf("%s: epoch %d summary root diverged", label, e)
+		}
+	}
+	for e, digests := range a.payloads {
+		other := b.payloads[e]
+		if len(other) != len(digests) {
+			t.Errorf("%s: epoch %d has %d vs %d payloads", label, e, len(digests), len(other))
+			continue
+		}
+		for i, d := range digests {
+			if other[i] != d {
+				t.Errorf("%s: epoch %d payload %d digest diverged", label, e, i)
+			}
+		}
+	}
+	if len(a.receipts) != len(b.receipts) {
+		t.Fatalf("%s: %d vs %d receipts", label, len(a.receipts), len(b.receipts))
+	}
+	for i := range a.receipts {
+		if a.receipts[i] != b.receipts[i] {
+			t.Errorf("%s: receipt %d diverged: %+v vs %+v", label, i, a.receipts[i], b.receipts[i])
+		}
+	}
+	if a.syncsOK != b.syncsOK {
+		t.Errorf("%s: SyncsOK %d vs %d", label, a.syncsOK, b.syncsOK)
+	}
+}
+
+// withLive switches a config to live fidelity.
+func withLive(c *chain.Config) { c.ConsensusFidelity = chain.FidelityLive }
+
+// TestLiveModelEquivalence is invariant 11's acceptance pin: with zero
+// injected faults, routing committee rounds through real PBFT over the
+// simulated network yields exactly the observables of the analytic model
+// path — same summary roots, same sync payload digests, same receipt
+// outcome sequences — for seeds {1, 42, 1337}. The model is a timing
+// shortcut, never a semantic one.
+func TestLiveModelEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 42, 1337} {
+		_, model, err := runFidelity(t, seed, 2, nil)
+		if err != nil {
+			t.Fatalf("seed=%d model run: %v", seed, err)
+		}
+		repLive, live, err := runFidelity(t, seed, 2, withLive)
+		if err != nil {
+			t.Fatalf("seed=%d live run: %v", seed, err)
+		}
+		if live.viewChanges != 0 {
+			t.Errorf("seed=%d: zero-fault live run burned %d view changes", seed, live.viewChanges)
+		}
+		if repLive.NetStats.MessagesSent == 0 {
+			t.Errorf("seed=%d: live run sent no committee traffic — model path leaked in", seed)
+		}
+		if repLive.NetStats.MessagesDropped != 0 {
+			t.Errorf("seed=%d: zero-fault live run dropped %d messages", seed, repLive.NetStats.MessagesDropped)
+		}
+		assertObservablesEqual(t, "model-vs-live", model, live)
+	}
+}
+
+// TestLiveFidelityChaosDeterministicReplay reruns one chaotic scenario —
+// lossy duplicated reordered links, a mid-epoch partition across the
+// committee, a vote-stalling replica — with the same seed and asserts the
+// two runs are bit-identical in every observable, including the halt-free
+// completion instant and the network traffic counters.
+func TestLiveFidelityChaosDeterministicReplay(t *testing.T) {
+	mutate := func(c *chain.Config) {
+		withLive(c)
+		c.NetFaults = &netsim.FaultSchedule{
+			Seed:         99,
+			DropProb:     0.03,
+			DupProb:      0.05,
+			ReorderProb:  0.2,
+			ReorderDelay: 8 * time.Millisecond,
+			Partitions: []netsim.PartitionWindow{{
+				At: 8 * time.Second, Heal: 20 * time.Second,
+				SideA: []string{"rep-0", "rep-1"},
+				SideB: []string{"rep-2", "rep-3", "rep-4"},
+			}},
+		}
+		c.Faults.ByzantineReplicas = map[int]pbft.Byzantine{2: pbft.VoteStall}
+	}
+	repA, a, errA := runFidelity(t, 42, 2, mutate)
+	_, b, errB := runFidelity(t, 42, 2, mutate)
+	if errA != nil || errB != nil {
+		t.Fatalf("chaos runs failed: %v / %v", errA, errB)
+	}
+	assertObservablesEqual(t, "replay", a, b)
+	if a.viewChanges != b.viewChanges {
+		t.Errorf("view changes diverged: %d vs %d", a.viewChanges, b.viewChanges)
+	}
+	if a.duration != b.duration {
+		t.Errorf("completion instant diverged: %s vs %s", a.duration, b.duration)
+	}
+	if a.netStats != b.netStats {
+		t.Errorf("network stats diverged: %+v vs %+v", a.netStats, b.netStats)
+	}
+	if a.viewChanges == 0 {
+		t.Error("partition across the committee should cost at least one view change")
+	}
+	if repA.NetStats.MessagesDropped == 0 {
+		t.Error("lossy links dropped nothing")
+	}
+	if repA.NetStats.MessagesDuplicated == 0 {
+		t.Error("duplicating links duplicated nothing")
+	}
+}
+
+// TestLiveFidelityPartitionHealMidEpoch pins quorum re-achievement at the
+// full-system level: a partition that forms mid-epoch blocks agreement
+// (neither side holds 2f+2 of the 3f+2 replicas), and after it heals the
+// re-arming view-change timers re-broadcast votes, a leader is promoted,
+// and every remaining round plus the epoch sync completes.
+func TestLiveFidelityPartitionHealMidEpoch(t *testing.T) {
+	rep, fp, err := runFidelity(t, 11, 2, func(c *chain.Config) {
+		withLive(c)
+		c.NetFaults = &netsim.FaultSchedule{
+			Partitions: []netsim.PartitionWindow{{
+				At: 8 * time.Second, Heal: 22 * time.Second,
+				SideA: []string{"rep-0", "rep-1"},
+				SideB: []string{"rep-2", "rep-3", "rep-4"},
+			}},
+		}
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.SyncsOK != rep.EpochsRun || rep.SyncsOK < 2 {
+		t.Errorf("SyncsOK = %d of %d epochs, want every epoch synced after heal",
+			rep.SyncsOK, rep.EpochsRun)
+	}
+	if fp.viewChanges == 0 {
+		t.Error("14 s partition with a 3 s view-change timeout should burn view changes")
+	}
+	// Every submitted transaction still reaches a terminal synced stage:
+	// the partition delays rounds (shifting which round includes what) but
+	// never wedges or drops lifecycle progress.
+	for i, rc := range fp.receipts {
+		if rc.status != chain.StatusSynced && rc.status != chain.StatusPruned {
+			t.Errorf("receipt %d (%s) stuck at %s after heal", i, rc.id, rc.status)
+		}
+	}
+}
+
+// TestLiveFidelityByzantineLeaderDeposed pins safety under an equivocation
+// -adjacent attack: a leader proposing corrupt digests is detected by the
+// Digest recomputation hook, deposed via view change, and the honest
+// promoted leader re-proposes the true block — so the run completes with
+// exactly the model path's committed state, just later.
+func TestLiveFidelityByzantineLeaderDeposed(t *testing.T) {
+	rep, fp, err := runFidelity(t, 5, 2, func(c *chain.Config) {
+		withLive(c)
+		c.Faults.ByzantineReplicas = map[int]pbft.Byzantine{0: pbft.CorruptDigest}
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if fp.viewChanges == 0 {
+		t.Error("corrupt-digest leader was never deposed")
+	}
+	if rep.SyncsOK != 2 {
+		t.Errorf("SyncsOK = %d, want 2", rep.SyncsOK)
+	}
+	_, model, err := runFidelity(t, 5, 2, nil)
+	if err != nil {
+		t.Fatalf("model run: %v", err)
+	}
+	for e, root := range model.roots {
+		if fp.roots[e] != root {
+			t.Errorf("epoch %d root diverged under byzantine leader — safety violated", e)
+		}
+	}
+}
+
+// TestLiveFidelityStormParityWithModel pins the planned view-change-storm
+// fault across fidelities: the model path charges k analytic detours, the
+// live path mutes the first k promoted leaders so the committee really
+// burns k view changes — and both report the same count and commit the
+// same state.
+func TestLiveFidelityStormParityWithModel(t *testing.T) {
+	storm := func(c *chain.Config) {
+		c.Faults.ViewChangeStormRounds = map[[2]uint64]int{{1, 2}: 1}
+	}
+	_, model, err := runFidelity(t, 23, 2, storm)
+	if err != nil {
+		t.Fatalf("model run: %v", err)
+	}
+	_, live, err := runFidelity(t, 23, 2, func(c *chain.Config) { withLive(c); storm(c) })
+	if err != nil {
+		t.Fatalf("live run: %v", err)
+	}
+	if model.viewChanges != 1 || live.viewChanges != 1 {
+		t.Errorf("view changes: model %d, live %d, want 1 each", model.viewChanges, live.viewChanges)
+	}
+	assertObservablesEqual(t, "storm model-vs-live", model, live)
+}
+
+// TestLiveFidelityStallHaltsDeterministically pins the liveness backstop:
+// a partition that never heals starves the round watchdog, the node halts
+// with ErrConsensusStalled, and two same-seed runs halt at the identical
+// virtual instant with the identical message.
+func TestLiveFidelityStallHaltsDeterministically(t *testing.T) {
+	mutate := func(c *chain.Config) {
+		withLive(c)
+		c.LiveRoundTimeout = 30 * time.Second
+		c.NetFaults = &netsim.FaultSchedule{
+			Partitions: []netsim.PartitionWindow{{
+				At:    9 * time.Second, // Heal zero: split-brain forever
+				SideA: []string{"rep-0", "rep-1"},
+				SideB: []string{"rep-2", "rep-3", "rep-4"},
+			}},
+		}
+	}
+	repA, a, errA := runFidelity(t, 7, 2, mutate)
+	repB, b, errB := runFidelity(t, 7, 2, mutate)
+	if !errors.Is(errA, chain.ErrConsensusStalled) {
+		t.Fatalf("errA = %v, want ErrConsensusStalled", errA)
+	}
+	if errB == nil || errA.Error() != errB.Error() {
+		t.Errorf("halt messages diverged:\n  %v\n  %v", errA, errB)
+	}
+	if repA == nil || repB == nil {
+		t.Fatal("halted runs should still produce partial reports")
+	}
+	if a.duration != b.duration {
+		t.Errorf("halt instants diverged: %s vs %s", a.duration, b.duration)
+	}
+	if a.netStats != b.netStats {
+		t.Errorf("network stats diverged at halt: %+v vs %+v", a.netStats, b.netStats)
+	}
+}
+
+// TestLiveFidelityConfigRejections pins construction-time validation:
+// byzantine behaviors and network fault schedules are meaningless on the
+// analytic model path, and byzantine indices must address a real replica.
+func TestLiveFidelityConfigRejections(t *testing.T) {
+	base, _ := multiTestConfigs(3, 8, 2, 1)
+	byz := base
+	byz.Faults.ByzantineReplicas = map[int]pbft.Byzantine{0: pbft.Silent}
+	if _, err := NewMultiSystem(byz, []string{"u"}); !isChainErr(err, ErrUnsupportedFault) {
+		t.Errorf("model + ByzantineReplicas: err = %v, want ErrUnsupportedFault", err)
+	}
+	netf := base
+	netf.NetFaults = &netsim.FaultSchedule{DropProb: 0.1}
+	if _, err := NewMultiSystem(netf, []string{"u"}); !isChainErr(err, ErrUnsupportedFault) {
+		t.Errorf("model + NetFaults: err = %v, want ErrUnsupportedFault", err)
+	}
+	badIdx := base
+	badIdx.ConsensusFidelity = chain.FidelityLive
+	badIdx.Faults.ByzantineReplicas = map[int]pbft.Byzantine{9: pbft.Silent}
+	if _, err := NewMultiSystem(badIdx, []string{"u"}); !isChainErr(err, ErrUnsupportedFault) {
+		t.Errorf("live + out-of-range index: err = %v, want ErrUnsupportedFault", err)
+	}
+	// Live fidelity runs the serial reference schedule regardless of the
+	// requested pipeline depth.
+	deep := base
+	deep.ConsensusFidelity = chain.FidelityLive
+	deep.PipelineDepth = 3
+	sys, err := NewMultiSystem(deep, []string{"u"})
+	if err != nil {
+		t.Fatalf("live system: %v", err)
+	}
+	if sys.cfg.PipelineDepth != 1 {
+		t.Errorf("live PipelineDepth = %d, want clamped to 1", sys.cfg.PipelineDepth)
+	}
+}

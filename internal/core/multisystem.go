@@ -12,6 +12,7 @@ import (
 	"ammboost/internal/gasmodel"
 	"ammboost/internal/mainchain"
 	"ammboost/internal/metrics"
+	"ammboost/internal/netsim"
 	"ammboost/internal/sidechain"
 	"ammboost/internal/sidechain/election"
 	"ammboost/internal/sidechain/pbft"
@@ -98,6 +99,10 @@ type MultiSystem struct {
 	submitTxs   int
 	submitFirst time.Duration
 
+	// live routes committee rounds through real PBFT replicas over the
+	// simulated network (nil for model-fidelity runs).
+	live *liveConsensus
+
 	// st is the durable epoch store (nil for in-memory nodes). Epochs
 	// persist at retirement — snapshot record then sync-part record —
 	// before their sync parts reach the mainchain.
@@ -144,6 +149,30 @@ func NewMultiSystem(cfg chain.Config, users []string) (*MultiSystem, error) {
 			ErrUnsupportedFault)
 	}
 	cfg = cfg.WithDefaults()
+	if cfg.ConsensusFidelity != chain.FidelityLive {
+		// Per-replica byzantine behaviors and message-level network faults
+		// have no analytic-model representation: reject them loudly rather
+		// than silently testing nothing.
+		if len(cfg.Faults.ByzantineReplicas) > 0 {
+			return nil, fmt.Errorf("%w: ByzantineReplicas requires ConsensusFidelity live", ErrUnsupportedFault)
+		}
+		if cfg.NetFaults != nil {
+			return nil, fmt.Errorf("%w: NetFaults requires ConsensusFidelity live", ErrUnsupportedFault)
+		}
+	} else {
+		liveN, _ := pbft.Quorum(cfg.LiveFaultBudget)
+		for idx := range cfg.Faults.ByzantineReplicas {
+			if idx < 0 || idx >= liveN {
+				return nil, fmt.Errorf("%w: byzantine replica index %d outside live committee [0,%d)",
+					ErrUnsupportedFault, idx, liveN)
+			}
+		}
+		// Live fidelity runs the serial lifecycle schedule: the committee
+		// is the pacing element, and the equivalence pin (invariant 11) is
+		// against the depth-1 reference. The computed state is
+		// depth-invariant anyway, so clamping loses nothing observable.
+		cfg.PipelineDepth = 1
+	}
 	// An explicit NewMultiSystem call with an unset pool count runs the
 	// engine at its minimum; the core.New factory would have routed a
 	// zero-pool config to the single-pool backend instead.
@@ -213,6 +242,9 @@ func NewMultiSystem(cfg chain.Config, users []string) (*MultiSystem, error) {
 	}
 	if cfg.PipelineDepth > 1 {
 		s.pipe = newCommitPipeline(cfg.PipelineDepth)
+	}
+	if cfg.ConsensusFidelity == chain.FidelityLive {
+		s.live = newLiveConsensus(s)
 	}
 	return s, nil
 }
@@ -294,6 +326,11 @@ func (s *MultiSystem) fail(err error) {
 			_ = s.st.AppendHalt(s.epoch, err.Error())
 		}
 		s.bus.Publish(chain.Event{Type: chain.EventHalted, At: s.sim.Now(), Epoch: s.epoch, Err: err})
+	}
+	if s.live != nil {
+		// Quiesce the live committee so its re-arming view-change timers
+		// cannot keep the drained simulator alive after the halt.
+		s.live.stopAll()
 	}
 	s.mc.Stop()
 }
@@ -528,6 +565,12 @@ func (s *MultiSystem) startEpoch(e uint64) {
 		}
 		s.committees[e+1] = ck
 	}
+	if s.live != nil {
+		if err := s.live.beginEpoch(e); err != nil {
+			s.fail(fmt.Errorf("%w: live committee epoch %d: %v", chain.ErrElectionFailed, e, err))
+			return
+		}
+	}
 	s.bus.Publish(chain.Event{Type: chain.EventEpochStart, At: s.sim.Now(), Epoch: e})
 	s.runRound(e, 1)
 }
@@ -604,24 +647,35 @@ func (s *MultiSystem) runRound(e, r uint64) {
 		q.rc.Round = r
 	}
 
-	// A silent leader adds the view-change detour before the promoted
-	// leader's proposal succeeds, exactly as on the single-pool backend.
-	delay := s.cfg.Model.AgreementTime(s.cfg.CommitteeSize, includedBytes+300)
+	// A silent leader (or a view-change storm of k consecutive silent
+	// leaders) adds the detour before the promoted leader's proposal
+	// succeeds; the meta-block records that leader as proposer. Both
+	// fidelities derive the storm length the same way, so planned faults
+	// yield the same proposer on either path.
 	ck := s.committees[e]
-	leader := ck.committee.Leader()
+	storm := s.cfg.Faults.StormLength(e, r)
 	if s.cfg.Faults.SilentLeader(e, r) {
-		delay += s.cfg.ViewChangeTimeout + s.cfg.Model.ViewChangeTime(s.cfg.CommitteeSize)
-		s.ViewChanges++
-		leader = ck.committee.LeaderAt(1)
+		storm++
 	}
+	leader := ck.committee.LeaderAt(storm)
 	block := sidechain.NewMetaBlock(e, r, leader, s.ledger.TipHash(), res.Included)
 
-	s.sim.After(delay, func() {
+	// completeRound is the agreement continuation both fidelities share:
+	// the model path reaches it after the analytic delay, the live path
+	// at the committee's first real decision.
+	completeRound := func(viewChanges int) {
 		if s.err != nil {
 			return
 		}
 		block.MinedAt = s.sim.Now()
 		block.CommitVotes = ck.threshold
+		if viewChanges > 0 {
+			s.ViewChanges += viewChanges
+			s.bus.Publish(chain.Event{
+				Type: chain.EventViewChange, At: s.sim.Now(), Epoch: e, Round: r,
+				Parts: viewChanges,
+			})
+		}
 		if err := s.ledger.AppendMeta(block); err != nil {
 			s.fail(fmt.Errorf("%w: meta %d/%d: %v", chain.ErrLedgerAppend, e, r, err))
 			return
@@ -646,7 +700,17 @@ func (s *MultiSystem) runRound(e, r uint64) {
 		} else {
 			s.finishEpoch(e, roundStart)
 		}
-	})
+	}
+
+	if s.live != nil {
+		s.live.runRound(r, block, block.Hash(), block.SizeBytes, storm, completeRound)
+		return
+	}
+	delay := s.cfg.Model.AgreementTime(s.cfg.CommitteeSize, includedBytes+300)
+	if storm > 0 {
+		delay += time.Duration(storm) * (s.cfg.ViewChangeTimeout + s.cfg.Model.ViewChangeTime(s.cfg.CommitteeSize))
+	}
+	s.sim.After(delay, func() { completeRound(storm) })
 }
 
 // finishEpoch ends epoch e's execution. With PipelineDepth 1 it runs the
@@ -850,8 +914,7 @@ func (s *MultiSystem) finishEpochSync(e uint64, lastRoundStart time.Duration) {
 	s.SummaryRoots[e] = epochRes.SummaryRoot
 
 	metas := s.ledger.MetaBlocks(e)
-	delay := s.cfg.Model.AgreementTime(s.cfg.CommitteeSize, pkg.scBytes)
-	s.sim.After(delay, func() {
+	commitSync := func() {
 		if s.err != nil {
 			return
 		}
@@ -872,7 +935,29 @@ func (s *MultiSystem) finishEpochSync(e uint64, lastRoundStart time.Duration) {
 			next = s.sim.Now()
 		}
 		s.sim.At(next, func() { s.startEpoch(e + 1) })
-	})
+	}
+	if s.live != nil {
+		// The epoch-end checkpoint rides one more live agreement: the
+		// committee decides on the folded summary root before the sync
+		// submission, at the sequence just past the meta rounds. The
+		// replicas then retire until the next epoch's DKG re-keys them.
+		prop := &summaryProposal{Epoch: e, Root: epochRes.SummaryRoot}
+		seq := uint64(s.cfg.EpochRounds) + 1
+		s.live.runRound(seq, prop, prop.digest(), pkg.scBytes, 0, func(vc int) {
+			if vc > 0 {
+				s.ViewChanges += vc
+				s.bus.Publish(chain.Event{
+					Type: chain.EventViewChange, At: s.sim.Now(), Epoch: e,
+					Round: seq, Parts: vc,
+				})
+			}
+			s.live.stopReplicas()
+			commitSync()
+		})
+		return
+	}
+	delay := s.cfg.Model.AgreementTime(s.cfg.CommitteeSize, pkg.scBytes)
+	s.sim.After(delay, commitSync)
 }
 
 // observeCommitTimings feeds a retired package's measured commit-stage
@@ -1170,6 +1255,10 @@ func (s *MultiSystem) report() *chain.Report {
 		})
 	}
 	imbAvg, imbMax, imbMaxEpoch := s.col.ShardImbalance()
+	var netStats netsim.Stats
+	if s.live != nil {
+		netStats = s.live.stats()
+	}
 	return &chain.Report{
 		Collector:              s.col,
 		EpochsRun:              int(s.epoch),
@@ -1198,6 +1287,7 @@ func (s *MultiSystem) report() *chain.Report {
 		ShardImbalanceMax:      imbMax,
 		ShardImbalanceMaxEpoch: imbMaxEpoch,
 		PipelineStallByStage:   s.col.StallByStage(),
+		NetStats:               netStats,
 	}
 }
 

@@ -151,6 +151,7 @@ func Registry() map[string]Runner {
 		"pipelinescale": func(o Options) (Result, error) {
 			return RunPipelineScale(o)
 		},
+		"chaos": func(o Options) (Result, error) { return RunChaos(o) },
 	}
 }
 
@@ -169,6 +170,8 @@ func Names() []string {
 				return 500 // after the paper tables
 			case "pipelinescale":
 				return 510 // after poolscale
+			case "chaos":
+				return 520 // after pipelinescale
 			case "ablations":
 				return 999 // last
 			default:

@@ -15,8 +15,8 @@ func fastOpts() Options {
 
 func TestRegistryComplete(t *testing.T) {
 	names := Names()
-	if len(names) != 16 {
-		t.Fatalf("registry has %d experiments, want 16 (12 tables + fig5 + poolscale + pipelinescale + ablations)", len(names))
+	if len(names) != 17 {
+		t.Fatalf("registry has %d experiments, want 17 (12 tables + fig5 + poolscale + pipelinescale + chaos + ablations)", len(names))
 	}
 	if names[len(names)-1] != "ablations" {
 		t.Errorf("ablations should run last, got order %v", names)
@@ -237,6 +237,58 @@ func TestPipelineScale(t *testing.T) {
 		t.Errorf("render missing root confirmation:\n%s", out)
 	}
 	for _, want := range []string{"stage latency", "p50", "p99", "execute-shard", "Shard imbalance"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestChaosDeterminismSweep runs the chaos experiment end to end: every
+// fault class x load cell must replay bit-identically under the same
+// seed, receipts must never skip lifecycle stages, the never-healing
+// partition must halt (deterministically), and the two cross-cutting
+// invariants — zero-fault live/model equivalence (11) and crash-restart
+// recovery (9) — must hold.
+func TestChaosDeterminismSweep(t *testing.T) {
+	r, err := RunChaos(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := len(chaosScenarios()) * len(chaosLoads())
+	if len(r.Points) != wantCells {
+		t.Fatalf("sweep has %d cells, want %d", len(r.Points), wantCells)
+	}
+	if !r.EquivalenceOK {
+		t.Error("zero-fault live fidelity diverged from the model path")
+	}
+	if !r.RecoveryOK {
+		t.Error("crash-restart recovery diverged (invariant 9)")
+	}
+	halts := 0
+	for _, p := range r.Points {
+		if !p.ReplayIdentical {
+			t.Errorf("%s/%s: replay diverged", p.Class, p.Load)
+		}
+		if !p.StagesOK {
+			t.Errorf("%s/%s: receipt stage violation", p.Class, p.Load)
+		}
+		if p.Halted {
+			halts++
+			if !strings.Contains(p.HaltErr, "stalled") {
+				t.Errorf("%s/%s: halt error %q", p.Class, p.Load, p.HaltErr)
+			}
+		} else if p.SyncsOK != p.EpochsRun {
+			t.Errorf("%s/%s: %d of %d epochs synced", p.Class, p.Load, p.SyncsOK, p.EpochsRun)
+		}
+		if p.Net.MessagesSent == 0 {
+			t.Errorf("%s/%s: no live committee traffic", p.Class, p.Load)
+		}
+	}
+	if halts != len(chaosLoads()) {
+		t.Errorf("%d halted cells, want %d (stall-halt at every load)", halts, len(chaosLoads()))
+	}
+	out := r.Render()
+	for _, want := range []string{"invariant 11", "invariant 9", "identical", "Fault class"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q:\n%s", want, out)
 		}

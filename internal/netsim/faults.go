@@ -1,0 +1,197 @@
+package netsim
+
+import (
+	"time"
+)
+
+// LinkRule overrides the fault model for messages matching (From, To).
+// Empty From or To matches any sender/receiver, so one rule can degrade a
+// node's whole uplink or downlink. The first matching rule wins; the
+// schedule's global probabilities apply where no rule matches.
+type LinkRule struct {
+	From, To string
+	// ExtraLatency is added to every matching message's delivery delay.
+	ExtraLatency time.Duration
+	// Jitter adds a deterministic pseudo-random delay in [0, Jitter).
+	Jitter time.Duration
+	// DropProb/DupProb replace the schedule's global probabilities for
+	// matching messages (a matching rule always replaces both, so a
+	// zero-probability rule models one clean link amid global loss).
+	DropProb float64
+	DupProb  float64
+}
+
+// PartitionWindow splits the network into two sides between At and Heal
+// (simulated time): messages crossing sides drop in both directions.
+// Heal <= At (e.g. zero) leaves the partition in place forever.
+type PartitionWindow struct {
+	At, Heal time.Duration
+	SideA    []string
+	SideB    []string
+}
+
+// CrashWindow takes a node off the network between At and Restart: it
+// neither sends nor receives (fail-stop modeled as network isolation; the
+// node's in-memory state survives, like a process restarted from its
+// write-ahead log). Restart <= At crashes the node permanently.
+type CrashWindow struct {
+	Node        string
+	At, Restart time.Duration
+}
+
+// FaultSchedule is a composable, deterministic fault scenario: global
+// probabilistic link behavior plus per-link overrides, scheduled
+// partitions, and scheduled crash windows. All probabilistic verdicts
+// derive from splitmix64(Seed, message sequence), so two runs of the same
+// schedule over the same traffic replay bit-identically.
+type FaultSchedule struct {
+	// Seed derives every probabilistic verdict. Two schedules with the
+	// same windows but different seeds drop/duplicate/reorder different
+	// messages.
+	Seed int64
+
+	// DropProb is the global per-message loss probability in [0, 1].
+	DropProb float64
+	// DupProb is the global per-message duplication probability: the
+	// duplicate trails the original by a fresh jitter draw, exercising
+	// at-least-once delivery handling.
+	DupProb float64
+	// ReorderProb is the probability a message is held back by an extra
+	// delay in [0, ReorderDelay), letting later messages overtake it.
+	ReorderProb float64
+	// ReorderDelay bounds the reorder hold-back (default 4x BaseLatency
+	// is a reasonable choice for callers; zero disables reordering).
+	ReorderDelay time.Duration
+
+	// Links are per-link overrides evaluated before the global model.
+	Links []LinkRule
+	// Partitions are scheduled split-brain windows.
+	Partitions []PartitionWindow
+	// Crashes are scheduled per-node outage windows.
+	Crashes []CrashWindow
+}
+
+// verdictResult is the fault model's decision for one message.
+type verdictResult struct {
+	drop       bool
+	duplicate  bool
+	extraDelay time.Duration
+}
+
+// splitmix64 is the deterministic per-message random stream: a strong
+// 64-bit mix of (seed, sequence, salt) with no shared state.
+func splitmix64(seed int64, seq, salt uint64) uint64 {
+	z := uint64(seed) ^ (seq * 0x9e3779b97f4a7c15) ^ (salt * 0xbf58476d1ce4e5b9)
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// rand01 maps the per-message stream to [0, 1).
+func rand01(seed int64, seq, salt uint64) float64 {
+	return float64(splitmix64(seed, seq, salt)>>11) / float64(1<<53)
+}
+
+// randDur maps the per-message stream to [0, bound).
+func randDur(seed int64, seq, salt uint64, bound time.Duration) time.Duration {
+	if bound <= 0 {
+		return 0
+	}
+	return time.Duration(splitmix64(seed, seq, salt) % uint64(bound))
+}
+
+// Salts keep the drop/dup/reorder/jitter draws independent per message.
+const (
+	saltDrop uint64 = iota + 1
+	saltDup
+	saltReorder
+	saltReorderDelay
+	saltLinkJitter
+	saltDupLag
+)
+
+// match reports whether the rule applies to a (from, to) message.
+func (r *LinkRule) match(from, to string) bool {
+	return (r.From == "" || r.From == from) && (r.To == "" || r.To == to)
+}
+
+// verdict decides one message's fate deterministically from the seed and
+// message sequence.
+func (fs *FaultSchedule) verdict(from, to string, seq uint64) verdictResult {
+	var v verdictResult
+	dropP, dupP := fs.DropProb, fs.DupProb
+	for i := range fs.Links {
+		r := &fs.Links[i]
+		if !r.match(from, to) {
+			continue
+		}
+		dropP, dupP = r.DropProb, r.DupProb
+		v.extraDelay += r.ExtraLatency + randDur(fs.Seed, seq, saltLinkJitter, r.Jitter)
+		break
+	}
+	if dropP > 0 && rand01(fs.Seed, seq, saltDrop) < dropP {
+		v.drop = true
+		return v
+	}
+	if dupP > 0 && rand01(fs.Seed, seq, saltDup) < dupP {
+		v.duplicate = true
+	}
+	if fs.ReorderProb > 0 && fs.ReorderDelay > 0 &&
+		rand01(fs.Seed, seq, saltReorder) < fs.ReorderProb {
+		v.extraDelay += randDur(fs.Seed, seq, saltReorderDelay, fs.ReorderDelay)
+	}
+	return v
+}
+
+// dupLag is the duplicate copy's extra trailing delay. Nil-safe: a
+// duplicate can only exist when a schedule is installed.
+func (fs *FaultSchedule) dupLag(seq uint64) time.Duration {
+	if fs == nil {
+		return 0
+	}
+	d := fs.ReorderDelay
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	return randDur(fs.Seed, seq, saltDupLag, d)
+}
+
+// Install activates the schedule on the network: the probabilistic model
+// applies to every subsequent message, and the partition and crash
+// windows are scheduled at their absolute simulated times (install before
+// the run starts so no window is already in the past). Call once per
+// network.
+func (n *Network) Install(fs *FaultSchedule) {
+	n.faults = fs
+	if fs == nil {
+		return
+	}
+	for i := range fs.Partitions {
+		w := fs.Partitions[i]
+		n.sim.At(w.At, func() { n.partitionSides(w.SideA, w.SideB, true) })
+		if w.Heal > w.At {
+			n.sim.At(w.Heal, func() { n.partitionSides(w.SideA, w.SideB, false) })
+		}
+	}
+	for i := range fs.Crashes {
+		w := fs.Crashes[i]
+		n.sim.At(w.At, func() { n.Crash(w.Node) })
+		if w.Restart > w.At {
+			n.sim.At(w.Restart, func() { n.Restart(w.Node) })
+		}
+	}
+}
+
+// partitionSides partitions (or heals) every cross-side pair.
+func (n *Network) partitionSides(a, b []string, form bool) {
+	for _, x := range a {
+		for _, y := range b {
+			if form {
+				n.Partition(x, y)
+			} else {
+				n.Heal(x, y)
+			}
+		}
+	}
+}

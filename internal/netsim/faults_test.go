@@ -1,0 +1,227 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"ammboost/internal/sim"
+)
+
+// TestDropsNotCountedAsSent pins the stats fix: a partition-dropped
+// message shows up in MessagesDropped, never in MessagesSent/BytesSent.
+func TestDropsNotCountedAsSent(t *testing.T) {
+	s := sim.New()
+	n := New(s, Config{BaseLatency: time.Millisecond, BandwidthBps: 1e9})
+	n.Register("a", func(string, any) {})
+	n.Register("b", func(string, any) {})
+	n.Partition("a", "b")
+	n.Send("a", "b", 100, nil)
+	if n.MessagesSent != 0 || n.BytesSent != 0 {
+		t.Errorf("partition-dropped message counted as sent: %d msgs %d bytes",
+			n.MessagesSent, n.BytesSent)
+	}
+	if n.MessagesDropped != 1 || n.BytesDropped != 100 {
+		t.Errorf("drop not observable: %d msgs %d bytes dropped",
+			n.MessagesDropped, n.BytesDropped)
+	}
+	n.Heal("a", "b")
+	n.Send("a", "b", 100, nil)
+	if n.MessagesSent != 1 || n.BytesSent != 100 {
+		t.Errorf("healed send not counted: %d msgs %d bytes", n.MessagesSent, n.BytesSent)
+	}
+	// Broadcast across a partition: only the reachable copy counts.
+	n.Register("c", func(string, any) {})
+	n.Partition("a", "b")
+	n.Broadcast("a", 50, nil)
+	if n.MessagesSent != 2 || n.MessagesDropped != 2 {
+		t.Errorf("broadcast stats: sent=%d dropped=%d, want 2/2", n.MessagesSent, n.MessagesDropped)
+	}
+}
+
+// TestBroadcastAppliesJitter pins the satellite fix: broadcast copies see
+// the same deterministic jitter model as unicast sends instead of
+// unrealistically synchronized delivery.
+func TestBroadcastAppliesJitter(t *testing.T) {
+	deliveries := func(jitter time.Duration) []time.Duration {
+		s := sim.New()
+		n := New(s, Config{BaseLatency: time.Millisecond, BandwidthBps: 1e12, Jitter: jitter})
+		var at []time.Duration
+		for _, id := range []string{"a", "b", "c", "d", "e"} {
+			n.Register(id, func(string, any) { at = append(at, s.Now()) })
+		}
+		n.Broadcast("a", 10, nil)
+		s.Run()
+		return at
+	}
+	plain := deliveries(0)
+	jittered := deliveries(300 * time.Microsecond)
+	if len(plain) != 4 || len(jittered) != 4 {
+		t.Fatalf("deliveries: %d plain, %d jittered, want 4 each", len(plain), len(jittered))
+	}
+	moved := 0
+	for i := range plain {
+		d := jittered[i] - plain[i]
+		if d < 0 || d >= 300*time.Microsecond {
+			t.Errorf("copy %d jitter %s outside [0, 300µs)", i, d)
+		}
+		if d > 0 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("jitter never applied to any broadcast copy")
+	}
+	// And it replays identically.
+	again := deliveries(300 * time.Microsecond)
+	for i := range jittered {
+		if again[i] != jittered[i] {
+			t.Errorf("copy %d delivery differs across reruns: %s vs %s", i, jittered[i], again[i])
+		}
+	}
+}
+
+// faultRun delivers count messages a->b under the schedule and returns
+// the delivery times plus final stats.
+func faultRun(t *testing.T, fs *FaultSchedule, count int) ([]time.Duration, Stats) {
+	t.Helper()
+	s := sim.New()
+	n := New(s, Config{BaseLatency: time.Millisecond, BandwidthBps: 1e9})
+	var at []time.Duration
+	n.Register("a", func(string, any) {})
+	n.Register("b", func(string, any) { at = append(at, s.Now()) })
+	n.Install(fs)
+	for i := 0; i < count; i++ {
+		n.Send("a", "b", 100, i)
+	}
+	s.Run()
+	return at, n.Stats
+}
+
+// TestFaultScheduleDeterministic pins the seed-derived model: the same
+// schedule over the same traffic drops, duplicates, and delays the exact
+// same messages; a different seed decides differently.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	mk := func(seed int64) *FaultSchedule {
+		return &FaultSchedule{
+			Seed: seed, DropProb: 0.2, DupProb: 0.1,
+			ReorderProb: 0.3, ReorderDelay: 5 * time.Millisecond,
+		}
+	}
+	a1, st1 := faultRun(t, mk(7), 200)
+	a2, st2 := faultRun(t, mk(7), 200)
+	if len(a1) != len(a2) || st1 != st2 {
+		t.Fatalf("same seed diverged: %d vs %d deliveries, stats %+v vs %+v", len(a1), len(a2), st1, st2)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("delivery %d at %s vs %s under the same seed", i, a1[i], a2[i])
+		}
+	}
+	if st1.MessagesDropped == 0 || st1.MessagesDuplicated == 0 {
+		t.Errorf("schedule injected nothing: %+v", st1)
+	}
+	// Drops + sent (incl. duplicates) account for every message.
+	if st1.MessagesSent+st1.MessagesDropped-st1.MessagesDuplicated != 200 {
+		t.Errorf("accounting: sent=%d dropped=%d dup=%d over 200 sends",
+			st1.MessagesSent, st1.MessagesDropped, st1.MessagesDuplicated)
+	}
+	b1, _ := faultRun(t, mk(8), 200)
+	if len(b1) == len(a1) {
+		same := true
+		for i := range b1 {
+			if b1[i] != a1[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical schedules")
+		}
+	}
+}
+
+// TestLinkRuleOverrides pins per-link behavior: a degraded uplink rule
+// adds latency only to matching messages.
+func TestLinkRuleOverrides(t *testing.T) {
+	s := sim.New()
+	n := New(s, Config{BaseLatency: time.Millisecond, BandwidthBps: 1e9})
+	var atB, atC time.Duration
+	n.Register("a", func(string, any) {})
+	n.Register("b", func(string, any) { atB = s.Now() })
+	n.Register("c", func(string, any) { atC = s.Now() })
+	n.Install(&FaultSchedule{
+		Seed:  1,
+		Links: []LinkRule{{From: "a", To: "b", ExtraLatency: 50 * time.Millisecond}},
+	})
+	n.Send("a", "b", 10, nil)
+	n.Send("a", "c", 10, nil)
+	s.Run()
+	if atB < 51*time.Millisecond {
+		t.Errorf("degraded link delivered at %s, want >= 51ms", atB)
+	}
+	if atC > 2*time.Millisecond {
+		t.Errorf("clean link delivered at %s, want ~1ms", atC)
+	}
+	// A lossy rule drops only its link.
+	n.Install(&FaultSchedule{Seed: 1, Links: []LinkRule{{From: "a", To: "b", DropProb: 1}}})
+	before := n.MessagesDropped
+	n.Send("a", "b", 10, nil)
+	n.Send("a", "c", 10, nil)
+	s.Run()
+	if n.MessagesDropped != before+1 {
+		t.Errorf("dropped %d, want exactly the a->b message", n.MessagesDropped-before)
+	}
+}
+
+// TestPartitionWindowFormsAndHeals pins scheduled split-brain: messages
+// sent inside the window stay dropped, messages after Heal deliver.
+func TestPartitionWindowFormsAndHeals(t *testing.T) {
+	s := sim.New()
+	n := New(s, Config{BaseLatency: time.Millisecond, BandwidthBps: 1e9})
+	got := 0
+	n.Register("a", func(string, any) {})
+	n.Register("b", func(string, any) { got++ })
+	n.Install(&FaultSchedule{Partitions: []PartitionWindow{{
+		At: 10 * time.Millisecond, Heal: 30 * time.Millisecond,
+		SideA: []string{"a"}, SideB: []string{"b"},
+	}}})
+	for _, at := range []time.Duration{0, 15 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond} {
+		s.At(at, func() { n.Send("a", "b", 10, nil) })
+	}
+	s.Run()
+	if got != 2 {
+		t.Errorf("delivered %d messages, want 2 (before window + after heal)", got)
+	}
+	if n.MessagesDropped != 2 {
+		t.Errorf("dropped %d, want the 2 in-window messages", n.MessagesDropped)
+	}
+}
+
+// TestCrashWindowIsolatesNode pins crash/restart: a crashed node neither
+// sends nor receives, including messages already in flight at crash time,
+// and resumes after restart.
+func TestCrashWindowIsolatesNode(t *testing.T) {
+	s := sim.New()
+	n := New(s, Config{BaseLatency: 10 * time.Millisecond, BandwidthBps: 1e9})
+	got := 0
+	n.Register("a", func(string, any) {})
+	n.Register("b", func(string, any) { got++ })
+	n.Install(&FaultSchedule{Crashes: []CrashWindow{{
+		Node: "b", At: 5 * time.Millisecond, Restart: 100 * time.Millisecond,
+	}}})
+	// In flight at crash time: sent at 0, would deliver at 10ms — dropped.
+	n.Send("a", "b", 10, nil)
+	// Sent during the window: dropped at send.
+	s.At(50*time.Millisecond, func() { n.Send("a", "b", 10, nil) })
+	// Sent by the crashed node: dropped at send.
+	s.At(50*time.Millisecond, func() { n.Send("b", "a", 10, nil) })
+	// After restart: delivers.
+	s.At(150*time.Millisecond, func() { n.Send("a", "b", 10, nil) })
+	s.Run()
+	if got != 1 {
+		t.Errorf("delivered %d messages, want 1 (after restart)", got)
+	}
+	if n.MessagesDropped != 2 {
+		t.Errorf("send-time drops = %d, want 2", n.MessagesDropped)
+	}
+}

@@ -1,0 +1,47 @@
+package pbft
+
+// Byzantine selects a replica's adversarial behavior. The zero value is
+// honest; the fault-injection layer assigns behaviors per replica so chaos
+// schedules can mix them inside one committee (at most f replicas may be
+// non-honest for the committee to stay live).
+type Byzantine int
+
+const (
+	// Honest follows the protocol.
+	Honest Byzantine = iota
+	// Silent never proposes when leader; followers' ExpectDecision timers
+	// fire and the committee changes view.
+	Silent
+	// CorruptDigest proposes a digest that does not commit to the payload
+	// (one bit flipped). Replicas configured with a Digest hook detect the
+	// mismatch and demand a new leader immediately; without the hook the
+	// corrupt digest would finalize, which is exactly the attack the hook
+	// closes.
+	CorruptDigest
+	// Equivocate sends one digest to half the committee and a conflicting
+	// digest to the other half. Neither digest can gather a 2f+2 prepare
+	// quorum, so the round stalls into a view change.
+	Equivocate
+	// VoteStall participates in the prepare phase but withholds its commit
+	// share (vote-then-stall). Up to f stalling replicas cost nothing —
+	// the quorum completes without them; more would stall the round.
+	VoteStall
+)
+
+// String names the behavior for logs and experiment tables.
+func (b Byzantine) String() string {
+	switch b {
+	case Honest:
+		return "honest"
+	case Silent:
+		return "silent"
+	case CorruptDigest:
+		return "corrupt-digest"
+	case Equivocate:
+		return "equivocate"
+	case VoteStall:
+		return "vote-stall"
+	default:
+		return "unknown"
+	}
+}

@@ -93,14 +93,26 @@ type Config struct {
 
 	// Validate vets a proposed payload; rejecting triggers a view change.
 	Validate func(payload any) bool
+	// Digest recomputes the digest a payload should commit to. When set,
+	// a proposal whose Digest field does not match is treated as a
+	// Byzantine leader (corrupt or equivocating digest) and triggers an
+	// immediate view change. ok=false means the payload's digest cannot
+	// be recomputed and the check is skipped.
+	Digest func(payload any) (digest [32]byte, ok bool)
 	// OnDecide delivers a finalized block.
 	OnDecide func(d Decision)
 	// OnBecomeLeader fires when a view change makes this replica leader;
 	// the driver should re-propose the pending block.
 	OnBecomeLeader func(view int)
 
-	// Timeout is the view-change timeout armed by ExpectDecision.
+	// Timeout is the view-change timeout armed by ExpectDecision. The
+	// timer re-arms while the sequence is undecided, so a committee cut
+	// off by a partition keeps re-broadcasting view-change votes and
+	// re-achieves quorum once the partition heals.
 	Timeout time.Duration
+
+	// Behavior injects an adversarial strategy (zero value = honest).
+	Behavior Byzantine
 }
 
 // Replica is one committee member's consensus state machine.
@@ -124,6 +136,7 @@ type Replica struct {
 	// Follower bookkeeping.
 	viewChangeVotes map[int]map[int]bool // view -> voter index set
 	expectTimers    map[uint64]*sim.Timer
+	stopped         bool
 
 	// Stats.
 	MsgsHandled int
@@ -167,6 +180,21 @@ func (r *Replica) SetOnBecomeLeader(fn func(view int)) { r.cfg.OnBecomeLeader = 
 // SetValidate replaces the proposal validator.
 func (r *Replica) SetValidate(fn func(payload any) bool) { r.cfg.Validate = fn }
 
+// Behavior returns the replica's injected adversarial strategy.
+func (r *Replica) Behavior() Byzantine { return r.cfg.Behavior }
+
+// Stop retires the replica: pending view-change timers are cancelled and
+// incoming messages are ignored. Drivers call it at epoch end (or on a
+// consensus-stall halt) so re-arming timers cannot keep the simulator
+// alive forever.
+func (r *Replica) Stop() {
+	r.stopped = true
+	for seq, t := range r.expectTimers {
+		t.Cancel()
+		delete(r.expectTimers, seq)
+	}
+}
+
 // IsLeader reports whether this replica leads the current view.
 func (r *Replica) IsLeader() bool {
 	return r.cfg.Members[r.view%len(r.cfg.Members)] == r.cfg.ID
@@ -196,10 +224,45 @@ func digestDomain(phase string, view int, seq uint64, digest [32]byte) []byte {
 }
 
 // Propose starts agreement on payload at seq. Only the current leader may
-// call it; the digest commits to the payload content.
+// call it; the digest commits to the payload content. A Byzantine leader
+// executes its injected strategy instead of the honest broadcast.
 func (r *Replica) Propose(seq uint64, payload any, digest [32]byte, size int) error {
 	if !r.IsLeader() {
 		return ErrNotLeader
+	}
+	if r.stopped {
+		return nil
+	}
+	switch r.cfg.Behavior {
+	case Silent:
+		// Leader stays mute; followers' timers force a view change.
+		return nil
+	case CorruptDigest:
+		digest[0] ^= 0xff
+	case Equivocate:
+		r.proposal = payload
+		r.proposalSeq = seq
+		r.proposalDig = digest
+		r.prepareShares = make(map[int]tsig.PartialSig)
+		r.commitShares = make(map[int]tsig.PartialSig)
+		r.prepareDone = false
+		// Conflicting digests to the two halves of the committee; neither
+		// can gather a 2f+2 prepare quorum.
+		flipped := digest
+		flipped[0] ^= 0xff
+		for i, id := range r.cfg.Members {
+			if id == r.cfg.ID {
+				continue
+			}
+			d := digest
+			if i >= len(r.cfg.Members)/2 {
+				d = flipped
+			}
+			m := &Msg{Kind: msgPropose, View: r.view, Seq: seq, Digest: d, Payload: payload, Size: size}
+			r.net.Send(r.cfg.ID, id, size, m)
+		}
+		r.handle(r.cfg.ID, &Msg{Kind: msgPropose, View: r.view, Seq: seq, Digest: digest, Payload: payload, Size: size})
+		return nil
 	}
 	r.proposal = payload
 	r.proposalSeq = seq
@@ -215,19 +278,25 @@ func (r *Replica) Propose(seq uint64, payload any, digest [32]byte, size int) er
 }
 
 // ExpectDecision arms the view-change timeout for seq: if no decision
-// arrives within the configured timeout, the replica votes to change view.
-// The driver calls this on every replica when a round begins.
+// arrives within the configured timeout, the replica votes to change view
+// and re-arms, so it keeps demanding progress (and keeps re-broadcasting
+// its vote, which is what lets a healed partition regain quorum from
+// votes that were dropped mid-split). The driver calls this on every
+// replica when a round begins and bounds the retries with its own
+// watchdog plus Stop.
 func (r *Replica) ExpectDecision(seq uint64) {
-	if r.decided[seq] {
+	if r.decided[seq] || r.stopped {
 		return
 	}
 	if t := r.expectTimers[seq]; t != nil {
 		t.Cancel()
 	}
 	r.expectTimers[seq] = r.sim.After(r.cfg.Timeout, func() {
-		if !r.decided[seq] {
-			r.voteViewChange(r.view + 1)
+		if r.decided[seq] || r.stopped {
+			return
 		}
+		r.voteViewChange(r.view + 1)
+		r.ExpectDecision(seq)
 	})
 }
 
@@ -261,6 +330,9 @@ func (r *Replica) recordViewChange(voter, newView int) {
 }
 
 func (r *Replica) handle(from string, m *Msg) {
+	if r.stopped {
+		return
+	}
 	r.MsgsHandled++
 	switch m.Kind {
 	case msgPropose:
@@ -301,6 +373,14 @@ func (r *Replica) onPropose(from string, m *Msg) {
 		// Invalid proposal: demand a new leader immediately.
 		r.voteViewChange(r.view + 1)
 		return
+	}
+	if r.cfg.Digest != nil {
+		if want, ok := r.cfg.Digest(m.Payload); ok && want != m.Digest {
+			// The digest does not commit to the payload: a corrupt or
+			// equivocating leader. Refuse to sign and demand a new one.
+			r.voteViewChange(r.view + 1)
+			return
+		}
 	}
 	if t := r.expectTimers[m.Seq]; t == nil {
 		r.ExpectDecision(m.Seq)
@@ -357,6 +437,9 @@ func (r *Replica) onPrepareCert(from string, m *Msg) {
 	}
 	if err := tsig.Verify(r.cfg.Group, digestDomain("prep", m.View, m.Seq, m.Digest), m.Cert); err != nil {
 		return
+	}
+	if r.cfg.Behavior == VoteStall {
+		return // prepared, then withholds its commit share
 	}
 	share := tsig.PartialSign(r.cfg.Share, digestDomain("com", m.View, m.Seq, m.Digest))
 	reply := &Msg{Kind: msgCommitShare, View: m.View, Seq: m.Seq, Digest: m.Digest, Share: share, Size: 160}

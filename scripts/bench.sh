@@ -17,6 +17,11 @@
 #   - durable epoch persistence: EpochPersist with the store off vs on
 #     (JSON adds persist_overhead_pct = 100*(on-off)/off; the PR 5
 #     recovery subsystem's epoch-close overhead bound is < 10%)
+#   - consensus fidelity: ConsensusFidelity at model vs live (JSON adds
+#     live_fidelity_slowdown = ns(live)/ns(model); routing rounds through
+#     real PBFT over netsim costs threshold crypto + message fan-out per
+#     agreement, and the gate tracks the ratio against the baseline so
+#     the live path cannot quietly balloon)
 #   - lifecycle tracing: EpochClose/trace-overhead (a PAIRED benchmark —
 #     each iteration closes one epoch untraced and one traced back to
 #     back and reports the ratio as a custom overhead_pct metric; the
@@ -91,8 +96,26 @@ tracer=$(go test -run='^$' \
   -benchtime="$BENCHTIME" -benchmem -count="$BENCHCOUNT" ./internal/trace/)
 echo "$tracer"
 
+# One ConsensusFidelity op is a full (small) lifecycle run; cap its
+# benchtime like EpochPipeline. The model/live pair feeds
+# live_fidelity_slowdown = ns(live)/ns(model): what the message-level
+# PBFT committee costs the host relative to the analytic agreement model.
+# The model op is only ~3 ms, so it gets the EpochPersist treatment: a
+# high iteration floor (16x ≈ 50 ms/repeat) — at 4 iterations a stray
+# GC or load spike inside the window swings the min past the 25% gate
+# with no code change.
+FIDELITYTIME="$BENCHTIME"
+case "$FIDELITYTIME" in
+  *x) ;;
+  *) FIDELITYTIME=16x ;;
+esac
+fidelity=$(go test -run='^$' \
+  -bench='BenchmarkConsensusFidelity' \
+  -benchtime="$FIDELITYTIME" -benchmem -count="$BENCHCOUNT" ./internal/core/)
+echo "$fidelity"
+
 cpu_model=$(awk -F': *' '/model name/ { print $2; exit }' /proc/cpuinfo 2>/dev/null || echo unknown)
-printf '%s\n%s\n%s\n%s\n%s\n' "$out" "$submit" "$pipe" "$persist" "$tracer" | awk -v cpus="$(nproc 2>/dev/null || echo 1)" -v cpu_model="$cpu_model" '
+printf '%s\n%s\n%s\n%s\n%s\n%s\n' "$out" "$submit" "$pipe" "$persist" "$tracer" "$fidelity" | awk -v cpus="$(nproc 2>/dev/null || echo 1)" -v cpu_model="$cpu_model" '
 # Each benchmark runs -count times; keep the MINIMUM ns/op per name.
 # On a shared single-CPU host a whole 2s benchmark window can run 20%
 # slow from background load, which no per-window iteration count fixes;
@@ -145,6 +168,11 @@ END {
   pon = nsv["BenchmarkEpochPersist/store=on"]
   if (poff != "" && pon != "" && poff + 0 > 0) {
     printf(",\n  \"persist_overhead_pct\": %.2f", 100 * (pon - poff) / poff)
+  }
+  fm = nsv["BenchmarkConsensusFidelity/fidelity=model"]
+  fl = nsv["BenchmarkConsensusFidelity/fidelity=live"]
+  if (fm != "" && fl != "" && fm + 0 > 0) {
+    printf(",\n  \"live_fidelity_slowdown\": %.2f", fl / fm)
   }
   # trace_overhead_pct: median of the paired trace-overhead repeats.
   # (Never derived from the separate incremental/traced sub-benchmarks:

@@ -203,6 +203,32 @@ else
   fi
 fi
 
+# Live-consensus slowdown introduced with the PR 7 adversarial scenario
+# engine: live_fidelity_slowdown = ns(live)/ns(model) is a ratio of two
+# CPU-bound paths in the same binary, so it is load- and machine-immune
+# like the trace ratio. It is gated against the committed baseline's
+# recorded value (REGRESSION_PCT headroom) rather than an absolute bound:
+# the live path legitimately costs several x (real threshold crypto per
+# round), and what the gate must catch is that multiple creeping upward.
+fid=$(jq -r '.live_fidelity_slowdown // empty' "$current")
+fid_base=$(jq -r '.live_fidelity_slowdown // empty' "$BASELINE")
+if [ -z "$fid" ]; then
+  echo "  FAIL  live_fidelity_slowdown missing from bench output"
+  fail=1
+elif [ -z "$fid_base" ]; then
+  echo "  NOTE  live_fidelity_slowdown = ${fid}x (baseline $BASELINE predates the"
+  echo "        metric; recorded but not enforced)"
+else
+  ok=$(awk -v c="$fid" -v b="$fid_base" -v t="$REGRESSION_PCT" \
+    'BEGIN { print (b > 0 && c > b * (1 + t/100)) ? "regress" : "ok" }')
+  if [ "$ok" = "ok" ]; then
+    echo "  ok    live_fidelity_slowdown = ${fid}x (baseline ${fid_base}x, +${REGRESSION_PCT}% headroom)"
+  else
+    echo "  FAIL  live_fidelity_slowdown = ${fid}x > baseline ${fid_base}x + ${REGRESSION_PCT}%"
+    fail=1
+  fi
+fi
+
 # Lifecycle-tracing overhead bound introduced with the PR 6 tracer:
 # traced epoch closes must stay within 3% of untraced. Measured PAIRED
 # (EpochClose/trace-overhead alternates untraced/traced closes inside
