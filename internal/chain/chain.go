@@ -72,6 +72,11 @@ var (
 	// deterministic: the same seed and fault schedule stall at the same
 	// simulated instant on every rerun.
 	ErrConsensusStalled = errors.New("chain: live consensus stalled")
+	// ErrSyncUnreachable surfaces a sync part that exhausted its
+	// retransmission budget over a faulted sidechain→mainchain uplink
+	// (Config.SyncFaults): the node cannot prove its epochs to the
+	// mainchain and halts deterministically.
+	ErrSyncUnreachable = errors.New("chain: mainchain sync path unreachable")
 )
 
 // Status is a receipt's position in the epoch lifecycle.

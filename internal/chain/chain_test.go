@@ -199,7 +199,7 @@ func TestBusSubscribeAfterClose(t *testing.T) {
 func TestEventTypeMask(t *testing.T) {
 	types := []EventType{EventEpochStart, EventMetaBlock, EventSummaryBlock,
 		EventSyncSubmitted, EventSyncConfirmed, EventPruned, EventHalted,
-		EventRecovered, EventLagged, EventViewChange}
+		EventRecovered, EventLagged, EventViewChange, EventSyncRetry}
 	var acc EventMask
 	for _, ty := range types {
 		if ty.Mask()&MaskAll == 0 {

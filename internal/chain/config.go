@@ -89,6 +89,12 @@ func (f FaultPlan) StormLength(epoch, round uint64) int {
 // sharded-engine MultiSystem.
 type Config struct {
 	Seed int64
+	// ChainID names this sidechain inside a federation (empty for the
+	// single-tenant default). It scopes the node's mainchain footprint —
+	// bank contract account, sync transaction IDs — so K chains coexist
+	// on one shared mainchain, and it feeds the durable store's
+	// deployment fingerprint so per-node stores cannot be cross-wired.
+	ChainID string
 	// EpochRounds is ω, the rounds per epoch (default 30).
 	EpochRounds int
 	// RoundDuration is the sidechain round length (default 7 s).
@@ -199,6 +205,14 @@ type Config struct {
 	// window, > f byzantine replicas) halts the node deterministically
 	// with ErrConsensusStalled (default 20 × RoundDuration).
 	LiveRoundTimeout time.Duration
+	// SyncFaults, when non-nil, installs a deterministic fault schedule
+	// on the sidechain→mainchain submission path: sync parts traverse a
+	// lossy uplink (drop/duplicate/delay per the schedule) instead of
+	// landing in the mempool directly. Dropped parts are retransmitted on
+	// a deterministic watchdog; a part that exhausts its retry budget
+	// halts the node with ErrSyncUnreachable. Works on both fidelities —
+	// the uplink is independent of the committee fabric.
+	SyncFaults *netsim.FaultSchedule
 
 	Mainchain mainchain.Config
 	Model     pbft.Model
@@ -292,6 +306,13 @@ func NewConfig(opts ...Option) Config {
 
 // WithSeed pins the deterministic run seed.
 func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
+
+// WithChainID names this sidechain inside a federation.
+func WithChainID(id string) Option { return func(c *Config) { c.ChainID = id } }
+
+// WithSyncFaults installs a deterministic fault schedule on the
+// sidechain→mainchain sync submission path.
+func WithSyncFaults(fs *netsim.FaultSchedule) Option { return func(c *Config) { c.SyncFaults = fs } }
 
 // WithEpochRounds sets ω, the rounds per epoch.
 func WithEpochRounds(n int) Option { return func(c *Config) { c.EpochRounds = n } }

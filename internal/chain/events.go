@@ -37,6 +37,11 @@ const (
 	// corrupt, or equivocating) before deciding; Round is the affected
 	// round and Parts carries how many view changes the round burned.
 	EventViewChange
+	// EventSyncRetry: a sync part vanished on the faulted
+	// sidechain→mainchain uplink (Config.SyncFaults) and the node
+	// retransmitted it; Epoch/Parts locate the part and Txs carries the
+	// attempt number.
+	EventSyncRetry
 
 	numEventTypes
 )
@@ -64,6 +69,8 @@ func (t EventType) String() string {
 		return "lagged"
 	case EventViewChange:
 		return "view-change"
+	case EventSyncRetry:
+		return "sync-retry"
 	}
 	return fmt.Sprintf("event(%d)", uint8(t))
 }
@@ -85,6 +92,7 @@ const (
 	MaskRecovered     = EventMask(1) << EventRecovered
 	MaskLagged        = EventMask(1) << EventLagged
 	MaskViewChange    = EventMask(1) << EventViewChange
+	MaskSyncRetry     = EventMask(1) << EventSyncRetry
 	// MaskAll subscribes to every lifecycle event.
 	MaskAll = EventMask(1)<<numEventTypes - 1
 )

@@ -1,0 +1,108 @@
+package chain
+
+import (
+	"fmt"
+	"time"
+
+	"ammboost/internal/u256"
+)
+
+// TransferStatus is a cross-chain transfer receipt's position in the
+// two-phase escrow protocol (withdraw-on-A → mainchain escrow →
+// deposit-on-B). The happy path is Initiated → Withdrawn → Escrowed →
+// Deposited → Completed; faults end a transfer in Refunded (escrow held
+// funds and returned them toward the origin chain) or Aborted (the
+// transfer failed before any escrow existed — nothing to unwind).
+type TransferStatus uint8
+
+const (
+	// TransferInitiated: accepted by the federation runner, withdraw not
+	// yet executed on the origin chain.
+	TransferInitiated TransferStatus = iota
+	// TransferWithdrawn: the origin chain debited the user's deposit in
+	// epoch WithdrawEpoch; funds are in flight until that epoch syncs.
+	TransferWithdrawn
+	// TransferEscrowed: the origin chain's withdraw epoch synced to the
+	// mainchain and the escrow locked the amounts.
+	TransferEscrowed
+	// TransferDeposited: the destination chain credited the user in
+	// epoch DepositEpoch; funds finalize when that epoch syncs.
+	TransferDeposited
+	// TransferCompleted: the destination chain's deposit epoch synced;
+	// the escrow released custody. Terminal.
+	TransferCompleted
+	// TransferRefunded: a fault interrupted the transfer after escrow
+	// lock (destination halted, or its sync reverted); the escrow
+	// refunded toward the origin chain — re-credited to the user when
+	// the origin is alive, held claimable on-chain when it halted too.
+	// Terminal.
+	TransferRefunded
+	// TransferAborted: the transfer failed before escrow lock (withdraw
+	// rejected, or the origin halted first); no mainchain custody ever
+	// existed. Terminal.
+	TransferAborted
+)
+
+// String renders the status for logs and reports.
+func (s TransferStatus) String() string {
+	switch s {
+	case TransferInitiated:
+		return "initiated"
+	case TransferWithdrawn:
+		return "withdrawn"
+	case TransferEscrowed:
+		return "escrowed"
+	case TransferDeposited:
+		return "deposited"
+	case TransferCompleted:
+		return "completed"
+	case TransferRefunded:
+		return "refunded"
+	case TransferAborted:
+		return "aborted"
+	}
+	return fmt.Sprintf("transfer(%d)", uint8(s))
+}
+
+// Terminal reports whether the status is an end state.
+func (s TransferStatus) Terminal() bool {
+	return s == TransferCompleted || s == TransferRefunded || s == TransferAborted
+}
+
+// TransferReceipt is the cross-chain counterpart of Receipt: one handle
+// spanning both sidechains and the mainchain escrow, advanced by the
+// federation runner as the two-phase protocol progresses. Like Receipt,
+// it is written only from the simulator goroutine; read it after the
+// federation run returns.
+type TransferReceipt struct {
+	// ID is the transfer's escrow identity on the mainchain.
+	ID string
+	// FromChain/ToChain are the origin and destination chain IDs.
+	FromChain string
+	ToChain   string
+	// FromPool is the origin pool whose deposit funds the transfer;
+	// ToPool receives the deposit on the destination chain.
+	FromPool string
+	ToPool   string
+	User     string
+	Amount0  u256.Int
+	Amount1  u256.Int
+
+	Status TransferStatus
+
+	// WithdrawEpoch/DepositEpoch locate the two on-chain halves (zero
+	// until reached).
+	WithdrawEpoch uint64
+	DepositEpoch  uint64
+
+	// Per-stage virtual timestamps; zero means "not reached". SettledAt
+	// is the terminal transition (completed, refunded, or aborted).
+	InitiatedAt time.Duration
+	WithdrawnAt time.Duration
+	EscrowedAt  time.Duration
+	DepositedAt time.Duration
+	SettledAt   time.Duration
+
+	// Err is the fault that ended a Refunded or Aborted transfer.
+	Err error
+}

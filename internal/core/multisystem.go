@@ -47,6 +47,21 @@ type MultiSystem struct {
 	mc   *mainchain.Chain
 	bank *mainchain.MultiBank
 
+	// shared is non-nil for federation members: the simulator and the
+	// mainchain are injected by the federation runner, which owns the
+	// single sim.Run and decides when the shared chain stops. onFinished
+	// fires at most once, when this node will put nothing further on the
+	// mainchain (fully pruned after its last epoch, or halted).
+	shared           *Shared
+	onFinished       func(halted bool)
+	finishedNotified bool
+
+	// syncNet models the sidechain→mainchain uplink when cfg.SyncFaults
+	// is set: sync parts traverse a lossy netsim link guarded by a
+	// deterministic retransmission watchdog instead of being handed to
+	// the chain directly (nil = ideal uplink, the historical behavior).
+	syncNet *netsim.Network
+
 	registry   *election.Registry
 	ledger     *sidechain.Ledger
 	committees map[uint64]*committeeKeys
@@ -137,10 +152,41 @@ type pendingDeposit struct {
 // MultiSystem implements the unified node API.
 var _ chain.Chain = (*MultiSystem)(nil)
 
+// Shared bundles the runtime a federation injects into each member node:
+// one simulator and one mainchain spanning all K sidechains. The
+// federation owns both — it calls sim.Run exactly once and stops the
+// chain when every member has finished — so member nodes must never
+// call sim.Run or mc.Stop themselves.
+type Shared struct {
+	Sim *sim.Simulator
+	MC  *mainchain.Chain
+}
+
 // NewMultiSystem builds a multi-pool deployment: the engine with its
 // registered pools, the miner registry, the epoch-1 committee, and the
 // MultiBank deployed on the mainchain with the committee's group key.
 func NewMultiSystem(cfg chain.Config, users []string) (*MultiSystem, error) {
+	return newMultiSystem(nil, cfg, users)
+}
+
+// NewFederatedSystem builds a sidechain node as a federation member:
+// the simulator and mainchain come from shared instead of being owned by
+// the node, the bank deploys under a per-chain address derived from
+// cfg.ChainID, and run control splits into StartEpochs/CollectReport
+// around the federation's single sim.Run. cfg.ChainID must be non-empty
+// and unique across members — it namespaces the bank account and the
+// sync transaction IDs on the shared chain.
+func NewFederatedSystem(shared *Shared, cfg chain.Config, users []string) (*MultiSystem, error) {
+	if shared == nil || shared.Sim == nil || shared.MC == nil {
+		return nil, errors.New("core: federated node needs a shared simulator and mainchain")
+	}
+	if cfg.ChainID == "" {
+		return nil, errors.New("core: federated node needs a ChainID")
+	}
+	return newMultiSystem(shared, cfg, users)
+}
+
+func newMultiSystem(shared *Shared, cfg chain.Config, users []string) (*MultiSystem, error) {
 	// The multi-pool backend supports silent-leader and corrupted-sync
 	// faults; the skip/reorg mass-sync recovery chain is single-pool
 	// only — reject it loudly rather than silently testing nothing.
@@ -193,7 +239,7 @@ func NewMultiSystem(cfg chain.Config, users []string) (*MultiSystem, error) {
 	}
 	s := &MultiSystem{
 		cfg:          cfg,
-		sim:          sim.New(),
+		shared:       shared,
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
 		eng:          eng,
 		committees:   make(map[uint64]*committeeKeys),
@@ -205,6 +251,11 @@ func NewMultiSystem(cfg chain.Config, users []string) (*MultiSystem, error) {
 		recsByEpoch:  make(map[uint64][]*txRecord),
 		tr:           cfg.Tracer,
 		SummaryRoots: make(map[uint64][32]byte),
+	}
+	if shared != nil {
+		s.sim, s.mc = shared.Sim, shared.MC
+	} else {
+		s.sim = sim.New()
 	}
 	for _, u := range users {
 		s.userSet[u] = true
@@ -228,17 +279,36 @@ func NewMultiSystem(cfg chain.Config, users []string) (*MultiSystem, error) {
 	}
 	s.committees[1] = ck
 
-	s.mc = mainchain.New(s.sim, cfg.Mainchain)
-	s.bank = mainchain.NewMultiBank(eng.PoolIDs(), ck.group)
+	if shared == nil {
+		s.mc = mainchain.New(s.sim, cfg.Mainchain)
+	}
+	s.bank = mainchain.NewMultiBank(eng.PoolIDs(), ck.group).
+		WithAddress(mainchain.BankAddressFor(cfg.ChainID))
 	s.bank.Retain = cfg.RetainEpochs
 	s.mc.Deploy(s.bank)
-	if cfg.RetainEpochs > 0 {
+	if cfg.RetainEpochs > 0 && shared == nil {
 		// Bound the simulated mainchain's in-memory history to the same
 		// horizon, in blocks: comfortably past every DependsOn distance
-		// the sync pipeline creates (one epoch), with margin.
-		epochDur := time.Duration(cfg.EpochRounds) * cfg.RoundDuration
-		blocksPerEpoch := int(epochDur/cfg.Mainchain.BlockInterval) + 2
-		s.mc.SetRetention((cfg.RetainEpochs + 4) * blocksPerEpoch)
+		// the sync pipeline creates (one epoch), with margin. A shared
+		// chain's retention is the federation's call — it takes the max
+		// over its members (MainchainRetentionBlocks).
+		s.mc.SetRetention(MainchainRetentionBlocks(cfg))
+	}
+	if cfg.SyncFaults != nil {
+		// The sync uplink: one netsim link from this node's committee
+		// endpoint to the mainchain endpoint, carrying each sync part as
+		// a message. Faults (drops, duplicates, delays, crash windows)
+		// come from the installed schedule; delivery hands the part to
+		// the chain exactly as a direct Submit would, and the chain's
+		// ID-dedup makes duplicated deliveries and retransmissions safe.
+		s.syncNet = netsim.New(s.sim, netsim.DefaultConfig())
+		s.syncNet.Register(s.syncUplinkSrc(), nil)
+		s.syncNet.Register(SyncUplinkDst, func(_ string, payload any) {
+			if tx, ok := payload.(*mainchain.Tx); ok {
+				s.mc.Submit(tx)
+			}
+		})
+		s.syncNet.Install(cfg.SyncFaults)
 	}
 	if cfg.PipelineDepth > 1 {
 		s.pipe = newCommitPipeline(cfg.PipelineDepth)
@@ -332,8 +402,50 @@ func (s *MultiSystem) fail(err error) {
 		// cannot keep the drained simulator alive after the halt.
 		s.live.stopAll()
 	}
-	s.mc.Stop()
+	s.finished(true)
 }
+
+// finished records that this node will put nothing further on the
+// mainchain: its last epoch fully pruned, or it halted. A single-tenant
+// node owns the chain and stops block production so the simulator
+// drains (idempotent, the historical behavior); a federation member must
+// NOT stop the shared chain — its siblings may still be syncing — so it
+// notifies the runner instead, exactly once, and the runner stops the
+// chain when every member has reported in.
+func (s *MultiSystem) finished(halted bool) {
+	if s.shared == nil {
+		s.mc.Stop()
+		return
+	}
+	if s.finishedNotified {
+		return
+	}
+	s.finishedNotified = true
+	if s.onFinished != nil {
+		s.onFinished(halted)
+	}
+}
+
+// SetOnFinished installs the federation runner's finished hook. It runs
+// on the simulator goroutine; install it before StartEpochs.
+func (s *MultiSystem) SetOnFinished(fn func(halted bool)) { s.onFinished = fn }
+
+// OnEvent registers a synchronous lifecycle-event hook. Unlike
+// Subscribe's channels (asynchronous, for user-facing consumers), the
+// hook runs on the simulator goroutine at publish time — the federation
+// runner uses it to observe sync confirmations and halts without racing
+// the deterministic schedule. Hooks must be cheap and must not block.
+func (s *MultiSystem) OnEvent(fn func(chain.Event)) { s.bus.OnPublish(fn) }
+
+// ChainID returns the node's federation identity ("" for single-tenant
+// deployments).
+func (s *MultiSystem) ChainID() string { return s.cfg.ChainID }
+
+// Halted reports whether the node hit a lifecycle fault.
+func (s *MultiSystem) Halted() bool { return s.err != nil }
+
+// Err returns the lifecycle fault that halted the node, or nil.
+func (s *MultiSystem) Err() error { return s.err }
 
 // Recovery describes what Open restored from the durable store (nil for
 // fresh or in-memory nodes).
@@ -488,6 +600,44 @@ func (s *MultiSystem) SubmitDeposit(user string, epoch uint64, amount0, amount1 
 	return rc, nil
 }
 
+// SubmitWithdraw debits a user's un-traded deposit on a pool in the
+// CURRENT epoch — the origin-chain half of a cross-chain transfer (the
+// federation escrows the amount on the mainchain once this epoch's sync
+// confirms). Unlike SubmitDeposit there is no deferred path: funds
+// either leave the running epoch's snapshot now (StatusExecuted) or the
+// withdrawal is rejected — insufficient deposit, unknown user, or no
+// epoch running — with the reason on the receipt, never an error return,
+// so callers can treat a rejection as a deterministic protocol outcome.
+func (s *MultiSystem) SubmitWithdraw(poolID, user string, amount0, amount1 u256.Int) (*chain.Receipt, error) {
+	if s.err != nil {
+		return nil, chain.ErrHalted
+	}
+	if !s.userSet[user] {
+		return nil, fmt.Errorf("%w: %s", chain.ErrUnfundedUser, user)
+	}
+	if poolID == "" {
+		poolID = s.eng.PoolIDs()[0]
+	}
+	if !s.poolSet[poolID] {
+		return nil, fmt.Errorf("%w: %q", chain.ErrUnknownPool, poolID)
+	}
+	if amount0.IsZero() && amount1.IsZero() {
+		return nil, fmt.Errorf("%w: empty withdrawal", chain.ErrMalformedTx)
+	}
+	rc := &chain.Receipt{
+		TxID: fmt.Sprintf("wdr-%s-e%d", user, s.epoch), PoolID: poolID,
+		Status: chain.StatusPending, SubmittedAt: s.sim.Now(), Epoch: s.epoch,
+	}
+	if err := s.eng.WithdrawDeposit(poolID, user, amount0, amount1); err != nil {
+		rc.Status = chain.StatusRejected
+		rc.Err = fmt.Errorf("%w: %v", chain.ErrExecutionRejected, err)
+		return rc, nil
+	}
+	rc.Status = chain.StatusExecuted
+	rc.ExecutedAt = s.sim.Now()
+	return rc, nil
+}
+
 // Run executes the planned epochs (plus drain epochs until the queue
 // empties) and returns the report; lifecycle faults surface as typed
 // errors instead of panics. A node recovered from a durable store
@@ -496,6 +646,20 @@ func (s *MultiSystem) SubmitDeposit(user string, epoch uint64, amount0, amount1 
 // A node that recovered as halted runs nothing and returns the persisted
 // fault.
 func (s *MultiSystem) Run(epochs int) (*chain.Report, error) {
+	if s.StartEpochs(epochs) {
+		s.sim.Run()
+	}
+	return s.CollectReport()
+}
+
+// StartEpochs schedules the node's epoch lifecycle on the simulator
+// WITHOUT running it, and reports whether any work was scheduled. Run is
+// StartEpochs + sim.Run + CollectReport; a federation calls StartEpochs
+// on every member (in chain-ID order, pinning cross-chain determinism),
+// runs the shared simulator once, then collects each report. A node with
+// nothing to do — recovered halted, or already past the planned epoch
+// count — reports finished immediately and returns false.
+func (s *MultiSystem) StartEpochs(epochs int) bool {
 	s.epochsPlanned = epochs
 	s.ledger = sidechain.NewLedger(pbft.DigestOf([]byte("multibank-genesis")))
 	s.ledger.SetRetention(s.cfg.RetainEpochs)
@@ -505,11 +669,24 @@ func (s *MultiSystem) Run(epochs int) (*chain.Report, error) {
 	// A recovered node may have nothing left to do: already halted, or
 	// already past the planned epoch count.
 	resumedDone := s.epoch > 0 && int(s.epoch) >= epochs && len(s.queue) == 0
-	if s.err == nil && !resumedDone {
-		start := s.epoch + 1
-		s.sim.At(0, func() { s.startEpoch(start) })
-		s.sim.Run()
+	if s.err != nil || resumedDone {
+		if s.err == nil {
+			s.done = true
+		}
+		if s.shared != nil {
+			s.finished(s.err != nil)
+		}
+		return false
 	}
+	start := s.epoch + 1
+	s.sim.At(0, func() { s.startEpoch(start) })
+	return true
+}
+
+// CollectReport joins the commit stage, closes the event bus, and
+// returns the run's report and lifecycle error. Call it exactly once,
+// after the simulator has drained.
+func (s *MultiSystem) CollectReport() (*chain.Report, error) {
 	if s.pipe != nil {
 		// Join the commit stage before reporting: a halted run may leave
 		// unretired jobs whose packages are simply abandoned, but the
@@ -1109,8 +1286,8 @@ func (s *MultiSystem) submitSignedSync(e uint64, parts []*mainchain.MultiSyncArg
 	deps := s.lastSyncTxIDs
 	for i, args := range parts {
 		tx := &mainchain.Tx{
-			ID: fmt.Sprintf("msync-e%d-p%d", e, i+1), From: "sc-committee",
-			To: mainchain.MultiBankAddress, Method: "sync", Size: sizes[i], Args: args,
+			ID: s.syncTxID(e, i+1), From: s.syncCommitteeID(),
+			To: s.bank.Name(), Method: "sync", Size: sizes[i], Args: args,
 			DependsOn: deps,
 		}
 		tx.OnConfirmed = func(tx *mainchain.Tx) {
@@ -1169,14 +1346,14 @@ func (s *MultiSystem) submitSignedSync(e uint64, parts []*mainchain.MultiSyncArg
 			spPrune.End()
 			s.bus.Publish(chain.Event{Type: chain.EventPruned, At: s.sim.Now(), Epoch: e})
 			if s.done && len(s.recsByEpoch) == 0 {
-				s.mc.Stop()
+				s.finished(false)
 			}
 		}
-		s.mc.Submit(tx)
+		s.submitSyncTx(tx, e, i+1)
 	}
 	s.lastSyncTxIDs = make([]string, numParts)
 	for i := range s.lastSyncTxIDs {
-		s.lastSyncTxIDs[i] = fmt.Sprintf("msync-e%d-p%d", e, i+1)
+		s.lastSyncTxIDs[i] = s.syncTxID(e, i+1)
 	}
 	if s.tr != nil {
 		d := s.tr.Since() - syncWallStart
@@ -1190,6 +1367,97 @@ func (s *MultiSystem) submitSignedSync(e uint64, parts []*mainchain.MultiSyncArg
 		Type: chain.EventSyncSubmitted, At: submitted, Epoch: e,
 		Parts: numParts, Bytes: totalSize,
 	})
+}
+
+// SyncUplinkDst is the mainchain's endpoint name on a node's sync
+// uplink; fault schedules address the chain side of the link (crash
+// windows, per-link rules) with it.
+const SyncUplinkDst = "mainchain"
+
+// syncRetryBudget bounds the retransmission watchdog: a sync part still
+// missing from the chain after this many sends fails the node with
+// chain.ErrSyncUnreachable.
+const syncRetryBudget = 8
+
+// syncUplinkSrc is this node's endpoint name on the sync uplink.
+func (s *MultiSystem) syncUplinkSrc() string {
+	if s.cfg.ChainID != "" {
+		return "sc-node/" + s.cfg.ChainID
+	}
+	return "sc-node"
+}
+
+// syncTxID names epoch e's part-th sync transaction. Federation members
+// prefix their chain ID: K chains share one mainchain transaction
+// namespace, and the chain's Submit dedup keys on the ID.
+func (s *MultiSystem) syncTxID(e uint64, part int) string {
+	if s.cfg.ChainID != "" {
+		return fmt.Sprintf("%s/msync-e%d-p%d", s.cfg.ChainID, e, part)
+	}
+	return fmt.Sprintf("msync-e%d-p%d", e, part)
+}
+
+// syncCommitteeID is the From address on sync transactions.
+func (s *MultiSystem) syncCommitteeID() string {
+	if s.cfg.ChainID != "" {
+		return "sc-committee/" + s.cfg.ChainID
+	}
+	return "sc-committee"
+}
+
+// submitSyncTx hands one sync part to the mainchain: directly on an
+// ideal uplink, or over the faulted netsim link when cfg.SyncFaults is
+// installed.
+func (s *MultiSystem) submitSyncTx(tx *mainchain.Tx, e uint64, part int) {
+	if s.syncNet == nil {
+		s.mc.Submit(tx)
+		return
+	}
+	s.sendSyncAttempt(tx, e, part, 1)
+}
+
+// sendSyncAttempt sends one uplink copy of the part and arms the
+// retransmission watchdog: if the transaction has not reached the chain
+// (mempool or history — TxByID covers both) within three block
+// intervals, the send was lost and the part goes out again, up to the
+// retry budget. Retries and the chain's ID-dedup make the lossy uplink
+// at-least-once without double-applying; the watchdog reads only chain
+// state and the attempt counter, so two runs of the same schedule retry
+// at identical instants (EventSyncRetry carries the attempt number in
+// Txs).
+func (s *MultiSystem) sendSyncAttempt(tx *mainchain.Tx, e uint64, part, attempt int) {
+	s.syncNet.Send(s.syncUplinkSrc(), SyncUplinkDst, tx.Size, tx)
+	retryAfter := 3 * s.mc.Config().BlockInterval
+	s.sim.After(retryAfter, func() {
+		if s.err != nil || s.mc.TxByID(tx.ID) != nil {
+			return
+		}
+		if attempt >= syncRetryBudget {
+			s.fail(fmt.Errorf("%w: epoch %d part %d lost after %d sends",
+				chain.ErrSyncUnreachable, e, part, attempt))
+			return
+		}
+		s.bus.Publish(chain.Event{
+			Type: chain.EventSyncRetry, At: s.sim.Now(), Epoch: e,
+			Parts: part, Txs: attempt + 1,
+		})
+		s.sendSyncAttempt(tx, e, part, attempt+1)
+	})
+}
+
+// MainchainRetentionBlocks converts a node config's epoch retention
+// horizon into the mainchain block-history bound the node needs:
+// comfortably past every DependsOn distance the sync pipeline creates.
+// Zero means unbounded (RetainEpochs unset). A federation sizes its
+// shared chain's retention as the max over members.
+func MainchainRetentionBlocks(cfg chain.Config) int {
+	cfg = cfg.WithDefaults()
+	if cfg.RetainEpochs <= 0 {
+		return 0
+	}
+	epochDur := time.Duration(cfg.EpochRounds) * cfg.RoundDuration
+	blocksPerEpoch := int(epochDur/cfg.Mainchain.BlockInterval) + 2
+	return (cfg.RetainEpochs + 4) * blocksPerEpoch
 }
 
 // compactEpoch drops bookkeeping a fully pruned epoch no longer needs.

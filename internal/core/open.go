@@ -32,6 +32,28 @@ func Open(dir string, cfg chain.Config) (chain.Chain, error) {
 // OpenFS is Open over an explicit store filesystem — the crash-injection
 // harness (store.FaultFS) and in-memory benchmarks plug in here.
 func OpenFS(fsys store.FS, dir string, cfg chain.Config) (chain.Chain, error) {
+	return openFS(nil, fsys, dir, cfg)
+}
+
+// OpenFederatedFS opens a durable federation member: like OpenFS, but
+// the node runs against the federation's shared simulator and mainchain.
+// Each member needs its own store directory; the fingerprint pins
+// cfg.ChainID, so a store written by chain "a" cannot resume as "b".
+func OpenFederatedFS(shared *Shared, fsys store.FS, dir string, cfg chain.Config) (*MultiSystem, error) {
+	if shared == nil || shared.Sim == nil || shared.MC == nil {
+		return nil, fmt.Errorf("%w: federated open needs a shared simulator and mainchain", chain.ErrStoreUnsupported)
+	}
+	if cfg.ChainID == "" {
+		return nil, fmt.Errorf("%w: federated open needs a ChainID", chain.ErrStoreUnsupported)
+	}
+	c, err := openFS(shared, fsys, dir, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return c.(*MultiSystem), nil
+}
+
+func openFS(shared *Shared, fsys store.FS, dir string, cfg chain.Config) (chain.Chain, error) {
 	cfg = cfg.WithDefaults()
 	if cfg.NumPools == 0 {
 		return nil, fmt.Errorf("%w: set NumPools > 0", chain.ErrStoreUnsupported)
@@ -40,7 +62,7 @@ func OpenFS(fsys store.FS, dir string, cfg chain.Config) (chain.Chain, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, err := NewMultiSystem(cfg, cfg.Users)
+	s, err := newMultiSystem(shared, cfg, cfg.Users)
 	if err != nil {
 		w.Close()
 		return nil, err
@@ -66,8 +88,12 @@ func OpenFS(fsys store.FS, dir string, cfg chain.Config) (chain.Chain, error) {
 func Fingerprint(cfg chain.Config) [32]byte {
 	cfg = cfg.WithDefaults()
 	h := sha256.New()
-	fmt.Fprintf(h, "seed=%d|pools=%d|rounds=%d|roundDur=%d|metaBytes=%d|committee=%d|miners=%d|viewTimeout=%d|fee=%d|",
-		cfg.Seed, cfg.NumPools, cfg.EpochRounds, cfg.RoundDuration, cfg.MetaBlockBytes,
+	// ChainID joins the fingerprint because a federation member's durable
+	// state embeds chain-scoped sync transaction IDs: resuming a store
+	// under a different chain identity would replay against the wrong
+	// mainchain account.
+	fmt.Fprintf(h, "chain=%q|seed=%d|pools=%d|rounds=%d|roundDur=%d|metaBytes=%d|committee=%d|miners=%d|viewTimeout=%d|fee=%d|",
+		cfg.ChainID, cfg.Seed, cfg.NumPools, cfg.EpochRounds, cfg.RoundDuration, cfg.MetaBlockBytes,
 		cfg.CommitteeSize, cfg.MinerPopulation, cfg.ViewChangeTimeout, cfg.FeePips)
 	fmt.Fprintf(h, "initLiq=%s|dep=%s|gasBudget=%d|model=%#v|mc=%#v|users=",
 		cfg.InitialLiquidity, cfg.DepositPerUserPerPool, cfg.SyncGasBudget, cfg.Model, cfg.Mainchain)
@@ -222,7 +248,11 @@ func (s *MultiSystem) restore(rec *store.Recovery) error {
 		info.HaltReason = rec.Halt.Reason
 		s.err = fmt.Errorf("%w: recovered from persisted fault at epoch %d: %s",
 			chain.ErrHalted, rec.Halt.Epoch, rec.Halt.Reason)
-		s.mc.Stop()
+		if s.shared == nil {
+			// A federation member defers the finished notification to
+			// StartEpochs — the runner's hook is not installed yet.
+			s.mc.Stop()
+		}
 	}
 	s.recovered = info
 	return nil

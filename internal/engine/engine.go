@@ -264,6 +264,21 @@ func (e *Engine) AddDeposit(poolID, user string, amount0, amount1 u256.Int) erro
 	return nil
 }
 
+// WithdrawDeposit debits a user's mid-epoch deposit on one pool — the
+// origin-chain half of a cross-chain transfer. The debit fails atomically
+// (summary.ErrInsufficientDeposit) when the remaining deposit cannot
+// cover it.
+func (e *Engine) WithdrawDeposit(poolID, user string, amount0, amount1 u256.Int) error {
+	if !e.running {
+		return ErrNoEpoch
+	}
+	i, ok := e.poolIndex[poolID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownPool, poolID)
+	}
+	return e.execFor(i, poolID).WithdrawDeposit(user, amount0, amount1)
+}
+
 // RoundResult reports one round's sharded execution.
 type RoundResult struct {
 	// Included lists the accepted transactions in submission order

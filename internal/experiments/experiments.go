@@ -151,7 +151,8 @@ func Registry() map[string]Runner {
 		"pipelinescale": func(o Options) (Result, error) {
 			return RunPipelineScale(o)
 		},
-		"chaos": func(o Options) (Result, error) { return RunChaos(o) },
+		"chaos":      func(o Options) (Result, error) { return RunChaos(o) },
+		"federation": func(o Options) (Result, error) { return RunFederation(o) },
 	}
 }
 
@@ -172,6 +173,8 @@ func Names() []string {
 				return 510 // after poolscale
 			case "chaos":
 				return 520 // after pipelinescale
+			case "federation":
+				return 530 // after chaos
 			case "ablations":
 				return 999 // last
 			default:

@@ -15,8 +15,8 @@ func fastOpts() Options {
 
 func TestRegistryComplete(t *testing.T) {
 	names := Names()
-	if len(names) != 17 {
-		t.Fatalf("registry has %d experiments, want 17 (12 tables + fig5 + poolscale + pipelinescale + chaos + ablations)", len(names))
+	if len(names) != 18 {
+		t.Fatalf("registry has %d experiments, want 18 (12 tables + fig5 + poolscale + pipelinescale + chaos + federation + ablations)", len(names))
 	}
 	if names[len(names)-1] != "ablations" {
 		t.Errorf("ablations should run last, got order %v", names)
@@ -289,6 +289,41 @@ func TestChaosDeterminismSweep(t *testing.T) {
 	}
 	out := r.Render()
 	for _, want := range []string{"invariant 11", "invariant 9", "identical", "Fault class"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFederationSweep runs the federation experiment end to end: every
+// K x fault cell must replay bit-identically (invariant 12), transfers
+// must end with the cell's expected outcome (RunFederation hard-errors
+// otherwise), the byzantine cell must burn view changes, and no member
+// may be starved of shared-chain block gas.
+func TestFederationSweep(t *testing.T) {
+	r, err := RunFederation(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != len(fedCells()) {
+		t.Fatalf("sweep has %d cells, want %d", len(r.Points), len(fedCells()))
+	}
+	for _, p := range r.Points {
+		if !p.ReplayIdentical {
+			t.Errorf("%s: replay diverged", p.Cell)
+		}
+		if !p.ConservationOK {
+			t.Errorf("%s: escrow conservation violated", p.Cell)
+		}
+		if p.GasMin == 0 || p.GasMax > 30_000_000 {
+			t.Errorf("%s: per-member gas out of range [%d, %d]", p.Cell, p.GasMin, p.GasMax)
+		}
+	}
+	if vc := r.Points[len(r.Points)-1].ViewChanges; vc == 0 {
+		t.Error("byzantine cell burned no view changes")
+	}
+	out := r.Render()
+	for _, want := range []string{"invariant 12", "identical", "conserved", "GasMin"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q:\n%s", want, out)
 		}

@@ -1,0 +1,398 @@
+// Package federation runs K ammBoost sidechains against ONE shared
+// simulated mainchain on one virtual clock. Each member is a full
+// core.MultiSystem — its own seed-derived committees, pool set, epoch
+// lifecycle, fault plan, and (optionally) durable store — but every
+// sync part lands in the same mainchain mempool, so the chains contend
+// for block gas in the packer exactly as K rollup-style tenants would
+// on a real L1. A mainchain escrow contract carries cross-sidechain
+// token flow: withdraw-on-A → escrow lock → deposit-on-B, with refunds
+// when a chain halts mid-transfer (DESIGN.md "Federation", invariant 12).
+//
+// Determinism: members are created and scheduled in chain-ID order at
+// t=0, every runner hook executes synchronously on the simulator
+// goroutine, and all iteration is in slice (input) order — two runs of
+// the same configuration produce bit-identical per-chain summary roots,
+// transfer receipts, AND mainchain block/tx history (the Result's
+// MainchainDigest folds the latter).
+package federation
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"ammboost/internal/chain"
+	"ammboost/internal/core"
+	"ammboost/internal/mainchain"
+	"ammboost/internal/sim"
+	"ammboost/internal/store"
+	"ammboost/internal/workload"
+)
+
+// Federation errors.
+var (
+	ErrBadFederation = errors.New("federation: invalid configuration")
+	ErrBadTransfer   = errors.New("federation: invalid transfer")
+)
+
+// NodeConfig describes one member sidechain.
+type NodeConfig struct {
+	// Chain is the member's node configuration. ChainID must be set and
+	// unique within the federation; Mainchain is ignored (the shared
+	// chain's config comes from Config.Mainchain).
+	Chain chain.Config
+	// Epochs overrides Config.Epochs for this member (0 = inherit).
+	Epochs int
+	// DailyVolume > 0 pre-schedules Zipf multi-pool traffic for the
+	// member's whole run, exactly like core.NewMultiDriver.
+	DailyVolume int
+	// Workload parameterizes that traffic (defaults derive from the
+	// chain seed and pool count).
+	Workload workload.MultiConfig
+	// ExtraUsers join the member's user set beyond the workload
+	// population — cross-chain transfer principals live here.
+	ExtraUsers []string
+	// StoreDir, when set, opens the member as a durable node rooted
+	// there (per-member directories; the store fingerprint pins the
+	// chain ID). StoreFS overrides the filesystem (defaults to the OS).
+	StoreDir string
+	StoreFS  store.FS
+}
+
+// Config describes a federation run.
+type Config struct {
+	// Mainchain configures the ONE shared chain (zero value = paper
+	// defaults).
+	Mainchain mainchain.Config
+	// Epochs is the default epoch count members run.
+	Epochs int
+	// Nodes are the member sidechains (order is irrelevant; members are
+	// sorted by chain ID).
+	Nodes []NodeConfig
+	// Transfers are cross-sidechain token transfers the runner drives.
+	Transfers []Transfer
+}
+
+// Node is one member's runtime handle.
+type Node struct {
+	ID     string
+	Sys    *core.MultiSystem
+	epochs int
+	// finished is set by the member's onFinished notification: it will
+	// put nothing further on the mainchain (done or halted). A finished
+	// member cannot accept deposits anymore.
+	finished bool
+	halted   bool
+}
+
+// NodeResult is one member's outcome.
+type NodeResult struct {
+	ChainID string
+	Report  *chain.Report
+	Err     error
+}
+
+// Result is a federation run's outcome.
+type Result struct {
+	// Nodes in chain-ID order.
+	Nodes []*NodeResult
+	// Transfers in input order; every receipt is terminal.
+	Transfers []*chain.TransferReceipt
+	// MainchainDigest folds the shared chain's full block/tx history
+	// (number, mined-at, per-tx ID/status/gas) — the cross-chain
+	// determinism fingerprint of invariant 12.
+	MainchainDigest [32]byte
+	// Duration is the run's virtual length.
+	Duration time.Duration
+}
+
+// Federation owns the shared runtime: one simulator, one mainchain, one
+// escrow, K member nodes.
+type Federation struct {
+	sim    *sim.Simulator
+	mc     *mainchain.Chain
+	escrow *mainchain.Escrow
+
+	nodes  []*Node // chain-ID order
+	byID   map[string]*Node
+	closer []func() error
+
+	transfers []*transferState // input order
+
+	finishedNodes  int
+	escrowInFlight int // lock/release/refund/claim txs awaiting confirmation
+	stopped        bool
+
+	histDigest [32]byte
+	ran        bool
+}
+
+// New builds the federation: the shared simulator, the shared mainchain
+// with the escrow deployed, and every member node in chain-ID order
+// (construction order fixes each member's RNG stream and the t=0 event
+// order, pinning cross-chain determinism).
+func New(cfg Config) (*Federation, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("%w: no member nodes", ErrBadFederation)
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	nodes := append([]NodeConfig(nil), cfg.Nodes...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Chain.ChainID < nodes[j].Chain.ChainID })
+	for i, nc := range nodes {
+		if nc.Chain.ChainID == "" {
+			return nil, fmt.Errorf("%w: member %d has no ChainID", ErrBadFederation, i)
+		}
+		if i > 0 && nodes[i-1].Chain.ChainID == nc.Chain.ChainID {
+			return nil, fmt.Errorf("%w: duplicate ChainID %q", ErrBadFederation, nc.Chain.ChainID)
+		}
+	}
+
+	f := &Federation{
+		sim:    sim.New(),
+		escrow: mainchain.NewEscrow(),
+		byID:   make(map[string]*Node, len(nodes)),
+	}
+	f.mc = mainchain.New(f.sim, cfg.Mainchain)
+	f.mc.Deploy(f.escrow)
+	// Fold every produced block into the history digest as it appears:
+	// the observer runs on the simulator goroutine in block order.
+	f.mc.OnBlock = append(f.mc.OnBlock, f.foldBlock)
+
+	shared := &core.Shared{Sim: f.sim, MC: f.mc}
+	retention := 0
+	bounded := true
+	for _, nc := range nodes {
+		node, err := f.buildNode(shared, nc, cfg.Epochs)
+		if err != nil {
+			f.closeAll()
+			return nil, err
+		}
+		f.nodes = append(f.nodes, node)
+		f.byID[node.ID] = node
+		if r := core.MainchainRetentionBlocks(nc.Chain); r > 0 {
+			if r > retention {
+				retention = r
+			}
+		} else {
+			bounded = false
+		}
+	}
+	// The shared chain keeps history for its most demanding member; one
+	// member without a retention horizon keeps it unbounded.
+	if bounded && retention > 0 {
+		f.mc.SetRetention(retention)
+	}
+
+	if err := f.initTransfers(cfg.Transfers); err != nil {
+		f.closeAll()
+		return nil, err
+	}
+	return f, nil
+}
+
+// buildNode constructs one member and wires the runner's hooks.
+func (f *Federation) buildNode(shared *core.Shared, nc NodeConfig, defaultEpochs int) (*Node, error) {
+	epochs := nc.Epochs
+	if epochs <= 0 {
+		epochs = defaultEpochs
+	}
+	var gen *workload.MultiGenerator
+	users := append([]string(nil), nc.ExtraUsers...)
+	if nc.DailyVolume > 0 {
+		wcfg := nc.Workload
+		if wcfg.Seed == 0 {
+			wcfg.Seed = nc.Chain.Seed
+		}
+		if wcfg.NumPools == 0 {
+			wcfg.NumPools = nc.Chain.NumPools
+		}
+		gen = workload.NewMulti(wcfg)
+		users = append(gen.Users(), users...)
+	}
+	if len(users) == 0 {
+		return nil, fmt.Errorf("%w: member %q has no users (set DailyVolume or ExtraUsers)",
+			ErrBadFederation, nc.Chain.ChainID)
+	}
+
+	var sys *core.MultiSystem
+	var err error
+	if nc.StoreDir != "" {
+		fsys := nc.StoreFS
+		if fsys == nil {
+			fsys = store.OSFS{}
+		}
+		cfg := nc.Chain
+		cfg.Users = users
+		sys, err = core.OpenFederatedFS(shared, fsys, nc.StoreDir, cfg)
+		if err == nil {
+			f.closer = append(f.closer, sys.Close)
+		}
+	} else {
+		sys, err = core.NewFederatedSystem(shared, nc.Chain, users)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("federation: member %q: %w", nc.Chain.ChainID, err)
+	}
+
+	node := &Node{ID: nc.Chain.ChainID, Sys: sys, epochs: epochs}
+	sys.SetOnFinished(func(halted bool) {
+		node.finished = true
+		node.halted = node.halted || halted
+		f.finishedNodes++
+		f.maybeStop()
+	})
+	sys.OnEvent(func(ev chain.Event) {
+		switch ev.Type {
+		case chain.EventEpochStart:
+			f.onEpochStart(node, ev.Epoch)
+		case chain.EventSyncConfirmed:
+			f.onSyncConfirmed(node, ev.Epoch)
+		case chain.EventHalted:
+			node.halted = true
+			f.onHalted(node)
+		}
+	})
+
+	if gen != nil {
+		scheduleTraffic(sys, gen, nc.Chain.WithDefaults(), nc.DailyVolume, epochs)
+	}
+	return node, nil
+}
+
+// scheduleTraffic pre-schedules the member's Zipf arrivals for its whole
+// run, mirroring core.NewMultiDriver's arrival process.
+func scheduleTraffic(sys *core.MultiSystem, gen *workload.MultiGenerator, cfg chain.Config, dailyVolume, epochs int) {
+	rho := workload.Rho(dailyVolume, cfg.RoundDuration.Seconds())
+	totalRounds := epochs * cfg.EpochRounds
+	rd := cfg.RoundDuration
+	for r := 0; r < totalRounds; r++ {
+		roundStart := time.Duration(r) * rd
+		for i := 0; i < rho; i++ {
+			at := roundStart + time.Duration(float64(rd)*float64(i)/float64(rho))
+			sys.Sim().At(at, func() { sys.Submit(gen.Next()) })
+		}
+	}
+}
+
+// Node returns a member's system by chain ID (nil when unknown) — for
+// pre-run setup such as funding transfer principals with SubmitDeposit.
+func (f *Federation) Node(chainID string) *core.MultiSystem {
+	if n := f.byID[chainID]; n != nil {
+		return n.Sys
+	}
+	return nil
+}
+
+// Sim exposes the shared simulator for pre-run scheduling.
+func (f *Federation) Sim() *sim.Simulator { return f.sim }
+
+// Mainchain exposes the shared chain.
+func (f *Federation) Mainchain() *mainchain.Chain { return f.mc }
+
+// Escrow exposes the cross-chain escrow for post-run conservation checks.
+func (f *Federation) Escrow() *mainchain.Escrow { return f.escrow }
+
+// Run drives every member's full epoch lifecycle on the shared clock and
+// returns per-member reports plus terminal transfer receipts. The first
+// member halt does NOT end the run — siblings keep going, which is the
+// point of fault isolation — so Run only returns an error for runner-
+// level failures; per-member faults live in NodeResult.Err.
+func (f *Federation) Run() (*Result, error) {
+	if f.ran {
+		return nil, fmt.Errorf("%w: federation already ran", ErrBadFederation)
+	}
+	f.ran = true
+	// Chain-ID order fixes the t=0 event sequence: member i's first
+	// epoch schedules before member i+1's.
+	for _, n := range f.nodes {
+		n.Sys.StartEpochs(n.epochs)
+	}
+	f.sim.Run()
+
+	res := &Result{Duration: f.sim.Now(), MainchainDigest: f.histDigest}
+	for _, n := range f.nodes {
+		rep, err := n.Sys.CollectReport()
+		res.Nodes = append(res.Nodes, &NodeResult{ChainID: n.ID, Report: rep, Err: err})
+	}
+	for _, t := range f.transfers {
+		res.Transfers = append(res.Transfers, t.rc)
+	}
+	f.closeAll()
+
+	// Post-run sanity the runner owes its caller regardless of member
+	// faults: escrow books balance and nothing stays in custody limbo.
+	if err := f.escrow.Conserved(); err != nil {
+		return res, err
+	}
+	if n := f.escrow.LockedCount(); n != 0 {
+		return res, fmt.Errorf("federation: %d escrow entries still locked after run", n)
+	}
+	for _, t := range f.transfers {
+		if !t.rc.Status.Terminal() {
+			return res, fmt.Errorf("federation: transfer %s ended non-terminal (%s)", t.rc.ID, t.rc.Status)
+		}
+	}
+	return res, nil
+}
+
+// maybeStop stops the shared chain once every member has finished, no
+// escrow call is in flight, and every transfer is terminal. Transfers
+// that can no longer progress (both endpoints quiesced) are settled
+// here: custody-holding ones refund, custody-free ones abort.
+func (f *Federation) maybeStop() {
+	if f.stopped || f.finishedNodes < len(f.nodes) || f.escrowInFlight > 0 {
+		return
+	}
+	for _, t := range f.transfers {
+		if t.rc.Status.Terminal() || t.settleInFlight || t.lockInFlight {
+			continue
+		}
+		switch t.rc.Status {
+		case chain.TransferInitiated:
+			f.abort(t, errors.New("federation: run ended before the transfer's submit epoch"))
+		case chain.TransferWithdrawn:
+			f.abort(t, errors.New("federation: origin never synced the withdraw epoch; no escrow was funded"))
+		case chain.TransferEscrowed, chain.TransferDeposited:
+			// Custody exists but the destination can no longer finalize.
+			f.submitRefund(t, errors.New("federation: destination quiesced before the deposit synced"))
+		}
+	}
+	if f.escrowInFlight > 0 || f.stopped {
+		return
+	}
+	f.stopped = true
+	f.mc.Stop()
+}
+
+// foldBlock extends the mainchain history digest with one block.
+func (f *Federation) foldBlock(b *mainchain.Block) {
+	h := sha256.New()
+	h.Write(f.histDigest[:])
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.BigEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(b.Number)
+	put(uint64(b.MinedAt))
+	put(b.GasUsed)
+	put(uint64(len(b.Txs)))
+	for _, tx := range b.Txs {
+		h.Write([]byte(tx.ID))
+		put(uint64(tx.Status))
+		put(tx.GasUsed)
+	}
+	h.Sum(f.histDigest[:0])
+}
+
+func (f *Federation) closeAll() {
+	for _, c := range f.closer {
+		_ = c()
+	}
+	f.closer = nil
+}

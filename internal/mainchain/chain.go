@@ -225,7 +225,18 @@ func (c *Chain) Stop() { c.stopped = true }
 
 // Submit queues a transaction for inclusion. The transaction becomes
 // eligible after the propagation delay and once its dependencies confirm.
+// Re-submitting a transaction the chain already tracks (pending in the
+// mempool or confirmed in a retained block) is a no-op, like a node
+// deduping gossip by hash — the behavior retransmission over a lossy
+// submission path depends on: a duplicated or resent sync part must not
+// double-execute. A *different* transaction reusing a tracked ID keeps
+// the historical last-writer-wins index behavior.
 func (c *Chain) Submit(tx *Tx) {
+	if tx.ID != "" {
+		if prev, dup := c.txByID[tx.ID]; dup && prev == tx {
+			return
+		}
+	}
 	tx.Status = TxPending
 	tx.SubmittedAt = c.sim.Now()
 	tx.EligibleAt = c.sim.Now() + c.cfg.PropagationDelay
@@ -234,6 +245,12 @@ func (c *Chain) Submit(tx *Tx) {
 		c.txByID[tx.ID] = tx
 	}
 }
+
+// TxByID returns the tracked transaction with the given ID, or nil if it
+// was never submitted (or its block fell behind the retention horizon).
+// Senders retransmitting over a lossy submission link use this to tell a
+// dropped submission (absent) from one still waiting in the mempool.
+func (c *Chain) TxByID(id string) *Tx { return c.txByID[id] }
 
 // Call executes a read-only contract call outside a transaction (like
 // eth_call): no gas accounting against a block, no state-root change

@@ -21,6 +21,17 @@ var (
 // MultiBankAddress is the on-chain account of the multi-pool bank.
 const MultiBankAddress = "multibank"
 
+// BankAddressFor returns the on-chain account a chain's bank deploys at:
+// the shared default for the single-tenant case (empty chain ID) and a
+// chain-scoped account ("multibank/<chainID>") under federation, where K
+// sidechains each deploy their own bank on one shared mainchain.
+func BankAddressFor(chainID string) string {
+	if chainID == "" {
+		return MultiBankAddress
+	}
+	return MultiBankAddress + "/" + chainID
+}
+
 // PoolReserves is one pool's stored balance pair.
 type PoolReserves struct {
 	Reserve0 u256.Int
@@ -59,6 +70,12 @@ type MultiBank struct {
 	Retain int
 	// compacted is the highest epoch already compacted away.
 	compacted uint64
+
+	// addr is the on-chain account the bank answers to; empty means the
+	// single-tenant default (MultiBankAddress). Federated deployments give
+	// each chain's bank its own account via WithAddress so K banks coexist
+	// on one shared mainchain with independent accounting and retention.
+	addr string
 }
 
 // NewMultiBank deploys the bank over the registered pool IDs with the
@@ -79,8 +96,20 @@ func NewMultiBank(poolIDs []string, genesisKey tsig.GroupKey) *MultiBank {
 	return b
 }
 
+// WithAddress rebinds the bank to a chain-scoped on-chain account (see
+// BankAddressFor) and returns the bank. Must be called before Deploy.
+func (b *MultiBank) WithAddress(addr string) *MultiBank {
+	b.addr = addr
+	return b
+}
+
 // Name implements Contract.
-func (b *MultiBank) Name() string { return MultiBankAddress }
+func (b *MultiBank) Name() string {
+	if b.addr != "" {
+		return b.addr
+	}
+	return MultiBankAddress
+}
 
 // MultiSyncArgs carries one chunk of an epoch's per-pool summaries, the
 // folded summary root over ALL pools, the issuing committee's TSQC

@@ -26,6 +26,12 @@ const (
 	// share (vote-then-stall). Up to f stalling replicas cost nothing —
 	// the quorum completes without them; more would stall the round.
 	VoteStall
+	// DelayedEquivocate sits on the proposal for half the view-change
+	// window, then equivocates like Equivocate. The committee wastes the
+	// silent wait AND the doomed split-digest round before its timers
+	// force a view change — strictly more time-burning than Silent or
+	// Equivocate alone, the worst-case single-leader delay strategy.
+	DelayedEquivocate
 )
 
 // String names the behavior for logs and experiment tables.
@@ -41,6 +47,8 @@ func (b Byzantine) String() string {
 		return "equivocate"
 	case VoteStall:
 		return "vote-stall"
+	case DelayedEquivocate:
+		return "delayed-equivocate"
 	default:
 		return "unknown"
 	}

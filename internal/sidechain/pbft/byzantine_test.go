@@ -104,6 +104,46 @@ func TestEquivocatingLeaderDeposed(t *testing.T) {
 	}
 }
 
+// TestDelayedEquivocatorDeposed pins the delayed-equivocation strategy:
+// the leader sits silent for half the view-change window, then splits the
+// committee with conflicting digests. Safety holds (neither digest
+// finalizes), the committee still deposes the leader on its regular
+// timers, and the decision lands strictly later than under an immediate
+// equivocator — the delay is the point of the strategy.
+func TestDelayedEquivocatorDeposed(t *testing.T) {
+	decideAt := func(b Byzantine) (time.Duration, int) {
+		c := newCluster(t, 1, 500*time.Millisecond)
+		for _, r := range c.replicas {
+			r.cfg.Digest = digestHook
+		}
+		c.replicas[0].cfg.Behavior = b
+		c.reproposeOnPromotion(t, 1, "converged-block")
+		c.expectAll(1)
+		if err := c.replicas[0].Propose(1, "converged-block", DigestOf([]byte("converged-block")), 100); err != nil {
+			t.Fatal(err)
+		}
+		c.sim.RunUntil(5 * time.Second)
+		c.assertAllDecided(t, 1, "converged-block")
+		for _, r := range c.replicas {
+			if ds := c.decided[r.cfg.ID]; len(ds) == 1 && ds[0].View == 0 {
+				t.Errorf("%s decided in the equivocator's view", r.cfg.ID)
+			}
+		}
+		return c.decided["m1"][0].DecidedAt, c.replicas[1].View()
+	}
+	delayedAt, _ := decideAt(DelayedEquivocate)
+	immediateAt, _ := decideAt(Equivocate)
+	if delayedAt < immediateAt {
+		t.Errorf("delayed equivocation decided at %s, before immediate equivocation's %s",
+			delayedAt, immediateAt)
+	}
+	// Determinism: the same strategy reruns to the same decision instant.
+	again, _ := decideAt(DelayedEquivocate)
+	if again != delayedAt {
+		t.Errorf("delayed equivocation decision instant diverged: %s vs %s", again, delayedAt)
+	}
+}
+
 func TestVoteStallWithinBudgetDecides(t *testing.T) {
 	c := newCluster(t, 1, time.Second)
 	c.replicas[4].cfg.Behavior = VoteStall // f=1 stalling follower

@@ -240,28 +240,21 @@ func (r *Replica) Propose(seq uint64, payload any, digest [32]byte, size int) er
 	case CorruptDigest:
 		digest[0] ^= 0xff
 	case Equivocate:
-		r.proposal = payload
-		r.proposalSeq = seq
-		r.proposalDig = digest
-		r.prepareShares = make(map[int]tsig.PartialSig)
-		r.commitShares = make(map[int]tsig.PartialSig)
-		r.prepareDone = false
-		// Conflicting digests to the two halves of the committee; neither
-		// can gather a 2f+2 prepare quorum.
-		flipped := digest
-		flipped[0] ^= 0xff
-		for i, id := range r.cfg.Members {
-			if id == r.cfg.ID {
-				continue
+		r.equivocate(seq, payload, digest, size)
+		return nil
+	case DelayedEquivocate:
+		// Burn half the view-change window in silence first, then run the
+		// doomed split-digest round; the committee's timers still fire on
+		// schedule, so the view change lands at the same deterministic
+		// instant — but the replicas spend the wait processing a round
+		// that can never gather a quorum.
+		view := r.view
+		r.sim.After(r.cfg.Timeout/2, func() {
+			if r.stopped || r.decided[seq] || r.view != view {
+				return
 			}
-			d := digest
-			if i >= len(r.cfg.Members)/2 {
-				d = flipped
-			}
-			m := &Msg{Kind: msgPropose, View: r.view, Seq: seq, Digest: d, Payload: payload, Size: size}
-			r.net.Send(r.cfg.ID, id, size, m)
-		}
-		r.handle(r.cfg.ID, &Msg{Kind: msgPropose, View: r.view, Seq: seq, Digest: digest, Payload: payload, Size: size})
+			r.equivocate(seq, payload, digest, size)
+		})
 		return nil
 	}
 	r.proposal = payload
@@ -275,6 +268,33 @@ func (r *Replica) Propose(seq uint64, payload any, digest [32]byte, size int) er
 	// Process own proposal locally (leader's prepare share).
 	r.handle(r.cfg.ID, m)
 	return nil
+}
+
+// equivocate sends one digest to half the committee and a conflicting
+// digest to the other half; neither can gather a 2f+2 prepare quorum, so
+// the round stalls into a view change. Shared by the Equivocate and
+// DelayedEquivocate leader strategies.
+func (r *Replica) equivocate(seq uint64, payload any, digest [32]byte, size int) {
+	r.proposal = payload
+	r.proposalSeq = seq
+	r.proposalDig = digest
+	r.prepareShares = make(map[int]tsig.PartialSig)
+	r.commitShares = make(map[int]tsig.PartialSig)
+	r.prepareDone = false
+	flipped := digest
+	flipped[0] ^= 0xff
+	for i, id := range r.cfg.Members {
+		if id == r.cfg.ID {
+			continue
+		}
+		d := digest
+		if i >= len(r.cfg.Members)/2 {
+			d = flipped
+		}
+		m := &Msg{Kind: msgPropose, View: r.view, Seq: seq, Digest: d, Payload: payload, Size: size}
+		r.net.Send(r.cfg.ID, id, size, m)
+	}
+	r.handle(r.cfg.ID, &Msg{Kind: msgPropose, View: r.view, Seq: seq, Digest: digest, Payload: payload, Size: size})
 }
 
 // ExpectDecision arms the view-change timeout for seq: if no decision

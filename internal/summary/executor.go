@@ -89,6 +89,25 @@ func (e *Executor) AddDeposit(user string, amount0, amount1 u256.Int) {
 	d.Amount1 = u256.Add(d.Amount1, amount1)
 }
 
+// WithdrawDeposit debits a user's epoch deposit — the origin-chain half
+// of a cross-chain transfer. It fails with ErrInsufficientDeposit (no
+// state change) when the remaining deposit does not cover the amounts,
+// and ErrUnknownUser when the user never deposited.
+func (e *Executor) WithdrawDeposit(user string, amount0, amount1 u256.Int) error {
+	d := e.Deposits[user]
+	if d == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownUser, user)
+	}
+	r0, under0 := u256.SubUnderflow(d.Amount0, amount0)
+	r1, under1 := u256.SubUnderflow(d.Amount1, amount1)
+	if under0 || under1 {
+		return fmt.Errorf("%w: withdraw (%s,%s) exceeds deposit (%s,%s)",
+			ErrInsufficientDeposit, amount0, amount1, d.Amount0, d.Amount1)
+	}
+	d.Amount0, d.Amount1 = r0, r1
+	return nil
+}
+
 // Apply validates and executes one transaction at the given sidechain
 // round. On error the transaction is rejected with no state change.
 func (e *Executor) Apply(tx *Tx, round uint64) error {

@@ -22,6 +22,12 @@
 #     real PBFT over netsim costs threshold crypto + message fan-out per
 #     agreement, and the gate tracks the ratio against the baseline so
 #     the live path cannot quietly balloon)
+#   - federation: BenchmarkFederation at K=1 vs K=4 sidechains on one
+#     shared mainchain (JSON adds federation_contention_ratio =
+#     ns(k=4)/ns(k=1); four tenants contending for the shared packer
+#     should cost ~linear in K, and the gate tracks the ratio against
+#     the baseline so shared-chain contention cannot quietly go
+#     super-linear)
 #   - lifecycle tracing: EpochClose/trace-overhead (a PAIRED benchmark —
 #     each iteration closes one epoch untraced and one traced back to
 #     back and reports the ratio as a custom overhead_pct metric; the
@@ -114,8 +120,22 @@ fidelity=$(go test -run='^$' \
   -benchtime="$FIDELITYTIME" -benchmem -count="$BENCHCOUNT" ./internal/core/)
 echo "$fidelity"
 
+# One Federation op is a full K-member federated run (~4 ms at K=1,
+# ~10 ms at K=4), cheap enough for the EpochPersist treatment: a high
+# iteration floor holds the K4/K1 contention ratio steady against
+# load spikes.
+FEDERATIONTIME="$BENCHTIME"
+case "$FEDERATIONTIME" in
+  *x) ;;
+  *) FEDERATIONTIME=16x ;;
+esac
+federation=$(go test -run='^$' \
+  -bench='BenchmarkFederation' \
+  -benchtime="$FEDERATIONTIME" -benchmem -count="$BENCHCOUNT" ./internal/federation/)
+echo "$federation"
+
 cpu_model=$(awk -F': *' '/model name/ { print $2; exit }' /proc/cpuinfo 2>/dev/null || echo unknown)
-printf '%s\n%s\n%s\n%s\n%s\n%s\n' "$out" "$submit" "$pipe" "$persist" "$tracer" "$fidelity" | awk -v cpus="$(nproc 2>/dev/null || echo 1)" -v cpu_model="$cpu_model" '
+printf '%s\n%s\n%s\n%s\n%s\n%s\n%s\n' "$out" "$submit" "$pipe" "$persist" "$tracer" "$fidelity" "$federation" | awk -v cpus="$(nproc 2>/dev/null || echo 1)" -v cpu_model="$cpu_model" '
 # Each benchmark runs -count times; keep the MINIMUM ns/op per name.
 # On a shared single-CPU host a whole 2s benchmark window can run 20%
 # slow from background load, which no per-window iteration count fixes;
@@ -173,6 +193,11 @@ END {
   fl = nsv["BenchmarkConsensusFidelity/fidelity=live"]
   if (fm != "" && fl != "" && fm + 0 > 0) {
     printf(",\n  \"live_fidelity_slowdown\": %.2f", fl / fm)
+  }
+  k1 = nsv["BenchmarkFederation/k=1"]
+  k4 = nsv["BenchmarkFederation/k=4"]
+  if (k1 != "" && k4 != "" && k1 + 0 > 0) {
+    printf(",\n  \"federation_contention_ratio\": %.2f", k4 / k1)
   }
   # trace_overhead_pct: median of the paired trace-overhead repeats.
   # (Never derived from the separate incremental/traced sub-benchmarks:

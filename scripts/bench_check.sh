@@ -229,6 +229,32 @@ else
   fi
 fi
 
+# Federation contention ratio introduced with the PR 8 federation
+# subsystem: federation_contention_ratio = ns(K=4)/ns(K=1) for a full
+# federated run, a ratio of two CPU-bound paths in the same binary
+# (load- and machine-immune like the fidelity ratio). Four tenants on
+# one shared mainchain should cost ~linear in K; gated against the
+# committed baseline's recorded value (REGRESSION_PCT headroom) so
+# shared-chain contention cannot quietly turn super-linear.
+fedr=$(jq -r '.federation_contention_ratio // empty' "$current")
+fedr_base=$(jq -r '.federation_contention_ratio // empty' "$BASELINE")
+if [ -z "$fedr" ]; then
+  echo "  FAIL  federation_contention_ratio missing from bench output"
+  fail=1
+elif [ -z "$fedr_base" ]; then
+  echo "  NOTE  federation_contention_ratio = ${fedr}x (baseline $BASELINE predates"
+  echo "        the metric; recorded but not enforced)"
+else
+  ok=$(awk -v c="$fedr" -v b="$fedr_base" -v t="$REGRESSION_PCT" \
+    'BEGIN { print (b > 0 && c > b * (1 + t/100)) ? "regress" : "ok" }')
+  if [ "$ok" = "ok" ]; then
+    echo "  ok    federation_contention_ratio = ${fedr}x (baseline ${fedr_base}x, +${REGRESSION_PCT}% headroom)"
+  else
+    echo "  FAIL  federation_contention_ratio = ${fedr}x > baseline ${fedr_base}x + ${REGRESSION_PCT}%"
+    fail=1
+  fi
+fi
+
 # Lifecycle-tracing overhead bound introduced with the PR 6 tracer:
 # traced epoch closes must stay within 3% of untraced. Measured PAIRED
 # (EpochClose/trace-overhead alternates untraced/traced closes inside
