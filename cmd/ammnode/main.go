@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -247,7 +248,7 @@ func attachEpochTraffic(ms *core.MultiSystem, seed int64, perEpoch int) {
 				ZeroForOne: rng.Intn(2) == 0, ExactIn: true,
 				Amount: u256.FromUint64(uint64(rng.Intn(1_000_000) + 1)),
 			}
-			if _, err := ms.Submit(tx); err != nil {
+			if _, err := ms.Submit(context.Background(), tx); err != nil {
 				fmt.Fprintf(os.Stderr, "ammnode: submit: %v\n", err)
 				return
 			}

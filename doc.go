@@ -8,6 +8,30 @@
 // with receipt-returning submission, typed lifecycle errors out of Run,
 // and subscribable epoch lifecycle events.
 //
+// Submission is a concurrent serving path: Submit(ctx, tx) and
+// SubmitBatch(ctx, txs) are safe from any number of producer
+// goroutines while the lifecycle runs. Admitted transactions land in a
+// bounded segmented mempool drained at round boundaries in a canonical
+// global order (an N-producer run replays bit-identically from its
+// arrival log — DESIGN.md invariant 13); a saturated node pushes back
+// with typed, programmable errors instead of blocking forever.
+// Backpressure quickstart:
+//
+//	res, err := node.SubmitBatch(ctx, batch) // partial-accept
+//	for errors.Is(err, chain.ErrThrottled) { // whole batch shed
+//	    var ae *chain.AdmissionError
+//	    errors.As(err, &ae)
+//	    time.Sleep(ae.RetryAfter) // hint derived from the drain cadence
+//	    res, err = node.SubmitBatch(ctx, batch)
+//	}
+//	// A nil err can still leave ErrMempoolFull in res.Errs for the
+//	// batch's tail — admission is order-preserving, so resubmit from
+//	// the first failed index after the hint.
+//
+// (see cmd/trafficgen -load for a multi-producer client built on this
+// loop, and chain.WithIngestCapacity / WithIngestSoftMark /
+// WithIngestMaxWait for the admission policy knobs).
+//
 // The multi-pool backend pipelines its epoch lifecycle: with
 // chain.Config.PipelineDepth >= 2 (default 2), a finished epoch's
 // commitment build, sync chunking, and TSQC signing run on an
@@ -64,6 +88,6 @@
 // layer, the sharded multi-pool engine, its incremental state-commitment
 // subsystem, the pipelined lifecycle, the durable store, and the
 // observability surface) and EXPERIMENTS.md for the paper-vs-measured
-// results plus the BENCH_PR2.json–BENCH_PR6.json perf records and the
+// results plus the BENCH_PR2.json–BENCH_PR9.json perf records and the
 // CI perf-regression gate.
 package ammboost

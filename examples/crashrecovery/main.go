@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -66,7 +67,7 @@ func drive(node chain.Chain) {
 				ZeroForOne: rng.Intn(2) == 0, ExactIn: true,
 				Amount: u256.FromUint64(uint64(rng.Intn(800_000) + 1)),
 			}
-			if _, err := ms.Submit(tx); err != nil {
+			if _, err := ms.Submit(context.Background(), tx); err != nil {
 				fmt.Fprintf(os.Stderr, "submit: %v\n", err)
 				os.Exit(1)
 			}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -53,13 +54,13 @@ func main() {
 
 	// Submission-time validation returns typed errors before anything
 	// reaches the queue.
-	if _, err := node.Submit(&summary.Tx{ID: "bad", Kind: gasmodel.KindSwap, User: "user-000"}); err == nil {
+	if _, err := node.Submit(context.Background(), &summary.Tx{ID: "bad", Kind: gasmodel.KindSwap, User: "user-000"}); err == nil {
 		log.Fatal("zero-amount swap should be rejected at submission")
 	}
 
 	// A well-formed transaction yields a receipt the lifecycle advances:
 	// Pending → Executed → Checkpointed → Synced → Pruned.
-	rc, err := node.Submit(&summary.Tx{
+	rc, err := node.Submit(context.Background(), &summary.Tx{
 		ID: "quickstart-swap", Kind: gasmodel.KindSwap, User: "user-000",
 		ZeroForOne: true, ExactIn: true, Amount: u256.FromUint64(1000),
 	})

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -59,7 +60,7 @@ func main() {
 		roundStart := time.Duration(r) * rd
 		for i := 0; i < rho; i++ {
 			at := roundStart + time.Duration(float64(rd)*float64(i)/float64(rho))
-			node.Sim().At(at, func() { node.Submit(gen.Next()) })
+			node.Sim().At(at, func() { node.Submit(context.Background(), gen.Next()) })
 		}
 	}
 	rep, err := node.Run(epochs)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,7 +40,7 @@ func main() {
 	}
 
 	// One receipt to follow end to end.
-	rc, err := node.Submit(&summary.Tx{
+	rc, err := node.Submit(context.Background(), &summary.Tx{
 		ID: "watched-swap", Kind: gasmodel.KindSwap,
 		User: gen.Users()[0], PoolID: node.PoolIDs()[0],
 		ZeroForOne: true, ExactIn: true, Amount: u256.FromUint64(5000),

@@ -1,6 +1,7 @@
 package chain
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http/httptest"
@@ -21,10 +22,21 @@ type busNode struct {
 	bus *Bus
 }
 
-func (n *busNode) Submit(*summary.Tx) (*Receipt, error) { return nil, ErrMalformedTx }
+func (n *busNode) Submit(context.Context, *summary.Tx) (*Receipt, error) {
+	return nil, ErrMalformedTx
+}
+func (n *busNode) SubmitBatch(_ context.Context, txs []*summary.Tx) (*BatchResult, error) {
+	res := &BatchResult{Receipts: make([]*Receipt, len(txs)), Errs: make([]error, len(txs))}
+	for i := range txs {
+		res.Errs[i] = ErrMalformedTx
+	}
+	return res, nil
+}
 func (n *busNode) SubmitDeposit(string, uint64, u256.Int, u256.Int) (*Receipt, error) {
 	return nil, ErrMalformedTx
 }
+func (n *busNode) Claimable(string) (u256.Int, u256.Int) { return u256.Int{}, u256.Int{} }
+func (n *busNode) ClaimRefund(string) (*Receipt, error)  { return nil, ErrNoEscrow }
 func (n *busNode) Subscribe(mask EventMask) <-chan Event { return n.bus.Subscribe(mask) }
 func (n *busNode) Unsubscribe(ch <-chan Event)           { n.bus.Unsubscribe(ch) }
 func (n *busNode) Run(int) (*Report, error)              { return &Report{}, nil }

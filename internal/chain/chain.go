@@ -8,9 +8,21 @@
 // panics, and the epoch machinery publishes observable Events
 // (EpochStart, MetaBlock, SummaryBlock, SyncSubmitted, SyncConfirmed,
 // Pruned) through Subscribe.
+//
+// Submit and SubmitBatch are the node's serving path: safe for many
+// concurrent producer goroutines while the epoch lifecycle runs
+// underneath. Admission is explicit — a full or throttled mempool turns
+// producers away with a typed *AdmissionError (ErrMempoolFull,
+// ErrThrottled) carrying a retry hint instead of growing the queue
+// without bound, and a producer blocked on backpressure can cancel
+// through its context (ErrCanceled). Concurrent arrivals are sequenced
+// into one canonical order at each round boundary, so an N-producer run
+// and a single-producer replay of the same arrival log (ArrivalLog)
+// compute bit-identical state (DESIGN.md invariant 13).
 package chain
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -37,6 +49,72 @@ var (
 	// node.
 	ErrHalted = errors.New("chain: node halted after lifecycle fault")
 )
+
+// Admission-control errors: the ingest front end's typed backpressure
+// surface. Each reaches the caller wrapped in an *AdmissionError carrying
+// the retry hint and the mempool occupancy observed at rejection; match
+// with errors.Is against these sentinels.
+var (
+	// ErrMempoolFull rejects a submission the mempool had no room for
+	// within the admission wait window. Back off for the error's
+	// RetryAfter hint (roughly one round: the next drain boundary) and
+	// resubmit.
+	ErrMempoolFull = errors.New("chain: mempool at capacity")
+	// ErrThrottled sheds a whole batch arriving while occupancy is above
+	// the soft high-water mark — load shedding before the hard capacity
+	// wall, distinct from ErrMempoolFull so clients can treat it as
+	// "slow down" rather than "drop".
+	ErrThrottled = errors.New("chain: ingest throttled above soft mark")
+	// ErrCanceled reports that the producer's context ended while the
+	// submission was blocked on admission control — distinct from
+	// ErrMempoolFull: the caller gave up, the node did not turn it away.
+	ErrCanceled = errors.New("chain: submission canceled by caller")
+	// ErrClosed rejects submissions after the ingest front end closed:
+	// the run completed its planned epochs and drained, or Close was
+	// called. (A node that halted on a lifecycle fault reports ErrHalted
+	// instead.)
+	ErrClosed = errors.New("chain: ingest closed")
+)
+
+// Escrow-claim errors (the federation escrow surface).
+var (
+	// ErrNoEscrow rejects Claimable/ClaimRefund on a node with no
+	// federation escrow attached (single-tenant deployments, or the
+	// single-pool backend).
+	ErrNoEscrow = errors.New("chain: no federation escrow attached")
+	// ErrNothingClaimable rejects a claim for a user with no parked
+	// refund balance on this chain's claimable ledger.
+	ErrNothingClaimable = errors.New("chain: nothing claimable")
+)
+
+// AdmissionError is the typed backpressure error Submit and SubmitBatch
+// return when admission control turns a submission away. Err is one of
+// the admission sentinels (ErrMempoolFull, ErrThrottled, ErrCanceled,
+// ErrClosed) — errors.Is matches through it — and the remaining fields
+// tell the producer what the front door looked like and when to come
+// back.
+type AdmissionError struct {
+	// Err is the admission sentinel classifying the rejection.
+	Err error
+	// RetryAfter hints when the producer should retry: roughly one round
+	// duration, the cadence at which the lifecycle drains the mempool.
+	// Zero for rejections where retrying is pointless (ErrClosed).
+	RetryAfter time.Duration
+	// Occupancy and Capacity snapshot the mempool at rejection time.
+	Occupancy int
+	Capacity  int
+}
+
+// Error renders the rejection with its occupancy snapshot and hint.
+func (e *AdmissionError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("%v (occupancy %d/%d, retry after %s)", e.Err, e.Occupancy, e.Capacity, e.RetryAfter)
+	}
+	return fmt.Sprintf("%v (occupancy %d/%d)", e.Err, e.Occupancy, e.Capacity)
+}
+
+// Unwrap exposes the admission sentinel to errors.Is/errors.As.
+func (e *AdmissionError) Unwrap() error { return e.Err }
 
 // Lifecycle errors: typed sentinels that propagate through the sim
 // scheduler and out of Run, replacing the former panic sites, so
@@ -149,6 +227,39 @@ type Receipt struct {
 	Err error
 }
 
+// BatchResult is SubmitBatch's per-transaction outcome set. Partial
+// accept is the norm: index i of Receipts and Errs describes input
+// transaction i, exactly one of the two is non-nil, and Accepted counts
+// the entries that entered the mempool. Per-transaction validation
+// failures (ErrMalformedTx, ErrUnknownPool, ErrUnfundedUser) and
+// admission failures partway through the batch land in Errs without
+// failing the call; SubmitBatch itself errors only when the whole batch
+// was refused up front (node halted or closed, batch throttled, context
+// already done).
+type BatchResult struct {
+	// Receipts[i] is transaction i's lifecycle receipt (nil if Errs[i]
+	// is set).
+	Receipts []*Receipt
+	// Errs[i] is transaction i's rejection (nil if accepted). Once one
+	// transaction fails admission, the batch's remaining transactions
+	// carry the same error: admission is order-preserving, so nothing
+	// after the failure point was attempted.
+	Errs []error
+	// Accepted counts the transactions that entered the mempool.
+	Accepted int
+}
+
+// FirstErr returns the first per-transaction rejection, or nil when the
+// whole batch was accepted.
+func (r *BatchResult) FirstErr() error {
+	for _, err := range r.Errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // PoolInfo is the queryable state of one registered pool.
 type PoolInfo struct {
 	ID        string
@@ -163,10 +274,21 @@ type PoolInfo struct {
 // only.
 type Chain interface {
 	// Submit validates the transaction up front (unknown pool, malformed
-	// amounts, unfunded user) and queues it, returning the receipt whose
-	// status the lifecycle advances. The error is one of the
-	// submission-time sentinels above.
-	Submit(tx *summary.Tx) (*Receipt, error)
+	// amounts, unfunded user) and admits it into the mempool, returning
+	// the receipt whose status the lifecycle advances. Safe for many
+	// concurrent producer goroutines. The error is a submission-time
+	// validation sentinel or a typed *AdmissionError (ErrMempoolFull,
+	// ErrThrottled, ErrCanceled, ErrClosed); ctx cancels a submission
+	// blocked on backpressure. Submit is the single-transaction form of
+	// SubmitBatch, with identical admission semantics.
+	Submit(ctx context.Context, tx *summary.Tx) (*Receipt, error)
+	// SubmitBatch validates and admits many transactions in one call,
+	// amortizing per-call overhead, with partial-accept semantics: the
+	// BatchResult reports each transaction's receipt or rejection. The
+	// error return is reserved for whole-batch refusals (ErrHalted,
+	// ErrClosed, ErrThrottled, a context already done) — per-transaction
+	// failures never fail the call. Safe for concurrent producers.
+	SubmitBatch(ctx context.Context, txs []*summary.Tx) (*BatchResult, error)
 	// SubmitDeposit funds a user's epoch deposit. On the single-pool
 	// backend this runs the full mainchain deposit flow and the receipt
 	// reaches StatusSynced at confirmation; on the multi-pool backend the
@@ -210,6 +332,21 @@ type Chain interface {
 	PoolInfo(poolID string) (PoolInfo, bool)
 	// Positions lists the bank's synced liquidity positions.
 	Positions() []summary.PositionEntry
+
+	// Claimable reports the user's parked cross-chain refund balance on
+	// the federation escrow's per-chain claimable ledger — funds a
+	// refunded transfer could not re-credit because this chain was down.
+	// Zeroes when no escrow is attached or nothing is parked.
+	Claimable(user string) (amount0, amount1 u256.Int)
+	// ClaimRefund consumes the user's full claimable balance through a
+	// mainchain escrow claim and re-credits it as a deposit on this
+	// chain once the claim confirms — how a revived origin chain's users
+	// recover refunds parked while the chain was down. Call it from the
+	// simulator goroutine (like SubmitDeposit) while the node is
+	// running; the receipt reaches StatusSynced when the re-credit
+	// lands. Errors: ErrNoEscrow (no escrow attached — single-tenant
+	// nodes and the single-pool backend), ErrNothingClaimable, ErrHalted.
+	ClaimRefund(user string) (*Receipt, error)
 }
 
 // CheckTx performs the backend-independent shape validation Submit

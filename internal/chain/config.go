@@ -170,6 +170,25 @@ type Config struct {
 	// the last <n epochs on a crash for lower epoch-close latency.
 	StoreFsyncEvery int
 
+	// Ingest front end (both backends): the thread-safe admission layer
+	// in front of the epoch lifecycle. IngestCapacity bounds the mempool
+	// (default 1M transactions); a producer finding it full blocks up to
+	// IngestMaxWait wall-clock (default 10 ms) for a drain, then gets a
+	// typed ErrMempoolFull with a retry hint. IngestSoftMark, when set
+	// below capacity, sheds whole batches arriving above it with
+	// ErrThrottled — load shedding before the hard wall (default:
+	// disabled). IngestSegments spreads producer append contention
+	// across that many mempool segments (default 8); segmentation never
+	// affects ordering — a global admission sequence fixes the canonical
+	// order regardless of segment count.
+	IngestCapacity int
+	IngestSoftMark int
+	IngestMaxWait  time.Duration
+	IngestSegments int
+	// ArrivalLog, when non-nil, records the canonical arrival order at
+	// every drain boundary for single-producer replay (invariant 13).
+	ArrivalLog *ArrivalLog
+
 	// Tracer, when non-nil, records a span per lifecycle stage per epoch
 	// (submit, per-shard execute, seal, commit build, chunking, signing,
 	// store append/fsync, sync submit/confirm, prune) with bounded
@@ -267,6 +286,18 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.StoreFsyncEvery < 1 {
 		c.StoreFsyncEvery = 1
+	}
+	if c.IngestCapacity == 0 {
+		c.IngestCapacity = 1 << 20
+	}
+	if c.IngestSoftMark <= 0 || c.IngestSoftMark > c.IngestCapacity {
+		c.IngestSoftMark = c.IngestCapacity // soft-mark shedding off
+	}
+	if c.IngestMaxWait == 0 {
+		c.IngestMaxWait = 10 * time.Millisecond
+	}
+	if c.IngestSegments <= 0 {
+		c.IngestSegments = 8
 	}
 	if c.TraceBuffer <= 0 {
 		c.TraceBuffer = trace.DefaultRetention
@@ -385,6 +416,27 @@ func WithTracer(tr *trace.Tracer) Option { return func(c *Config) { c.Tracer = t
 // WithTraceBuffer bounds the tracer's retained-epoch window.
 func WithTraceBuffer(epochs int) Option { return func(c *Config) { c.TraceBuffer = epochs } }
 
+// WithIngestCapacity bounds the concurrent mempool (hard admission
+// wall).
+func WithIngestCapacity(n int) Option { return func(c *Config) { c.IngestCapacity = n } }
+
+// WithIngestSoftMark sets the soft high-water mark above which whole
+// batches are shed with ErrThrottled (must be below the capacity to
+// have any effect).
+func WithIngestSoftMark(n int) Option { return func(c *Config) { c.IngestSoftMark = n } }
+
+// WithIngestMaxWait bounds how long a producer blocks on a full mempool
+// before ErrMempoolFull (wall-clock; negative disables blocking).
+func WithIngestMaxWait(d time.Duration) Option { return func(c *Config) { c.IngestMaxWait = d } }
+
+// WithIngestSegments sets the mempool segment count producers spread
+// their append contention across.
+func WithIngestSegments(n int) Option { return func(c *Config) { c.IngestSegments = n } }
+
+// WithArrivalLog records the canonical drain-boundary arrival order for
+// single-producer replay (invariant 13).
+func WithArrivalLog(l *ArrivalLog) Option { return func(c *Config) { c.ArrivalLog = l } }
+
 // Report is the unified run summary both backends return from Run.
 // Fields that only one backend produces are zero on the other
 // (MassSyncs/ViewChanges/SidechainUnpruned are single-pool;
@@ -415,6 +467,15 @@ type Report struct {
 	ViewChanges int
 	Rejected    int
 	QueuePeak   int
+
+	// Ingest front-end telemetry: admission outcomes across the run
+	// (producer-side counters folded in at report time) and the peak
+	// mempool occupancy admission control observed.
+	IngestAdmitted  uint64
+	IngestRejFull   uint64
+	IngestThrottled uint64
+	IngestCanceled  uint64
+	IngestPeak      int
 
 	// NetStats is the live committee network's traffic summary (zero for
 	// model-fidelity runs: no messages actually flow there).

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -143,7 +144,7 @@ func TestSubmitValidatesUpFront(t *testing.T) {
 			Amount: u256.FromUint64(10)}, chain.ErrUnfundedUser},
 	}
 	for _, tc := range cases {
-		rc, err := sys.Submit(tc.tx)
+		rc, err := sys.Submit(context.Background(), tc.tx)
 		if !errors.Is(err, tc.want) {
 			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
 		}
@@ -168,7 +169,7 @@ func TestReceiptLifecycle(t *testing.T) {
 	}
 	// Submitted at t=0, consumed by epoch 1 round 1 — the silent-leader
 	// round, so execution lands only after the view change.
-	good, err := sys.Submit(&summary.Tx{
+	good, err := sys.Submit(context.Background(), &summary.Tx{
 		ID: "rc-good", Kind: gasmodel.KindSwap, User: "user-000",
 		ZeroForOne: true, ExactIn: true, Amount: u256.FromUint64(100),
 	})
@@ -177,7 +178,7 @@ func TestReceiptLifecycle(t *testing.T) {
 	}
 	// Well-formed but executor-rejected: burning a position that does
 	// not exist.
-	bad, err := sys.Submit(&summary.Tx{
+	bad, err := sys.Submit(context.Background(), &summary.Tx{
 		ID: "rc-bad", Kind: gasmodel.KindBurn, User: "user-000",
 		PosID: "no-such-position", BurnFractionBps: 10_000,
 	})
@@ -271,7 +272,7 @@ func TestSyncRevertSurfacesTypedError(t *testing.T) {
 		t.Errorf("halt event = %+v", ev)
 	}
 	// Submissions after the halt are refused.
-	if _, err := sys.Submit(&summary.Tx{ID: "late", Kind: gasmodel.KindSwap,
+	if _, err := sys.Submit(context.Background(), &summary.Tx{ID: "late", Kind: gasmodel.KindSwap,
 		User: "user-000", Amount: u256.FromUint64(1)}); !errors.Is(err, chain.ErrHalted) {
 		t.Errorf("post-halt submit err = %v, want ErrHalted", err)
 	}

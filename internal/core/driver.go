@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -134,7 +135,9 @@ func (d *Driver) fundThrough(target uint64) {
 // exact waste the gate removes; the rejections are honest and visible
 // in Report.Rejected.
 func (d *Driver) onEpochStart(epoch uint64) {
-	if int(epoch) < d.cfg.Epochs || len(d.sys.queue) > d.rho {
+	// pendingTxs counts the ingest pool too: OnEpochStart fires before
+	// the first round's drain, so backlog may still sit in the pool.
+	if int(epoch) < d.cfg.Epochs || d.sys.pendingTxs() > d.rho {
 		d.fundThrough(epoch + 2)
 	}
 }
@@ -149,7 +152,7 @@ func (d *Driver) scheduleArrivals() {
 		for i := 0; i < d.rho; i++ {
 			at := roundStart + time.Duration(float64(rd)*float64(i)/float64(d.rho))
 			d.sys.Sim().At(at, func() {
-				if _, err := d.sys.Submit(d.gen.Next()); err == nil {
+				if _, err := d.sys.Submit(context.Background(), d.gen.Next()); err == nil {
 					d.Submitted++
 				}
 			})

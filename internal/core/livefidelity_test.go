@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -64,7 +65,7 @@ func runFidelity(t *testing.T, seed int64, epochs int, mutate func(*chain.Config
 		for i := 0; i < rho; i++ {
 			at := start + time.Duration(float64(sysCfg.RoundDuration)*float64(i)/float64(rho))
 			sys.Sim().At(at, func() {
-				if rc, err := sys.Submit(gen.Next()); err == nil {
+				if rc, err := sys.Submit(context.Background(), gen.Next()); err == nil {
 					recs = append(recs, rc)
 				}
 			})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -68,7 +69,7 @@ func TestLongRunBoundedHeap(t *testing.T) {
 				ZeroForOne: i%2 == 0, ExactIn: true,
 				Amount: u256.FromUint64(uint64(1000 + epoch%512)),
 			}
-			if _, err := sys.Submit(tx); err != nil {
+			if _, err := sys.Submit(context.Background(), tx); err != nil {
 				t.Errorf("submit epoch %d: %v", epoch, err)
 			}
 		}

@@ -1,15 +1,18 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"ammboost/internal/chain"
 	"ammboost/internal/engine"
 	"ammboost/internal/gasmodel"
+	"ammboost/internal/ingest"
 	"ammboost/internal/mainchain"
 	"ammboost/internal/metrics"
 	"ammboost/internal/netsim"
@@ -66,6 +69,15 @@ type MultiSystem struct {
 	ledger     *sidechain.Ledger
 	committees map[uint64]*committeeKeys
 	chainSeed  [32]byte
+
+	// ingest is the concurrent submission front end: producers admit
+	// from any goroutine; runRound drains it on the simulator goroutine
+	// at every round boundary and appends, in canonical admission order,
+	// to queue (which stays simulator-goroutine-only state).
+	ingest *ingest.Pool
+	// halted mirrors s.err != nil for concurrent submitters — s.err
+	// itself belongs to the simulator goroutine.
+	halted atomic.Bool
 
 	queue     []queuedTx
 	queuePeak int
@@ -136,6 +148,17 @@ type MultiSystem struct {
 
 	// OnEpochStart lets a driver keep generating traffic.
 	OnEpochStart func(epoch uint64)
+	// OnRoundStart fires on the simulator goroutine at each round's
+	// entry, BEFORE the round's ingest drain — the arrival-log replay
+	// hook: transactions submitted inside it land in exactly this
+	// round's drain boundary.
+	OnRoundStart func(epoch, round uint64)
+
+	// esc is the federation escrow serving Claimable/ClaimRefund (nil
+	// unless AttachEscrow was called); claimSeq numbers the claim
+	// transactions this node put on the mainchain.
+	esc      *mainchain.Escrow
+	claimSeq int
 }
 
 // pendingDeposit is a user's explicit deposit awaiting its target epoch
@@ -252,6 +275,13 @@ func newMultiSystem(shared *Shared, cfg chain.Config, users []string) (*MultiSys
 		tr:           cfg.Tracer,
 		SummaryRoots: make(map[uint64][32]byte),
 	}
+	s.ingest = ingest.New(ingest.Policy{
+		Capacity:  cfg.IngestCapacity,
+		SoftMark:  cfg.IngestSoftMark,
+		Segments:  cfg.IngestSegments,
+		MaxWait:   cfg.IngestMaxWait,
+		RetryHint: cfg.RoundDuration,
+	})
 	if shared != nil {
 		s.sim, s.mc = shared.Sim, shared.MC
 	} else {
@@ -391,6 +421,11 @@ func (s *MultiSystem) Unsubscribe(ch <-chan chain.Event) { s.bus.Unsubscribe(ch)
 func (s *MultiSystem) fail(err error) {
 	if s.err == nil {
 		s.err = err
+		s.halted.Store(true)
+		// Close the ingest pool: producers blocked on admission wake with
+		// ErrClosed (surfaced as ErrHalted) instead of waiting on drains
+		// that will never come.
+		s.ingest.Close()
 		if s.st != nil {
 			// Best-effort: the store may itself be the failing component.
 			_ = s.st.AppendHalt(s.epoch, err.Error())
@@ -451,8 +486,10 @@ func (s *MultiSystem) Err() error { return s.err }
 // fresh or in-memory nodes).
 func (s *MultiSystem) Recovery() *chain.RecoveryInfo { return s.recovered }
 
-// Close flushes and closes the durable store (no-op without one).
+// Close flushes and closes the durable store (no-op without one) and
+// closes the ingest pool so late producers get a typed refusal.
 func (s *MultiSystem) Close() error {
+	s.ingest.Close()
 	if s.st == nil {
 		return nil
 	}
@@ -461,40 +498,141 @@ func (s *MultiSystem) Close() error {
 	return err
 }
 
-// Submit validates the transaction up front (pool registration, shape,
-// known user) and queues it at the current virtual time.
-func (s *MultiSystem) Submit(tx *summary.Tx) (*chain.Receipt, error) {
-	if s.err != nil {
+// checkSubmit validates one transaction up front: shape, pool
+// registration, known user. It reads only registration state that is
+// immutable after construction, so it is safe from any producer
+// goroutine — the point of batched up-front validation is that the
+// simulator goroutine never pays it.
+func (s *MultiSystem) checkSubmit(tx *summary.Tx) error {
+	if err := chain.CheckTx(tx); err != nil {
+		return err
+	}
+	if tx.PoolID != "" && !s.poolSet[tx.PoolID] {
+		return fmt.Errorf("%w: %q", chain.ErrUnknownPool, tx.PoolID)
+	}
+	if !s.userSet[tx.User] {
+		return fmt.Errorf("%w: %s", chain.ErrUnfundedUser, tx.User)
+	}
+	return nil
+}
+
+// submitErr translates pool-closed rejections on a halted node into
+// ErrHalted: a producer racing the halt should see the lifecycle fault,
+// not a generic closed pool.
+func (s *MultiSystem) submitErr(err error) error {
+	if err != nil && s.halted.Load() && errors.Is(err, chain.ErrClosed) {
+		return chain.ErrHalted
+	}
+	return err
+}
+
+// Submit validates the transaction and admits it into the concurrent
+// ingest pool; the next round boundary drains it into the meta-block
+// queue. Safe to call from any goroutine — this is the node's serving
+// path. It is the single-transaction form of SubmitBatch and carries
+// the same admission semantics (typed backpressure, bounded blocking,
+// ctx cancellation).
+func (s *MultiSystem) Submit(ctx context.Context, tx *summary.Tx) (*chain.Receipt, error) {
+	if s.halted.Load() {
 		return nil, chain.ErrHalted
 	}
+	if err := s.checkSubmit(tx); err != nil {
+		return nil, err
+	}
+	rc := &chain.Receipt{TxID: tx.ID, PoolID: tx.PoolID, Status: chain.StatusPending}
+	if err := s.ingest.AdmitOne(ctx, ingest.Entry{Tx: tx, Rc: rc}); err != nil {
+		return nil, s.submitErr(err)
+	}
+	return rc, nil
+}
+
+// SubmitBatch validates the whole batch up front, then admits the valid
+// entries in order with partial-accept semantics: each transaction ends
+// with exactly one of a receipt or a typed error in the BatchResult.
+// The call-level error is reserved for whole-batch refusals (halted
+// node, closed pool, throttling above the soft mark, canceled context)
+// — the per-entry outcomes are still filled in when that happens.
+func (s *MultiSystem) SubmitBatch(ctx context.Context, txs []*summary.Tx) (*chain.BatchResult, error) {
+	if s.halted.Load() {
+		return nil, chain.ErrHalted
+	}
+	res := &chain.BatchResult{
+		Receipts: make([]*chain.Receipt, len(txs)),
+		Errs:     make([]error, len(txs)),
+	}
+	entries := make([]ingest.Entry, 0, len(txs))
+	idx := make([]int, 0, len(txs))
+	for i, tx := range txs {
+		if err := s.checkSubmit(tx); err != nil {
+			res.Errs[i] = err
+			continue
+		}
+		rc := &chain.Receipt{TxID: tx.ID, PoolID: tx.PoolID, Status: chain.StatusPending}
+		res.Receipts[i] = rc
+		entries = append(entries, ingest.Entry{Tx: tx, Rc: rc})
+		idx = append(idx, i)
+	}
+	n, errs, batchErr := s.ingest.Admit(ctx, entries)
+	res.Accepted = n
+	if batchErr != nil {
+		batchErr = s.submitErr(batchErr)
+		for _, i := range idx {
+			res.Receipts[i] = nil
+			res.Errs[i] = batchErr
+		}
+		return res, batchErr
+	}
+	for j, err := range errs { // nil slice when everything was admitted
+		if err == nil {
+			continue
+		}
+		i := idx[j]
+		res.Receipts[i] = nil
+		res.Errs[i] = s.submitErr(err)
+	}
+	return res, nil
+}
+
+// drainIngest merges the concurrent mempool into the meta-block queue
+// in canonical admission order, stamping arrival at the drain's virtual
+// time. Runs on the simulator goroutine at every round boundary; the
+// drain is also the point where the arrival log records the boundary
+// and the tracer accounts the epoch's submission span.
+func (s *MultiSystem) drainIngest() {
 	var start time.Duration
 	if s.tr != nil {
 		start = s.tr.Since()
 	}
-	if err := chain.CheckTx(tx); err != nil {
-		return nil, err
+	entries := s.ingest.Drain()
+	now := s.sim.Now()
+	for _, en := range entries {
+		en.Tx.SubmittedAt = now
+		en.Rc.SubmittedAt = now
+		s.queue = append(s.queue, queuedTx{tx: en.Tx, rc: en.Rc})
 	}
-	if tx.PoolID != "" && !s.poolSet[tx.PoolID] {
-		return nil, fmt.Errorf("%w: %q", chain.ErrUnknownPool, tx.PoolID)
-	}
-	if !s.userSet[tx.User] {
-		return nil, fmt.Errorf("%w: %s", chain.ErrUnfundedUser, tx.User)
-	}
-	tx.SubmittedAt = s.sim.Now()
-	rc := &chain.Receipt{TxID: tx.ID, PoolID: tx.PoolID, Status: chain.StatusPending, SubmittedAt: tx.SubmittedAt}
-	s.queue = append(s.queue, queuedTx{tx: tx, rc: rc})
 	if len(s.queue) > s.queuePeak {
 		s.queuePeak = len(s.queue)
 	}
-	if s.tr != nil {
+	s.col.ObserveIngestDepth(len(entries))
+	if s.cfg.ArrivalLog != nil {
+		txs := make([]*summary.Tx, len(entries))
+		for i := range entries {
+			txs[i] = entries[i].Tx
+		}
+		s.cfg.ArrivalLog.Record(now, txs)
+	}
+	if s.tr != nil && len(entries) > 0 {
 		if s.submitTxs == 0 {
 			s.submitFirst = start
 		}
-		s.submitTxs++
+		s.submitTxs += len(entries)
 		s.submitBusy += s.tr.Since() - start
 	}
-	return rc, nil
 }
+
+// pendingTxs counts transactions the lifecycle still owes a slot:
+// drained into the queue or waiting in the ingest pool.
+func (s *MultiSystem) pendingTxs() int { return len(s.queue) + s.ingest.Len() }
 
 // flushSubmitSpan records the epoch's aggregated submission-validation
 // span (accepted submissions since the last flush) and feeds the submit
@@ -638,6 +776,84 @@ func (s *MultiSystem) SubmitWithdraw(poolID, user string, amount0, amount1 u256.
 	return rc, nil
 }
 
+// AttachEscrow connects the federation's escrow contract so this node
+// can serve the claimable-refund surface (Claimable/ClaimRefund). The
+// federation runner attaches it when building each member; single-tenant
+// nodes have no escrow and answer ErrNoEscrow. A node revived outside
+// its original federation (restarted to claim parked refunds) owns its
+// mainchain, so the escrow is deployed there too when absent —
+// otherwise ClaimRefund's claim transaction would hit an unknown
+// contract.
+func (s *MultiSystem) AttachEscrow(esc *mainchain.Escrow) {
+	s.esc = esc
+	if s.mc.ContractByName(esc.Name()) == nil {
+		s.mc.Deploy(esc)
+	}
+}
+
+// Claimable reports the user's parked refund balance in the federation
+// escrow for this chain: funds a cross-chain transfer refunded while
+// this node was down. Zeroes without an escrow or balance.
+func (s *MultiSystem) Claimable(user string) (amount0, amount1 u256.Int) {
+	if s.esc == nil {
+		return u256.Int{}, u256.Int{}
+	}
+	res, ok := s.esc.Claimable[s.cfg.ChainID][user]
+	if !ok {
+		return u256.Int{}, u256.Int{}
+	}
+	return res.Reserve0, res.Reserve1
+}
+
+// ClaimRefund consumes the user's entire claimable balance from the
+// federation escrow and re-credits it as a deposit on this chain: the
+// revived-origin half of a refunded cross-chain transfer. It submits
+// the escrow claim transaction to the mainchain; the receipt reaches
+// StatusSynced when the on-chain claim confirms and the re-credit
+// lands. Like SubmitDeposit it runs on the simulator goroutine (call it
+// before Run/StartEpochs or from scheduled callbacks).
+func (s *MultiSystem) ClaimRefund(user string) (*chain.Receipt, error) {
+	if s.err != nil {
+		return nil, chain.ErrHalted
+	}
+	if s.esc == nil {
+		return nil, chain.ErrNoEscrow
+	}
+	if !s.userSet[user] {
+		return nil, fmt.Errorf("%w: %s", chain.ErrUnfundedUser, user)
+	}
+	a0, a1 := s.Claimable(user)
+	if a0.IsZero() && a1.IsZero() {
+		return nil, chain.ErrNothingClaimable
+	}
+	s.claimSeq++
+	rc := &chain.Receipt{
+		TxID:   fmt.Sprintf("claim-%s-%s-%d", s.cfg.ChainID, user, s.claimSeq),
+		Status: chain.StatusPending, SubmittedAt: s.sim.Now(),
+	}
+	tx := &mainchain.Tx{
+		ID: rc.TxID, From: "user/" + user, To: mainchain.EscrowAddress,
+		Method: "claim", Size: 130,
+		Args: &mainchain.EscrowClaimArgs{Chain: s.cfg.ChainID, User: user, Amount0: a0, Amount1: a1},
+	}
+	tx.OnConfirmed = func(tx *mainchain.Tx) {
+		if tx.Status != mainchain.TxConfirmed {
+			rc.Status = chain.StatusRejected
+			rc.Err = fmt.Errorf("%w: claim: %v", chain.ErrExecutionRejected, tx.Err)
+			return
+		}
+		if _, err := s.SubmitDeposit(user, s.epoch, a0, a1); err != nil {
+			rc.Status = chain.StatusRejected
+			rc.Err = err
+			return
+		}
+		rc.Status = chain.StatusSynced
+		rc.SyncedAt = s.sim.Now()
+	}
+	s.mc.Submit(tx)
+	return rc, nil
+}
+
 // Run executes the planned epochs (plus drain epochs until the queue
 // empties) and returns the report; lifecycle faults surface as typed
 // errors instead of panics. A node recovered from a durable store
@@ -668,7 +884,7 @@ func (s *MultiSystem) StartEpochs(epochs int) bool {
 	}
 	// A recovered node may have nothing left to do: already halted, or
 	// already past the planned epoch count.
-	resumedDone := s.epoch > 0 && int(s.epoch) >= epochs && len(s.queue) == 0
+	resumedDone := s.epoch > 0 && int(s.epoch) >= epochs && len(s.queue) == 0 && s.ingest.CloseIfEmpty()
 	if s.err != nil || resumedDone {
 		if s.err == nil {
 			s.done = true
@@ -695,6 +911,10 @@ func (s *MultiSystem) CollectReport() (*chain.Report, error) {
 	}
 	s.bus.Close()
 	s.col.ObserveEventDrops(s.bus.Dropped())
+	// Fold the ingest pool's atomic admission counters into the
+	// single-goroutine collector now that producers are done.
+	ist := s.ingest.Stats()
+	s.col.ObserveAdmission(ist.Admitted, ist.RejFull, ist.Throttled, ist.Canceled)
 	return s.report(), s.err
 }
 
@@ -760,6 +980,14 @@ func (s *MultiSystem) runRound(e, r uint64) {
 	if s.err != nil {
 		return
 	}
+	if s.OnRoundStart != nil {
+		s.OnRoundStart(e, r)
+	}
+	// The round boundary is the epoch cut: merge everything concurrent
+	// producers got admitted so far, in canonical admission order. After
+	// the drain every queue entry carries SubmittedAt <= now, so packing
+	// is bounded by the meta-block byte budget alone.
+	s.drainIngest()
 	roundStart := s.sim.Now()
 
 	var batch []queuedTx
@@ -767,9 +995,6 @@ func (s *MultiSystem) runRound(e, r uint64) {
 	blockBytes := 0
 	consumed := 0
 	for _, q := range s.queue {
-		if q.tx.SubmittedAt > roundStart {
-			break // queue is FIFO in submission time
-		}
 		if blockBytes+q.tx.Size() > s.cfg.MetaBlockBytes {
 			break
 		}
@@ -945,7 +1170,11 @@ func (s *MultiSystem) finishEpoch(e uint64, lastRoundStart time.Duration) {
 		if s.err != nil {
 			return
 		}
-		if int(e) >= s.epochsPlanned && len(s.queue) == 0 {
+		// CloseIfEmpty makes the decision atomic against concurrent
+		// producers: either the pool closes empty (no late transaction
+		// can slip in afterwards) or something is pending and the next
+		// epoch runs as a drain epoch.
+		if int(e) >= s.epochsPlanned && len(s.queue) == 0 && s.ingest.CloseIfEmpty() {
 			// No further execution to overlap with: drain every
 			// in-flight stage now. Syncs still confirm on the
 			// mainchain's own schedule; the chain stops once the final
@@ -1102,7 +1331,7 @@ func (s *MultiSystem) finishEpochSync(e uint64, lastRoundStart time.Duration) {
 		}
 		s.submitSignedSync(e, pkg.parts, pkg.partSizes)
 
-		lastEpoch := int(e) >= s.epochsPlanned && len(s.queue) == 0
+		lastEpoch := int(e) >= s.epochsPlanned && len(s.queue) == 0 && s.ingest.CloseIfEmpty()
 		if lastEpoch {
 			s.done = true
 			return
@@ -1507,6 +1736,7 @@ func (s *MultiSystem) Validate() error {
 }
 
 func (s *MultiSystem) report() *chain.Report {
+	ist := s.ingest.Stats()
 	live := 0
 	for _, pid := range s.eng.PoolIDs() {
 		live += s.eng.Pool(pid).NumPositions()
@@ -1545,6 +1775,11 @@ func (s *MultiSystem) report() *chain.Report {
 		ViewChanges:            s.ViewChanges,
 		Rejected:               s.Rejected,
 		QueuePeak:              s.queuePeak,
+		IngestAdmitted:         ist.Admitted,
+		IngestRejFull:          ist.RejFull,
+		IngestThrottled:        ist.Throttled,
+		IngestCanceled:         ist.Canceled,
+		IngestPeak:             ist.Peak,
 		PositionsLive:          live,
 		SummaryRoots:           s.SummaryRoots,
 		PipelineDepth:          s.cfg.PipelineDepth,
@@ -1588,7 +1823,7 @@ func NewMultiDriver(sysCfg chain.Config, drvCfg MultiDriverConfig) (chain.Chain,
 		roundStart := time.Duration(r) * rd
 		for i := 0; i < rho; i++ {
 			at := roundStart + time.Duration(float64(rd)*float64(i)/float64(rho))
-			sys.Sim().At(at, func() { sys.Submit(gen.Next()) })
+			sys.Sim().At(at, func() { sys.Submit(context.Background(), gen.Next()) })
 		}
 	}
 	return sys, gen, nil

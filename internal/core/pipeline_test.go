@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -140,7 +141,7 @@ func runPipelineFault(t *testing.T) pipelineFaultOutcome {
 	var submitErrs []error
 	sys.OnEpochStart = func(epoch uint64) {
 		for i := 0; i < 40; i++ {
-			rc, err := sys.Submit(gen.Next())
+			rc, err := sys.Submit(context.Background(), gen.Next())
 			if err != nil {
 				submitErrs = append(submitErrs, err)
 				continue
@@ -159,7 +160,7 @@ func runPipelineFault(t *testing.T) pipelineFaultOutcome {
 		t.Fatal("report should cover the partial run")
 	}
 	// The node halted: later submissions are refused with ErrHalted.
-	if _, err := sys.Submit(gen.Next()); !errors.Is(err, chain.ErrHalted) {
+	if _, err := sys.Submit(context.Background(), gen.Next()); !errors.Is(err, chain.ErrHalted) {
 		t.Errorf("post-halt Submit err = %v, want ErrHalted", err)
 	}
 	for _, err := range submitErrs {
@@ -260,7 +261,7 @@ func TestPipelineLateSubmissionDrains(t *testing.T) {
 			PoolID: sys.PoolIDs()[0], ZeroForOne: true, ExactIn: true,
 			Amount: u256.FromUint64(1000)}
 		var serr error
-		rc, serr = sys.Submit(tx)
+		rc, serr = sys.Submit(context.Background(), tx)
 		if serr != nil {
 			t.Errorf("late Submit: %v", serr)
 		}
@@ -309,7 +310,7 @@ func TestPipelineSealedUntouchedPools(t *testing.T) {
 			ID: fmt.Sprintf("ptx-e%d", epoch), Kind: gasmodel.KindSwap, User: "u-0",
 			PoolID: pid, ZeroForOne: true, ExactIn: true, Amount: u256.FromUint64(1_000_000),
 		}
-		if _, err := sys.Submit(tx); err != nil {
+		if _, err := sys.Submit(context.Background(), tx); err != nil {
 			t.Errorf("submit epoch %d: %v", epoch, err)
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -72,7 +73,7 @@ func attachRecoveryTraffic(t *testing.T, sys *MultiSystem, seed int64, perEpoch 
 				tx = &summary.Tx{ID: txID, Kind: gasmodel.KindBurn, User: m.user, PoolID: m.pool,
 					PosID: m.id, BurnFractionBps: 5000}
 			}
-			if _, err := sys.Submit(tx); err != nil && !errors.Is(err, chain.ErrHalted) {
+			if _, err := sys.Submit(context.Background(), tx); err != nil && !errors.Is(err, chain.ErrHalted) {
 				t.Errorf("submit %s: %v", txID, err)
 			}
 		}
@@ -435,7 +436,7 @@ func TestRecoverHaltedStaysHalted(t *testing.T) {
 	if rec == nil || !rec.Halted || rec.HaltReason == "" {
 		t.Fatalf("recovery = %+v, want halted with reason", rec)
 	}
-	if _, err := ms2.Submit(&summary.Tx{ID: "post", Kind: gasmodel.KindSwap, User: "ru-0",
+	if _, err := ms2.Submit(context.Background(), &summary.Tx{ID: "post", Kind: gasmodel.KindSwap, User: "ru-0",
 		Amount: u256.FromUint64(1)}); !errors.Is(err, chain.ErrHalted) {
 		t.Errorf("submit on recovered-halted node: %v, want ErrHalted", err)
 	}

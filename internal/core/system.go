@@ -14,16 +14,19 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"ammboost/internal/amm"
 	"ammboost/internal/chain"
 	"ammboost/internal/crypto/tsig"
 	"ammboost/internal/gasmodel"
+	"ammboost/internal/ingest"
 	"ammboost/internal/mainchain"
 	"ammboost/internal/metrics"
 	"ammboost/internal/sidechain"
@@ -85,6 +88,12 @@ type System struct {
 	pool     *amm.Pool // canonical sidechain pool, carried across epochs
 	executor *summary.Executor
 
+	// ingest is the concurrent submission front end (see MultiSystem:
+	// same drain-at-round-boundary discipline); halted mirrors
+	// s.err != nil for concurrent submitters.
+	ingest *ingest.Pool
+	halted atomic.Bool
+
 	queue        []queuedTx
 	queuePeak    int
 	seenDeposits map[string]summary.Deposit
@@ -113,6 +122,9 @@ type System struct {
 	// OnEpochStart lets the workload driver fund the next epoch's
 	// deposits and keep generating traffic.
 	OnEpochStart func(epoch uint64)
+	// OnRoundStart fires at each round's entry, before the round's
+	// ingest drain — the arrival-log replay hook.
+	OnRoundStart func(epoch, round uint64)
 	// OnReject observes each rejected transaction (diagnostics).
 	OnReject func(err error, kind string)
 	// DebugSync observes each submitted sync's shape (diagnostics).
@@ -150,6 +162,13 @@ func NewSystem(cfg chain.Config, users []string, lps map[string]bool) (*System, 
 		recsByEpoch: make(map[uint64][]*txRecord),
 		approved:    make(map[string]bool),
 	}
+	s.ingest = ingest.New(ingest.Policy{
+		Capacity:  cfg.IngestCapacity,
+		SoftMark:  cfg.IngestSoftMark,
+		Segments:  cfg.IngestSegments,
+		MaxWait:   cfg.IngestMaxWait,
+		RetryHint: cfg.RoundDuration,
+	})
 	for _, u := range users {
 		s.userSet[u] = true
 	}
@@ -281,8 +300,12 @@ func (s *System) Subscribe(mask chain.EventMask) <-chan chain.Event { return s.b
 func (s *System) Unsubscribe(ch <-chan chain.Event) { s.bus.Unsubscribe(ch) }
 
 // Close implements chain.Chain; the single-pool backend holds no durable
-// resources.
-func (s *System) Close() error { return nil }
+// resources, but closing the ingest pool gives late producers a typed
+// refusal.
+func (s *System) Close() error {
+	s.ingest.Close()
+	return nil
+}
 
 // EpochDuration returns ω × round duration.
 func (s *System) EpochDuration() time.Duration {
@@ -295,6 +318,8 @@ func (s *System) EpochDuration() time.Duration {
 func (s *System) fail(err error) {
 	if s.err == nil {
 		s.err = err
+		s.halted.Store(true)
+		s.ingest.Close()
 		s.bus.Publish(chain.Event{Type: chain.EventHalted, At: s.sim.Now(), Epoch: s.epoch, Err: err})
 	}
 	s.mc.Stop()
@@ -351,28 +376,135 @@ func combinedDigest(payloads []*summary.SyncPayload) [32]byte {
 	return pbft.DigestOf(acc)
 }
 
-// Submit validates the transaction up front and queues it at the current
-// virtual time, returning the receipt the lifecycle advances.
-func (s *System) Submit(tx *summary.Tx) (*chain.Receipt, error) {
-	if s.err != nil {
-		return nil, chain.ErrHalted
-	}
+// checkSubmit validates one transaction up front (shape, pool routing,
+// known user); reads only construction-time state, safe from any
+// producer goroutine.
+func (s *System) checkSubmit(tx *summary.Tx) error {
 	if err := chain.CheckTx(tx); err != nil {
-		return nil, err
+		return err
 	}
 	if tx.PoolID != "" {
-		return nil, fmt.Errorf("%w: %q (single-pool deployment routes the empty pool ID)", chain.ErrUnknownPool, tx.PoolID)
+		return fmt.Errorf("%w: %q (single-pool deployment routes the empty pool ID)", chain.ErrUnknownPool, tx.PoolID)
 	}
 	if !s.userSet[tx.User] {
-		return nil, fmt.Errorf("%w: %s", chain.ErrUnfundedUser, tx.User)
+		return fmt.Errorf("%w: %s", chain.ErrUnfundedUser, tx.User)
 	}
-	tx.SubmittedAt = s.sim.Now()
-	rc := &chain.Receipt{TxID: tx.ID, Status: chain.StatusPending, SubmittedAt: tx.SubmittedAt}
-	s.queue = append(s.queue, queuedTx{tx: tx, rc: rc})
+	return nil
+}
+
+// submitErr translates pool-closed rejections on a halted node into
+// ErrHalted (see MultiSystem.submitErr).
+func (s *System) submitErr(err error) error {
+	if err != nil && s.halted.Load() && errors.Is(err, chain.ErrClosed) {
+		return chain.ErrHalted
+	}
+	return err
+}
+
+// Submit validates the transaction and admits it into the concurrent
+// ingest pool; the next round boundary drains it into the meta-block
+// queue. Safe from any goroutine; the single-transaction form of
+// SubmitBatch.
+func (s *System) Submit(ctx context.Context, tx *summary.Tx) (*chain.Receipt, error) {
+	if s.halted.Load() {
+		return nil, chain.ErrHalted
+	}
+	if err := s.checkSubmit(tx); err != nil {
+		return nil, err
+	}
+	rc := &chain.Receipt{TxID: tx.ID, Status: chain.StatusPending}
+	if err := s.ingest.AdmitOne(ctx, ingest.Entry{Tx: tx, Rc: rc}); err != nil {
+		return nil, s.submitErr(err)
+	}
+	return rc, nil
+}
+
+// SubmitBatch validates the batch up front and admits the valid entries
+// in order with partial-accept semantics; same contract as
+// MultiSystem.SubmitBatch.
+func (s *System) SubmitBatch(ctx context.Context, txs []*summary.Tx) (*chain.BatchResult, error) {
+	if s.halted.Load() {
+		return nil, chain.ErrHalted
+	}
+	res := &chain.BatchResult{
+		Receipts: make([]*chain.Receipt, len(txs)),
+		Errs:     make([]error, len(txs)),
+	}
+	entries := make([]ingest.Entry, 0, len(txs))
+	idx := make([]int, 0, len(txs))
+	for i, tx := range txs {
+		if err := s.checkSubmit(tx); err != nil {
+			res.Errs[i] = err
+			continue
+		}
+		rc := &chain.Receipt{TxID: tx.ID, Status: chain.StatusPending}
+		res.Receipts[i] = rc
+		entries = append(entries, ingest.Entry{Tx: tx, Rc: rc})
+		idx = append(idx, i)
+	}
+	n, errs, batchErr := s.ingest.Admit(ctx, entries)
+	res.Accepted = n
+	if batchErr != nil {
+		batchErr = s.submitErr(batchErr)
+		for _, i := range idx {
+			res.Receipts[i] = nil
+			res.Errs[i] = batchErr
+		}
+		return res, batchErr
+	}
+	for j, err := range errs {
+		if err == nil {
+			continue
+		}
+		i := idx[j]
+		res.Receipts[i] = nil
+		res.Errs[i] = s.submitErr(err)
+	}
+	return res, nil
+}
+
+// drainIngest merges the concurrent mempool into the queue in canonical
+// admission order, stamping arrival at the drain's virtual time (see
+// MultiSystem.drainIngest).
+func (s *System) drainIngest() {
+	entries := s.ingest.Drain()
+	now := s.sim.Now()
+	for _, en := range entries {
+		en.Tx.SubmittedAt = now
+		en.Rc.SubmittedAt = now
+		s.queue = append(s.queue, queuedTx{tx: en.Tx, rc: en.Rc})
+	}
 	if len(s.queue) > s.queuePeak {
 		s.queuePeak = len(s.queue)
 	}
-	return rc, nil
+	s.col.ObserveIngestDepth(len(entries))
+	if s.cfg.ArrivalLog != nil {
+		txs := make([]*summary.Tx, len(entries))
+		for i := range entries {
+			txs[i] = entries[i].Tx
+		}
+		s.cfg.ArrivalLog.Record(now, txs)
+	}
+}
+
+// pendingTxs counts transactions still owed an execution slot: drained
+// into the queue or waiting in the ingest pool.
+func (s *System) pendingTxs() int { return len(s.queue) + s.ingest.Len() }
+
+// Claimable implements the chain.Chain escrow surface: the single-pool
+// backend never joins a federation, so there is never an escrow and the
+// claimable balance is always zero.
+func (s *System) Claimable(string) (amount0, amount1 u256.Int) {
+	return u256.Int{}, u256.Int{}
+}
+
+// ClaimRefund implements the chain.Chain escrow surface; the single-pool
+// backend has no federation escrow to claim from.
+func (s *System) ClaimRefund(string) (*chain.Receipt, error) {
+	if s.err != nil {
+		return nil, chain.ErrHalted
+	}
+	return nil, chain.ErrNoEscrow
 }
 
 // SubmitDeposit runs a user's deposit flow on the mainchain. A first-time
@@ -481,6 +613,8 @@ func (s *System) Run(epochs int) (*chain.Report, error) {
 	s.sim.Run()
 	s.bus.Close()
 	s.col.ObserveEventDrops(s.bus.Dropped())
+	ist := s.ingest.Stats()
+	s.col.ObserveAdmission(ist.Admitted, ist.RejFull, ist.Throttled, ist.Canceled)
 	return s.report(), s.err
 }
 
@@ -538,20 +672,24 @@ func (s *System) runRound(e, r uint64) {
 	if s.err != nil {
 		return
 	}
+	if s.OnRoundStart != nil {
+		s.OnRoundStart(e, r)
+	}
+	// Round boundary = epoch cut: merge the concurrent mempool in
+	// canonical admission order before packing.
+	s.drainIngest()
 	roundStart := s.sim.Now()
 	s.syncMidEpochDeposits(e)
 
-	// Pack pending transactions (submitted before the round start) into
-	// the meta-block, executing them against the epoch snapshot.
+	// Pack pending transactions into the meta-block, executing them
+	// against the epoch snapshot (every drained entry carries
+	// SubmittedAt <= roundStart, so the byte budget is the only bound).
 	var included []queuedTx
 	var includedTxs []*summary.Tx
 	blockBytes := 0
 	consumed := 0
 	for _, q := range s.queue {
 		tx := q.tx
-		if tx.SubmittedAt > roundStart {
-			break // queue is FIFO in submission time
-		}
 		if blockBytes+tx.Size() > s.cfg.MetaBlockBytes {
 			break
 		}
@@ -649,7 +787,7 @@ func (s *System) finishEpoch(e uint64, lastRoundStart time.Duration) {
 		// The canonical pool advances to the epoch's final state.
 		s.pool = s.executor.Pool
 
-		lastEpoch := int(e) >= s.epochsPlanned && len(s.queue) == 0
+		lastEpoch := int(e) >= s.epochsPlanned && len(s.queue) == 0 && s.ingest.CloseIfEmpty()
 		skip := (s.cfg.Faults.SkipSyncEpochs[e] || s.cfg.Faults.ReorgSyncEpochs[e]) && !lastEpoch
 		if skip {
 			// Sync lost (silent leader at epoch end, or mainchain
@@ -807,6 +945,7 @@ func (s *System) Validate() error {
 }
 
 func (s *System) report() *chain.Report {
+	ist := s.ingest.Stats()
 	return &chain.Report{
 		Collector:              s.col,
 		EpochsRun:              int(s.epoch),
@@ -827,6 +966,11 @@ func (s *System) report() *chain.Report {
 		ViewChanges:            s.ViewChanges,
 		Rejected:               s.Rejected,
 		QueuePeak:              s.queuePeak,
+		IngestAdmitted:         ist.Admitted,
+		IngestRejFull:          ist.RejFull,
+		IngestThrottled:        ist.Throttled,
+		IngestCanceled:         ist.Canceled,
+		IngestPeak:             ist.Peak,
 		PositionsLive:          s.pool.NumPositions(),
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -195,7 +196,7 @@ func attachChaosTraffic(sys *core.MultiSystem, seed int64, perEpoch int, sink *[
 				ExactIn:    true,
 				Amount:     u256.FromUint64(uint64(rng.Intn(500_000) + 1)),
 			}
-			rc, err := sys.Submit(tx)
+			rc, err := sys.Submit(context.Background(), tx)
 			if err != nil && !errors.Is(err, chain.ErrHalted) {
 				continue
 			}

@@ -1,0 +1,140 @@
+package federation
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"ammboost/internal/chain"
+	"ammboost/internal/core"
+	"ammboost/internal/mainchain"
+)
+
+// TestFederationClaimAfterRestart exercises the revived-origin half of
+// the refund protocol. A transfer's custody opens, then BOTH endpoints
+// halt on corrupted epoch-2 syncs: the destination's halt bounces the
+// escrow into a refund, but by the time the refund confirms the origin
+// is down too, so the balance parks in the escrow's claimable ledger
+// instead of re-crediting. A fresh node then restarts the origin chain
+// outside the federation, attaches the surviving escrow contract, and
+// drains the parked refund through the chain.Chain claim surface
+// (Claimable / ClaimRefund): the claim receipt reaches StatusSynced,
+// the ledger empties, and escrow conservation holds across the whole
+// crash-and-revive arc.
+func TestFederationClaimAfterRestart(t *testing.T) {
+	alpha := member("alpha", 1)
+	alpha.Chain.Faults = chain.FaultPlan{CorruptSyncEpochs: map[uint64]bool{2: true}}
+	beta := member("beta", 2)
+	beta.Chain.Faults = chain.FaultPlan{CorruptSyncEpochs: map[uint64]bool{2: true}}
+
+	f, err := New(Config{
+		Epochs: 3,
+		Nodes:  []NodeConfig{alpha, beta},
+		Transfers: []Transfer{{
+			ID: "xf-park", FromChain: "alpha", ToChain: "beta",
+			User: xferUser, Amount0: amt(), Amount1: amt(), SubmitAtEpoch: 1,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fund(t, f, "alpha")
+	res, err := f.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	// Both members halted on their corrupted epoch-2 syncs.
+	for _, id := range []string{"alpha", "beta"} {
+		if nr := nodeResult(t, res, id); nr.Err == nil {
+			t.Errorf("member %s ran clean, want a corrupted-sync halt", id)
+		}
+	}
+
+	rc := res.Transfers[0]
+	if rc.Status != chain.TransferRefunded {
+		t.Fatalf("transfer = %s (err %v), want refunded", rc.Status, rc.Err)
+	}
+	if rc.Err == nil {
+		t.Error("refunded transfer carries no reason")
+	}
+
+	// The refund parked: origin was already halted when it confirmed.
+	esc := f.Escrow()
+	if ent := esc.Entry("xf-park"); ent == nil || ent.State != mainchain.EscrowRefunded {
+		t.Fatalf("escrow entry = %+v, want refunded", ent)
+	}
+	if c0, c1 := esc.ClaimableTotal(); !c0.Eq(amt()) || !c1.Eq(amt()) {
+		t.Fatalf("claimable total = %s/%s, want %s/%s", c0, c1, amt(), amt())
+	}
+	if !esc.TotalClaimed0.IsZero() || !esc.TotalClaimed1.IsZero() {
+		t.Fatalf("claimed %s/%s before any claim", esc.TotalClaimed0, esc.TotalClaimed1)
+	}
+	if err := esc.Conserved(); err != nil {
+		t.Fatalf("escrow conservation after park: %v", err)
+	}
+
+	// Revive the origin chain as a standalone node. It owns a fresh
+	// simulator and mainchain; AttachEscrow deploys the surviving escrow
+	// contract there so the claim transaction can execute.
+	cfg := chain.Config{
+		ChainID: "alpha", Seed: 1, NumPools: 2, NumShards: 2,
+		EpochRounds: 3, RoundDuration: 7 * time.Second,
+		CommitteeSize: 4, MinerPopulation: 12,
+	}
+	sys, err := core.NewMultiSystem(cfg, []string{xferUser})
+	if err != nil {
+		t.Fatalf("revive alpha: %v", err)
+	}
+	defer sys.Close()
+
+	if a0, a1 := sys.Claimable(xferUser); !a0.IsZero() || !a1.IsZero() {
+		t.Fatalf("claimable %s/%s before AttachEscrow, want zero", a0, a1)
+	}
+	if _, err := sys.ClaimRefund(xferUser); !errors.Is(err, chain.ErrNoEscrow) {
+		t.Fatalf("ClaimRefund without escrow = %v, want ErrNoEscrow", err)
+	}
+
+	sys.AttachEscrow(esc)
+	if a0, a1 := sys.Claimable(xferUser); !a0.Eq(amt()) || !a1.Eq(amt()) {
+		t.Fatalf("claimable = %s/%s after attach, want %s/%s", a0, a1, amt(), amt())
+	}
+	if _, err := sys.ClaimRefund("stranger"); !errors.Is(err, chain.ErrUnfundedUser) {
+		t.Fatalf("ClaimRefund(stranger) = %v, want ErrUnfundedUser", err)
+	}
+
+	claim, err := sys.ClaimRefund(xferUser)
+	if err != nil {
+		t.Fatalf("ClaimRefund: %v", err)
+	}
+	if claim.Status != chain.StatusPending || !strings.HasPrefix(claim.TxID, "claim-alpha-") {
+		t.Fatalf("claim receipt = %+v, want pending claim-alpha-*", claim)
+	}
+
+	if _, err := sys.Run(2); err != nil {
+		t.Fatalf("revived run: %v", err)
+	}
+
+	if claim.Status != chain.StatusSynced {
+		t.Fatalf("claim receipt = %s (err %v), want synced", claim.Status, claim.Err)
+	}
+	if claim.SyncedAt <= claim.SubmittedAt {
+		t.Errorf("claim synced at %v, submitted at %v", claim.SyncedAt, claim.SubmittedAt)
+	}
+	if a0, a1 := sys.Claimable(xferUser); !a0.IsZero() || !a1.IsZero() {
+		t.Errorf("claimable = %s/%s after claim, want zero", a0, a1)
+	}
+	if c0, c1 := esc.ClaimableTotal(); !c0.IsZero() || !c1.IsZero() {
+		t.Errorf("claimable total = %s/%s after claim, want zero", c0, c1)
+	}
+	if !esc.TotalClaimed0.Eq(amt()) || !esc.TotalClaimed1.Eq(amt()) {
+		t.Errorf("claimed %s/%s, want %s/%s", esc.TotalClaimed0, esc.TotalClaimed1, amt(), amt())
+	}
+	if err := esc.Conserved(); err != nil {
+		t.Errorf("escrow conservation after claim: %v", err)
+	}
+	if _, err := sys.ClaimRefund(xferUser); !errors.Is(err, chain.ErrNothingClaimable) {
+		t.Errorf("second ClaimRefund = %v, want ErrNothingClaimable", err)
+	}
+}

@@ -17,6 +17,7 @@
 package federation
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
@@ -238,6 +239,10 @@ func (f *Federation) buildNode(shared *core.Shared, nc NodeConfig, defaultEpochs
 	if err != nil {
 		return nil, fmt.Errorf("federation: member %q: %w", nc.Chain.ChainID, err)
 	}
+	// The member serves the escrow's claimable-refund surface
+	// (Claimable/ClaimRefund) — a revived origin chain's users claim
+	// refunds parked while the chain was down.
+	sys.AttachEscrow(f.escrow)
 
 	node := &Node{ID: nc.Chain.ChainID, Sys: sys, epochs: epochs}
 	sys.SetOnFinished(func(halted bool) {
@@ -274,7 +279,7 @@ func scheduleTraffic(sys *core.MultiSystem, gen *workload.MultiGenerator, cfg ch
 		roundStart := time.Duration(r) * rd
 		for i := 0; i < rho; i++ {
 			at := roundStart + time.Duration(float64(rd)*float64(i)/float64(rho))
-			sys.Sim().At(at, func() { sys.Submit(gen.Next()) })
+			sys.Sim().At(at, func() { sys.Submit(context.Background(), gen.Next()) })
 		}
 	}
 }

@@ -1,0 +1,447 @@
+// Package ingest implements the thread-safe submission front end both
+// chain backends share: a segmented mempool many producer goroutines
+// append to concurrently, with explicit admission control (capacity
+// wall, soft-mark shedding, bounded blocking) returning the typed
+// backpressure errors defined in internal/chain, and a single-consumer
+// drain that merges the segments into one canonical order.
+//
+// Determinism is the design constraint. Segments exist purely to spread
+// producer lock contention — they carry no ordering meaning. Every
+// admitted entry takes a ticket from ONE global atomic sequence, and
+// Drain merges the segments back into ticket order, so the canonical
+// order depends only on the admission interleaving the producers
+// actually achieved, never on segment count or drain timing.
+// That order, recorded per drain boundary (chain.ArrivalLog), is what a
+// single-producer replay feeds back to reproduce a concurrent run
+// bit-identically (DESIGN.md invariant 13).
+//
+// Concurrency contract: Admit/AdmitOne/Len/Stats are safe from any
+// goroutine; Drain, CloseIfEmpty, and Close belong to the single
+// lifecycle consumer (the simulator goroutine).
+package ingest
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ammboost/internal/chain"
+	"ammboost/internal/summary"
+)
+
+// Policy parameterizes admission control. The zero value takes the
+// defaults below via New.
+type Policy struct {
+	// Capacity is the hard mempool bound across all segments.
+	Capacity int
+	// SoftMark, when below Capacity, sheds whole batches arriving while
+	// occupancy is at or above it (chain.ErrThrottled).
+	SoftMark int
+	// Segments is the mempool partition count (contention spreading
+	// only; no ordering effect).
+	Segments int
+	// MaxWait bounds how long one Admit call blocks wall-clock on a
+	// full mempool before chain.ErrMempoolFull; <= 0 rejects
+	// immediately. Keep it small: the lifecycle consumer itself may
+	// submit (drivers run on the simulator goroutine), and it must
+	// never block on a drain only it can perform.
+	MaxWait time.Duration
+	// RetryHint is the backoff carried on rejections — typically one
+	// round duration, the mempool's drain cadence.
+	RetryHint time.Duration
+}
+
+// Default policy values (New fills zeroes with these).
+const (
+	DefaultCapacity = 1 << 20
+	DefaultSegments = 8
+	DefaultMaxWait  = 10 * time.Millisecond
+)
+
+// Entry is one admitted transaction with its receipt and global
+// admission sequence number (assigned by the pool).
+type Entry struct {
+	Seq uint64
+	Tx  *summary.Tx
+	Rc  *chain.Receipt
+}
+
+// segment is one mutex-guarded mempool partition. The sequence ticket
+// is taken under the segment lock, so entries is always sorted by Seq —
+// Drain merges instead of sorting. spare is the double buffer: Drain
+// steals entries and installs the previous drain's (already merged)
+// buffer in its place, so sustained load allocates nothing. The padding
+// keeps hot segment locks off each other's cache lines under many
+// producers.
+type segment struct {
+	mu      sync.Mutex
+	entries []Entry
+	spare   []Entry
+	_       [16]byte
+}
+
+// Pool is the concurrent mempool with admission control.
+type Pool struct {
+	pol  Policy
+	segs []segment
+
+	// seq is the global admission sequence: the canonical order. It is
+	// only advanced under a segment lock, which keeps every segment
+	// internally sorted; rr spreads producers across segments.
+	seq atomic.Uint64
+	rr  atomic.Uint64
+	// occ is the live occupancy (reservations included); peak tracks
+	// its high-water mark.
+	occ  atomic.Int64
+	peak atomic.Int64
+	// closed gates admission; see CloseIfEmpty for the race protocol.
+	closed atomic.Bool
+
+	// Admission outcome counters.
+	admitted  atomic.Uint64
+	rejFull   atomic.Uint64
+	throttled atomic.Uint64
+	canceled  atomic.Uint64
+
+	// wait is a close-and-replace broadcast: producers blocked at
+	// capacity select on the current channel; Drain and Close close it
+	// to wake them all. mu guards the swap.
+	mu   sync.Mutex
+	wait chan struct{}
+
+	// drainBuf is the reused merge buffer Drain returns (single
+	// consumer, consumed before the next drain — see Drain); runs is
+	// Drain's reused per-segment scratch.
+	drainBuf []Entry
+	runs     [][]Entry
+}
+
+// Stats is a snapshot of the pool's admission counters.
+type Stats struct {
+	Admitted  uint64
+	RejFull   uint64
+	Throttled uint64
+	Canceled  uint64
+	Peak      int
+}
+
+// New builds a pool, filling zero policy fields with the defaults.
+// MaxWait keeps an explicit negative as "never block".
+func New(pol Policy) *Pool {
+	if pol.Capacity <= 0 {
+		pol.Capacity = DefaultCapacity
+	}
+	if pol.SoftMark <= 0 || pol.SoftMark > pol.Capacity {
+		pol.SoftMark = pol.Capacity
+	}
+	if pol.Segments <= 0 {
+		pol.Segments = DefaultSegments
+	}
+	if pol.MaxWait == 0 {
+		pol.MaxWait = DefaultMaxWait
+	}
+	return &Pool{
+		pol:  pol,
+		segs: make([]segment, pol.Segments),
+		wait: make(chan struct{}),
+	}
+}
+
+// Policy returns the pool's effective (default-filled) policy.
+func (p *Pool) Policy() Policy { return p.pol }
+
+// Len returns the current occupancy (admitted entries not yet drained,
+// plus in-flight reservations).
+func (p *Pool) Len() int { return int(p.occ.Load()) }
+
+// Stats snapshots the admission counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Admitted:  p.admitted.Load(),
+		RejFull:   p.rejFull.Load(),
+		Throttled: p.throttled.Load(),
+		Canceled:  p.canceled.Load(),
+		Peak:      int(p.peak.Load()),
+	}
+}
+
+// admission builds the typed backpressure error for one sentinel.
+func (p *Pool) admission(sentinel error) *chain.AdmissionError {
+	hint := p.pol.RetryHint
+	if sentinel == chain.ErrClosed {
+		hint = 0
+	}
+	return &chain.AdmissionError{
+		Err:        sentinel,
+		RetryAfter: hint,
+		Occupancy:  int(p.occ.Load()),
+		Capacity:   p.pol.Capacity,
+	}
+}
+
+// count attributes a rejection of n entries to its counter.
+func (p *Pool) count(err error, n int) {
+	var ae *chain.AdmissionError
+	if !errorsAs(err, &ae) {
+		return
+	}
+	switch ae.Err {
+	case chain.ErrMempoolFull:
+		p.rejFull.Add(uint64(n))
+	case chain.ErrThrottled:
+		p.throttled.Add(uint64(n))
+	case chain.ErrCanceled:
+		p.canceled.Add(uint64(n))
+	}
+}
+
+// errorsAs is errors.As without the import weight in the hot path.
+func errorsAs(err error, target **chain.AdmissionError) bool {
+	ae, ok := err.(*chain.AdmissionError)
+	if ok {
+		*target = ae
+	}
+	return ok
+}
+
+// AdmitOne admits a single entry (assigning Entry.Seq), blocking up to
+// MaxWait when the mempool is full. Safe for concurrent producers.
+func (p *Pool) AdmitOne(ctx context.Context, e Entry) error {
+	var timer *time.Timer
+	err := p.admitOne(ctx, e, &timer)
+	if timer != nil {
+		timer.Stop()
+	}
+	if err != nil {
+		p.count(err, 1)
+	}
+	return err
+}
+
+// Admit admits a batch in order with partial-accept semantics: it
+// returns how many leading entries were admitted and, when admission
+// failed partway, a per-entry error slice where every entry from the
+// failure point on carries the failing error (order-preserving: nothing
+// after the failure was attempted). The single error return is reserved
+// for whole-batch refusals decided before any admission attempt: pool
+// closed, context already done, or occupancy above the soft mark
+// (throttle shedding is batch-granular by design — a half-throttled
+// batch helps nobody). MaxWait is a per-batch budget, not per-entry.
+func (p *Pool) Admit(ctx context.Context, entries []Entry) (int, []error, error) {
+	if len(entries) == 0 {
+		return 0, nil, nil
+	}
+	if p.closed.Load() {
+		return 0, nil, p.admission(chain.ErrClosed)
+	}
+	if ctx != nil && ctx.Err() != nil {
+		err := p.admission(chain.ErrCanceled)
+		p.count(err, len(entries))
+		return 0, nil, err
+	}
+	if occ := int(p.occ.Load()); occ >= p.pol.SoftMark && p.pol.SoftMark < p.pol.Capacity {
+		err := p.admission(chain.ErrThrottled)
+		p.count(err, len(entries))
+		return 0, nil, err
+	}
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for i := range entries {
+		if err := p.admitOne(ctx, entries[i], &timer); err != nil {
+			p.count(err, len(entries)-i)
+			errs := make([]error, len(entries))
+			for j := i; j < len(entries); j++ {
+				errs[j] = err
+			}
+			return i, errs, nil
+		}
+	}
+	return len(entries), nil, nil
+}
+
+// admitOne reserves capacity, takes a global sequence ticket, and
+// appends to the ticket's segment. The shared lazy timer implements the
+// caller's MaxWait budget.
+func (p *Pool) admitOne(ctx context.Context, e Entry, timer **time.Timer) error {
+	for {
+		if p.closed.Load() {
+			return p.admission(chain.ErrClosed)
+		}
+		cur := p.occ.Load()
+		if int(cur) >= p.pol.Capacity {
+			if err := p.waitRoom(ctx, timer); err != nil {
+				return err
+			}
+			continue
+		}
+		if p.occ.CompareAndSwap(cur, cur+1) {
+			break
+		}
+	}
+	// Close race: CloseIfEmpty may have observed occ == 0 and committed
+	// between our closed-check and the reservation. Re-check and roll
+	// back — the reservation never becomes visible.
+	if p.closed.Load() {
+		p.occ.Add(-1)
+		return p.admission(chain.ErrClosed)
+	}
+	for {
+		cur, pk := p.occ.Load(), p.peak.Load()
+		if cur <= pk || p.peak.CompareAndSwap(pk, cur) {
+			break
+		}
+	}
+	s := &p.segs[p.rr.Add(1)%uint64(len(p.segs))]
+	s.mu.Lock()
+	// The ticket is taken under the segment lock so appends land in
+	// ticket order: each segment stays sorted by Seq and Drain can merge
+	// runs instead of sorting the union.
+	seq := p.seq.Add(1)
+	s.entries = append(s.entries, Entry{Seq: seq, Tx: e.Tx, Rc: e.Rc})
+	s.mu.Unlock()
+	p.admitted.Add(1)
+	return nil
+}
+
+// waitRoom blocks until a drain frees capacity, the caller's context
+// ends, or the MaxWait budget runs out. Returning nil means "re-check":
+// the caller loops and re-reads occupancy.
+func (p *Pool) waitRoom(ctx context.Context, timer **time.Timer) error {
+	if p.pol.MaxWait <= 0 {
+		return p.admission(chain.ErrMempoolFull)
+	}
+	if *timer == nil {
+		*timer = time.NewTimer(p.pol.MaxWait)
+	}
+	p.mu.Lock()
+	ch := p.wait
+	p.mu.Unlock()
+	// Re-check AFTER capturing the wait channel: a drain that ran
+	// between the occupancy check and here already closed-and-replaced
+	// the old channel, and sleeping on the new one would miss it.
+	if int(p.occ.Load()) < p.pol.Capacity || p.closed.Load() {
+		return nil
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-done:
+		return p.admission(chain.ErrCanceled)
+	case <-(*timer).C:
+		return p.admission(chain.ErrMempoolFull)
+	}
+}
+
+// wake closes-and-replaces the broadcast channel, releasing every
+// producer blocked at capacity.
+func (p *Pool) wake() {
+	p.mu.Lock()
+	close(p.wait)
+	p.wait = make(chan struct{})
+	p.mu.Unlock()
+}
+
+// Drain removes every buffered entry and returns them in canonical
+// (global-sequence) order, then wakes blocked producers. Single
+// consumer only — the lifecycle calls it at each round start. The
+// returned slice is a reused buffer valid only until the next Drain
+// call: the consumer copies entries out (into its meta-block queue)
+// before draining again. Reuse matters — under sustained load a fresh
+// per-round merge buffer was the pool's dominant garbage source, and
+// the GC assists it triggered were charged to producer goroutines.
+func (p *Pool) Drain() []Entry {
+	// Steal each segment's sorted run, installing the previous drain's
+	// (already merged, hence free) buffer in its place — the lock is
+	// held only for the swap, and sustained load allocates nothing.
+	runs := p.runs[:0]
+	total := 0
+	for i := range p.segs {
+		s := &p.segs[i]
+		s.mu.Lock()
+		if len(s.entries) > 0 {
+			runs = append(runs, s.entries)
+			total += len(s.entries)
+			s.entries, s.spare = s.spare[:0], s.entries
+		}
+		s.mu.Unlock()
+	}
+	p.runs = runs
+	if total == 0 {
+		return nil
+	}
+	out := p.drainBuf[:0]
+	if cap(out) < total {
+		out = make([]Entry, 0, total)
+	}
+	// K-way merge on the Seq tickets. Segments are sorted by
+	// construction (the ticket is taken under the segment lock), so the
+	// linear min-head scan across <= Segments runs replaces a
+	// comparison sort of the union — under sustained load the sort's
+	// swap traffic (and its write barriers) dominated the profile.
+	for len(runs) > 0 {
+		min := 0
+		for r := 1; r < len(runs); r++ {
+			if runs[r][0].Seq < runs[min][0].Seq {
+				min = r
+			}
+		}
+		out = append(out, runs[min][0])
+		if runs[min] = runs[min][1:]; len(runs[min]) == 0 {
+			runs[min] = runs[len(runs)-1]
+			runs = runs[:len(runs)-1]
+		}
+	}
+	p.drainBuf = out
+	p.occ.Add(int64(-total))
+	p.wake()
+	return out
+}
+
+// CloseIfEmpty atomically closes the pool if nothing is buffered or
+// reserved, and reports whether it is now closed. The lifecycle's
+// end-of-run decision calls it at the round boundary: true means no
+// producer can sneak a transaction in after the decision (admission is
+// gated before reservation and rolled back after), false means entries
+// exist or arrived mid-decision — run a drain epoch and decide again.
+//
+// The race protocol: store closed=true FIRST, then check occupancy.
+// A producer reserves occupancy first, then re-checks closed. Whatever
+// the interleaving, either the producer sees closed and rolls back, or
+// the closer sees the reservation and reopens — a transaction is never
+// stranded in a closed pool. (The benign worst case: the closer sees a
+// reservation that is about to roll back, reopens, and the next
+// boundary closes for real — one extra empty drain epoch.)
+func (p *Pool) CloseIfEmpty() bool {
+	if p.closed.Load() {
+		return true
+	}
+	p.closed.Store(true)
+	if p.occ.Load() != 0 {
+		p.closed.Store(false)
+		return false
+	}
+	p.wake()
+	return true
+}
+
+// Close closes the pool unconditionally: subsequent admissions fail
+// with chain.ErrClosed and blocked producers wake. Buffered entries
+// remain drainable.
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	p.wake()
+}
+
+// Closed reports whether admission is closed.
+func (p *Pool) Closed() bool { return p.closed.Load() }

@@ -124,6 +124,18 @@ type Collector struct {
 	// Pipeline stall attribution: wall-clock the run loop spent blocked
 	// on epoch retirement, keyed by the commit-stage phase it waited on.
 	stallByStage map[string]time.Duration
+
+	// Ingest front end: mempool depth sampled at each drain boundary,
+	// plus the admission-control outcome totals folded in at report time
+	// (the pool keeps its own atomics; the collector stays
+	// single-goroutine).
+	ingestSamples  int
+	ingestSum      int
+	ingestPeak     int
+	ingestAdmitted uint64
+	ingestRejFull  uint64
+	ingestThrottle uint64
+	ingestCanceled uint64
 }
 
 // New creates an empty collector retaining every sample.
@@ -436,4 +448,38 @@ func (c *Collector) StallByStage() map[string]time.Duration {
 		out[s] = d
 	}
 	return out
+}
+
+// ObserveIngestDepth records how many transactions one drain boundary
+// merged out of the concurrent mempool (a depth gauge sampled at the
+// drain cadence, including empty drains).
+func (c *Collector) ObserveIngestDepth(n int) {
+	c.ingestSamples++
+	c.ingestSum += n
+	if n > c.ingestPeak {
+		c.ingestPeak = n
+	}
+}
+
+// IngestDepth returns the drain-boundary depth gauge: sample count,
+// mean depth, and peak.
+func (c *Collector) IngestDepth() (samples int, avg float64, peak int) {
+	if c.ingestSamples > 0 {
+		avg = float64(c.ingestSum) / float64(c.ingestSamples)
+	}
+	return c.ingestSamples, avg, c.ingestPeak
+}
+
+// ObserveAdmission folds the ingest pool's admission-outcome totals in
+// (set-once at report time — the pool's counters are cumulative).
+func (c *Collector) ObserveAdmission(admitted, rejFull, throttled, canceled uint64) {
+	c.ingestAdmitted = admitted
+	c.ingestRejFull = rejFull
+	c.ingestThrottle = throttled
+	c.ingestCanceled = canceled
+}
+
+// Admission returns the ingest admission-control outcome totals.
+func (c *Collector) Admission() (admitted, rejFull, throttled, canceled uint64) {
+	return c.ingestAdmitted, c.ingestRejFull, c.ingestThrottle, c.ingestCanceled
 }

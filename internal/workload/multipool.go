@@ -80,7 +80,9 @@ func NewMulti(cfg MultiConfig) *MultiGenerator {
 	for _, id := range ids {
 		sub := cfg.Config
 		sub.Seed = derivePoolSeed(cfg.Seed, id)
-		sub.IDPrefix = id + ":"
+		// Compose with any caller prefix (e.g. a per-producer namespace)
+		// so IDs stay collision-free across pools AND producers.
+		sub.IDPrefix = cfg.IDPrefix + id + ":"
 		m.gens[id] = New(sub)
 	}
 	return m

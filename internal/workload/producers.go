@@ -1,0 +1,35 @@
+package workload
+
+import "fmt"
+
+// Producers derives n independent multi-pool generators for n concurrent
+// producer goroutines feeding one node. Each producer gets its own
+// seed (mixed from the base seed and the producer index) and a distinct
+// transaction-ID namespace ("p<i>/..."), so producers share no RNG state
+// and never collide on IDs, while drawing on the identical user
+// population — the generators stay individually deterministic even
+// though the cross-producer arrival interleaving is scheduler-dependent
+// (the ingest front end's arrival log captures that interleaving for
+// replay).
+func Producers(cfg MultiConfig, n int) []*MultiGenerator {
+	if n <= 0 {
+		n = 1
+	}
+	out := make([]*MultiGenerator, n)
+	for p := 0; p < n; p++ {
+		sub := cfg
+		sub.Seed = deriveProducerSeed(cfg.Seed, p)
+		sub.IDPrefix = fmt.Sprintf("%sp%d/", cfg.IDPrefix, p)
+		out[p] = NewMulti(sub)
+	}
+	return out
+}
+
+// deriveProducerSeed mixes the base seed with the producer index
+// (splitmix-style odd constants keep adjacent indices uncorrelated).
+func deriveProducerSeed(seed int64, producer int) int64 {
+	z := seed + int64(producer+1)*-7046029254386353131
+	z = (z ^ (z >> 30)) * -4658895280553007687
+	z = (z ^ (z >> 27)) * -7723592293110705685
+	return z ^ (z >> 31)
+}

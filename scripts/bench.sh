@@ -28,6 +28,18 @@
 #     should cost ~linear in K, and the gate tracks the ratio against
 #     the baseline so shared-chain contention cannot quietly go
 #     super-linear)
+#   - concurrent ingest front end: ConcurrentSubmit at 1..8 producer
+#     goroutines pushing SubmitBatch through admission control while a
+#     consumer drains, plus SubmitDirect (validation + receipt + plain
+#     append — what a lone producer paid before the front end existed).
+#     The JSON adds concurrent_submit_txs_per_sec_{1p,8p},
+#     concurrent_submit_scaling = ns(1p)/ns(8p) (> 1 means added
+#     producers raise throughput; meaningful only on multi-CPU hosts,
+#     like pipeline_speedup_depth2), and ingest_overhead_1p_pct =
+#     100*(ns(1p) - ns(direct))/ns(SubmitExecutePath) — the admission
+#     machinery's cost to a single producer as a share of the full
+#     per-transaction serving path, same denominator convention as
+#     receipt_overhead_pct; the PR 9 bound is < 10%.
 #   - lifecycle tracing: EpochClose/trace-overhead (a PAIRED benchmark —
 #     each iteration closes one epoch untraced and one traced back to
 #     back and reports the ratio as a custom overhead_pct metric; the
@@ -69,6 +81,11 @@ submit=$(go test -run='^$' \
   -bench='BenchmarkSubmitReceipt|BenchmarkSubmitBaseline|BenchmarkSubmitExecutePath' \
   -benchtime="$BENCHTIME" -benchmem -count="$BENCHCOUNT" ./internal/core/)
 echo "$submit"
+
+concurrent=$(go test -run='^$' \
+  -bench='BenchmarkConcurrentSubmit|BenchmarkSubmitDirect' \
+  -benchtime="$BENCHTIME" -benchmem -count="$BENCHCOUNT" ./internal/core/)
+echo "$concurrent"
 
 # One EpochPipeline op is a full multi-epoch run (seconds); cap its
 # benchtime so the full run stays tractable.
@@ -135,7 +152,7 @@ federation=$(go test -run='^$' \
 echo "$federation"
 
 cpu_model=$(awk -F': *' '/model name/ { print $2; exit }' /proc/cpuinfo 2>/dev/null || echo unknown)
-printf '%s\n%s\n%s\n%s\n%s\n%s\n%s\n' "$out" "$submit" "$pipe" "$persist" "$tracer" "$fidelity" "$federation" | awk -v cpus="$(nproc 2>/dev/null || echo 1)" -v cpu_model="$cpu_model" '
+printf '%s\n%s\n%s\n%s\n%s\n%s\n%s\n%s\n' "$out" "$submit" "$concurrent" "$pipe" "$persist" "$tracer" "$fidelity" "$federation" | awk -v cpus="$(nproc 2>/dev/null || echo 1)" -v cpu_model="$cpu_model" '
 # Each benchmark runs -count times; keep the MINIMUM ns/op per name.
 # On a shared single-CPU host a whole 2s benchmark window can run 20%
 # slow from background load, which no per-window iteration count fixes;
@@ -178,6 +195,25 @@ END {
   if (r != "" && b != "" && p != "" && p + 0 > 0) {
     pct = 100 * (r - b) / p
     printf(",\n  \"receipt_overhead_pct\": %.2f", pct)
+  }
+  # Concurrent ingest front end: tx/s at 1 and 8 producers, their
+  # scaling ratio (multi-CPU hosts only, like the pipeline speedup),
+  # and what the front end costs a single producer as a share of the
+  # full submit+execute path (same denominator as receipt_overhead_pct).
+  c1 = nsv["BenchmarkConcurrentSubmit/producers=1"]
+  c8 = nsv["BenchmarkConcurrentSubmit/producers=8"]
+  sd = nsv["BenchmarkSubmitDirect"]
+  if (c1 != "" && c1 + 0 > 0) {
+    printf(",\n  \"concurrent_submit_txs_per_sec_1p\": %.0f", 1e9 / c1)
+  }
+  if (c8 != "" && c8 + 0 > 0) {
+    printf(",\n  \"concurrent_submit_txs_per_sec_8p\": %.0f", 1e9 / c8)
+  }
+  if (c1 != "" && c8 != "" && c8 + 0 > 0) {
+    printf(",\n  \"concurrent_submit_scaling\": %.3f", c1 / c8)
+  }
+  if (c1 != "" && sd != "" && p != "" && p + 0 > 0) {
+    printf(",\n  \"ingest_overhead_1p_pct\": %.2f", 100 * (c1 - sd) / p)
   }
   d1 = nsv["BenchmarkEpochPipeline/depth=1"]
   d2 = nsv["BenchmarkEpochPipeline/depth=2"]

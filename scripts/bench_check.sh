@@ -27,7 +27,15 @@
 #     while the measuring host has >= 2 CPUs. A single-CPU host cannot
 #     overlap the commit stage with execution — the pipeline degrades
 #     gracefully to ~1.0x there — so the speedup floor is skipped (and
-#     the skip printed loudly); the regression thresholds still apply.
+#     the skip printed loudly); the regression thresholds still apply, or
+#   - ingest_overhead_1p_pct >= 10% (the PR 9 concurrent-ingest bound:
+#     what the admission machinery costs a single producer, as a share
+#     of the full submit+execute path — a machine-independent ratio), or
+#   - concurrent_submit_scaling falls below SCALING_FLOOR (default 1.0 —
+#     added producers must not LOWER throughput) while the host has
+#     >= 2 CPUs; a single-CPU host serializes the producers against the
+#     drain consumer, so like the pipeline floor the check is skipped
+#     there, and loudly.
 #
 # Waiver procedure
 # ----------------
@@ -50,6 +58,7 @@ command -v jq >/dev/null || { echo "bench_check: jq is required" >&2; exit 2; }
 
 REGRESSION_PCT="${REGRESSION_PCT:-25}"
 SPEEDUP_FLOOR="${SPEEDUP_FLOOR:-1.30}"
+SCALING_FLOOR="${SCALING_FLOOR:-1.0}"
 # Smoke benchtime keeps the gate fast; raise via BENCHTIME for steadier
 # numbers when investigating a failure.
 BENCHTIME="${BENCHTIME:-0.5s}"
@@ -171,6 +180,52 @@ if [ -n "$overhead" ]; then
     echo "  ok    receipt_overhead_pct = ${overhead}% (< 5%)"
   else
     echo "  FAIL  receipt_overhead_pct = ${overhead}% (>= 5%)"
+    fail=1
+  fi
+fi
+
+# Concurrent-ingest overhead bound introduced with the PR 9 ingest
+# front end: ingest_overhead_1p_pct = 100*(ns(ConcurrentSubmit/1p) -
+# ns(SubmitDirect))/ns(SubmitExecutePath) — what admission control and
+# the sharded mempool cost a single producer, as a share of the full
+# per-transaction serving path (the receipt_overhead_pct denominator
+# convention). A ratio of CPU-bound paths in the same binary, so it is
+# machine-independent and enforced unconditionally.
+ingest=$(jq -r '.ingest_overhead_1p_pct // empty' "$current")
+if [ -z "$ingest" ]; then
+  echo "  FAIL  ingest_overhead_1p_pct missing from bench output"
+  fail=1
+else
+  ok=$(awk -v o="$ingest" 'BEGIN { print (o < 10.0) ? "ok" : "regress" }')
+  if [ "$ok" = "ok" ]; then
+    echo "  ok    ingest_overhead_1p_pct = ${ingest}% (< 10%)"
+  else
+    echo "  FAIL  ingest_overhead_1p_pct = ${ingest}% (>= 10%)"
+    fail=1
+  fi
+fi
+
+# Concurrent-submit scaling floor (hosts that can actually run
+# producers in parallel only): more producers must not lower
+# throughput. Like the pipeline speedup, a single-CPU host serializes
+# everything — producers, the drain consumer, the benchmark goroutine —
+# and measures context-switch overhead instead of scaling, so the floor
+# is skipped there (loudly; the recorded tx/s numbers remain honest
+# single-CPU measurements, as with BENCH_PR4).
+scaling=$(jq -r '.concurrent_submit_scaling // empty' "$current")
+if [ -z "$scaling" ]; then
+  echo "  FAIL  concurrent_submit_scaling missing from bench output"
+  fail=1
+elif [ "$cpus" -lt 2 ]; then
+  echo "  SKIP  concurrent submit scaling floor: host has $cpus CPU(s); producer"
+  echo "        goroutines cannot run in parallel without a second core"
+  echo "        (measured ${scaling}x at 8 producers)"
+else
+  ok=$(awk -v s="$scaling" -v f="$SCALING_FLOOR" 'BEGIN { print (s + 0 >= f + 0) ? "ok" : "regress" }')
+  if [ "$ok" = "ok" ]; then
+    echo "  ok    concurrent_submit_scaling = ${scaling}x (floor ${SCALING_FLOOR}x, $cpus CPUs)"
+  else
+    echo "  FAIL  concurrent_submit_scaling = ${scaling}x < floor ${SCALING_FLOOR}x ($cpus CPUs)"
     fail=1
   fi
 fi
