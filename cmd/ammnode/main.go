@@ -9,6 +9,8 @@
 //	ammnode [-epochs N] [-daily V] [-committee N] [-seed S] [-v]
 //	ammnode -data-dir DIR -pools N [...]            # durable multi-pool node
 //	ammnode -data-dir DIR -pools N -kill-at-epoch E # die after epoch E persists
+//	ammnode -data-dir DIR -pools N -compact-every K # checkpoint every K epochs
+//	ammnode -data-dir DIR -pools N -bootstrap-from PEER/ammboost.store
 //
 // With -data-dir the node runs the sharded multi-pool backend and
 // persists every retired epoch to an append-only store in DIR. Re-running
@@ -17,6 +19,13 @@
 //
 //	ammnode -data-dir /tmp/amm -pools 16 -epochs 6 -kill-at-epoch 3
 //	ammnode -data-dir /tmp/amm -pools 16 -epochs 6   # recovers, runs 4-6
+//
+// -compact-every K rewrites the log as [header, checkpoint, tail] every K
+// confirmed epochs, so restart cost stays flat no matter how long the
+// node has run. -bootstrap-from seeds a FRESH -data-dir from a peer's
+// store image (its ammboost.store file, ideally freshly compacted) and
+// resumes from the peer's epoch instead of epoch 0 — the fast-sync path;
+// the config must match the peer's chain parameters.
 package main
 
 import (
@@ -50,11 +59,17 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable store directory (enables the multi-pool persistent node)")
 	pools := flag.Int("pools", 0, "registered pools (required with -data-dir)")
 	killAt := flag.Int("kill-at-epoch", 0, "exit abruptly (kill -9 style) once epoch N has persisted")
+	compactEvery := flag.Int("compact-every", 0, "compact the durable store every N confirmed epochs (0 = never; requires -data-dir)")
+	bootstrapFrom := flag.String("bootstrap-from", "", "fast-sync a fresh -data-dir from this peer store image (a compacted ammboost.store file)")
 	adminAddr := flag.String("admin", "", "serve the telemetry surface (/metrics /healthz /trace /debug/pprof) on this address, e.g. 127.0.0.1:6060; the process stays alive after the run until SIGINT")
 	flag.Parse()
 
 	if *dataDir != "" {
-		os.Exit(runDurable(*dataDir, *pools, *epochs, *daily, *committee, *seed, *killAt, *verbose, *adminAddr))
+		os.Exit(runDurable(*dataDir, *pools, *epochs, *daily, *committee, *seed, *killAt, *compactEvery, *bootstrapFrom, *verbose, *adminAddr))
+	}
+	if *compactEvery > 0 || *bootstrapFrom != "" {
+		fmt.Fprintln(os.Stderr, "ammnode: -compact-every and -bootstrap-from require -data-dir (they act on the durable store)")
+		os.Exit(2)
 	}
 
 	var tr *trace.Tracer
@@ -257,7 +272,7 @@ func attachEpochTraffic(ms *core.MultiSystem, seed int64, perEpoch int) {
 }
 
 // runDurable runs (or resumes) the persistent multi-pool node.
-func runDurable(dataDir string, pools, epochs, daily, committee int, seed int64, killAt int, verbose bool, adminAddr string) int {
+func runDurable(dataDir string, pools, epochs, daily, committee int, seed int64, killAt, compactEvery int, bootstrapFrom string, verbose bool, adminAddr string) int {
 	if pools <= 0 {
 		fmt.Fprintln(os.Stderr, "ammnode: -data-dir requires -pools N (the durable store backs the multi-pool engine)")
 		return 2
@@ -276,14 +291,32 @@ func runDurable(dataDir string, pools, epochs, daily, committee int, seed int64,
 		chain.WithPools(pools),
 		chain.WithCommittee(committee),
 		chain.WithUsers(durableUsers()),
+		chain.WithCompactEvery(compactEvery),
 	}
 	if adminAddr != "" {
 		tr = trace.New(16)
 		cfgOpts = append(cfgOpts, chain.WithTracer(tr))
 	}
 	cfg := chain.NewConfig(cfgOpts...)
-	node, err := chain.Open(dataDir, cfg)
-	if err != nil {
+	var node chain.Chain
+	var err error
+	if bootstrapFrom != "" {
+		// Fast-sync: seed a FRESH data dir from the peer's store image and
+		// resume from the peer's epoch. Bootstrap refuses an existing store
+		// (a node with history must recover from its own, not overwrite it)
+		// and a snapshot whose fingerprint doesn't match this config.
+		snapshot, rerr := os.ReadFile(bootstrapFrom)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "ammnode: read peer snapshot %s: %v\n", bootstrapFrom, rerr)
+			return 1
+		}
+		node, err = chain.Bootstrap(dataDir, snapshot, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ammnode: bootstrap %s from %s: %v\n", dataDir, bootstrapFrom, err)
+			return 1
+		}
+		fmt.Printf("ammnode: fast-synced %s from %s\n", dataDir, bootstrapFrom)
+	} else if node, err = chain.Open(dataDir, cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "ammnode: open %s: %v\n", dataDir, err)
 		return 1
 	}

@@ -29,8 +29,9 @@
 //	// the first failed index after the hint.
 //
 // (see cmd/trafficgen -load for a multi-producer client built on this
-// loop, and chain.WithIngestCapacity / WithIngestSoftMark /
-// WithIngestMaxWait for the admission policy knobs).
+// loop, internal/ingest for the sharded-mempool front end behind it,
+// and chain.WithIngestCapacity / WithIngestSoftMark / WithIngestMaxWait
+// for the admission policy knobs).
 //
 // The multi-pool backend pipelines its epoch lifecycle: with
 // chain.Config.PipelineDepth >= 2 (default 2), a finished epoch's
@@ -63,6 +64,26 @@
 // recovery-aware traffic pattern: derive epoch e's workload from
 // (seed, e) so restarted nodes regenerate the same stream).
 //
+// Durable deployments restart at scale: with chain.WithCompactEvery(n)
+// the store folds its history into a checkpoint every n confirmed
+// epochs (crash-atomically, via write-temp-fsync-rename), so Open's
+// cost stays flat no matter how long the node has run. The compacted
+// image doubles as the fast-sync unit — a fresh node bootstraps from a
+// peer's exported snapshot and resumes at the peer's epoch without
+// executing its history, bit-identical to a node that lived through
+// the whole deployment (DESIGN.md invariant 14). Fast-sync quickstart:
+//
+//	// on the peer (at rest, after Run returns):
+//	snap, err := peer.(chain.Compactor).ExportSnapshot()
+//	// on the joining node (freshDir must not already hold a store):
+//	node, err := chain.Bootstrap(freshDir, snap, cfg) // same cfg params
+//	rep, err := node.Run(totalEpochs) // resumes at the peer's epoch
+//
+// The snapshot is untrusted input: Bootstrap re-derives the boundary
+// committee from the seed, recomputes pool roots, and TSQC-verifies the
+// tail, so a tampered image fails with chain.ErrCorruptStore (see
+// examples/fastsync and cmd/ammnode -compact-every / -bootstrap-from).
+//
 // Every node is observable: attach a lifecycle tracer via
 // chain.WithTracer and the run report gains per-stage latency
 // quantiles, a shard-imbalance gauge, and pipeline-stall attribution,
@@ -88,6 +109,6 @@
 // layer, the sharded multi-pool engine, its incremental state-commitment
 // subsystem, the pipelined lifecycle, the durable store, and the
 // observability surface) and EXPERIMENTS.md for the paper-vs-measured
-// results plus the BENCH_PR2.json–BENCH_PR9.json perf records and the
+// results plus the BENCH_PR2.json–BENCH_PR10.json perf records and the
 // CI perf-regression gate.
 package ammboost

@@ -157,6 +157,16 @@ type Config struct {
 	// the prune horizon exactly like the sidechain's meta-block pruning.
 	// 0 retains everything (experiment runs that compare all roots).
 	RetainEpochs int
+	// CompactEvery, when > 0, compacts the durable store every n
+	// mainchain-confirmed epochs: records up to the confirmation cursor
+	// fold into a single checkpoint and the log rewrites atomically, so
+	// Open on a long history restores from the checkpoint instead of
+	// replaying every epoch. 0 never compacts (the log grows without
+	// bound, but every historical record survives). Like shard count and
+	// pipeline depth, the setting changes storage layout only — state is
+	// bit-identical either way — so it is absent from the deployment
+	// fingerprint and may differ across restarts of the same store.
+	CompactEvery int
 	// EventBuffer bounds each event subscriber's undelivered buffer; a
 	// subscriber further behind loses oldest events and receives an
 	// EventLagged carrying the drop count (default 4096).
@@ -378,6 +388,10 @@ func WithUsers(users []string) Option { return func(c *Config) { c.Users = users
 // WithRetainEpochs bounds per-epoch bookkeeping to the prune horizon
 // plus n epochs (0 retains everything).
 func WithRetainEpochs(n int) Option { return func(c *Config) { c.RetainEpochs = n } }
+
+// WithCompactEvery compacts the durable store every n confirmed epochs
+// (0 never compacts).
+func WithCompactEvery(n int) Option { return func(c *Config) { c.CompactEvery = n } }
 
 // WithFaults installs the fault-injection plan.
 func WithFaults(f FaultPlan) Option { return func(c *Config) { c.Faults = f } }

@@ -80,3 +80,49 @@ func Open(dir string, cfg Config) (Chain, error) {
 	}
 	return opener(dir, cfg)
 }
+
+// Compactor is implemented by durable chains that can fold their store's
+// history into a checkpoint on demand (see Config.CompactEvery for the
+// automatic cadence).
+type Compactor interface {
+	// CompactStore compacts the durable log up to the newest
+	// mainchain-confirmed epoch. Safe at rest (after Run returns); a
+	// running node compacts itself on its own confirmation path instead.
+	CompactStore() error
+	// ExportSnapshot returns the store's complete current image — what a
+	// fresh node Bootstraps from. Compact first for the smallest image.
+	ExportSnapshot() ([]byte, error)
+}
+
+// Compact folds c's durable store up to its confirmation cursor.
+// Chains without a durable store return ErrStoreUnsupported.
+func Compact(c Chain) error {
+	cp, ok := c.(Compactor)
+	if !ok {
+		return fmt.Errorf("%w: chain does not compact", ErrStoreUnsupported)
+	}
+	return cp.CompactStore()
+}
+
+// bootstrapper is installed by the backend package alongside opener.
+var bootstrapper func(dir string, snapshot []byte, cfg Config) (Chain, error)
+
+// RegisterBootstrapper installs the backend's fast-sync bootstrapper.
+func RegisterBootstrapper(fn func(dir string, snapshot []byte, cfg Config) (Chain, error)) {
+	bootstrapper = fn
+}
+
+// Bootstrap provisions a fresh node at dir from a peer's exported store
+// snapshot (Compactor.ExportSnapshot) instead of replaying history from
+// genesis. The snapshot is not trusted: opening re-derives everything it
+// claims — the boundary committee re-provisions from the seed and must
+// match the embedded bank's next verification key, pool roots recompute
+// from the embedded state, and any tail sync parts replay through the
+// TSQC verification chain — so a tampered snapshot fails with
+// ErrCorruptStore. dir must not already hold a store.
+func Bootstrap(dir string, snapshot []byte, cfg Config) (Chain, error) {
+	if bootstrapper == nil {
+		return nil, fmt.Errorf("%w: no backend registered (import internal/core)", ErrStoreUnsupported)
+	}
+	return bootstrapper(dir, snapshot, cfg)
+}

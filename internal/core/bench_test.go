@@ -118,7 +118,7 @@ func benchPipelineSystem(b testing.TB, depth int) *MultiSystem {
 		if _, ok := sys.committees[e]; ok {
 			continue
 		}
-		ck, err := provisionCommittee(sys.rng, sys.registry, sys.chainSeed, e, cfg.CommitteeSize)
+		ck, err := provisionCommittee(sys.registry, sys.chainSeed, e, cfg.CommitteeSize)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -177,8 +177,9 @@ const (
 	benchPersistCommittee  = 60
 )
 
-// benchPersistSystem builds the deployment; dir == "" runs storeless.
-func benchPersistSystem(b *testing.B, dir string) *MultiSystem {
+// benchPersistSystem builds the deployment; dir == "" runs storeless,
+// compactEvery > 0 additionally rewrites the log at that epoch cadence.
+func benchPersistSystem(b *testing.B, dir string, compactEvery int) *MultiSystem {
 	b.Helper()
 	wcfg := workload.DefaultMultiConfig(42, benchPersistActive)
 	gen := workload.NewMulti(wcfg)
@@ -191,6 +192,7 @@ func benchPersistSystem(b *testing.B, dir string) *MultiSystem {
 		CommitteeSize:  benchPersistCommittee,
 		MetaBlockBytes: 8 << 20,
 		PipelineDepth:  1,
+		CompactEvery:   compactEvery,
 		Users:          gen.Users(),
 	}
 	var sys *MultiSystem
@@ -211,7 +213,7 @@ func benchPersistSystem(b *testing.B, dir string) *MultiSystem {
 		if _, ok := sys.committees[e]; ok {
 			continue
 		}
-		ck, err := provisionCommittee(sys.rng, sys.registry, sys.chainSeed, e, cfg.CommitteeSize)
+		ck, err := provisionCommittee(sys.registry, sys.chainSeed, e, cfg.CommitteeSize)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -231,20 +233,27 @@ func benchPersistSystem(b *testing.B, dir string) *MultiSystem {
 // BenchmarkEpochPersist measures what durable epoch snapshots cost the
 // serial lifecycle: store=off is the in-memory reference, store=on
 // persists every retired epoch (snapshot record, sync-part log, receipt
-// table, one fsync per epoch) to a real directory. scripts/bench.sh
-// derives persist_overhead_pct = 100*(on-off)/off and the CI bench gate
-// enforces the PR's < 10% epoch-close overhead bound.
+// table, one fsync per epoch) to a real directory, and store=compact
+// additionally rewrites the log at a 2-epoch compaction cadence — the
+// steady-state restart-at-scale configuration. scripts/bench.sh derives
+// persist_overhead_pct = 100*(on-off)/off (PR 2's < 10% epoch-close
+// bound) and compact_overhead_pct = 100*(compact-on)/on (PR 10's
+// compaction-cadence bound).
 func BenchmarkEpochPersist(b *testing.B) {
-	for _, variant := range []string{"off", "on"} {
+	for _, variant := range []string{"off", "on", "compact"} {
 		b.Run("store="+variant, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				dir := ""
-				if variant == "on" {
+				compactEvery := 0
+				if variant != "off" {
 					dir = b.TempDir()
 				}
-				sys := benchPersistSystem(b, dir)
+				if variant == "compact" {
+					compactEvery = 2
+				}
+				sys := benchPersistSystem(b, dir, compactEvery)
 				b.StartTimer()
 				rep, err := sys.Run(benchPersistEpochs)
 				if err != nil {

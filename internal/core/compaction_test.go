@@ -1,0 +1,597 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ammboost/internal/chain"
+	"ammboost/internal/store"
+)
+
+// readMemStore pulls the raw store file out of an in-memory filesystem.
+func readMemStore(t *testing.T, fsys store.FS) []byte {
+	t.Helper()
+	data, err := fsys.ReadFile(store.FileName)
+	if err != nil {
+		t.Fatalf("read store file: %v", err)
+	}
+	return data
+}
+
+// writeMemStore plants raw store bytes into a fresh in-memory filesystem.
+func writeMemStore(t *testing.T, fsys store.FS, data []byte) {
+	t.Helper()
+	f, err := fsys.OpenAppend(store.FileName, 0)
+	if err != nil {
+		t.Fatalf("open store file: %v", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatalf("write store file: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync store file: %v", err)
+	}
+	f.Close()
+}
+
+// TestCompactedRestartDeterminism is invariant 14's acceptance matrix:
+// for every seed x shard count x pipeline depth, a node that compacted
+// its store mid-history and resumed, and a fresh node fast-sync
+// bootstrapped from that compacted snapshot, both re-derive exactly the
+// storeless reference's summary roots and payload digests. Uncompacted
+// resume == storeless is already pinned by TestKillRestartDeterminism;
+// this matrix adds the two new restart paths.
+func TestCompactedRestartDeterminism(t *testing.T) {
+	const epochs, half, pools, perEpoch = 4, 2, 6, 16
+	for _, seed := range []int64{1, 42, 1337} {
+		for _, shards := range []int{1, 4, 16} {
+			for _, depth := range []int{1, 2} {
+				label := fmt.Sprintf("seed=%d shards=%d depth=%d", seed, shards, depth)
+				cfg := recoveryCfg(seed, pools, shards, depth)
+				cfg.CompactEvery = 1
+
+				// Storeless reference (CompactEvery is storage-layout only
+				// and must not perturb execution).
+				refSys, err := NewMultiSystem(cfg, cfg.Users)
+				if err != nil {
+					t.Fatal(err)
+				}
+				attachRecoveryTraffic(t, refSys, seed, perEpoch)
+				refRep, err := refSys.Run(epochs)
+				if err != nil {
+					t.Fatalf("%s: reference run: %v", label, err)
+				}
+				ref := fingerprintRun(refRep, refSys)
+
+				// First half of the history, compacting at every confirmed
+				// epoch, then a clean shutdown.
+				fsys := &store.MemFS{}
+				node, err := OpenFS(fsys, "", cfg)
+				if err != nil {
+					t.Fatalf("%s: open: %v", label, err)
+				}
+				attachRecoveryTraffic(t, node.(*MultiSystem), seed, perEpoch)
+				if _, err := node.Run(half); err != nil {
+					t.Fatalf("%s: first-half run: %v", label, err)
+				}
+				if err := node.Close(); err != nil {
+					t.Fatalf("%s: close: %v", label, err)
+				}
+
+				// The log must now be [header, checkpoint] with no tail:
+				// every epoch <= half was folded into the checkpoint.
+				rec, w, err := store.Open(fsys, "", Fingerprint(cfg))
+				if err != nil {
+					t.Fatalf("%s: raw scan: %v", label, err)
+				}
+				w.Close()
+				if rec.Checkpoint == nil || rec.Checkpoint.Cursor != half {
+					t.Fatalf("%s: checkpoint = %+v, want cursor %d", label, rec.Checkpoint, half)
+				}
+				if len(rec.Epochs) != 0 {
+					t.Fatalf("%s: %d tail epochs survive compaction at the cursor", label, len(rec.Epochs))
+				}
+
+				// Compacted resume: reopen, export the fast-sync snapshot
+				// for the bootstrap leg, then finish the run.
+				node2, err := OpenFS(fsys, "", cfg)
+				if err != nil {
+					t.Fatalf("%s: reopen compacted: %v", label, err)
+				}
+				ms2 := node2.(*MultiSystem)
+				if got := ms2.Recovery(); got == nil || got.Epoch != half {
+					t.Fatalf("%s: recovered %+v, want boundary %d", label, got, half)
+				}
+				snap, err := ms2.ExportSnapshot()
+				if err != nil {
+					t.Fatalf("%s: export snapshot: %v", label, err)
+				}
+				attachRecoveryTraffic(t, ms2, seed, perEpoch)
+				rep2, err := node2.Run(epochs)
+				if err != nil {
+					t.Fatalf("%s: compacted resume: %v", label, err)
+				}
+				if rep2.SyncsOK != refRep.SyncsOK {
+					t.Errorf("%s: compacted resume SyncsOK = %d, reference %d",
+						label, rep2.SyncsOK, refRep.SyncsOK)
+				}
+				comparePrints(t, label+" (compacted resume)", ref, fingerprintRun(rep2, ms2), epochs)
+				if err := node2.Validate(); err != nil {
+					t.Errorf("%s: compacted resume Validate: %v", label, err)
+				}
+				node2.Close()
+
+				// Fast-sync bootstrap: a brand-new node seeded from the
+				// peer's exported checkpoint resumes at the same boundary
+				// and finishes identically.
+				bfs := &store.MemFS{}
+				boot, err := BootstrapFS(bfs, "", snap, cfg)
+				if err != nil {
+					t.Fatalf("%s: bootstrap: %v", label, err)
+				}
+				bms := boot.(*MultiSystem)
+				if got := bms.Recovery(); got == nil || got.Epoch != half {
+					t.Fatalf("%s: bootstrapped at %+v, want boundary %d", label, got, half)
+				}
+				attachRecoveryTraffic(t, bms, seed, perEpoch)
+				rep3, err := boot.Run(epochs)
+				if err != nil {
+					t.Fatalf("%s: bootstrapped run: %v", label, err)
+				}
+				comparePrints(t, label+" (fast-sync bootstrap)", ref, fingerprintRun(rep3, bms), epochs)
+				if err := boot.Validate(); err != nil {
+					t.Errorf("%s: bootstrapped Validate: %v", label, err)
+				}
+				boot.Close()
+			}
+		}
+	}
+}
+
+// TestExplicitCompactAndResume pins the at-rest chain.Compact API: an
+// uncompacted node compacts on demand, the log collapses to
+// [header, checkpoint], and the resumed run still matches the storeless
+// reference.
+func TestExplicitCompactAndResume(t *testing.T) {
+	const seed, epochs, half, perEpoch = 7, 4, 2, 12
+	cfg := recoveryCfg(seed, 4, 2, 1)
+
+	refSys, err := NewMultiSystem(cfg, cfg.Users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attachRecoveryTraffic(t, refSys, seed, perEpoch)
+	refRep, err := refSys.Run(epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := fingerprintRun(refRep, refSys)
+
+	fsys := &store.MemFS{}
+	node, err := OpenFS(fsys, "", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attachRecoveryTraffic(t, node.(*MultiSystem), seed, perEpoch)
+	if _, err := node.Run(half); err != nil {
+		t.Fatal(err)
+	}
+	uncompacted := len(readMemStore(t, fsys))
+	if err := chain.Compact(node); err != nil {
+		t.Fatalf("explicit compact: %v", err)
+	}
+	if compacted := len(readMemStore(t, fsys)); compacted >= uncompacted {
+		t.Errorf("compaction grew the log: %d -> %d bytes", uncompacted, compacted)
+	}
+	// Compacting again at the same cursor is a no-op, not an error.
+	if err := chain.Compact(node); err != nil {
+		t.Fatalf("idempotent compact: %v", err)
+	}
+	node.Close()
+
+	rec, w, err := store.Open(fsys, "", Fingerprint(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if rec.Checkpoint == nil || rec.Checkpoint.Cursor != half || len(rec.Epochs) != 0 {
+		t.Fatalf("post-compact log shape: checkpoint %+v, %d tail epochs",
+			rec.Checkpoint, len(rec.Epochs))
+	}
+
+	node2, err := OpenFS(fsys, "", cfg)
+	if err != nil {
+		t.Fatalf("reopen after explicit compact: %v", err)
+	}
+	ms2 := node2.(*MultiSystem)
+	attachRecoveryTraffic(t, ms2, seed, perEpoch)
+	rep2, err := node2.Run(epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comparePrints(t, "explicit compact", ref, fingerprintRun(rep2, ms2), epochs)
+	if err := node2.Validate(); err != nil {
+		t.Errorf("resumed Validate: %v", err)
+	}
+	node2.Close()
+
+	// The storeless backend has nothing to compact.
+	plain, err := NewMultiSystem(cfg, cfg.Users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chain.Compact(plain); !errors.Is(err, chain.ErrStoreUnsupported) {
+		t.Errorf("storeless compact err = %v, want ErrStoreUnsupported", err)
+	}
+	plain.Close()
+}
+
+// TestCompactWithRetention exercises a bounded root table: with
+// RetainEpochs set, the checkpoint's entry table covers only
+// (horizon, cursor] and the node still reopens and validates.
+func TestCompactWithRetention(t *testing.T) {
+	const seed, epochs, perEpoch = 19, 6, 10
+	cfg := recoveryCfg(seed, 4, 2, 1)
+	cfg.RetainEpochs = 2
+	cfg.CompactEvery = 2
+
+	fsys := &store.MemFS{}
+	node, err := OpenFS(fsys, "", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attachRecoveryTraffic(t, node.(*MultiSystem), seed, perEpoch)
+	if _, err := node.Run(epochs); err != nil {
+		t.Fatal(err)
+	}
+	node.Close()
+
+	rec, w, err := store.Open(fsys, "", Fingerprint(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	cp := rec.Checkpoint
+	if cp == nil || cp.Cursor != epochs {
+		t.Fatalf("checkpoint = %+v, want cursor %d", cp, epochs)
+	}
+	if cp.Horizon != epochs-2 || len(cp.Entries) != 2 {
+		t.Fatalf("retained entry window: horizon %d, %d entries; want horizon %d, 2 entries",
+			cp.Horizon, len(cp.Entries), epochs-2)
+	}
+
+	node2, err := OpenFS(fsys, "", cfg)
+	if err != nil {
+		t.Fatalf("reopen retained store: %v", err)
+	}
+	ms2 := node2.(*MultiSystem)
+	if got := ms2.Recovery(); got == nil || got.Epoch != epochs {
+		t.Fatalf("recovered %+v, want boundary %d", got, epochs)
+	}
+	for e := uint64(epochs - 1); e <= epochs; e++ {
+		if ms2.Recovery().SummaryRoots[e] == ([32]byte{}) {
+			t.Errorf("retained epoch %d lost its summary root", e)
+		}
+	}
+	if err := node2.Validate(); err != nil {
+		t.Errorf("retained Validate: %v", err)
+	}
+	node2.Close()
+}
+
+// TestTamperedCheckpointFailsOpen pins the trust boundary: a checkpoint
+// that fails its CRC, and a checkpoint that is internally consistent but
+// was NOT produced by this deployment's history (a spliced-in bank state
+// from a different seed), must both fail Open with ErrCorruptStore —
+// never come up silently wrong.
+func TestTamperedCheckpointFailsOpen(t *testing.T) {
+	const epochs, perEpoch = 2, 10
+
+	t.Run("crc flip inside the checkpoint frame", func(t *testing.T) {
+		cfg := recoveryCfg(3, 4, 2, 1)
+		cfg.CompactEvery = 1
+		fsys := &store.MemFS{}
+		node, err := OpenFS(fsys, "", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		attachRecoveryTraffic(t, node.(*MultiSystem), 3, perEpoch)
+		if _, err := node.Run(epochs); err != nil {
+			t.Fatal(err)
+		}
+		node.Close()
+
+		data := readMemStore(t, fsys)
+		rec, w, err := store.Open(fsys, "", Fingerprint(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		if rec.Checkpoint == nil {
+			t.Fatal("run did not compact")
+		}
+		// Flip one byte just past the checkpoint frame's length+type
+		// prefix — inside the CRC-protected payload.
+		tampered := append([]byte(nil), data...)
+		tampered[rec.HeaderEnd+16] ^= 0x40
+		tfs := &store.MemFS{}
+		writeMemStore(t, tfs, tampered)
+		if _, err := OpenFS(tfs, "", cfg); !errors.Is(err, chain.ErrCorruptStore) {
+			t.Errorf("open tampered store err = %v, want ErrCorruptStore", err)
+		}
+	})
+
+	t.Run("crc-valid checkpoint from a foreign history", func(t *testing.T) {
+		cfgA := recoveryCfg(3, 4, 2, 1)
+		fsA := &store.MemFS{}
+		nodeA, err := OpenFS(fsA, "", cfgA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		attachRecoveryTraffic(t, nodeA.(*MultiSystem), 3, perEpoch)
+		if _, err := nodeA.Run(epochs); err != nil {
+			t.Fatal(err)
+		}
+		nodeA.Close()
+
+		cfgB := recoveryCfg(4, 4, 2, 1)
+		cfgB.CompactEvery = 1
+		fsB := &store.MemFS{}
+		nodeB, err := OpenFS(fsB, "", cfgB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		attachRecoveryTraffic(t, nodeB.(*MultiSystem), 4, perEpoch)
+		if _, err := nodeB.Run(epochs); err != nil {
+			t.Fatal(err)
+		}
+		nodeB.Close()
+		recB, wB, err := store.Open(fsB, "", Fingerprint(cfgB))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wB.Close()
+		if recB.Checkpoint == nil {
+			t.Fatal("donor run did not compact")
+		}
+
+		// Rewrite A's log with a checkpoint whose bank replay state came
+		// from B's seed. Every frame CRCs clean; only the seed-derived
+		// committee anchor can catch the splice.
+		recA, wA, err := store.Open(fsA, "", Fingerprint(cfgA))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recA.Boundaries) != epochs {
+			t.Fatalf("%d boundaries, want %d", len(recA.Boundaries), epochs)
+		}
+		if err := wA.Compact(epochs, 0, recB.Checkpoint.Bank); err != nil {
+			t.Fatalf("splice compact: %v", err)
+		}
+		wA.Close()
+		if _, err := OpenFS(fsA, "", cfgA); !errors.Is(err, chain.ErrCorruptStore) {
+			t.Errorf("open spliced store err = %v, want ErrCorruptStore", err)
+		}
+	})
+}
+
+// TestHaltedRecoversHaltedAcrossCompaction pins that compaction does not
+// launder a halt: a node that compacted at every confirmed epoch and
+// then halted on a lifecycle fault reopens halted, with the checkpoint
+// and the halt record coexisting in the compacted log.
+func TestHaltedRecoversHaltedAcrossCompaction(t *testing.T) {
+	cfg := recoveryCfg(13, 4, 2, 1)
+	cfg.CompactEvery = 1
+	cfg.Faults.CorruptSyncEpochs = map[uint64]bool{3: true}
+
+	fsys := &store.MemFS{}
+	node, err := OpenFS(fsys, "", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attachRecoveryTraffic(t, node.(*MultiSystem), 13, 8)
+	if _, err := node.Run(4); !errors.Is(err, chain.ErrSyncReverted) {
+		t.Fatalf("faulted run err = %v, want ErrSyncReverted", err)
+	}
+	node.Close()
+
+	rec, w, err := store.Open(fsys, "", Fingerprint(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if rec.Checkpoint == nil || rec.Checkpoint.Cursor == 0 {
+		t.Fatalf("halted log lost its checkpoint: %+v", rec.Checkpoint)
+	}
+	if rec.Halt == nil {
+		t.Fatal("halt record did not survive compaction")
+	}
+
+	node2, err := OpenFS(fsys, "", cfg)
+	if err != nil {
+		t.Fatalf("reopen halted compacted store: %v", err)
+	}
+	ms2 := node2.(*MultiSystem)
+	got := ms2.Recovery()
+	if got == nil || !got.Halted || got.HaltReason == "" {
+		t.Fatalf("recovery = %+v, want halted with reason", got)
+	}
+	node2.Close()
+}
+
+// TestBootstrapEdgeCases covers the chain.Bootstrap contract: a real
+// directory bootstrap through the registered backend, and the
+// fresh-directory-only refusal.
+func TestBootstrapEdgeCases(t *testing.T) {
+	const seed, epochs, half, perEpoch = 5, 4, 2, 10
+	cfg := recoveryCfg(seed, 4, 2, 1)
+	cfg.CompactEvery = 1
+
+	refSys, err := NewMultiSystem(cfg, cfg.Users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attachRecoveryTraffic(t, refSys, seed, perEpoch)
+	refRep, err := refSys.Run(epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := fingerprintRun(refRep, refSys)
+
+	// Peer: half the history, compacted, snapshot exported at rest.
+	fsys := &store.MemFS{}
+	peer, err := OpenFS(fsys, "", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pms := peer.(*MultiSystem)
+	attachRecoveryTraffic(t, pms, seed, perEpoch)
+	if _, err := peer.Run(half); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := pms.ExportSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer.Close()
+
+	t.Run("bootstrap into a real directory", func(t *testing.T) {
+		dir := t.TempDir() + "/fresh-node"
+		boot, err := chain.Bootstrap(dir, snap, cfg)
+		if err != nil {
+			t.Fatalf("bootstrap: %v", err)
+		}
+		bms := boot.(*MultiSystem)
+		if got := bms.Recovery(); got == nil || got.Epoch != half {
+			t.Fatalf("bootstrapped at %+v, want boundary %d", got, half)
+		}
+		attachRecoveryTraffic(t, bms, seed, perEpoch)
+		rep, err := boot.Run(epochs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comparePrints(t, "dir bootstrap", ref, fingerprintRun(rep, bms), epochs)
+		boot.Close()
+
+		// A second bootstrap into the now-populated directory must refuse
+		// rather than clobber the node's history.
+		if _, err := chain.Bootstrap(dir, snap, cfg); err == nil {
+			t.Error("bootstrap over an existing store succeeded, want refusal")
+		}
+	})
+
+	t.Run("snapshot fingerprint must match the config", func(t *testing.T) {
+		other := cfg
+		other.Seed = 999
+		if _, err := BootstrapFS(&store.MemFS{}, "", snap, other); !errors.Is(err, chain.ErrStoreMismatch) {
+			t.Errorf("mismatched bootstrap err = %v, want ErrStoreMismatch", err)
+		}
+	})
+
+	t.Run("garbage snapshot", func(t *testing.T) {
+		if _, err := BootstrapFS(&store.MemFS{}, "", []byte("not a store"), cfg); !errors.Is(err, chain.ErrCorruptStore) {
+			t.Errorf("garbage snapshot err = %v, want ErrCorruptStore", err)
+		}
+	})
+}
+
+// TestCompactCrashSweep drives the full restart lifecycle — epoch
+// appends, per-epoch compaction rewrites, temp-file writes, renames —
+// under the FaultFS byte-budget crash harness: wherever in the combined
+// write stream the process dies (including at the rename itself), the
+// survivor on disk must reopen at SOME boundary and the resumed run must
+// re-derive the reference fingerprint. Old-or-new, never hybrid.
+func TestCompactCrashSweep(t *testing.T) {
+	const seed, epochs, pools, perEpoch = 23, 3, 4, 12
+	cfg := recoveryCfg(seed, pools, 2, 2)
+	cfg.CompactEvery = 1
+
+	refSys, err := NewMultiSystem(cfg, cfg.Users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attachRecoveryTraffic(t, refSys, seed, perEpoch)
+	refRep, err := refSys.Run(epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := fingerprintRun(refRep, refSys)
+
+	// Instrumented clean run: the total accepted byte count bounds the
+	// crash budgets (the stream spans the log, every temp file, and the
+	// post-swap appends).
+	probe := store.NewFaultFS(&store.MemFS{})
+	node, err := OpenFS(probe, "", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attachRecoveryTraffic(t, node.(*MultiSystem), seed, perEpoch)
+	if _, err := node.Run(epochs); err != nil {
+		t.Fatal(err)
+	}
+	node.Close()
+	total := probe.Written()
+	if total == 0 {
+		t.Fatal("instrumented run wrote nothing")
+	}
+	probeRec, pw, err := store.Open(probe, "", Fingerprint(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+
+	// ~24 budgets spread across the stream, clamped past the header (a
+	// torn header is unrecoverable by design), plus the exact-rename cell.
+	var budgets []int64
+	const steps = 24
+	for i := 1; i <= steps; i++ {
+		b := total * int64(i) / steps
+		if b <= probeRec.HeaderEnd {
+			continue
+		}
+		budgets = append(budgets, b)
+	}
+	runCell := func(t *testing.T, label string, arm func(*store.FaultFS)) {
+		inner := &store.MemFS{}
+		ffs := store.NewFaultFS(inner)
+		arm(ffs)
+		crashed, err := OpenFS(ffs, "", cfg)
+		if err != nil {
+			t.Fatalf("%s open: %v", label, err)
+		}
+		attachRecoveryTraffic(t, crashed.(*MultiSystem), seed, perEpoch)
+		// The dying process may or may not observe its own failure (a
+		// post-crash compaction can notice the survivor's shape); either
+		// way the disk must stay recoverable.
+		_, runErr := crashed.Run(epochs)
+		crashed.Close()
+		if runErr != nil && !ffs.Crashed() {
+			t.Fatalf("%s: run failed without a crash: %v", label, runErr)
+		}
+
+		reopened, err := OpenFS(inner, "", cfg)
+		if err != nil {
+			t.Fatalf("%s reopen: %v", label, err)
+		}
+		rms := reopened.(*MultiSystem)
+		attachRecoveryTraffic(t, rms, seed, perEpoch)
+		rep, err := reopened.Run(epochs)
+		if err != nil {
+			t.Fatalf("%s resumed run: %v", label, err)
+		}
+		if rep.SyncsOK != refRep.SyncsOK {
+			t.Errorf("%s: resumed SyncsOK = %d, reference %d", label, rep.SyncsOK, refRep.SyncsOK)
+		}
+		comparePrints(t, label, ref, fingerprintRun(rep, rms), epochs)
+		if err := reopened.Validate(); err != nil {
+			t.Errorf("%s resumed Validate: %v", label, err)
+		}
+		reopened.Close()
+	}
+	for _, budget := range budgets {
+		b := budget
+		runCell(t, fmt.Sprintf("crash@%d/%d", b, total), func(f *store.FaultFS) { f.CrashAfter = b })
+	}
+	runCell(t, "crash-on-rename", func(f *store.FaultFS) { f.CrashOnRename = true })
+}

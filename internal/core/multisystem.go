@@ -303,7 +303,7 @@ func newMultiSystem(shared *Shared, cfg chain.Config, users []string) (*MultiSys
 		id := fmt.Sprintf("sc-miner-%04d", i)
 		s.registry.Add(&election.Miner{ID: id, Stake: 1, VRF: election.NewFastVRF([]byte(id))})
 	}
-	ck, err := provisionCommittee(s.rng, s.registry, s.chainSeed, 1, cfg.CommitteeSize)
+	ck, err := provisionCommittee(s.registry, s.chainSeed, 1, cfg.CommitteeSize)
 	if err != nil {
 		return nil, err
 	}
@@ -955,7 +955,7 @@ func (s *MultiSystem) startEpoch(e uint64) {
 	}
 	s.pendingDeposits = remaining
 	if _, ok := s.committees[e+1]; !ok {
-		ck, err := provisionCommittee(s.rng, s.registry, s.chainSeed, e+1, s.cfg.CommitteeSize)
+		ck, err := provisionCommittee(s.registry, s.chainSeed, e+1, s.cfg.CommitteeSize)
 		if err != nil {
 			s.fail(fmt.Errorf("%w: epoch %d: %v", chain.ErrElectionFailed, e+1, err))
 			return
@@ -1569,6 +1569,15 @@ func (s *MultiSystem) submitSignedSync(e uint64, parts []*mainchain.MultiSyncArg
 			}
 			delete(s.recsByEpoch, e)
 			s.compactEpoch(e)
+			// Store compaction rides the same confirmation cadence: the
+			// epoch just became final on the mainchain, so everything up
+			// to it can fold into a checkpoint.
+			if s.st != nil && s.cfg.CompactEvery > 0 && e%uint64(s.cfg.CompactEvery) == 0 {
+				if err := s.compactStore(e); err != nil {
+					s.fail(fmt.Errorf("%w: compact at epoch %d: %v", chain.ErrStoreWrite, e, err))
+					return
+				}
+			}
 			if s.tr != nil {
 				s.col.ObserveStage(trace.StagePrune.String(), s.tr.Since()-spPrune.StartOffset())
 			}
@@ -1701,6 +1710,81 @@ func (s *MultiSystem) compactEpoch(e uint64) {
 			delete(s.SummaryRoots, old)
 		}
 		s.rootsCompacted = e - uint64(r)
+	}
+}
+
+// compactStore folds the durable log up to cursor (a mainchain-confirmed
+// epoch) into a store checkpoint. The horizon mirrors the in-memory
+// root-table retention: RetainEpochs 0 keeps every root in the
+// checkpoint for post-run comparison.
+func (s *MultiSystem) compactStore(cursor uint64) error {
+	var horizon uint64
+	if r := s.cfg.RetainEpochs; r > 0 && cursor > uint64(r) {
+		horizon = cursor - uint64(r)
+	}
+	return s.st.Compact(cursor, horizon, s.bank.EncodeState())
+}
+
+// CompactStore folds the durable log up to the newest mainchain-confirmed
+// epoch — the chain.Compactor interface. Safe at rest (after Run
+// returns); a running node with Config.CompactEvery set compacts itself
+// on its own confirmation path.
+func (s *MultiSystem) CompactStore() error {
+	if s.st == nil {
+		return fmt.Errorf("%w: node has no durable store", chain.ErrStoreUnsupported)
+	}
+	cursor := s.bank.LastSyncedEpoch
+	if cursor == 0 {
+		return nil // nothing confirmed yet
+	}
+	return s.compactStore(cursor)
+}
+
+// ExportSnapshot returns the store's complete current image — what a
+// fresh node Bootstraps from. CompactStore first for the smallest image.
+func (s *MultiSystem) ExportSnapshot() ([]byte, error) {
+	if s.st == nil {
+		return nil, fmt.Errorf("%w: node has no durable store", chain.ErrStoreUnsupported)
+	}
+	return s.st.Snapshot()
+}
+
+// errKilled marks a node torn down by Kill — a deliberate simulated
+// crash, not a lifecycle fault, so nothing persists and no halt event
+// publishes.
+var errKilled = fmt.Errorf("core: node killed")
+
+// Kill simulates a member crash mid-run: the node stops processing
+// immediately and its store file descriptor closes WITHOUT flushing
+// buffered records — exactly what kill -9 leaves on disk. Unlike a
+// lifecycle halt, nothing is persisted (no halt record) and no event
+// publishes; in-flight mainchain transactions stay in flight and may
+// confirm against the shared chain after the kill. The directory can
+// then be reopened (the flock died with the descriptor) to resume the
+// node from its durable boundary. Call from the simulator goroutine.
+func (s *MultiSystem) Kill() {
+	if s.err != nil {
+		return
+	}
+	s.err = errKilled
+	s.halted.Store(true)
+	s.ingest.Close()
+	// Suppress the runner's finished notification and any late fail()
+	// from this node's lingering mainchain callbacks: the corpse must
+	// not speak for its successor.
+	s.finishedNotified = true
+	if s.live != nil {
+		s.live.stopAll()
+	}
+	if s.pipe != nil {
+		s.pipe.close()
+	}
+	if s.st != nil {
+		s.st.Abort()
+		s.st = nil
+	}
+	if s.shared == nil {
+		s.mc.Stop()
 	}
 }
 

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"ammboost/internal/amm"
@@ -12,8 +14,12 @@ import (
 	"ammboost/internal/store"
 )
 
-// The multi-pool backend registers itself as chain.Open's implementation.
-func init() { chain.RegisterOpener(Open) }
+// The multi-pool backend registers itself as chain.Open's and
+// chain.Bootstrap's implementation.
+func init() {
+	chain.RegisterOpener(Open)
+	chain.RegisterBootstrapper(Bootstrap)
+}
 
 // Open opens (or creates) a durable multi-pool deployment rooted at dir.
 // A fresh directory starts a new node that persists every retired epoch;
@@ -106,16 +112,28 @@ func Fingerprint(cfg chain.Config) [32]byte {
 }
 
 // restore rebuilds the node's runtime state from a scanned store. The
-// recovered boundary S is re-derived, not trusted: committee elections
-// for epochs 2..S+1 replay from the seed (consuming the run RNG exactly
-// as the original run did, so epoch S+2's election continues the same
-// stream), pool commitment roots are recomputed from the restored
-// snapshots and compared against the persisted roots, and every sync
-// part replays through the bank's TSQC verification chain — the
-// "re-derive from independently persisted records" determinism check the
-// store exists to provide (DESIGN.md invariant 9).
+// recovered boundary S is re-derived, not trusted: the boundary
+// committee re-provisions from the seed ((chainSeed, epoch) fixes every
+// committee's key material, so no earlier election needs replaying),
+// pool commitment roots are recomputed from the restored snapshots and
+// compared against the persisted roots, and every sync part replays
+// through the bank's TSQC verification chain — the "re-derive from
+// independently persisted records" determinism check the store exists
+// to provide (DESIGN.md invariant 9).
+//
+// A compacted store restores in two phases. Phase 1 anchors the
+// checkpoint: the bank state it embeds must carry exactly the cursor it
+// claims, the next-epoch group key inside that bank state must equal
+// the committee re-derived from the chain seed, and the pool roots
+// recomputed from its embedded pool snapshots must reproduce the
+// persisted cursor root table (and fold to the cursor's summary root).
+// Phase 2 overlays the tail records after the cursor exactly like an
+// uncompacted restore — newest pool snapshots re-verified against the
+// last record, sync parts replayed through the TSQC chain. A tampered
+// checkpoint fails one of the phase-1 anchors with ErrCorruptStore.
 func (s *MultiSystem) restore(rec *store.Recovery) error {
-	if len(rec.Epochs) == 0 && rec.Halt == nil {
+	cp := rec.Checkpoint
+	if cp == nil && len(rec.Epochs) == 0 && rec.Halt == nil {
 		return nil // fresh store
 	}
 	boundary := rec.Epoch()
@@ -125,29 +143,45 @@ func (s *MultiSystem) restore(rec *store.Recovery) error {
 		PayloadDigests: make(map[uint64][][32]byte, len(rec.Epochs)),
 	}
 
-	// Re-derive committees 2..S+1 (epoch 1's was provisioned at
-	// construction, exactly as in the original run).
-	for e := uint64(2); e <= boundary+1; e++ {
-		ck, err := provisionCommittee(s.rng, s.registry, s.chainSeed, e, s.cfg.CommitteeSize)
+	// Re-derive the boundary committee: resume starts at S+1, and every
+	// committee's key material is a pure function of (chainSeed, epoch)
+	// (see committeeRNG), so epoch S+1's is the only one the resumed run
+	// still needs — restore stays O(1) in history length. Committees for
+	// e <= S served their epochs before the crash; their group keys live
+	// on in the bank's verification chain, not in s.committees.
+	if boundary > 0 {
+		ck, err := provisionCommittee(s.registry, s.chainSeed, boundary+1, s.cfg.CommitteeSize)
 		if err != nil {
-			return fmt.Errorf("%w: replay epoch %d: %v", chain.ErrElectionFailed, e, err)
+			return fmt.Errorf("%w: replay epoch %d: %v", chain.ErrElectionFailed, boundary+1, err)
 		}
-		s.committees[e] = ck
+		s.committees[boundary+1] = ck
 	}
 
 	// The retention horizon bounds what re-materializes: an uninterrupted
 	// run with RetainEpochs set would have compacted roots and receipts
 	// behind it, so recovery does the same (pool state still restores
 	// from every record — the newest snapshot of a cold pool can be
-	// arbitrarily old).
+	// arbitrarily old). A checkpoint's own horizon joins in: what its
+	// compaction dropped cannot come back.
 	var horizon uint64
 	if r := s.cfg.RetainEpochs; r > 0 && boundary > uint64(r) {
 		horizon = boundary - uint64(r)
-		s.rootsCompacted = horizon
+	}
+	if cp != nil && cp.Horizon > horizon {
+		horizon = cp.Horizon
+	}
+	s.rootsCompacted = horizon
+
+	if cp != nil {
+		if err := s.restoreCheckpoint(cp, info, horizon); err != nil {
+			return err
+		}
 	}
 
-	// Newest persisted state per pool; pools absent from every snapshot
-	// were never touched and stay at genesis.
+	// Newest persisted state per tail pool snapshot, overlaid on the
+	// checkpoint's pools (phase 1 already restored and verified those);
+	// pools absent from every snapshot were never touched and stay at
+	// genesis.
 	pools := make(map[string]*amm.Pool)
 	for _, er := range rec.Epochs {
 		if er.Epoch > horizon {
@@ -240,6 +274,39 @@ func (s *MultiSystem) restore(rec *store.Recovery) error {
 				info.Receipts = append(info.Receipts, rc)
 			}
 		}
+	} else if cp != nil {
+		// No tail records: the run counters come from the checkpoint's
+		// snapshot of the cursor epoch.
+		s.Rejected = int(cp.Meta.Rejected)
+		s.SyncsOK = int(cp.Meta.SyncsOK)
+		if n := int(s.bank.LastSyncedEpoch); n > s.SyncsOK {
+			s.SyncsOK = n
+		}
+		s.ViewChanges = int(cp.Meta.ViewChanges)
+		s.queuePeak = int(cp.Meta.QueuePeak)
+		s.eng.Accepted = int(cp.Meta.EngineAccepted)
+		s.eng.Rejected = int(cp.Meta.EngineRejected)
+	}
+
+	// A federation member's next sync parts depend on the boundary
+	// epoch's on-chain part transactions; re-derive their IDs so the
+	// resumed submission chain orders after them on the shared mainchain.
+	// A single-tenant reopen runs against a fresh simulated mainchain
+	// where those transactions never existed, so deps stay empty.
+	if s.shared != nil && boundary > 0 {
+		numParts := 0
+		if len(rec.Epochs) > 0 {
+			numParts = len(rec.Epochs[len(rec.Epochs)-1].Parts)
+		} else if cp != nil {
+			numParts = cp.CursorParts
+		}
+		if numParts > 0 {
+			ids := make([]string, numParts)
+			for i := range ids {
+				ids[i] = s.syncTxID(boundary, i+1)
+			}
+			s.lastSyncTxIDs = ids
+		}
 	}
 	s.epoch = boundary
 
@@ -258,4 +325,156 @@ func (s *MultiSystem) restore(rec *store.Recovery) error {
 	}
 	s.recovered = info
 	return nil
+}
+
+// restoreCheckpoint anchors and applies a compacted prefix — phase 1 of
+// restore. Nothing in the checkpoint is trusted on its own: the
+// embedded bank replay state must sit exactly at the cursor it claims,
+// the bank's next-epoch verification key must equal the committee
+// re-derived from the chain seed (a forged bank state cannot know that
+// key without the seed), and the pool roots recomputed from the
+// embedded snapshots must reproduce the persisted cursor root table bit
+// for bit. Any mismatch is ErrCorruptStore.
+func (s *MultiSystem) restoreCheckpoint(cp *store.Checkpoint, info *chain.RecoveryInfo, horizon uint64) error {
+	if n := len(cp.Entries); n == 0 || cp.Entries[n-1].Epoch != cp.Cursor {
+		return fmt.Errorf("%w: checkpoint root table does not end at cursor %d",
+			chain.ErrCorruptStore, cp.Cursor)
+	}
+	if err := s.bank.RestoreState(cp.Bank); err != nil {
+		return fmt.Errorf("%w: checkpoint bank state: %v", chain.ErrCorruptStore, err)
+	}
+	if s.bank.LastSyncedEpoch != cp.Cursor {
+		return fmt.Errorf("%w: checkpoint bank synced to epoch %d but cursor claims %d",
+			chain.ErrCorruptStore, s.bank.LastSyncedEpoch, cp.Cursor)
+	}
+
+	ck, ok := s.committees[cp.Cursor+1]
+	if !ok {
+		var err error
+		ck, err = provisionCommittee(s.registry, s.chainSeed, cp.Cursor+1, s.cfg.CommitteeSize)
+		if err != nil {
+			return fmt.Errorf("%w: replay epoch %d: %v", chain.ErrElectionFailed, cp.Cursor+1, err)
+		}
+	}
+	key, ok := s.bank.NextGroupKey()
+	if !ok || !bytes.Equal(key.PK.Bytes(), ck.group.PK.Bytes()) ||
+		key.Threshold != ck.group.Threshold || key.N != ck.group.N {
+		return fmt.Errorf("%w: checkpoint bank key for epoch %d does not match the seed-derived committee",
+			chain.ErrCorruptStore, cp.Cursor+1)
+	}
+
+	if err := s.eng.RestorePools(cp.Pools); err != nil {
+		return fmt.Errorf("%w: %v", chain.ErrCorruptStore, err)
+	}
+	roots := s.eng.StateRoots()
+	ids := s.eng.PoolIDs()
+	if len(cp.PoolIDs) != len(ids) || len(cp.PoolRoots) != len(ids) {
+		return fmt.Errorf("%w: checkpoint root table has %d pools, deployment has %d",
+			chain.ErrCorruptStore, len(cp.PoolIDs), len(ids))
+	}
+	for i, id := range ids {
+		if cp.PoolIDs[i] != id || roots[i] != cp.PoolRoots[i] {
+			return fmt.Errorf("%w: pool %s root re-derivation mismatch at checkpoint cursor %d",
+				chain.ErrCorruptStore, id, cp.Cursor)
+		}
+	}
+	if got := engine.FoldRoots(roots); got != cp.Entries[len(cp.Entries)-1].SummaryRoot {
+		return fmt.Errorf("%w: summary root re-derivation mismatch at checkpoint cursor %d",
+			chain.ErrCorruptStore, cp.Cursor)
+	}
+
+	for _, e := range cp.Entries {
+		if e.Epoch <= horizon {
+			continue
+		}
+		info.SummaryRoots[e.Epoch] = e.SummaryRoot
+		s.SummaryRoots[e.Epoch] = e.SummaryRoot
+		info.PayloadDigests[e.Epoch] = append([][32]byte(nil), e.PayloadDigests...)
+		for _, r := range e.Receipts {
+			rc := &chain.Receipt{
+				TxID:           r.TxID,
+				PoolID:         r.PoolID,
+				Status:         chain.Status(r.Status),
+				Epoch:          r.Epoch,
+				Round:          r.Round,
+				SubmittedAt:    time.Duration(r.SubmittedAt),
+				ExecutedAt:     time.Duration(r.ExecutedAt),
+				CheckpointedAt: time.Duration(r.CheckpointedAt),
+			}
+			// Every checkpointed epoch is mainchain-confirmed by
+			// construction (compaction cuts at the confirmation cursor),
+			// so its receipts are final.
+			if rc.Status == chain.StatusCheckpointed {
+				rc.Status = chain.StatusPruned
+			}
+			info.Receipts = append(info.Receipts, rc)
+		}
+	}
+	return nil
+}
+
+// Bootstrap provisions a fresh node at dir from a peer's exported store
+// snapshot (ExportSnapshot) instead of replaying history from genesis —
+// registered as chain.Bootstrap's implementation. The snapshot is
+// written to the store path crash-atomically and then opened through the
+// normal recovery path, so every claim it makes is re-derived: the
+// checkpoint anchors against the seed-derived committee, pool roots
+// recompute, and tail sync parts replay through the TSQC chain. A
+// tampered snapshot fails with ErrCorruptStore. dir must not already
+// hold a store.
+func Bootstrap(dir string, snapshot []byte, cfg chain.Config) (chain.Chain, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return BootstrapFS(store.OSFS{}, dir, snapshot, cfg)
+}
+
+// BootstrapFS is Bootstrap over an explicit store filesystem.
+func BootstrapFS(fsys store.FS, dir string, snapshot []byte, cfg chain.Config) (chain.Chain, error) {
+	if err := seedStore(fsys, dir, snapshot); err != nil {
+		return nil, err
+	}
+	return OpenFS(fsys, dir, cfg)
+}
+
+// BootstrapFederatedFS provisions a fresh federation member from a
+// peer's snapshot: BootstrapFS against the federation's shared
+// simulator and mainchain.
+func BootstrapFederatedFS(shared *Shared, fsys store.FS, dir string, snapshot []byte, cfg chain.Config) (*MultiSystem, error) {
+	if err := seedStore(fsys, dir, snapshot); err != nil {
+		return nil, err
+	}
+	return OpenFederatedFS(shared, fsys, dir, cfg)
+}
+
+// seedStore materializes a peer snapshot as dir's store file,
+// write-then-rename so a crash mid-bootstrap leaves no half-written
+// store. Refuses to overwrite an existing store: bootstrap provisions
+// fresh nodes, it does not repair live ones.
+func seedStore(fsys store.FS, dir string, snapshot []byte) error {
+	if err := store.CheckSnapshot(snapshot); err != nil {
+		return fmt.Errorf("%w: %v", chain.ErrCorruptStore, err)
+	}
+	path := filepath.Join(dir, store.FileName)
+	if _, err := fsys.ReadFile(path); err == nil {
+		return fmt.Errorf("%w: %s already holds a store; bootstrap provisions fresh directories only",
+			chain.ErrStoreLocked, dir)
+	}
+	tmp := path + ".bootstrap"
+	f, err := fsys.OpenAppend(tmp, 0)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(snapshot); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(tmp, path)
 }

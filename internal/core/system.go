@@ -15,6 +15,8 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -327,14 +329,34 @@ func (s *System) fail(err error) {
 
 // makeCommittee elects and key-provisions a committee for an epoch.
 func (s *System) makeCommittee(epoch uint64) (*committeeKeys, error) {
-	return provisionCommittee(s.rng, s.registry, s.chainSeed, epoch, s.cfg.CommitteeSize)
+	return provisionCommittee(s.registry, s.chainSeed, epoch, s.cfg.CommitteeSize)
+}
+
+// committeeRNG derives epoch e's key-dealing randomness from
+// (chainSeed, epoch) alone, the same construction the live DKG uses for
+// its per-replica polynomials (see liveconsensus.go): every committee's
+// key material is a pure function of the run seed and its epoch number,
+// independent of how many committees were provisioned before it. That
+// independence is what lets a checkpoint-based restore provision only
+// the boundary committee in O(1) instead of replaying every election
+// since genesis just to advance a shared rng stream.
+func committeeRNG(chainSeed [32]byte, epoch uint64) *rand.Rand {
+	h := sha256.New()
+	h.Write(chainSeed[:])
+	var eb [8]byte
+	binary.BigEndian.PutUint64(eb[:], epoch)
+	h.Write(eb[:])
+	var d [32]byte
+	h.Sum(d[:0])
+	return rand.New(rand.NewSource(int64(binary.BigEndian.Uint64(d[:8]))))
 }
 
 // provisionCommittee elects an epoch committee from the registry and
 // deals its TSQC key material. Shared by the single-pool System and the
-// multi-pool MultiSystem; the rng must be a per-run instance derived from
-// the run's seed (never package-global state).
-func provisionCommittee(rng *rand.Rand, reg *election.Registry, chainSeed [32]byte, epoch uint64, size int) (*committeeKeys, error) {
+// multi-pool MultiSystem; the dealing randomness derives from
+// (chainSeed, epoch), so any epoch's committee can be re-provisioned in
+// isolation.
+func provisionCommittee(reg *election.Registry, chainSeed [32]byte, epoch uint64, size int) (*committeeKeys, error) {
 	com, err := election.Elect(reg, chainSeed, epoch, size)
 	if err != nil {
 		return nil, err
@@ -344,7 +366,7 @@ func provisionCommittee(rng *rand.Rand, reg *election.Registry, chainSeed [32]by
 	if threshold > size {
 		threshold = size
 	}
-	dealing, err := tsig.Deal(rng, threshold, size)
+	dealing, err := tsig.Deal(committeeRNG(chainSeed, epoch), threshold, size)
 	if err != nil {
 		return nil, err
 	}

@@ -61,6 +61,25 @@ type NodeConfig struct {
 	// chain ID). StoreFS overrides the filesystem (defaults to the OS).
 	StoreDir string
 	StoreFS  store.FS
+	// KillAtEpoch > 0 injects a member crash: when the member confirms
+	// epoch KillAtEpoch on the mainchain, it is torn down kill -9 style —
+	// store descriptor closed without flushing, no halt record, in-flight
+	// mainchain transactions left in flight. Requires StoreDir (revival
+	// recovers from the durable log). Siblings keep running throughout.
+	KillAtEpoch uint64
+	// ReviveAfter is the virtual delay between the kill and the member's
+	// revival: the store directory reopens through the full recovery path
+	// (checkpoint anchor, root re-derivation, sync replay) and the member
+	// resumes at its durable boundary while the federation keeps moving.
+	ReviveAfter time.Duration
+	// OnEpochStart, when set, runs on the simulator goroutine at every
+	// epoch start of this member — including epochs after a revival,
+	// which makes it the traffic hook that survives kill/revive
+	// (DailyVolume's pre-scheduled arrivals target the original system
+	// object and die with it). Keyed traffic derived from the epoch
+	// number keeps a killed-and-revived member bit-identical to an
+	// uninterrupted one.
+	OnEpochStart func(sys *core.MultiSystem, epoch uint64)
 }
 
 // Config describes a federation run.
@@ -87,6 +106,13 @@ type Node struct {
 	// member cannot accept deposits anymore.
 	finished bool
 	halted   bool
+	// Kill/revive state: cfg and users are retained so revival can
+	// reopen the member's store with the identical deployment config.
+	cfg       NodeConfig
+	users     []string
+	killed    bool
+	revived   bool
+	reviveErr error
 }
 
 // NodeResult is one member's outcome.
@@ -94,6 +120,9 @@ type NodeResult struct {
 	ChainID string
 	Report  *chain.Report
 	Err     error
+	// Revived reports that the member was killed mid-run and successfully
+	// resumed from its durable store (NodeConfig.KillAtEpoch).
+	Revived bool
 }
 
 // Result is a federation run's outcome.
@@ -117,6 +146,7 @@ type Federation struct {
 	mc     *mainchain.Chain
 	escrow *mainchain.Escrow
 
+	shared *core.Shared
 	nodes  []*Node // chain-ID order
 	byID   map[string]*Node
 	closer []func() error
@@ -151,6 +181,10 @@ func New(cfg Config) (*Federation, error) {
 		if i > 0 && nodes[i-1].Chain.ChainID == nc.Chain.ChainID {
 			return nil, fmt.Errorf("%w: duplicate ChainID %q", ErrBadFederation, nc.Chain.ChainID)
 		}
+		if nc.KillAtEpoch > 0 && nc.StoreDir == "" {
+			return nil, fmt.Errorf("%w: member %q: KillAtEpoch requires StoreDir (revival recovers from the durable log)",
+				ErrBadFederation, nc.Chain.ChainID)
+		}
 	}
 
 	f := &Federation{
@@ -164,11 +198,11 @@ func New(cfg Config) (*Federation, error) {
 	// the observer runs on the simulator goroutine in block order.
 	f.mc.OnBlock = append(f.mc.OnBlock, f.foldBlock)
 
-	shared := &core.Shared{Sim: f.sim, MC: f.mc}
+	f.shared = &core.Shared{Sim: f.sim, MC: f.mc}
 	retention := 0
 	bounded := true
 	for _, nc := range nodes {
-		node, err := f.buildNode(shared, nc, cfg.Epochs)
+		node, err := f.buildNode(f.shared, nc, cfg.Epochs)
 		if err != nil {
 			f.closeAll()
 			return nil, err
@@ -239,12 +273,29 @@ func (f *Federation) buildNode(shared *core.Shared, nc NodeConfig, defaultEpochs
 	if err != nil {
 		return nil, fmt.Errorf("federation: member %q: %w", nc.Chain.ChainID, err)
 	}
+
+	node := &Node{ID: nc.Chain.ChainID, Sys: sys, epochs: epochs, cfg: nc, users: users}
+	f.wireNode(node)
+
+	if gen != nil {
+		scheduleTraffic(sys, gen, nc.Chain.WithDefaults(), nc.DailyVolume, epochs)
+	}
+	return node, nil
+}
+
+// wireNode attaches the runner's hooks to the node's CURRENT system —
+// called once at construction and again on every revival, because hooks
+// live on the system object and die with it.
+func (f *Federation) wireNode(node *Node) {
+	sys := node.Sys
 	// The member serves the escrow's claimable-refund surface
 	// (Claimable/ClaimRefund) — a revived origin chain's users claim
 	// refunds parked while the chain was down.
 	sys.AttachEscrow(f.escrow)
-
-	node := &Node{ID: nc.Chain.ChainID, Sys: sys, epochs: epochs}
+	if node.cfg.OnEpochStart != nil {
+		hook := node.cfg.OnEpochStart
+		sys.OnEpochStart = func(e uint64) { hook(sys, e) }
+	}
 	sys.SetOnFinished(func(halted bool) {
 		node.finished = true
 		node.halted = node.halted || halted
@@ -257,16 +308,56 @@ func (f *Federation) buildNode(shared *core.Shared, nc NodeConfig, defaultEpochs
 			f.onEpochStart(node, ev.Epoch)
 		case chain.EventSyncConfirmed:
 			f.onSyncConfirmed(node, ev.Epoch)
+			if node.cfg.KillAtEpoch > 0 && !node.killed && ev.Epoch >= node.cfg.KillAtEpoch {
+				f.scheduleKill(node)
+			}
 		case chain.EventHalted:
 			node.halted = true
 			f.onHalted(node)
 		}
 	})
+}
 
-	if gen != nil {
-		scheduleTraffic(sys, gen, nc.Chain.WithDefaults(), nc.DailyVolume, epochs)
+// scheduleKill tears the member down at the next simulator step (not
+// inside the confirmation callback that triggered it) and books its
+// revival. The member's pre-scheduled events no-op against the dead
+// system; its in-flight mainchain transactions stay in flight.
+func (f *Federation) scheduleKill(node *Node) {
+	node.killed = true
+	f.sim.At(f.sim.Now(), func() {
+		node.Sys.Kill()
+		f.sim.At(f.sim.Now()+node.cfg.ReviveAfter, func() { f.revive(node) })
+	})
+}
+
+// revive reopens a killed member's store directory through the full
+// recovery path — checkpoint anchoring, pool-root re-derivation, sync
+// replay — on the shared simulator and mainchain, swaps the node handle
+// to the recovered system, rewires the runner's hooks, and resumes the
+// member's remaining epochs. Siblings never stopped.
+func (f *Federation) revive(node *Node) {
+	fsys := node.cfg.StoreFS
+	if fsys == nil {
+		fsys = store.OSFS{}
 	}
-	return node, nil
+	cfg := node.cfg.Chain
+	cfg.Users = node.users
+	sys, err := core.OpenFederatedFS(f.shared, fsys, node.cfg.StoreDir, cfg)
+	if err != nil {
+		// The corpse stays dead: record the failure and let the run end
+		// without it (its finished notification was suppressed by Kill).
+		node.reviveErr = fmt.Errorf("federation: revive member %q: %w", node.ID, err)
+		node.finished = true
+		node.halted = true
+		f.finishedNodes++
+		f.maybeStop()
+		return
+	}
+	f.closer = append(f.closer, sys.Close)
+	node.Sys = sys
+	node.revived = true
+	f.wireNode(node)
+	sys.StartEpochs(node.epochs)
 }
 
 // scheduleTraffic pre-schedules the member's Zipf arrivals for its whole
@@ -322,7 +413,10 @@ func (f *Federation) Run() (*Result, error) {
 	res := &Result{Duration: f.sim.Now(), MainchainDigest: f.histDigest}
 	for _, n := range f.nodes {
 		rep, err := n.Sys.CollectReport()
-		res.Nodes = append(res.Nodes, &NodeResult{ChainID: n.ID, Report: rep, Err: err})
+		if n.reviveErr != nil {
+			err = n.reviveErr
+		}
+		res.Nodes = append(res.Nodes, &NodeResult{ChainID: n.ID, Report: rep, Err: err, Revived: n.revived})
 	}
 	for _, t := range f.transfers {
 		res.Transfers = append(res.Transfers, t.rc)

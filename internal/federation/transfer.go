@@ -120,8 +120,12 @@ func (f *Federation) onEpochStart(origin *Node, epoch uint64) {
 
 // onSyncConfirmed advances transfers whose on-chain prerequisite just
 // finalized: the origin's withdraw epoch (→ escrow lock) or the
-// destination's deposit epoch (→ escrow release).
+// destination's deposit epoch (→ escrow release). All transfers made
+// ready by the same (node, epoch) confirmation coalesce into ONE batched
+// escrow transaction per direction — a member pays one mainchain call
+// per epoch for its whole cross-chain flow, not one per transfer.
 func (f *Federation) onSyncConfirmed(node *Node, epoch uint64) {
+	var locks, releases []*transferState
 	for _, t := range f.transfers {
 		switch {
 		case t.from == node && t.rc.Status == chain.TransferWithdrawn && !t.lockInFlight &&
@@ -130,13 +134,25 @@ func (f *Federation) onSyncConfirmed(node *Node, epoch uint64) {
 			// debit is final on the mainchain, so custody can open. (An
 			// origin sync revert before this point halts the origin and
 			// aborts the transfer instead — no escrow is ever funded.)
-			f.submitLock(t)
+			locks = append(locks, t)
 		case t.to == node && t.rc.Status == chain.TransferDeposited && !t.settleInFlight &&
 			t.depositRC != nil && t.depositRC.Status == chain.StatusExecuted &&
 			t.depositRC.Epoch <= epoch:
 			// The destination credit is synced: release custody.
-			f.submitRelease(t)
+			releases = append(releases, t)
 		}
+	}
+	switch {
+	case len(locks) == 1:
+		f.submitLock(locks[0])
+	case len(locks) > 1:
+		f.submitLockBatch(node, epoch, locks)
+	}
+	switch {
+	case len(releases) == 1:
+		f.submitRelease(releases[0])
+	case len(releases) > 1:
+		f.submitReleaseBatch(node, epoch, releases)
 	}
 }
 
@@ -206,6 +222,92 @@ func (f *Federation) submitLock(t *transferState) {
 			return
 		}
 		f.creditDestination(t)
+		f.maybeStop()
+	}
+	f.mc.Submit(tx)
+}
+
+// submitLockBatch opens custody for every transfer the same (origin,
+// epoch) sync confirmation made ready, in one atomic mainchain call.
+// The batch settles all-or-nothing on-chain (Escrow.lockBatch validates
+// every item before opening any entry), so a revert aborts the whole
+// set — identical outcome to each single lock reverting.
+func (f *Federation) submitLockBatch(node *Node, epoch uint64, ts []*transferState) {
+	items := make([]mainchain.EscrowLockArgs, len(ts))
+	for i, t := range ts {
+		t.lockInFlight = true
+		f.escrowInFlight++
+		items[i] = mainchain.EscrowLockArgs{
+			ID:        t.spec.ID,
+			FromChain: t.spec.FromChain,
+			ToChain:   t.spec.ToChain,
+			User:      t.spec.User,
+			Amount0:   t.spec.Amount0,
+			Amount1:   t.spec.Amount1,
+		}
+	}
+	tx := &mainchain.Tx{
+		ID: fmt.Sprintf("xfer-batch-%s-e%d-lock", node.ID, epoch), From: "fed-bridge",
+		To: mainchain.EscrowAddress, Method: "lockBatch", Size: 60 + 200*len(ts),
+		Args: &mainchain.EscrowBatchLockArgs{Items: items},
+	}
+	tx.OnConfirmed = func(tx *mainchain.Tx) {
+		for _, t := range ts {
+			t.lockInFlight = false
+			f.escrowInFlight--
+		}
+		if tx.Status != mainchain.TxConfirmed {
+			for _, t := range ts {
+				f.abort(t, fmt.Errorf("federation: escrow batch lock reverted: %w", tx.Err))
+			}
+			f.maybeStop()
+			return
+		}
+		for _, t := range ts {
+			t.rc.Status = chain.TransferEscrowed
+			t.rc.EscrowedAt = f.sim.Now()
+			if t.refundOnLock {
+				f.submitRefund(t, t.refundReason)
+				continue
+			}
+			f.creditDestination(t)
+		}
+		f.maybeStop()
+	}
+	f.mc.Submit(tx)
+}
+
+// submitReleaseBatch ends custody for every transfer the same
+// (destination, epoch) sync confirmation completed, in one atomic
+// mainchain call.
+func (f *Federation) submitReleaseBatch(node *Node, epoch uint64, ts []*transferState) {
+	ids := make([]string, len(ts))
+	for i, t := range ts {
+		t.settleInFlight = true
+		f.escrowInFlight++
+		ids[i] = t.spec.ID
+	}
+	tx := &mainchain.Tx{
+		ID: fmt.Sprintf("xfer-batch-%s-e%d-release", node.ID, epoch), From: "fed-bridge",
+		To: mainchain.EscrowAddress, Method: "releaseBatch", Size: 60 + 40*len(ts),
+		Args: &mainchain.EscrowBatchSettleArgs{IDs: ids},
+	}
+	tx.OnConfirmed = func(tx *mainchain.Tx) {
+		for _, t := range ts {
+			t.settleInFlight = false
+			f.escrowInFlight--
+		}
+		if tx.Status != mainchain.TxConfirmed {
+			for _, t := range ts {
+				f.abort(t, fmt.Errorf("federation: escrow batch release reverted: %w", tx.Err))
+			}
+		} else {
+			for _, t := range ts {
+				t.rc.Status = chain.TransferCompleted
+				t.rc.SettledAt = f.sim.Now()
+				t.rc.DepositEpoch = t.depositRC.Epoch
+			}
+		}
 		f.maybeStop()
 	}
 	f.mc.Submit(tx)

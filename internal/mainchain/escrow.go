@@ -78,6 +78,19 @@ type EscrowSettleArgs struct {
 	ID string
 }
 
+// EscrowBatchLockArgs opens several escrow entries in one transaction —
+// a federation member batches all its cross-chain locks for one epoch
+// into a single mainchain call instead of one transaction per transfer.
+type EscrowBatchLockArgs struct {
+	Items []EscrowLockArgs
+}
+
+// EscrowBatchSettleArgs releases (or refunds) several locked entries in
+// one transaction.
+type EscrowBatchSettleArgs struct {
+	IDs []string
+}
+
 // EscrowClaimArgs consumes claimable refund balance for (chain, user) —
 // the origin chain re-crediting a refunded transfer to its user.
 type EscrowClaimArgs struct {
@@ -152,6 +165,18 @@ func (e *Escrow) Execute(env *Env, method string, args any) error {
 			return ErrBadArgs
 		}
 		return e.settle(env, a.ID, EscrowRefunded)
+	case "lockBatch":
+		a, ok := args.(*EscrowBatchLockArgs)
+		if !ok {
+			return ErrBadArgs
+		}
+		return e.lockBatch(env, a)
+	case "releaseBatch":
+		a, ok := args.(*EscrowBatchSettleArgs)
+		if !ok {
+			return ErrBadArgs
+		}
+		return e.settleBatch(env, a.IDs, EscrowReleased)
 	case "claim":
 		a, ok := args.(*EscrowClaimArgs)
 		if !ok {
@@ -189,6 +214,94 @@ func (e *Escrow) lock(env *Env, a *EscrowLockArgs) error {
 	e.order = append(e.order, a.ID)
 	e.TotalLocked0 = u256.Add(e.TotalLocked0, a.Amount0)
 	e.TotalLocked1 = u256.Add(e.TotalLocked1, a.Amount1)
+	return nil
+}
+
+// lockBatch opens every entry or none: one base fee amortized over the
+// batch, the whole bill charged before any state mutates, and every item
+// validated (fields, duplicates against the book AND within the batch)
+// before the first entry opens — atomic under gas-deferral re-execution
+// exactly like a single lock.
+func (e *Escrow) lockBatch(env *Env, a *EscrowBatchLockArgs) error {
+	if len(a.Items) == 0 {
+		return fmt.Errorf("%w: empty escrow batch", ErrBadArgs)
+	}
+	bill := gasmodel.TxBaseGas + uint64(len(a.Items))*escrowEntryWords*gasmodel.SstoreWordGas
+	if err := env.Gas.Charge(bill); err != nil {
+		return err
+	}
+	seen := make(map[string]bool, len(a.Items))
+	for i := range a.Items {
+		it := &a.Items[i]
+		if it.ID == "" || it.FromChain == "" || it.ToChain == "" || it.User == "" {
+			return fmt.Errorf("%w: escrow lock missing fields", ErrBadArgs)
+		}
+		if _, dup := e.Entries[it.ID]; dup || seen[it.ID] {
+			return fmt.Errorf("%w: %s", ErrDuplicateEscrow, it.ID)
+		}
+		seen[it.ID] = true
+	}
+	for i := range a.Items {
+		it := &a.Items[i]
+		e.Entries[it.ID] = &EscrowEntry{
+			ID:        it.ID,
+			FromChain: it.FromChain,
+			ToChain:   it.ToChain,
+			User:      it.User,
+			Amount0:   it.Amount0,
+			Amount1:   it.Amount1,
+			State:     EscrowLocked,
+			LockedAt:  env.BlockNum,
+		}
+		e.order = append(e.order, it.ID)
+		e.TotalLocked0 = u256.Add(e.TotalLocked0, it.Amount0)
+		e.TotalLocked1 = u256.Add(e.TotalLocked1, it.Amount1)
+	}
+	return nil
+}
+
+// settleBatch settles every listed entry or none, with the same
+// charge-then-validate-then-apply shape as lockBatch.
+func (e *Escrow) settleBatch(env *Env, ids []string, to EscrowState) error {
+	if len(ids) == 0 {
+		return fmt.Errorf("%w: empty escrow batch", ErrBadArgs)
+	}
+	bill := gasmodel.TxBaseGas + uint64(len(ids))*2*gasmodel.SstoreWordGas
+	if err := env.Gas.Charge(bill); err != nil {
+		return err
+	}
+	seen := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		ent, ok := e.Entries[id]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrUnknownEscrow, id)
+		}
+		if ent.State != EscrowLocked || seen[id] {
+			return fmt.Errorf("%w: %s is %s", ErrEscrowSettled, id, ent.State)
+		}
+		seen[id] = true
+	}
+	for _, id := range ids {
+		ent := e.Entries[id]
+		ent.State = to
+		ent.SettledAt = env.BlockNum
+		if to == EscrowReleased {
+			e.TotalReleased0 = u256.Add(e.TotalReleased0, ent.Amount0)
+			e.TotalReleased1 = u256.Add(e.TotalReleased1, ent.Amount1)
+			continue
+		}
+		e.TotalRefunded0 = u256.Add(e.TotalRefunded0, ent.Amount0)
+		e.TotalRefunded1 = u256.Add(e.TotalRefunded1, ent.Amount1)
+		byUser := e.Claimable[ent.FromChain]
+		if byUser == nil {
+			byUser = make(map[string]PoolReserves)
+			e.Claimable[ent.FromChain] = byUser
+		}
+		bal := byUser[ent.User]
+		bal.Reserve0 = u256.Add(bal.Reserve0, ent.Amount0)
+		bal.Reserve1 = u256.Add(bal.Reserve1, ent.Amount1)
+		byUser[ent.User] = bal
+	}
 	return nil
 }
 

@@ -3,26 +3,40 @@ package store
 // FaultFS wraps an FS and injects the write-path faults a crashed or
 // corrupting disk produces, at byte granularity:
 //
-//   - CrashAfter n: every byte past the first n written to a file is
-//     silently dropped, modeling a kill -9 (or power loss) with a
-//     partially flushed tail. Writes and fsyncs keep "succeeding" — the
-//     process does not observe its own death — so the recovery path, not
-//     the writer, must detect the torn record.
-//   - FlipBit off: the byte at absolute file offset off has its low bit
-//     inverted as it passes through, modeling on-disk corruption that a
-//     CRC-framed record must catch.
+//   - CrashAfter n: the process "dies" once n total bytes have been
+//     accepted across every file opened through this FS — the write that
+//     crosses the budget lands only its prefix, and every later write,
+//     sync, rename, or open is silently swallowed (a dying process
+//     cannot mutate the disk any further). Writes and fsyncs keep
+//     "succeeding" — the process does not observe its own death — so the
+//     recovery path, not the writer, must detect the torn record.
+//   - FlipBit off: the byte at absolute write-stream offset off has its
+//     low bit inverted as it passes through, modeling on-disk corruption
+//     that a CRC-framed record must catch.
+//   - CrashOnRename: the process dies at the instant of its next Rename
+//     — the compaction temp file is fully written and fsynced but the
+//     swap never happens, the exact window write-temp-fsync-rename must
+//     keep safe.
 //
-// Offsets are absolute within the file (the append base counts), so a
-// fault can be aimed precisely at a record boundary chosen from a clean
-// reference file.
+// For a store that never compacts, the write stream IS the single log
+// file, so offsets are absolute file offsets and faults can be aimed
+// precisely at record boundaries chosen from a clean reference file.
+// Once compaction enters the picture the budget spans the temp file and
+// the post-swap log too, which is what a byte-offset crash sweep over
+// the whole restart lifecycle wants.
 type FaultFS struct {
 	Inner FS
-	// CrashAfter is the number of bytes accepted per file before writes
-	// start being dropped; negative disables.
+	// CrashAfter is the total byte budget across all writes before the
+	// simulated process death; negative disables.
 	CrashAfter int64
-	// FlipBit is the absolute file offset whose low bit is inverted;
-	// negative disables.
+	// FlipBit is the absolute write-stream offset whose low bit is
+	// inverted; negative disables.
 	FlipBit int64
+	// CrashOnRename kills the process at the next Rename call.
+	CrashOnRename bool
+
+	written int64
+	crashed bool
 }
 
 // NewFaultFS wraps inner with all faults disabled.
@@ -30,43 +44,70 @@ func NewFaultFS(inner FS) *FaultFS {
 	return &FaultFS{Inner: inner, CrashAfter: -1, FlipBit: -1}
 }
 
+// Crashed reports whether the simulated process death has occurred.
+func (f *FaultFS) Crashed() bool { return f.crashed }
+
+// Written returns the total bytes accepted across every file so far —
+// a clean instrumented run's final value bounds the budgets a crash
+// sweep should aim at.
+func (f *FaultFS) Written() int64 { return f.written }
+
 // ReadFile implements FS (reads are not faulted; recovery must see
 // exactly what "survived").
 func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.Inner.ReadFile(name) }
 
-// OpenAppend implements FS.
+// OpenAppend implements FS. After the crash it hands back a dead handle
+// WITHOUT touching the inner file: a dead process cannot truncate or
+// extend anything, and the survivor on disk must reach the next Open
+// exactly as the crash left it.
 func (f *FaultFS) OpenAppend(name string, size int64) (File, error) {
+	if f.crashed {
+		return deadFile{}, nil
+	}
 	inner, err := f.Inner.OpenAppend(name, size)
 	if err != nil {
 		return nil, err
 	}
-	return &faultFile{fs: f, inner: inner, off: size}, nil
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldname, newname string) error {
+	if f.crashed {
+		return nil
+	}
+	if f.CrashOnRename {
+		f.crashed = true
+		return nil
+	}
+	return f.Inner.Rename(oldname, newname)
 }
 
 type faultFile struct {
 	fs    *FaultFS
 	inner File
-	off   int64 // absolute offset of the next byte to be written
 }
 
 func (f *faultFile) Write(p []byte) (int, error) {
 	// The caller always observes full success; faults act on what lands.
 	n := len(p)
-	start := f.off
-	f.off += int64(n)
+	if f.fs.crashed {
+		return n, nil
+	}
+	start := f.fs.written
+	f.fs.written += int64(n)
 
 	data := p
 	if fb := f.fs.FlipBit; fb >= start && fb < start+int64(n) {
 		data = append([]byte(nil), p...)
 		data[fb-start] ^= 1
 	}
-	if ca := f.fs.CrashAfter; ca >= 0 {
+	if ca := f.fs.CrashAfter; ca >= 0 && start+int64(n) > ca {
+		f.fs.crashed = true
 		if start >= ca {
 			return n, nil // everything dropped
 		}
-		if start+int64(len(data)) > ca {
-			data = data[:ca-start] // tail dropped mid-record
-		}
+		data = data[:ca-start] // tail dropped mid-record
 	}
 	if _, err := f.inner.Write(data); err != nil {
 		return 0, err
@@ -74,5 +115,18 @@ func (f *faultFile) Write(p []byte) (int, error) {
 	return n, nil
 }
 
-func (f *faultFile) Sync() error  { return f.inner.Sync() }
+func (f *faultFile) Sync() error {
+	if f.fs.crashed {
+		return nil
+	}
+	return f.inner.Sync()
+}
+
 func (f *faultFile) Close() error { return f.inner.Close() }
+
+// deadFile swallows everything a dead process attempts.
+type deadFile struct{}
+
+func (deadFile) Write(p []byte) (int, error) { return len(p), nil }
+func (deadFile) Sync() error                 { return nil }
+func (deadFile) Close() error                { return nil }

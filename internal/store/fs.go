@@ -29,6 +29,10 @@ type FS interface {
 	// missing and truncating it to size bytes first (recovery discards
 	// any torn tail before resuming writes).
 	OpenAppend(name string, size int64) (File, error)
+	// Rename atomically replaces newname with oldname — the compaction
+	// swap. A crash strictly before the rename leaves the old file, a
+	// crash after leaves the new one; no interleaving is possible.
+	Rename(oldname, newname string) error
 }
 
 // OSFS is the production FS: real files under the operating system.
@@ -67,6 +71,19 @@ func (OSFS) OpenAppend(name string, size int64) (File, error) {
 	return f, nil
 }
 
+// Rename implements FS: an atomic os.Rename followed by a parent-dir
+// fsync so the swap itself survives a crash.
+func (OSFS) Rename(oldname, newname string) error {
+	if err := os.Rename(oldname, newname); err != nil {
+		return err
+	}
+	if dir, err := os.Open(filepath.Dir(newname)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
 // MemFS is an in-memory FS for tests and benchmarks that must not pay
 // disk latency. The zero value is ready to use; not safe for concurrent
 // use by multiple writers.
@@ -97,6 +114,17 @@ func (m *MemFS) OpenAppend(name string, size int64) (File, error) {
 	}
 	m.files[name] = data
 	return &memFile{fs: m, name: name}, nil
+}
+
+// Rename implements FS.
+func (m *MemFS) Rename(oldname, newname string) error {
+	data, ok := m.files[oldname]
+	if !ok {
+		return os.ErrNotExist
+	}
+	m.files[newname] = data
+	delete(m.files, oldname)
+	return nil
 }
 
 type memFile struct {

@@ -7,13 +7,25 @@
 //
 // File layout (one file, ammboost.store, per data directory):
 //
-//	header record                     (format version + deployment fingerprint)
-//	snapshot record for epoch 1       ┐ written at epoch-1 retirement,
-//	sync-part record for epoch 1      ┘ fsynced together (batched)
-//	snapshot record for epoch 2
-//	sync-part record for epoch 2
+//	header record                     (format version + deployment fingerprint + flags)
+//	[checkpoint record]               (only when the header's checkpoint flag is set)
+//	snapshot record for epoch S+1     ┐ written at epoch retirement,
+//	sync-part record for epoch S+1    ┘ fsynced together (batched)
+//	snapshot record for epoch S+2
+//	sync-part record for epoch S+2
 //	...
 //	[halt record]                     (only after a lifecycle fault)
+//
+// A store starts without a checkpoint (S = 0: epoch records from 1). At
+// a snapshot boundary, Compact folds every record up to a cursor epoch S
+// into a single checkpoint — the full root table inside the retention
+// window, the newest persisted state of every pool, the persisted
+// receipt rows, and the mainchain bank's replay state at S — and
+// rewrites the file as [header, checkpoint, tail records] via
+// write-temp-fsync-rename. A crash at any byte of that sequence leaves
+// either the complete old file or the complete new file, never a
+// hybrid, which is why a header that promises a checkpoint treats any
+// damage to it as hard corruption rather than a torn tail.
 //
 // Record framing:
 //
@@ -45,17 +57,29 @@ import (
 )
 
 // FormatVersion is the on-disk format this package reads and writes.
-const FormatVersion = 1
+// Version 2 added the header flags byte and the checkpoint record.
+const FormatVersion = 2
 
 // FileName is the store's single log file inside the data directory.
 const FileName = "ammboost.store"
 
 // Record types.
 const (
-	recHeader    = 1
-	recSnapshot  = 2
-	recSyncParts = 3
-	recHalt      = 4
+	recHeader     = 1
+	recSnapshot   = 2
+	recSyncParts  = 3
+	recHalt       = 4
+	recCheckpoint = 5
+)
+
+// Header flag bits.
+const (
+	// headerFlagCheckpoint promises that the record immediately after
+	// the header is a valid checkpoint. Compaction's atomic rename is
+	// the only thing that ever sets it, so a flagged store whose
+	// checkpoint does not parse is corrupt — there is no crash that
+	// tears it.
+	headerFlagCheckpoint = 1 << 0
 )
 
 // maxRecordLen bounds a single record frame; anything larger is treated
@@ -63,8 +87,8 @@ const (
 const maxRecordLen = 1 << 30
 
 // headerFrameLen is the exact framed size of the header record:
-// length(4) + type(1) + version(2) + fingerprint(32) + crc(4).
-const headerFrameLen = 4 + 1 + 2 + 32 + 4
+// length(4) + type(1) + version(2) + fingerprint(32) + flags(1) + crc(4).
+const headerFrameLen = 4 + 1 + 2 + 32 + 1 + 4
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -77,8 +101,12 @@ type HaltRecord struct {
 
 // Recovery is everything a scan restored from an existing store.
 type Recovery struct {
-	// Epochs holds the recovered epoch records in increasing epoch
-	// order; empty for a fresh store.
+	// Checkpoint is the compacted prefix of the history (nil when the
+	// store has never been compacted). Epochs then continues from
+	// Checkpoint.Cursor+1.
+	Checkpoint *Checkpoint
+	// Epochs holds the recovered tail epoch records in increasing epoch
+	// order; empty for a fresh (or freshly compacted) store.
 	Epochs []*EpochRecord
 	// Boundaries[i] is the file offset just past Epochs[i]'s sync-part
 	// record — the durable boundary a kill -9 lands on. Crash tests
@@ -93,6 +121,9 @@ type Recovery struct {
 // Epoch returns the recovered boundary epoch (0 for a fresh store).
 func (r *Recovery) Epoch() uint64 {
 	if len(r.Epochs) == 0 {
+		if r.Checkpoint != nil {
+			return r.Checkpoint.Cursor
+		}
 		return 0
 	}
 	return r.Epochs[len(r.Epochs)-1].Epoch
@@ -106,6 +137,12 @@ type Writer struct {
 	fsyncEvery int
 	sinceSync  int
 	err        error
+
+	// Compaction and snapshot export re-read and rewrite the log, so the
+	// writer keeps its filesystem, path, and fingerprint.
+	fsys        FS
+	path        string
+	fingerprint [32]byte
 
 	// Lifecycle tracing (nil = disabled): AppendEpoch records a
 	// store-append span and each actual fsync a store-fsync span.
@@ -252,7 +289,18 @@ func Open(fsys FS, dir string, fingerprint [32]byte) (*Recovery, *Writer, error)
 	if err != nil {
 		return nil, nil, err
 	}
-	return rec, newWriter(f), nil
+	return rec, newWriter(fsys, path, fingerprint, f), nil
+}
+
+// CheckSnapshot rejects blobs that cannot possibly be a store image:
+// anything shorter than one complete header frame is indistinguishable
+// from a crash-torn creation at Open time and would silently seed a
+// FRESH node instead of the peer's state it claims to carry.
+func CheckSnapshot(data []byte) error {
+	if len(data) < headerFrameLen {
+		return fmt.Errorf("store: snapshot of %d bytes is shorter than a store header", len(data))
+	}
+	return nil
 }
 
 func create(fsys FS, path string, fingerprint [32]byte) (*Recovery, *Writer, error) {
@@ -260,10 +308,8 @@ func create(fsys FS, path string, fingerprint [32]byte) (*Recovery, *Writer, err
 	if err != nil {
 		return nil, nil, err
 	}
-	w := newWriter(f)
-	payload := binary.BigEndian.AppendUint16(nil, FormatVersion)
-	payload = append(payload, fingerprint[:]...)
-	if err := w.appendRecord(recHeader, payload); err != nil {
+	w := newWriter(fsys, path, fingerprint, f)
+	if err := w.appendRecord(recHeader, headerPayload(fingerprint, 0)); err != nil {
 		w.Close() // release the file (and its lock) — a later retry must not see it held
 		return nil, nil, err
 	}
@@ -274,8 +320,17 @@ func create(fsys FS, path string, fingerprint [32]byte) (*Recovery, *Writer, err
 	return &Recovery{}, w, nil
 }
 
-func newWriter(f File) *Writer {
-	return &Writer{f: f, bw: bufio.NewWriterSize(f, 1<<16), fsyncEvery: 1}
+func headerPayload(fingerprint [32]byte, flags byte) []byte {
+	payload := binary.BigEndian.AppendUint16(nil, FormatVersion)
+	payload = append(payload, fingerprint[:]...)
+	return append(payload, flags)
+}
+
+func newWriter(fsys FS, path string, fingerprint [32]byte, f File) *Writer {
+	return &Writer{
+		f: f, bw: bufio.NewWriterSize(f, 1<<16), fsyncEvery: 1,
+		fsys: fsys, path: path, fingerprint: fingerprint,
+	}
 }
 
 // frame is one raw record lifted out of the log.
@@ -311,24 +366,50 @@ func nextFrame(data []byte, off int64) (frame, bool) {
 // truncation.
 func scan(data []byte, fingerprint [32]byte) (*Recovery, int64, error) {
 	hdr, ok := nextFrame(data, 0)
-	if !ok || hdr.typ != recHeader || len(hdr.payload) != 34 {
+	if !ok || hdr.typ != recHeader || len(hdr.payload) < 2 {
 		return nil, 0, fmt.Errorf("%w: unreadable header", chain.ErrCorruptStore)
 	}
+	// Version is checked before the payload shape: an older or newer
+	// store must report ErrStoreVersion, not masquerade as corruption.
 	if v := binary.BigEndian.Uint16(hdr.payload); v != FormatVersion {
 		return nil, 0, fmt.Errorf("%w: store version %d, this binary reads %d",
 			chain.ErrStoreVersion, v, FormatVersion)
 	}
+	if len(hdr.payload) != 35 {
+		return nil, 0, fmt.Errorf("%w: unreadable header", chain.ErrCorruptStore)
+	}
 	var got [32]byte
-	copy(got[:], hdr.payload[2:])
+	copy(got[:], hdr.payload[2:34])
 	if got != fingerprint {
 		return nil, 0, fmt.Errorf("%w: fingerprint %x, config derives %x",
 			chain.ErrStoreMismatch, got[:8], fingerprint[:8])
 	}
+	flags := hdr.payload[34]
 
 	rec := &Recovery{HeaderEnd: hdr.end}
 	validLen := hdr.end
-	var pending *EpochRecord
 	off := hdr.end
+
+	// A flagged checkpoint is load-bearing: every record it compacted
+	// away is gone, so there is no earlier boundary to roll back to, and
+	// the rename that published it was atomic with the checkpoint
+	// already fsynced — damage here is corruption, never a torn crash.
+	if flags&headerFlagCheckpoint != 0 {
+		fr, ok := nextFrame(data, off)
+		if !ok || fr.typ != recCheckpoint {
+			return nil, 0, fmt.Errorf("%w: header promises a checkpoint but none parses",
+				chain.ErrCorruptStore)
+		}
+		cp, err := decodeCheckpoint(fr.payload)
+		if err != nil {
+			return nil, 0, fmt.Errorf("checkpoint: %w", err)
+		}
+		rec.Checkpoint = cp
+		off = fr.end
+		validLen = fr.end
+	}
+
+	var pending *EpochRecord
 	for {
 		fr, ok := nextFrame(data, off)
 		if !ok {

@@ -21,6 +21,10 @@
 #     while store=on has an fsync wall-time floor, so CPU-speed flutter
 #     swings the ratio with no code change (a breach with a flat
 #     store=on ns/op prints a WARN instead), or
+#   - open_10k_vs_100_ratio > 2.0 (the PR 10 restart-at-scale bound:
+#     opening a compacted 10k-epoch history must cost at most 2x a
+#     compacted 100-epoch history — a ratio of two same-binary CPU
+#     paths, machine-independent and enforced unconditionally), or
 #   - trace_overhead_pct >= 3% (the PR 6 lifecycle-tracer bound on
 #     EpochClose traced vs incremental, a machine-independent ratio), or
 #   - pipeline_speedup_depth2 falls below SPEEDUP_FLOOR (default 1.30)
@@ -256,6 +260,34 @@ else
     echo "        within budget vs baseline: attributed to host CPU-speed flutter in"
     echo "        the store=off reference (see comment above); not enforced"
   fi
+fi
+
+# Restart-at-scale bound introduced with the PR 10 store compaction:
+# open_10k_vs_100_ratio compares a full chain open on a compacted
+# 10k-epoch history against one on a compacted 100-epoch history. With
+# checkpoints bounding the replayed tail, restart cost must be ~flat in
+# history length; both cells are CPU-bound paths in the same binary, so
+# the 2.0x ceiling is machine-independent and enforced unconditionally.
+open_ratio=$(jq -r '.open_10k_vs_100_ratio // empty' "$current")
+if [ -z "$open_ratio" ]; then
+  echo "  FAIL  open_10k_vs_100_ratio missing from bench output"
+  fail=1
+else
+  ok=$(awk -v r="$open_ratio" 'BEGIN { print (r + 0 <= 2.0) ? "ok" : "regress" }')
+  if [ "$ok" = "ok" ]; then
+    echo "  ok    open_10k_vs_100_ratio = ${open_ratio}x (<= 2.0x)"
+  else
+    echo "  FAIL  open_10k_vs_100_ratio = ${open_ratio}x (> 2.0x: restart cost grows with history)"
+    fail=1
+  fi
+fi
+# compact_overhead_pct (the cadence's cost on top of plain persistence)
+# is recorded for trend-watching; like persist_overhead_pct its absolute
+# value flutters with host load, and the store=compact cell's own ns/op
+# and allocs/op regressions are already enforced per-benchmark above.
+compact_pct=$(jq -r '.compact_overhead_pct // empty' "$current")
+if [ -n "$compact_pct" ]; then
+  echo "  NOTE  compact_overhead_pct = ${compact_pct}% (recorded; per-benchmark checks enforce)"
 fi
 
 # Live-consensus slowdown introduced with the PR 7 adversarial scenario
